@@ -1,0 +1,46 @@
+"""Simulator throughput benchmarks (true multi-round timings).
+
+Unlike the exhibit benchmarks (which time one deterministic regeneration),
+these measure the simulator's own speed — warp-instructions per second —
+across its modes, so performance regressions in the engine or the detector
+hot path show up in benchmark history.
+"""
+
+import pytest
+
+from repro.arch.detector_config import DetectorConfig
+from repro.engine.gpu import GPU
+
+
+def _workload(detector_config):
+    gpu = GPU(detector_config=detector_config)
+    data = gpu.alloc(1024, "data")
+    counter = gpu.alloc(1, "counter")
+
+    def kernel(ctx, data, counter):
+        base = ctx.gtid * 8
+        total = 0
+        for i in range(8):
+            total += yield ctx.ld(data, (base + i) % 1024)
+        yield ctx.st(data, ctx.gtid % 1024, total, volatile=True)
+        yield ctx.atomic_add(counter, 0, 1)
+
+    result = gpu.launch(kernel, grid=8, block_dim=32, args=(data, counter))
+    return result.instructions
+
+
+@pytest.mark.parametrize(
+    "label,config",
+    [
+        ("no-detection", DetectorConfig.none()),
+        ("scord", DetectorConfig.scord()),
+        ("base-uncached", DetectorConfig.base_no_cache()),
+    ],
+)
+def test_simulation_throughput(benchmark, label, config):
+    instructions = benchmark.pedantic(
+        _workload, args=(config,), iterations=1, rounds=5, warmup_rounds=1
+    )
+    assert instructions > 0
+    # Sanity: the mean wall time stays under a second for this workload.
+    assert benchmark.stats.stats.mean < 2.0

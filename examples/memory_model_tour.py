@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""A tour of the scoped GPU memory model via litmus tests.
+
+Runs the scoped litmus catalog (message passing, store buffering, stale-L1
+coherence, RMW atomicity — each at several scope recipes) and prints the
+observed outcome sets.  This is the behavioural foundation scoped races
+stand on: insufficient scopes don't just trip the detector, they produce
+observable weak outcomes — a set flag with stale data behind it, both
+store-buffering threads reading zero, two blocks both winning a
+block-scope increment.
+
+Run:  python examples/memory_model_tour.py
+"""
+
+from repro.litmus import ALL_LITMUS_TESTS, run_litmus
+
+
+def main():
+    for test in ALL_LITMUS_TESTS:
+        result = run_litmus(test)
+        print(f"-- {test.name}")
+        print(f"   {test.description}")
+        for outcome, hits in sorted(result.observed.items()):
+            marker = ""
+            if outcome in test.forbidden:
+                marker = "  <-- FORBIDDEN (memory-model bug!)"
+            elif outcome in test.must_observe:
+                marker = "  <-- the interesting one"
+            print(f"   observed {outcome} at {hits} grid point(s){marker}")
+        status = "OK" if result.ok else "VIOLATION"
+        print(f"   [{status}]")
+        print()
+
+
+if __name__ == "__main__":
+    main()

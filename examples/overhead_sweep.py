@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Measure ScoRD's performance and memory-traffic overhead on one workload.
+
+Runs the Reduction application under four detector configurations — no
+detection, the base design without metadata caching, coarse 16-byte
+tracking, and full ScoRD — and prints a miniature of the paper's Figs. 8/9:
+normalized cycles plus DRAM accesses split into data and metadata.
+
+Run:  python examples/overhead_sweep.py [APP]
+      APP is one of MM, RED, R110, GCOL, GCON, 1DC, UTS (default RED).
+"""
+
+import sys
+
+from repro import DetectorConfig
+from repro.scor.apps.base import run_app
+from repro.scor.apps.registry import app_by_name
+
+CONFIGS = [
+    ("no detection", DetectorConfig.none()),
+    ("base (4B, no cache, 200% mem)", DetectorConfig.base_no_cache()),
+    ("coarse (16B, 50% mem)", DetectorConfig.base_no_cache(16)),
+    ("ScoRD (4B + cache, 12.5% mem)", DetectorConfig.scord()),
+]
+
+
+def main():
+    app_name = sys.argv[1] if len(sys.argv) > 1 else "RED"
+    app_cls = app_by_name(app_name)
+    print(f"workload: {app_cls.name} ({app_cls.scaled_input})")
+    print(f"{'configuration':34s} {'cycles':>10s} {'norm':>6s} "
+          f"{'dram data':>10s} {'dram md':>9s} {'races':>6s} {'ok':>3s}")
+    baseline = None
+    for label, dconf in CONFIGS:
+        app = app_cls()
+        gpu = run_app(app, detector_config=dconf)
+        cycles = gpu.total_cycles
+        if baseline is None:
+            baseline = cycles
+        data, metadata = gpu.dram_accesses()
+        print(f"{label:34s} {cycles:>10d} {cycles / baseline:>6.2f} "
+              f"{data:>10d} {metadata:>9d} {gpu.races.unique_count:>6d} "
+              f"{'yes' if app.verify(gpu) else 'NO':>3s}")
+
+
+if __name__ == "__main__":
+    main()

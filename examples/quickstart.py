@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: detect a scoped-fence race in a producer/consumer kernel.
+
+A producer thread in block 0 publishes a payload to a consumer in block 1.
+The handoff flag uses device-scope atomics (correct), but the fence between
+the payload store and the flag publication is only ``__threadfence_block``
+— so the consumer is outside the fence's scope and may read a stale
+payload.  ScoRD reports this as a scoped-fence race with the source line
+of the racing access; widening the fence to device scope fixes it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GPU, DetectorConfig, Scope
+
+
+def make_kernel(fence_scope):
+    def producer_consumer(ctx, flag, data):
+        if ctx.gtid == 0:  # producer (block 0, thread 0)
+            yield ctx.st(data, 0, 42, volatile=True)
+            yield ctx.fence(fence_scope)
+            yield ctx.atomic_exch(flag, 0, 1)
+        elif ctx.gtid == ctx.ntid:  # consumer (block 1, thread 0)
+            spins = 0
+            while (yield ctx.atomic_add(flag, 0, 0)) != 1:
+                yield ctx.compute(20)
+                spins += 1
+                if spins > 5000:
+                    return
+            payload = yield ctx.ld(data, 0, volatile=True)
+            yield ctx.st(data, 1, payload, volatile=True)
+
+    return producer_consumer
+
+
+def run(fence_scope):
+    gpu = GPU(detector_config=DetectorConfig.scord())
+    flag = gpu.alloc(1, "flag")
+    data = gpu.alloc(2, "data")
+    gpu.launch(make_kernel(fence_scope), grid=2, block_dim=8,
+               args=(flag, data))
+    return gpu, gpu.read(data, 1)
+
+
+def main():
+    print("== buggy version: __threadfence_block() ==")
+    gpu, received = run(Scope.BLOCK)
+    print(gpu.races.summary())
+    print(f"consumer received: {received}")
+    print()
+    print("== fixed version: __threadfence() (device scope) ==")
+    gpu, received = run(Scope.DEVICE)
+    print(gpu.races.summary())
+    print(f"consumer received: {received}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 660 editable installs (``pip install -e .``) cannot build.  This shim
+lets ``python setup.py develop`` perform the editable install; all project
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

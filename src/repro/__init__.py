@@ -1,0 +1,64 @@
+"""Reproduction of "ScoRD: A Scoped Race Detector for GPUs" (ISCA 2020).
+
+The package provides, from scratch and in pure Python:
+
+* a warp-level SIMT GPU simulator with a scope-aware memory model
+  (:mod:`repro.engine`, :mod:`repro.mem`, :mod:`repro.timing`);
+* the ScoRD hardware race detector and its baseline variants
+  (:mod:`repro.scord`);
+* the ScoR benchmark suite — seven applications and thirty-two
+  microbenchmarks exercising scoped synchronization (:mod:`repro.scor`);
+* experiment harnesses regenerating every table and figure of the paper's
+  evaluation (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import GPU, DetectorConfig, Scope
+
+    gpu = GPU(detector_config=DetectorConfig.scord())
+    flag = gpu.alloc(1, "flag")
+    data = gpu.alloc(1, "data")
+
+    def producer_consumer(ctx, flag, data):
+        if ctx.gtid == 0:                       # producer (block 0)
+            yield ctx.st(data, 0, 42, volatile=True)
+            yield ctx.fence(Scope.BLOCK)        # BUG: consumer is in block 1
+            yield ctx.atomic_exch(flag, 0, 1)
+        elif ctx.gtid == ctx.ntid:              # consumer (block 1)
+            while (yield ctx.atomic_add(flag, 0, 0)) != 1:
+                yield ctx.compute(20)
+            value = yield ctx.ld(data, 0, volatile=True)
+
+    gpu.launch(producer_consumer, grid=2, block_dim=8, args=(flag, data))
+    print(gpu.races.summary())   # reports a scoped-fence race on `data`
+"""
+
+from repro.arch.config import DramTiming, GPUConfig, MemoryPreset, memory_preset
+from repro.arch.detector_config import DetectorConfig, DetectorMode
+from repro.engine.context import ThreadCtx
+from repro.engine.gpu import GPU
+from repro.engine.results import LaunchResult
+from repro.isa.scopes import Scope
+from repro.mem.allocator import DeviceArray
+from repro.scord.races import RaceRecord, RaceReport, RaceScopeClass, RaceType
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DetectorConfig",
+    "DetectorMode",
+    "DeviceArray",
+    "DramTiming",
+    "GPU",
+    "GPUConfig",
+    "LaunchResult",
+    "MemoryPreset",
+    "RaceRecord",
+    "RaceReport",
+    "RaceScopeClass",
+    "RaceType",
+    "Scope",
+    "ThreadCtx",
+    "memory_preset",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Architectural configuration: GPU hardware and detector parameters."""
+
+from repro.arch.config import (
+    DramTiming,
+    GPUConfig,
+    MemoryPreset,
+    memory_preset,
+)
+from repro.arch.detector_config import DetectorConfig, DetectorMode
+
+__all__ = [
+    "DetectorConfig",
+    "DetectorMode",
+    "DramTiming",
+    "GPUConfig",
+    "MemoryPreset",
+    "memory_preset",
+]

@@ -1,0 +1,205 @@
+"""GPU hardware configuration.
+
+:meth:`GPUConfig.paper_default` carries the exact parameters of the paper's
+Table V (15 SMs, 16KB 4-way L1 with 128B lines, 1.5MB 8-way L2, 12 GDDR5
+channels, and the listed GDDR5 timing).  Simulating paper-scale inputs on a
+paper-scale memory hierarchy in pure Python is infeasible, so experiments use
+:meth:`GPUConfig.scaled_default`, which shrinks the input sizes *and* the
+cache hierarchy together so the cache-pressure regime — the thing the
+normalized overheads of Figs. 8–11 depend on — is preserved.  DESIGN.md §5
+documents the scaling.
+
+The Fig. 11 sensitivity sweep ("less L2 capacity and DRAM bandwidth" /
+"more") is expressed through :func:`memory_preset`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.common.errors import ConfigError
+
+
+@dataclasses.dataclass(frozen=True)
+class DramTiming:
+    """GDDR5-style timing parameters, in DRAM command-clock cycles.
+
+    Defaults are the paper's Table V values.  The simulator's DRAM model
+    derives two service latencies from these: a row-buffer hit costs
+    ``t_cl`` plus the burst, and a row-buffer miss additionally pays
+    precharge + activate (``t_rp + t_rcd``).
+    """
+
+    t_rrd: int = 6
+    t_rcd: int = 12
+    t_ras: int = 28
+    t_rp: int = 12
+    t_rc: int = 40
+    t_cl: int = 12
+    burst_cycles: int = 4
+
+    @property
+    def row_hit_latency(self) -> int:
+        return self.t_cl + self.burst_cycles
+
+    @property
+    def row_miss_latency(self) -> int:
+        return self.t_rp + self.t_rcd + self.t_cl + self.burst_cycles
+
+
+@dataclasses.dataclass(frozen=True)
+class GPUConfig:
+    """Full hardware configuration of the simulated GPU."""
+
+    # Execution hierarchy (Table V).
+    num_sms: int = 15
+    threads_per_warp: int = 32
+    max_threads_per_block: int = 1024
+    max_blocks_per_sm: int = 8
+    max_warps_per_sm: int = 32
+
+    # L1 data cache, per SM (global data is write-evict, i.e. stores go to
+    # L2 and invalidate the local line; this is what makes stale L1 reads —
+    # and therefore scoped races — observable).
+    l1_size_bytes: int = 16 * 1024
+    l1_assoc: int = 4
+    line_size_bytes: int = 128
+    l1_hit_latency: int = 28
+
+    # Shared L2 cache.
+    l2_size_bytes: int = 1536 * 1024
+    l2_assoc: int = 8
+    l2_banks: int = 8
+    l2_hit_latency: int = 120
+
+    # DRAM.
+    dram_channels: int = 12
+    dram_timing: DramTiming = dataclasses.field(default_factory=DramTiming)
+    dram_row_bytes: int = 1024
+
+    # Interconnect between SMs and L2: a per-direction shared link.
+    noc_bytes_per_cycle: int = 32
+    noc_base_latency: int = 4
+    noc_packet_header_bytes: int = 8
+
+    # Store visibility: per-warp write buffer for weak (non-volatile) global
+    # stores.  Entries drain to the SM-local view on a block fence and to
+    # the device-shared backing store on a device fence; when the buffer
+    # exceeds this capacity the oldest entry is evicted to the SM-local
+    # view.  See repro.mem for the full visibility model.
+    write_buffer_capacity: int = 8
+
+    # Scratchpad.
+    scratchpad_words_per_block: int = 4096
+    scratchpad_latency: int = 2
+
+    # Livelock guard: abort if a warp issues this many consecutive
+    # operations without any other warp making progress.
+    max_spin_iterations: int = 2_000_000
+
+    def __post_init__(self) -> None:
+        if self.threads_per_warp <= 0:
+            raise ConfigError("threads_per_warp must be positive")
+        if self.line_size_bytes % 4:
+            raise ConfigError("line size must be a multiple of the 4B word")
+        for name in ("l1_size_bytes", "l2_size_bytes"):
+            size = getattr(self, name)
+            if size % (self.line_size_bytes * 1):
+                raise ConfigError(f"{name} must be a multiple of the line size")
+        if self.l1_size_bytes // self.line_size_bytes < self.l1_assoc:
+            raise ConfigError("L1 has fewer lines than its associativity")
+        if self.l2_size_bytes // self.line_size_bytes < self.l2_assoc:
+            raise ConfigError("L2 has fewer lines than its associativity")
+        if self.num_sms <= 0 or self.dram_channels <= 0 or self.l2_banks <= 0:
+            raise ConfigError("structural counts must be positive")
+
+    # ------------------------------------------------------------------
+    # Presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_default(cls) -> "GPUConfig":
+        """The exact Table V configuration."""
+        return cls()
+
+    @classmethod
+    def scaled_default(cls, num_sms: int = 8) -> "GPUConfig":
+        """The configuration used by the experiment harness.
+
+        Inputs in this reproduction are scaled down by roughly three orders
+        of magnitude (DESIGN.md §5), so the cache hierarchy is scaled with
+        them: 2KB L1s and a 48KB L2 with 32B lines keep the working sets of
+        the scaled ScoR applications larger than the caches, as in the
+        paper's setup.
+        """
+        return cls(
+            num_sms=num_sms,
+            max_blocks_per_sm=8,
+            max_warps_per_sm=32,
+            threads_per_warp=8,
+            l1_size_bytes=2 * 1024,
+            l1_assoc=4,
+            line_size_bytes=32,
+            l1_hit_latency=12,
+            l2_size_bytes=48 * 1024,
+            l2_assoc=8,
+            l2_banks=8,
+            l2_hit_latency=40,
+            dram_channels=8,
+            noc_bytes_per_cycle=16,
+            noc_base_latency=4,
+            noc_packet_header_bytes=8,
+            scratchpad_words_per_block=4096,
+        )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def words_per_line(self) -> int:
+        return self.line_size_bytes // 4
+
+    @property
+    def l1_sets(self) -> int:
+        return self.l1_size_bytes // (self.line_size_bytes * self.l1_assoc)
+
+    @property
+    def l2_sets(self) -> int:
+        return self.l2_size_bytes // (self.line_size_bytes * self.l2_assoc)
+
+    def with_memory_scale(self, l2_scale: float, channel_scale: float) -> "GPUConfig":
+        """Return a copy with L2 capacity and DRAM channel count scaled.
+
+        Used by the Fig. 11 sensitivity sweep.  The scaled L2 size is
+        rounded to a whole number of sets so the configuration stays valid.
+        """
+        line_x_assoc = self.line_size_bytes * self.l2_assoc
+        new_sets = max(1, round(self.l2_sets * l2_scale))
+        new_channels = max(1, round(self.dram_channels * channel_scale))
+        return dataclasses.replace(
+            self,
+            l2_size_bytes=new_sets * line_x_assoc,
+            dram_channels=new_channels,
+        )
+
+
+class MemoryPreset(enum.Enum):
+    """The three memory-resource points of the Fig. 11 sweep."""
+
+    LOW = "low"
+    DEFAULT = "default"
+    HIGH = "high"
+
+
+def memory_preset(base: GPUConfig, preset: MemoryPreset) -> GPUConfig:
+    """Apply a Fig. 11 memory-resource preset to *base*.
+
+    ``LOW`` quarters L2 capacity and DRAM channels; ``HIGH`` doubles both,
+    mirroring the paper's "lower L2 capacity and DRAM bandwidth" /
+    "more L2 capacity and bandwidth than the default" bars.
+    """
+    if preset is MemoryPreset.LOW:
+        return base.with_memory_scale(0.25, 0.25)
+    if preset is MemoryPreset.HIGH:
+        return base.with_memory_scale(2.0, 2.0)
+    return base

@@ -1,0 +1,169 @@
+"""Configuration of the race-detection hardware.
+
+The field widths here are the ones the paper commits to (Fig. 7 and §IV):
+7-bit block IDs, 5-bit warp IDs, 6-bit fence counters, 8-bit barrier
+counters, a 16-bit lock bloom filter, 4-entry per-warp lock tables with
+6-bit address hashes, and a 4-bit metadata-cache tag.  They are configurable
+so that tests can exercise wrap-around behaviour cheaply, and so the
+Table VII granularity study (8B / 16B tracking) and the no-caching base
+design are just alternative configurations of the same detector.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.common.errors import ConfigError
+
+
+class DetectorMode(enum.Enum):
+    """Which detector is attached to the memory system."""
+
+    NONE = "none"  # no race detection (the paper's normalization baseline)
+    SCORD = "scord"  # the ScoRD detector (with or without metadata caching)
+
+
+@dataclasses.dataclass(frozen=True)
+class DetectorConfig:
+    """Parameters of the ScoRD hardware and its timing model."""
+
+    mode: DetectorMode = DetectorMode.SCORD
+
+    # --- Metadata organization -------------------------------------------
+    # Bytes of data covered by one 8-byte metadata entry.  4 is ScoRD's
+    # default; 8 and 16 reproduce the coarse-granularity baselines of
+    # Table VII (which trade memory overhead for false positives).
+    granularity_bytes: int = 4
+    # Software cache of metadata: keep one entry per `cache_ratio`
+    # granules, direct mapped, with a `tag_bits`-bit tag (paper §IV-B).
+    # Disabled for the "base design w/o metadata caching".
+    metadata_cache: bool = True
+    cache_ratio: int = 16
+    tag_bits: int = 4
+
+    # --- Field widths (Fig. 7) -------------------------------------------
+    block_id_bits: int = 7
+    warp_id_bits: int = 5
+    fence_id_bits: int = 6
+    barrier_id_bits: int = 8
+    bloom_bits: int = 16
+
+    # --- Lock inference (§IV-A) ------------------------------------------
+    lock_table_entries: int = 4
+    lock_hash_bits: int = 6
+
+    # --- Timing model toggles (Fig. 10 overhead breakdown) ----------------
+    # LHD: stalling execution on L1 hits while the race detector's input
+    # buffer is full.
+    model_lhd: bool = True
+    # NOC: extra payload (warp/block/fence IDs, bloom) on every packet and
+    # detector packets for L1 hits.
+    model_noc: bool = True
+    # MD: memory traffic for metadata reads and writebacks.
+    model_md: bool = True
+
+    # Detector unit: check latency, sustained throughput (the detection
+    # logic is simple combinational hardware and is pipelined), and
+    # input-buffer depth.  When the buffer between the L1s and the
+    # detector is full, L1 hits stall (the LHD overhead source).
+    detector_service_cycles: int = 2
+    detector_checks_per_cycle: int = 4
+    detector_buffer_entries: int = 4
+
+    # Extra bytes added to each memory-system packet when detection is on
+    # (IDs + bloom filter; §V attributes NOC overhead to this).
+    packet_overhead_bytes: int = 8
+
+    # --- Comparator models (Table VIII demonstrations) --------------------
+    # Ignore the scope of atomic operations (treat all atomics as device
+    # scope).  This models Barracuda/CURD, which honour scoped fences but
+    # not scoped atomics — they miss scoped-atomic races.
+    ignore_atomic_scopes: bool = False
+    # Additionally ignore fence scopes (any fence orders device-wide).
+    # This models scope-blind detectors like HAccRG, which miss both
+    # scoped-fence and scoped-atomic races.
+    ignore_fence_scopes: bool = False
+
+    # --- §VI extension: explicit acquire/release support ------------------
+    acquire_release_extension: bool = False
+    release_counter_bits: int = 16
+
+    # --- §VI extension: Independent Thread Scheduling (Volta+) ------------
+    # With ITS, lanes of a diverged warp interleave and can race with each
+    # other.  The paper's sketch stores the accessing ThreadID in the
+    # metadata word's unused bits and makes the program-order check
+    # lane-granular.  Off by default (pre-Volta SIMT), as in the paper.
+    its_support: bool = False
+    lane_id_bits: int = 5
+
+    def __post_init__(self) -> None:
+        if self.granularity_bytes not in (4, 8, 16, 32):
+            raise ConfigError("granularity_bytes must be 4, 8, 16 or 32")
+        if self.cache_ratio < 1:
+            raise ConfigError("cache_ratio must be >= 1")
+        if self.metadata_cache and self.tag_bits < 1:
+            raise ConfigError("metadata cache requires at least 1 tag bit")
+        for name in (
+            "block_id_bits",
+            "warp_id_bits",
+            "fence_id_bits",
+            "barrier_id_bits",
+            "bloom_bits",
+            "lock_hash_bits",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.lock_table_entries <= 0:
+            raise ConfigError("lock_table_entries must be positive")
+
+    # ------------------------------------------------------------------
+    # Canonical configurations used throughout the evaluation
+    # ------------------------------------------------------------------
+    @classmethod
+    def none(cls) -> "DetectorConfig":
+        """No race detection (normalization baseline for Figs. 8/9/11)."""
+        return cls(mode=DetectorMode.NONE)
+
+    @classmethod
+    def scord(cls) -> "DetectorConfig":
+        """Full ScoRD: 4B granularity + software metadata cache (1/16)."""
+        return cls(mode=DetectorMode.SCORD, metadata_cache=True)
+
+    @classmethod
+    def barracuda_like(cls) -> "DetectorConfig":
+        """A Barracuda/CURD-class model: scoped fences, scope-blind atomics."""
+        return cls(mode=DetectorMode.SCORD, ignore_atomic_scopes=True)
+
+    @classmethod
+    def scope_blind(cls) -> "DetectorConfig":
+        """An HAccRG-class model: no scope awareness at all."""
+        return cls(
+            mode=DetectorMode.SCORD,
+            ignore_atomic_scopes=True,
+            ignore_fence_scopes=True,
+        )
+
+    @classmethod
+    def base_no_cache(cls, granularity_bytes: int = 4) -> "DetectorConfig":
+        """The paper's "base design w/o metadata caching".
+
+        With *granularity_bytes* of 8 or 16 this is also the Table VII
+        coarse-granularity baseline.
+        """
+        return cls(
+            mode=DetectorMode.SCORD,
+            granularity_bytes=granularity_bytes,
+            metadata_cache=False,
+        )
+
+    @property
+    def metadata_overhead_fraction(self) -> float:
+        """Metadata bytes per data byte (the paper's memory-overhead figure).
+
+        8-byte entries over ``granularity_bytes`` of data, divided by
+        ``cache_ratio`` when the software cache keeps only one entry per
+        that many granules: 4B + 1/16 caching = 12.5%; 4B uncached = 200%.
+        """
+        ratio = self.cache_ratio if self.metadata_cache else 1
+        return 8.0 / (self.granularity_bytes * ratio)

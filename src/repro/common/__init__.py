@@ -1,0 +1,30 @@
+"""Shared low-level utilities used across the simulator and the detector.
+
+This subpackage deliberately has no dependency on any other ``repro``
+subpackage so that every other layer can build on it.
+"""
+
+from repro.common.bitfield import BitField, BitStruct
+from repro.common.counters import WrappingCounter
+from repro.common.errors import (
+    ConfigError,
+    DeviceMemoryError,
+    KernelError,
+    ReproError,
+    SimulationError,
+)
+from repro.common.rng import SplitMix64
+from repro.common.stats import CounterBag
+
+__all__ = [
+    "BitField",
+    "BitStruct",
+    "ConfigError",
+    "CounterBag",
+    "DeviceMemoryError",
+    "KernelError",
+    "ReproError",
+    "SimulationError",
+    "SplitMix64",
+    "WrappingCounter",
+]

@@ -1,0 +1,108 @@
+"""Bit-field packing helpers.
+
+ScoRD's in-memory metadata is an 8-byte word with a fixed field layout
+(paper, Fig. 7).  Rather than keeping Python objects per memory word, the
+detector packs each entry into a real 64-bit integer through the helpers in
+this module, which keeps the reproduction faithful to the hardware layout
+(including field-width truncation and counter wrap-around) and keeps memory
+use reasonable.
+
+A :class:`BitStruct` describes a word layout as an ordered set of named
+:class:`BitField` slices.  Packing masks each value to its field width, just
+as a hardware register would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+
+class BitField:
+    """A named contiguous bit slice ``[hi:lo]`` inside a fixed-width word."""
+
+    __slots__ = ("name", "hi", "lo", "width", "mask", "shifted_mask")
+
+    def __init__(self, name: str, hi: int, lo: int):
+        if hi < lo:
+            raise ValueError(f"field {name!r}: hi ({hi}) < lo ({lo})")
+        if lo < 0:
+            raise ValueError(f"field {name!r}: negative lo ({lo})")
+        self.name = name
+        self.hi = hi
+        self.lo = lo
+        self.width = hi - lo + 1
+        self.mask = (1 << self.width) - 1
+        self.shifted_mask = self.mask << lo
+
+    def extract(self, word: int) -> int:
+        """Return this field's value from a packed *word*."""
+        return (word >> self.lo) & self.mask
+
+    def insert(self, word: int, value: int) -> int:
+        """Return *word* with this field replaced by *value* (truncated)."""
+        return (word & ~self.shifted_mask) | ((value & self.mask) << self.lo)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BitField({self.name!r}, hi={self.hi}, lo={self.lo})"
+
+
+class BitStruct:
+    """An ordered collection of non-overlapping bit fields in one word.
+
+    >>> s = BitStruct(16, [("tag", 15, 12), ("value", 11, 0)])
+    >>> w = s.pack(tag=0x5, value=0x123)
+    >>> hex(w)
+    '0x5123'
+    >>> s.unpack(w) == {"tag": 5, "value": 0x123}
+    True
+    """
+
+    def __init__(self, total_bits: int, fields: Iterable[Tuple[str, int, int]]):
+        self.total_bits = total_bits
+        self.fields: Dict[str, BitField] = {}
+        self._order: List[str] = []
+        used = 0
+        for name, hi, lo in fields:
+            if hi >= total_bits:
+                raise ValueError(
+                    f"field {name!r} [{hi}:{lo}] exceeds word width {total_bits}"
+                )
+            field = BitField(name, hi, lo)
+            if used & field.shifted_mask:
+                raise ValueError(f"field {name!r} overlaps a previous field")
+            used |= field.shifted_mask
+            if name in self.fields:
+                raise ValueError(f"duplicate field name {name!r}")
+            self.fields[name] = field
+            self._order.append(name)
+
+    def pack(self, **values: int) -> int:
+        """Pack keyword field values into a word; absent fields are zero."""
+        word = 0
+        for name, value in values.items():
+            try:
+                field = self.fields[name]
+            except KeyError:
+                raise KeyError(f"unknown field {name!r}") from None
+            word = field.insert(word, value)
+        return word
+
+    def unpack(self, word: int) -> Dict[str, int]:
+        """Unpack a word into a ``{field: value}`` dict (declaration order)."""
+        return {name: self.fields[name].extract(word) for name in self._order}
+
+    def get(self, word: int, name: str) -> int:
+        """Extract one field from a packed word."""
+        return self.fields[name].extract(word)
+
+    def set(self, word: int, name: str, value: int) -> int:
+        """Return *word* with field *name* set to *value* (truncated)."""
+        return self.fields[name].insert(word, value)
+
+    def width_of(self, name: str) -> int:
+        """Bit width of field *name*."""
+        return self.fields[name].width
+
+    @property
+    def field_names(self) -> List[str]:
+        return list(self._order)

@@ -1,0 +1,50 @@
+"""Fixed-width wrapping counters.
+
+The ScoRD hardware uses small saturating-free counters everywhere: 6-bit
+fence IDs, 8-bit barrier IDs, and so on.  The paper explicitly discusses the
+(rare) false positive that arises when exactly ``2**width`` fences execute
+between two conflicting accesses, so the wrap-around behaviour is part of the
+design being reproduced and must be real, not emulated with unbounded Python
+ints.
+"""
+
+from __future__ import annotations
+
+
+class WrappingCounter:
+    """An unsigned counter that wraps modulo ``2**width``.
+
+    >>> c = WrappingCounter(width=2)
+    >>> [c.increment() for _ in range(5)]
+    [1, 2, 3, 0, 1]
+    """
+
+    __slots__ = ("width", "_modulo", "value")
+
+    def __init__(self, width: int, initial: int = 0):
+        if width <= 0:
+            raise ValueError("counter width must be positive")
+        self.width = width
+        self._modulo = 1 << width
+        self.value = initial % self._modulo
+
+    def increment(self) -> int:
+        """Advance the counter by one and return the new value."""
+        self.value = (self.value + 1) % self._modulo
+        return self.value
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, WrappingCounter):
+            return self.value == other.value and self.width == other.width
+        if isinstance(other, int):
+            return self.value == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.width, self.value))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"WrappingCounter(width={self.width}, value={self.value})"

@@ -1,0 +1,23 @@
+"""Exception hierarchy for the ScoRD reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An architectural or detector configuration is inconsistent."""
+
+
+class DeviceMemoryError(ReproError):
+    """Out-of-bounds access, double free, or allocator exhaustion."""
+
+
+class KernelError(ReproError):
+    """A kernel misused the device API (e.g. yielded a non-operation)."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an impossible state (deadlock, livelock cap)."""

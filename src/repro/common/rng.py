@@ -1,0 +1,60 @@
+"""Deterministic random number generation.
+
+Workload generators (R-MAT graphs, UTS trees, random matrices) must be
+reproducible across runs and machines, so the suite uses an explicit
+SplitMix64 stream rather than the global :mod:`random` state.  SplitMix64 is
+tiny, fast, splittable (useful for the UTS tree, where each node seeds its
+children), and well distributed.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+
+class SplitMix64:
+    """SplitMix64 PRNG (Steele, Lea & Flood 2014).
+
+    >>> r = SplitMix64(seed=1)
+    >>> r.next_u64() == SplitMix64(seed=1).next_u64()
+    True
+    """
+
+    __slots__ = ("state",)
+
+    def __init__(self, seed: int):
+        self.state = seed & _MASK64
+
+    def next_u64(self) -> int:
+        """Return the next 64-bit value in the stream."""
+        self.state = (self.state + 0x9E3779B97F4A7C15) & _MASK64
+        z = self.state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        return z ^ (z >> 31)
+
+    def next_below(self, bound: int) -> int:
+        """Return a value in ``[0, bound)``; *bound* must be positive."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        return self.next_u64() % bound
+
+    def next_float(self) -> float:
+        """Return a float uniformly distributed in ``[0, 1)``."""
+        return (self.next_u64() >> 11) * (1.0 / (1 << 53))
+
+    def split(self) -> "SplitMix64":
+        """Return an independent child stream (for per-node seeding)."""
+        return SplitMix64(self.next_u64())
+
+
+def hash_u64(value: int) -> int:
+    """Stateless SplitMix64 finalizer; used as a cheap integer hash.
+
+    The UTS benchmark uses this as its "simple hash function to decide the
+    number of children a node has" (paper, Table II).
+    """
+    z = (value + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)

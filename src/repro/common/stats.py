@@ -1,0 +1,50 @@
+"""Lightweight named-counter collection for simulation statistics."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+
+class CounterBag:
+    """A dict-like bag of integer counters that default to zero.
+
+    Used by the memory system, the NoC, and the detector to accumulate
+    statistics without each component declaring its schema up front.
+
+    >>> c = CounterBag()
+    >>> c.add("dram.data"); c.add("dram.data", 2)
+    >>> c["dram.data"]
+    3
+    >>> c["never.touched"]
+    0
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def __getitem__(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._counts))
+
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot of all non-zero counters."""
+        return dict(self._counts)
+
+    def merge(self, other: "CounterBag") -> None:
+        """Add every counter of *other* into this bag."""
+        for name, amount in other._counts.items():
+            self.add(name, amount)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"CounterBag({inner})"

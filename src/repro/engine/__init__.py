@@ -1,0 +1,23 @@
+"""The SIMT execution engine.
+
+Kernels are Python generator functions with signature
+``def kernel(ctx: ThreadCtx, *args)`` that yield :mod:`repro.isa` operations
+and receive load/atomic results back::
+
+    def increment(ctx, data):
+        value = yield ctx.ld(data, ctx.gtid, volatile=True)
+        yield ctx.st(data, ctx.gtid, value + 1, volatile=True)
+
+One generator instance is created per thread; the engine groups threads into
+warps, steps all live threads of a warp in lockstep (one operation each per
+issue), coalesces their memory operations into line-sized transactions, and
+advances a discrete-event clock through the timing fabric.  Each access is
+reported to the attached race detector with the thread's block/warp identity
+and the kernel source line of the access.
+"""
+
+from repro.engine.context import ThreadCtx
+from repro.engine.gpu import GPU
+from repro.engine.results import LaunchResult
+
+__all__ = ["GPU", "LaunchResult", "ThreadCtx"]

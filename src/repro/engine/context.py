@@ -1,0 +1,223 @@
+"""Per-thread device API.
+
+A :class:`ThreadCtx` is passed to every kernel generator.  It provides the
+thread's coordinates (``tid``, ``bid``, ``gtid``, …) and constructors for
+the operations the thread may yield.  The constructors mirror CUDA's
+intrinsics:
+
+==============================  =======================================
+CUDA                            ThreadCtx
+==============================  =======================================
+``x = a[i]``                    ``x = yield ctx.ld(a, i)``
+``volatile`` load               ``x = yield ctx.ld(a, i, volatile=True)``
+``a[i] = x``                    ``yield ctx.st(a, i, x)``
+``atomicAdd(&a[i], v)``         ``yield ctx.atomic_add(a, i, v)``
+``atomicAdd_block(&a[i], v)``   ``yield ctx.atomic_add(a, i, v, scope=Scope.BLOCK)``
+``atomicCAS(&a[i], c, v)``      ``yield ctx.atomic_cas(a, i, c, v)``
+``atomicExch(&a[i], v)``        ``yield ctx.atomic_exch(a, i, v)``
+``__threadfence()``             ``yield ctx.fence()``
+``__threadfence_block()``       ``yield ctx.fence_block()``
+``__syncthreads()``             ``yield ctx.barrier()``
+``__shared__`` access           ``yield ctx.shld(off)`` / ``ctx.shst(off, v)``
+(ALU work)                      ``yield ctx.compute(cycles)``
+==============================  =======================================
+
+Targets may be a :class:`~repro.mem.allocator.DeviceArray` plus index, or a
+raw byte address (pass ``index=None``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.common.errors import KernelError
+from repro.isa.ops import (
+    AcquireLd,
+    AtomicOp,
+    AtomicRMW,
+    Barrier,
+    Compute,
+    Fence,
+    Ld,
+    ReleaseSt,
+    ShLd,
+    ShSt,
+    St,
+)
+from repro.isa.scopes import Scope
+from repro.mem.allocator import DeviceArray
+
+Target = Union[DeviceArray, int]
+
+
+def _resolve(target: Target, index: Optional[int]) -> int:
+    if isinstance(target, DeviceArray):
+        if index is None:
+            raise KernelError(f"array target {target.name!r} requires an index")
+        return target.addr(index)
+    if index is not None:
+        raise KernelError("raw-address target must not carry an index")
+    return target
+
+
+class ThreadCtx:
+    """Identity and operation constructors for one device thread."""
+
+    __slots__ = ("tid", "bid", "ntid", "nbid", "warp_size")
+
+    def __init__(self, tid: int, bid: int, ntid: int, nbid: int, warp_size: int):
+        #: thread index within the block (``threadIdx.x``)
+        self.tid = tid
+        #: block index within the grid (``blockIdx.x``)
+        self.bid = bid
+        #: threads per block (``blockDim.x``)
+        self.ntid = ntid
+        #: blocks in the grid (``gridDim.x``)
+        self.nbid = nbid
+        #: hardware warp width
+        self.warp_size = warp_size
+
+    @property
+    def gtid(self) -> int:
+        """Global thread index (``blockIdx.x * blockDim.x + threadIdx.x``)."""
+        return self.bid * self.ntid + self.tid
+
+    @property
+    def nthreads(self) -> int:
+        """Total threads in the grid."""
+        return self.ntid * self.nbid
+
+    @property
+    def warp_id(self) -> int:
+        """Warp index of this thread within its block."""
+        return self.tid // self.warp_size
+
+    @property
+    def lane(self) -> int:
+        """Lane index of this thread within its warp."""
+        return self.tid % self.warp_size
+
+    # ------------------------------------------------------------------
+    # Global memory
+    # ------------------------------------------------------------------
+    def ld(self, target: Target, index: Optional[int] = None, volatile: bool = False) -> Ld:
+        return Ld(_resolve(target, index), strong=volatile)
+
+    def st(
+        self,
+        target: Target,
+        index: Optional[int],
+        value: int,
+        volatile: bool = False,
+    ) -> St:
+        return St(_resolve(target, index), value, strong=volatile)
+
+    # ------------------------------------------------------------------
+    # Atomics
+    # ------------------------------------------------------------------
+    def atomic_add(
+        self,
+        target: Target,
+        index: Optional[int],
+        value: int,
+        scope: Scope = Scope.DEVICE,
+    ) -> AtomicRMW:
+        return AtomicRMW(_resolve(target, index), AtomicOp.ADD, value, scope)
+
+    def atomic_sub(
+        self,
+        target: Target,
+        index: Optional[int],
+        value: int,
+        scope: Scope = Scope.DEVICE,
+    ) -> AtomicRMW:
+        return AtomicRMW(_resolve(target, index), AtomicOp.SUB, value, scope)
+
+    def atomic_exch(
+        self,
+        target: Target,
+        index: Optional[int],
+        value: int,
+        scope: Scope = Scope.DEVICE,
+    ) -> AtomicRMW:
+        return AtomicRMW(_resolve(target, index), AtomicOp.EXCH, value, scope)
+
+    def atomic_cas(
+        self,
+        target: Target,
+        index: Optional[int],
+        compare: int,
+        value: int,
+        scope: Scope = Scope.DEVICE,
+    ) -> AtomicRMW:
+        return AtomicRMW(
+            _resolve(target, index), AtomicOp.CAS, value, scope, compare=compare
+        )
+
+    def atomic_min(
+        self,
+        target: Target,
+        index: Optional[int],
+        value: int,
+        scope: Scope = Scope.DEVICE,
+    ) -> AtomicRMW:
+        return AtomicRMW(_resolve(target, index), AtomicOp.MIN, value, scope)
+
+    def atomic_max(
+        self,
+        target: Target,
+        index: Optional[int],
+        value: int,
+        scope: Scope = Scope.DEVICE,
+    ) -> AtomicRMW:
+        return AtomicRMW(_resolve(target, index), AtomicOp.MAX, value, scope)
+
+    def atomic_or(
+        self,
+        target: Target,
+        index: Optional[int],
+        value: int,
+        scope: Scope = Scope.DEVICE,
+    ) -> AtomicRMW:
+        return AtomicRMW(_resolve(target, index), AtomicOp.OR, value, scope)
+
+    # ------------------------------------------------------------------
+    # Synchronization
+    # ------------------------------------------------------------------
+    def ld_acquire(
+        self, target: Target, index: Optional[int] = None,
+        scope: Scope = Scope.DEVICE,
+    ) -> AcquireLd:
+        """PTX 6.0 ``ld.acquire`` (paper §VI extension)."""
+        return AcquireLd(_resolve(target, index), scope)
+
+    def st_release(
+        self, target: Target, index: Optional[int], value: int,
+        scope: Scope = Scope.DEVICE,
+    ) -> ReleaseSt:
+        """PTX 6.0 ``st.release`` (paper §VI extension)."""
+        return ReleaseSt(_resolve(target, index), value, scope)
+
+    def fence(self, scope: Scope = Scope.DEVICE) -> Fence:
+        """``__threadfence()`` (device scope by default)."""
+        return Fence(scope)
+
+    def fence_block(self) -> Fence:
+        """``__threadfence_block()``."""
+        return Fence(Scope.BLOCK)
+
+    def barrier(self) -> Barrier:
+        """``__syncthreads()``."""
+        return Barrier()
+
+    # ------------------------------------------------------------------
+    # Scratchpad and compute
+    # ------------------------------------------------------------------
+    def shld(self, offset: int) -> ShLd:
+        return ShLd(offset)
+
+    def shst(self, offset: int, value: int) -> ShSt:
+        return ShSt(offset, value)
+
+    def compute(self, cycles: int) -> Compute:
+        return Compute(cycles)

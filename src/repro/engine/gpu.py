@@ -1,0 +1,254 @@
+"""The top-level GPU facade — the library's main entry point.
+
+>>> from repro import GPU, GPUConfig, DetectorConfig, Scope
+>>> gpu = GPU()
+>>> counter = gpu.alloc(1, "counter")
+>>> def bump(ctx, counter):
+...     yield ctx.atomic_add(counter, 0, 1)
+>>> result = gpu.launch(bump, grid=4, block_dim=8, args=(counter,))
+>>> gpu.read(counter, 0)
+32
+
+A :class:`GPU` owns the full simulated machine: device memory (allocator +
+backing store), the scope-aware visibility model, the timing fabric, and the
+attached race detector.  Kernel launches share this state, as CUDA kernels
+share a device; each launch is a device-wide synchronization point.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.arch.config import GPUConfig
+from repro.arch.detector_config import DetectorConfig, DetectorMode
+from repro.common.stats import CounterBag
+from repro.engine.memops import MemoryPipeline
+from repro.engine.results import LaunchResult
+from repro.engine.scheduler import KernelRun
+from repro.mem.allocator import DeviceAllocator, DeviceArray
+from repro.mem.backing import BackingStore
+from repro.mem.visibility import VisibilityModel
+from repro.scord.races import RaceReport
+from repro.scord.shmem import ShmemChecker
+from repro.scord.variants import make_detector
+from repro.timing.sampler import TimelineSampler
+from repro.timing.fabric import TimingFabric
+
+DEFAULT_CAPACITY_BYTES = 256 * 1024
+
+
+class GPU:
+    """A simulated GPU with an optional attached race detector."""
+
+    def __init__(
+        self,
+        config: Optional[GPUConfig] = None,
+        detector_config: Optional[DetectorConfig] = None,
+        capacity_bytes: int = DEFAULT_CAPACITY_BYTES,
+        shmem_check: bool = False,
+        sample_interval: int = 0,
+    ):
+        self.config = config if config is not None else GPUConfig.scaled_default()
+        self.detector_config = (
+            detector_config if detector_config is not None else DetectorConfig.none()
+        )
+        self.stats = CounterBag()
+        self.allocator = DeviceAllocator(capacity_bytes)
+        self.backing = BackingStore(capacity_bytes)
+        self.visibility = VisibilityModel(
+            self.backing,
+            self.config.num_sms,
+            self.config.l1_size_bytes,
+            self.config.l1_assoc,
+            self.config.line_size_bytes,
+            self.config.write_buffer_capacity,
+            self.stats,
+        )
+        self.fabric = TimingFabric(self.config, self.stats)
+        self.detector = make_detector(self.detector_config, capacity_bytes)
+        self.detector.attach(self.fabric, self.stats)
+        self.pipeline = MemoryPipeline(
+            self.config,
+            self.fabric,
+            self.visibility,
+            self.detector,
+            self.allocator,
+            self.stats,
+        )
+        # Optional Racecheck-style shared-memory hazard checking — the
+        # complement to ScoRD's global-memory focus (paper §VII).
+        self.shmem_checker = (
+            ShmemChecker(self.config.threads_per_warp) if shmem_check else None
+        )
+        self.pipeline.shmem = self.shmem_checker
+        # Optional utilization timeline (see repro.timing.sampler).
+        self.sampler = (
+            TimelineSampler(self.fabric, sample_interval)
+            if sample_interval
+            else None
+        )
+        self.pipeline.sampler = self.sampler
+        self.clock = 0
+        self.launches: List[LaunchResult] = []
+        self._next_warp_uid = 0
+
+    # ------------------------------------------------------------------
+    # Host-side memory API
+    # ------------------------------------------------------------------
+    def alloc(self, length: int, name: Optional[str] = None) -> DeviceArray:
+        """Allocate *length* device words."""
+        return self.allocator.alloc(length, name)
+
+    def write(self, array: DeviceArray, index: int, value: int) -> None:
+        """Host write of one element (outside kernel execution)."""
+        self.backing.write_word(array.addr(index), value)
+
+    def read(self, array: DeviceArray, index: int) -> int:
+        """Host read of one element (outside kernel execution)."""
+        return self.backing.read_word(array.addr(index))
+
+    def write_array(self, array: DeviceArray, values: Iterable[int]) -> None:
+        """Host write of consecutive elements starting at index 0."""
+        for index, value in enumerate(values):
+            self.backing.write_word(array.addr(index), value)
+
+    def read_array(self, array: DeviceArray) -> List[int]:
+        """Host read of the whole array."""
+        return [self.backing.read_word(array.addr(i)) for i in range(len(array))]
+
+    # ------------------------------------------------------------------
+    # Kernel launch
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        kernel,
+        grid: int,
+        block_dim: int,
+        args: Sequence = (),
+    ) -> LaunchResult:
+        """Run *kernel* over ``grid`` blocks of ``block_dim`` threads.
+
+        Blocking (like ``cudaDeviceSynchronize`` after every launch): on
+        return, all effects are visible to the host and the clock has
+        advanced past the kernel's completion.
+        """
+        self.detector.on_kernel_boundary()
+        if self.shmem_checker is not None:
+            self.shmem_checker.new_launch()
+        before = self.stats.as_dict()
+        run = KernelRun(
+            kernel,
+            grid,
+            block_dim,
+            tuple(args),
+            self.pipeline,
+            self.clock,
+            self._next_warp_uid,
+        )
+        end_cycle = run.run()
+        self._next_warp_uid = run._next_warp_uid
+        self.visibility.finalize()
+        self.detector.finalize()
+        if self.sampler is not None:
+            self.sampler.finish(end_cycle)
+
+        after = self.stats.as_dict()
+        delta = CounterBag()
+        for key, value in after.items():
+            diff = value - before.get(key, 0)
+            if diff:
+                delta.add(key, diff)
+        result = LaunchResult(
+            kernel_name=getattr(kernel, "__name__", str(kernel)),
+            cycles=end_cycle - self.clock,
+            start_cycle=self.clock,
+            end_cycle=end_cycle,
+            stats=delta,
+            races=self.races,
+            instructions=run.instructions,
+        )
+        self.clock = end_cycle
+        self.launches.append(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Run-level accessors
+    # ------------------------------------------------------------------
+    @property
+    def races(self) -> RaceReport:
+        """All races detected so far, across launches."""
+        return self.detector.report
+
+    @property
+    def shmem_hazards(self):
+        """Shared-memory hazards (only populated with ``shmem_check=True``)."""
+        if self.shmem_checker is None:
+            return []
+        return self.shmem_checker.unique_hazards
+
+    @property
+    def total_cycles(self) -> int:
+        return self.clock
+
+    def dram_accesses(self) -> Tuple[int, int]:
+        """(data, metadata) DRAM accesses accumulated across launches."""
+        return (
+            self.stats["dram.access.data"],
+            self.stats["dram.access.metadata"],
+        )
+
+    def timeline(self, width: int = 60) -> str:
+        """ASCII fabric-utilization timeline (needs ``sample_interval``)."""
+        if self.sampler is None:
+            return "(timeline sampling disabled; pass sample_interval=N)"
+        return self.sampler.render(width)
+
+    def report(self) -> str:
+        """A formatted summary of the whole run (all launches so far)."""
+        lines = [f"GPU run: {len(self.launches)} launch(es), "
+                 f"{self.clock} cycles total"]
+        for launch in self.launches:
+            lines.append(
+                f"  {launch.kernel_name}: {launch.cycles} cycles, "
+                f"{launch.instructions} warp-instructions"
+            )
+        l1_hits = self.stats["l1.hit.data"]
+        l1_misses = self.stats["l1.miss.data"]
+        l1_total = l1_hits + l1_misses
+        if l1_total:
+            lines.append(f"  L1: {l1_hits}/{l1_total} hits "
+                         f"({100 * l1_hits / l1_total:.1f}%)")
+        l2_hits = sum(
+            self.stats[f"l2.hit.{cls}"] for cls in ("data", "metadata")
+        )
+        l2_misses = sum(
+            self.stats[f"l2.miss.{cls}"] for cls in ("data", "metadata")
+        )
+        if l2_hits + l2_misses:
+            lines.append(
+                f"  L2: {l2_hits}/{l2_hits + l2_misses} hits "
+                f"({100 * l2_hits / (l2_hits + l2_misses):.1f}%)"
+            )
+        data, metadata = self.dram_accesses()
+        lines.append(f"  DRAM accesses: data={data} metadata={metadata}")
+        lines.append(
+            f"  NoC: {self.stats['noc.packets']} packets, "
+            f"{self.stats['noc.bytes']} bytes"
+        )
+        if self.clock:
+            noc_busy = self.fabric.noc_up.busy_cycles + self.fabric.noc_down.busy_cycles
+            dram_cycles = self.fabric.dram.total_busy_cycles
+            channels = self.fabric.dram.num_channels
+            lines.append(
+                f"  utilization: noc={noc_busy / (2 * self.clock):.1%} "
+                f"dram={dram_cycles / (channels * self.clock):.1%}"
+            )
+        if self.detector_config.mode is not DetectorMode.NONE:
+            lines.append(
+                f"  detector: {self.stats['detector.checks']} checks, "
+                f"{self.stats['detector.md_accesses']} metadata accesses, "
+                f"{self.stats['detector.md_cache_skips']} cache skips, "
+                f"{self.stats['detector.lhd_stall_cycles']} LHD stall cycles"
+            )
+        lines.append("  " + self.races.summary().replace("\n", "\n  "))
+        return "\n".join(lines)

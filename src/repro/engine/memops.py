@@ -1,0 +1,388 @@
+"""Execution of a warp's memory operations through the memory system.
+
+One :class:`MemoryPipeline` per GPU couples the functional visibility model,
+the timing fabric and the race detector.  The engine hands it the batch of
+operations a warp produced in one lockstep issue; it coalesces them into
+line-sized transactions, performs the functional effects, reserves timing
+resources, reports every access to the detector, and returns the cycle at
+which the warp may issue again.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.config import GPUConfig
+from repro.common.stats import CounterBag
+from repro.isa.ops import AcquireLd, AtomicRMW, Fence, Ld, ReleaseSt, St
+from repro.isa.scopes import Scope
+from repro.mem.allocator import DeviceAllocator
+from repro.mem.visibility import (
+    SERVED_FILL,
+    SERVED_L1,
+    SERVED_WB,
+    VisibilityModel,
+)
+from repro.scord.interface import Access, AccessKind, BaseDetector, NullDetector
+from repro.timing.fabric import TimingFabric
+
+_REQ_HEADER_BYTES = 8
+_ADDR_BYTES = 4
+_WORD_BYTES = 4
+
+# Cheap fixed costs (cycles).
+_STORE_ISSUE_COST = 2
+_WB_FORWARD_COST = 1
+_BLOCK_FENCE_COST = 4
+_DEVICE_FENCE_BASE_COST = 10
+
+
+class MemoryPipeline:
+    """Functional + timing execution of global-memory traffic."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        fabric: TimingFabric,
+        visibility: VisibilityModel,
+        detector: BaseDetector,
+        allocator: DeviceAllocator,
+        stats: CounterBag,
+    ):
+        self.config = config
+        self.fabric = fabric
+        self.visibility = visibility
+        self.detector = detector
+        self.allocator = allocator
+        self.stats = stats
+        self.detection_on = not isinstance(detector, NullDetector)
+        self._line = config.line_size_bytes
+        # Optional Racecheck-style scratchpad hazard checker (set by GPU).
+        self.shmem = None
+        # Optional utilization timeline sampler (set by GPU).
+        self.sampler = None
+
+    # ------------------------------------------------------------------
+    # Detector plumbing
+    # ------------------------------------------------------------------
+    def _report(
+        self,
+        now: int,
+        kind: AccessKind,
+        op,
+        strong: bool,
+        warp,
+        pc: Tuple[str, int],
+        l1_hit: bool,
+        scope: Scope = Scope.DEVICE,
+        atomic_op=None,
+        sync_op=None,
+        tid: int = 0,
+    ) -> int:
+        """Send one access to the detector; returns warp stall cycles."""
+        if not self.detection_on:
+            return 0
+        owner = self.allocator.owner_of(op.addr)
+        access = Access(
+            kind=kind,
+            addr=op.addr,
+            strong=strong,
+            block_id=warp.block.bid,
+            warp_id=warp.warp_id,
+            sm_id=warp.sm_id,
+            pc=pc,
+            scope=scope,
+            atomic_op=atomic_op,
+            l1_hit=l1_hit,
+            array_name=owner.name if owner else None,
+            sync_op=sync_op,
+            lane_id=tid % self.config.threads_per_warp,
+        )
+        return self.detector.on_access(now, access)
+
+    def _extra_bytes(self) -> int:
+        return self.detector.noc_packet_overhead
+
+    def _detector_packet(self, now: int) -> None:
+        """Detection packet for an access that produces no memory-system
+        packet of its own (L1 hit, buffered store, SM-local atomic):
+        "even when a load hits in the L1 cache, a packet is sent to the
+        race detector" (§IV)."""
+        overhead = self.detector.noc_packet_overhead
+        if overhead:
+            self.fabric.send_up(now, overhead + 8)
+            self.stats.add("detector.extra_packets")
+
+    # ------------------------------------------------------------------
+    # Op-class execution.  Each takes (now, warp, items) where items is a
+    # list of (tid, op, pc); returns (completion_time, stall_cycles).
+    # ------------------------------------------------------------------
+    def exec_loads(
+        self, now: int, warp, items: List[Tuple[int, Ld, Tuple[str, int]]], results: Dict[int, int]
+    ) -> Tuple[int, int]:
+        completion = now
+        stall = 0
+        # Coalesce by (line, strong): one transaction per group.
+        groups: Dict[Tuple[int, bool], List[Tuple[int, Ld, Tuple[str, int]]]] = {}
+        for tid, op, pc in items:
+            key = (op.addr - op.addr % self._line, op.strong)
+            groups.setdefault(key, []).append((tid, op, pc))
+
+        for (line, strong), group in groups.items():
+            any_miss = False
+            any_l1_hit = False
+            for tid, op, pc in group:
+                value, served = self.visibility.load(
+                    warp.sm_id, warp.uid, op.addr, strong
+                )
+                results[tid] = value
+                if served == SERVED_FILL:
+                    any_miss = True
+                hit = served in (SERVED_L1, SERVED_WB)
+                any_l1_hit = any_l1_hit or hit
+                stall = max(
+                    stall,
+                    self._report(
+                        now, AccessKind.LOAD, op, strong, warp, pc,
+                        l1_hit=hit, tid=tid,
+                    ),
+                )
+            if strong or any_miss:
+                request = _REQ_HEADER_BYTES + _ADDR_BYTES + self._extra_bytes()
+                response = _REQ_HEADER_BYTES + (
+                    len(group) * _WORD_BYTES if strong else self._line
+                )
+                done = self.fabric.round_trip(
+                    now, line, False, request, response, "data"
+                )
+                completion = max(completion, done)
+            else:
+                # Served locally — but the detector still needs a packet.
+                if self.detection_on:
+                    self._detector_packet(now)
+                if any_l1_hit:
+                    completion = max(completion, now + self.config.l1_hit_latency)
+                else:
+                    completion = max(completion, now + _WB_FORWARD_COST)
+        return completion, stall
+
+    def exec_stores(
+        self, now: int, warp, items: List[Tuple[int, St, Tuple[str, int]]]
+    ) -> Tuple[int, int]:
+        completion = now + _STORE_ISSUE_COST
+        stall = 0
+        strong_lines = set()
+        drained_lines = set()
+        for tid, op, pc in items:
+            if op.strong:
+                self.visibility.store(warp.sm_id, warp.uid, op.addr, op.value, True)
+                strong_lines.add(op.addr - op.addr % self._line)
+            else:
+                drained = self.visibility.store(
+                    warp.sm_id, warp.uid, op.addr, op.value, False
+                )
+                if drained is not None:
+                    drained_lines.add(drained - drained % self._line)
+            stall = max(
+                stall,
+                self._report(
+                    now, AccessKind.STORE, op, op.strong, warp, pc,
+                    l1_hit=False, tid=tid,
+                ),
+            )
+        # Strong stores write through to the L2 immediately; weak stores sit
+        # in the write buffer and generate traffic when they drain (fence,
+        # capacity, or kernel end).  Stores are fire-and-forget either way.
+        for line in strong_lines:
+            self.fabric.round_trip(
+                now,
+                line,
+                True,
+                _REQ_HEADER_BYTES + _ADDR_BYTES + self._line + self._extra_bytes(),
+                0,
+                "data",
+                wait_for_response=False,
+            )
+        for line in drained_lines:
+            # Write-buffer capacity drain: the old entry travels to L2 now.
+            self.fabric.round_trip(
+                now,
+                line,
+                True,
+                _REQ_HEADER_BYTES + _ADDR_BYTES + _WORD_BYTES,
+                0,
+                "data",
+                wait_for_response=False,
+            )
+        if self.detection_on and len(strong_lines) < 1 and items:
+            # Buffered weak stores produced no packet; detection needs one.
+            self._detector_packet(now)
+        return completion, stall
+
+    def exec_atomics(
+        self,
+        now: int,
+        warp,
+        items: List[Tuple[int, AtomicRMW, Tuple[str, int]]],
+        results: Dict[int, int],
+    ) -> Tuple[int, int]:
+        completion = now
+        stall = 0
+        device_lines = set()
+        block_lines = set()
+        for tid, op, pc in items:
+            device_scope = op.scope is not Scope.BLOCK
+            old = self.visibility.atomic(
+                warp.sm_id,
+                warp.uid,
+                op.addr,
+                op.op,
+                op.operand,
+                op.compare,
+                device_scope,
+            )
+            results[tid] = old
+            # Atomics do not take the LHD stall path (l1_hit=False): the
+            # LHD source is specifically loads completing from the L1
+            # while the detector's buffer is full (§V); atomics always
+            # wait on their scope level anyway.
+            stall = max(
+                stall,
+                self._report(
+                    now,
+                    AccessKind.ATOMIC,
+                    op,
+                    True,
+                    warp,
+                    pc,
+                    l1_hit=False,
+                    scope=op.scope,
+                    atomic_op=op.op,
+                    tid=tid,
+                ),
+            )
+            if device_scope:
+                device_lines.add(op.addr - op.addr % self._line)
+                # Atomics are not coalesced: each RMW travels and is
+                # serviced individually (as in GPGPU-Sim).  This per-op
+                # packet stream is why atomic-dense applications (1DC) are
+                # so sensitive to detection's extra packet payload.
+                at_l2 = self.fabric.send_up(
+                    now,
+                    _REQ_HEADER_BYTES + _ADDR_BYTES + _WORD_BYTES
+                    + self._extra_bytes(),
+                )
+                answered = self.fabric.access_l2(at_l2, op.addr, True, "data")
+                done = self.fabric.send_down(
+                    answered, _REQ_HEADER_BYTES + _WORD_BYTES
+                )
+                completion = max(completion, done)
+            else:
+                # Block-scope atomics complete at the SM level — the
+                # performance motivation for scoped operations.
+                block_lines.add(op.addr - op.addr % self._line)
+                completion = max(completion, now + self.config.l1_hit_latency)
+        if self.detection_on:
+            for _line in block_lines:
+                self._detector_packet(now)
+        return completion, stall
+
+    def exec_sync_accesses(
+        self,
+        now: int,
+        warp,
+        acquires,
+        releases,
+        results: Dict[int, int],
+    ) -> Tuple[int, int]:
+        """PTX 6.0 acquire/release accesses (§VI extension).
+
+        A release orders the warp's prior writes (scoped, like a fence)
+        and then strong-stores the sync variable; an acquire strong-loads
+        it.  Both are reported to the detector as sync accesses.
+        """
+        completion = now
+        stall = 0
+        for tid, op, pc in releases:
+            device = op.scope is not Scope.BLOCK
+            if self.detection_on:
+                self.detector.on_fence(now, warp.block.bid, warp.warp_id, op.scope)
+            drained = self.visibility.fence(warp.sm_id, warp.uid, device)
+            if device:
+                for line in {a - a % self._line for a in drained}:
+                    arrival = self.fabric.send_up(
+                        now, _REQ_HEADER_BYTES + _ADDR_BYTES + _WORD_BYTES
+                    )
+                    self.fabric.access_l2(arrival, line, True, "data")
+                completion = max(completion, now + _DEVICE_FENCE_BASE_COST)
+            else:
+                completion = max(completion, now + _BLOCK_FENCE_COST)
+            self.visibility.store(warp.sm_id, warp.uid, op.addr, op.value, True)
+            self.fabric.round_trip(
+                now,
+                op.addr - op.addr % self._line,
+                True,
+                _REQ_HEADER_BYTES + _ADDR_BYTES + _WORD_BYTES + self._extra_bytes(),
+                0,
+                "data",
+                wait_for_response=False,
+            )
+            stall = max(
+                stall,
+                self._report(
+                    now, AccessKind.STORE, op, True, warp, pc,
+                    l1_hit=False, scope=op.scope, sync_op="release", tid=tid,
+                ),
+            )
+        for tid, op, pc in acquires:
+            value, _served = self.visibility.load(
+                warp.sm_id, warp.uid, op.addr, strong=True
+            )
+            results[tid] = value
+            done = self.fabric.round_trip(
+                now,
+                op.addr - op.addr % self._line,
+                False,
+                _REQ_HEADER_BYTES + _ADDR_BYTES + self._extra_bytes(),
+                _REQ_HEADER_BYTES + _WORD_BYTES,
+                "data",
+            )
+            completion = max(completion, done)
+            stall = max(
+                stall,
+                self._report(
+                    now, AccessKind.LOAD, op, True, warp, pc,
+                    l1_hit=False, scope=op.scope, sync_op="acquire", tid=tid,
+                ),
+            )
+        return completion, stall
+
+    def exec_fences(
+        self, now: int, warp, items: List[Tuple[int, Fence, Tuple[str, int]]]
+    ) -> Tuple[int, int]:
+        completion = now
+        # All lanes of a warp fence together; one fence event per distinct
+        # scope present in this issue.
+        scopes = []
+        for _tid, op, _pc in items:
+            if op.scope not in scopes:
+                scopes.append(op.scope)
+        for scope in scopes:
+            if self.detection_on:
+                self.detector.on_fence(now, warp.block.bid, warp.warp_id, scope)
+            device = scope is not Scope.BLOCK
+            drained = self.visibility.fence(warp.sm_id, warp.uid, device)
+            if device:
+                done = now + _DEVICE_FENCE_BASE_COST
+                lines = {addr - addr % self._line for addr in drained}
+                for line in lines:
+                    # The fence completes when its drained stores reach L2.
+                    per_store = _REQ_HEADER_BYTES + _ADDR_BYTES + _WORD_BYTES
+                    arrival = self.fabric.send_up(now, per_store)
+                    done = max(
+                        done, self.fabric.access_l2(arrival, line, True, "data")
+                    )
+                completion = max(completion, done)
+            else:
+                completion = max(completion, now + _BLOCK_FENCE_COST)
+        return completion, 0

@@ -1,0 +1,55 @@
+"""Results of a kernel launch / a simulation run."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from repro.common.stats import CounterBag
+from repro.scord.races import RaceReport
+
+
+@dataclasses.dataclass
+class LaunchResult:
+    """Outcome of one kernel launch.
+
+    ``cycles`` is the launch's wall-clock in simulated core cycles.  The
+    counter names most experiments consume:
+
+    * ``dram.access.data`` / ``dram.access.metadata`` — DRAM accesses
+      (i.e. L2 misses + writebacks) by traffic class (Fig. 9);
+    * ``l1.hit.data`` / ``l1.miss.data`` and ``l2.hit.*`` / ``l2.miss.*``;
+    * ``noc.packets`` / ``noc.bytes``;
+    * ``detector.checks``, ``detector.races``, ``detector.md_accesses``,
+      ``detector.md_cache_skips``, ``detector.lhd_stall_cycles``.
+    """
+
+    kernel_name: str
+    cycles: int
+    start_cycle: int
+    end_cycle: int
+    stats: CounterBag
+    races: RaceReport
+    instructions: int
+
+    @property
+    def dram_accesses(self) -> Dict[str, int]:
+        return {
+            "data": self.stats["dram.access.data"],
+            "metadata": self.stats["dram.access.metadata"],
+        }
+
+    @property
+    def unique_race_count(self) -> int:
+        return self.races.unique_count
+
+    def describe(self) -> str:
+        lines = [
+            f"kernel {self.kernel_name!r}: {self.cycles} cycles, "
+            f"{self.instructions} warp-instructions",
+            f"  DRAM accesses: data={self.dram_accesses['data']} "
+            f"metadata={self.dram_accesses['metadata']}",
+            f"  races: {self.races.unique_count} unique "
+            f"({len(self.races)} occurrences)",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,397 @@
+"""Kernel execution: block placement, warp lockstep, barriers, event loop.
+
+A launch creates one generator per thread, groups threads into warps, and
+places threadblocks onto SMs honoring the per-SM block and warp limits
+(Table V).  Warps issue in lockstep: each live thread of the warp advances
+by exactly one operation per issue; the memory pipeline coalesces the
+operations and returns the cycle the warp may issue again.  Blocks queue
+until an SM frees capacity, as on hardware.
+
+Barriers require warp-level convergence: when any live thread of a warp
+yields :class:`~repro.isa.ops.Barrier`, every live thread of that warp must
+have yielded one in the same issue (well-formed CUDA), and the warp parks
+until every live warp of the block arrives.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import KernelError, SimulationError
+from repro.engine.context import ThreadCtx
+from repro.engine.memops import MemoryPipeline
+from repro.isa.ops import (
+    AcquireLd,
+    AtomicRMW,
+    Barrier,
+    Compute,
+    Fence,
+    Ld,
+    Op,
+    ReleaseSt,
+    ShLd,
+    ShSt,
+    St,
+)
+from repro.timing.resource import EventQueue, QueuedResource
+
+_BARRIER_RELEASE_COST = 8
+
+
+def _pc_of(gen) -> Tuple[str, int]:
+    """(function name, line) of the yield a generator is suspended at.
+
+    Kernels may factor idioms into sub-generators driven with ``yield
+    from`` (e.g. a lock-acquire helper); the meaningful "instruction
+    pointer" is then the innermost frame, reached by walking the
+    delegation chain.
+    """
+    g = gen
+    while True:
+        sub = getattr(g, "gi_yieldfrom", None)
+        if sub is not None and getattr(sub, "gi_frame", None) is not None:
+            g = sub
+            continue
+        break
+    frame = g.gi_frame
+    return (g.gi_code.co_name, frame.f_lineno if frame is not None else -1)
+
+
+class _Warp:
+    __slots__ = (
+        "uid",
+        "warp_id",
+        "block",
+        "sm_id",
+        "threads",
+        "pending",
+        "parked",
+        "at_barrier",
+        "live",
+    )
+
+    def __init__(self, uid: int, warp_id: int, block: "_Block", sm_id: int):
+        self.uid = uid
+        self.warp_id = warp_id
+        self.block = block
+        self.sm_id = sm_id
+        self.threads: List[Optional[object]] = []
+        self.pending: List[Optional[int]] = []
+        # Lanes suspended at a barrier, waiting for warp reconvergence.
+        self.parked: List[bool] = []
+        self.at_barrier = False
+        self.live = True
+
+
+class _Block:
+    __slots__ = ("bid", "sm_id", "warps", "scratchpad", "barrier_arrivals",
+                 "live_warps", "barrier_epoch")
+
+    def __init__(self, bid: int, sm_id: int, scratchpad_words: int):
+        self.bid = bid
+        self.sm_id = sm_id
+        self.warps: List[_Warp] = []
+        self.scratchpad = [0] * scratchpad_words
+        self.barrier_arrivals = 0
+        self.live_warps = 0
+        self.barrier_epoch = 0
+
+
+class _SM:
+    __slots__ = ("sm_id", "issue", "resident_blocks", "resident_warps")
+
+    def __init__(self, sm_id: int):
+        self.sm_id = sm_id
+        self.issue = QueuedResource(f"sm{sm_id}.issue")
+        self.resident_blocks = 0
+        self.resident_warps = 0
+
+
+class KernelRun:
+    """One kernel launch over the shared GPU state."""
+
+    def __init__(
+        self,
+        kernel,
+        grid: int,
+        block_dim: int,
+        args: Tuple,
+        pipeline: MemoryPipeline,
+        start_cycle: int,
+        warp_uid_base: int,
+    ):
+        config = pipeline.config
+        if block_dim <= 0 or grid <= 0:
+            raise KernelError("grid and block dimensions must be positive")
+        if block_dim > config.max_threads_per_block:
+            raise KernelError(
+                f"block of {block_dim} threads exceeds the limit of "
+                f"{config.max_threads_per_block}"
+            )
+        self.kernel = kernel
+        self.grid = grid
+        self.block_dim = block_dim
+        self.args = args
+        self.pipeline = pipeline
+        self.config = config
+        self.events = EventQueue()
+        self.events.now = start_cycle
+        self.start_cycle = start_cycle
+        self.warp_uid_base = warp_uid_base
+        self.warps_per_block = math.ceil(block_dim / config.threads_per_warp)
+        if self.warps_per_block > config.max_warps_per_sm:
+            raise KernelError("one block exceeds the SM's warp capacity")
+        self.sms = [_SM(i) for i in range(config.num_sms)]
+        self.pending_blocks = deque(range(grid))
+        self.blocks_done = 0
+        self.instructions = 0
+        self.end_cycle = start_cycle
+        self._next_warp_uid = warp_uid_base
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def _can_place(self, sm: _SM) -> bool:
+        return (
+            sm.resident_blocks < self.config.max_blocks_per_sm
+            and sm.resident_warps + self.warps_per_block
+            <= self.config.max_warps_per_sm
+        )
+
+    def _place_block(self, bid: int, sm: _SM, now: int) -> None:
+        block = _Block(bid, sm.sm_id, self.config.scratchpad_words_per_block)
+        sm.resident_blocks += 1
+        sm.resident_warps += self.warps_per_block
+        warp_size = self.config.threads_per_warp
+        for warp_id in range(self.warps_per_block):
+            warp = _Warp(self._next_warp_uid, warp_id, block, sm.sm_id)
+            self._next_warp_uid += 1
+            lo = warp_id * warp_size
+            hi = min(lo + warp_size, self.block_dim)
+            for tid in range(lo, hi):
+                ctx = ThreadCtx(tid, bid, self.block_dim, self.grid, warp_size)
+                gen = self.kernel(ctx, *self.args)
+                if not hasattr(gen, "send"):
+                    raise KernelError(
+                        f"kernel {getattr(self.kernel, '__name__', self.kernel)!r} "
+                        "must be a generator function (it never yields)"
+                    )
+                warp.threads.append(gen)
+                warp.pending.append(None)
+                warp.parked.append(False)
+            block.warps.append(warp)
+            block.live_warps += 1
+        for warp in block.warps:
+            self.events.schedule(now, self._stepper(warp))
+
+    def _fill_sms(self, now: int) -> None:
+        progress = True
+        while self.pending_blocks and progress:
+            progress = False
+            for sm in self.sms:
+                if not self.pending_blocks:
+                    break
+                if self._can_place(sm):
+                    self._place_block(self.pending_blocks.popleft(), sm, now)
+                    progress = True
+
+    # ------------------------------------------------------------------
+    # Warp stepping
+    # ------------------------------------------------------------------
+    def _stepper(self, warp: _Warp):
+        def callback(now: int) -> None:
+            self._step_warp(warp, now)
+
+        return callback
+
+    def _step_warp(self, warp: _Warp, now: int) -> None:
+        if not warp.live or warp.at_barrier:
+            return
+        if self.pipeline.sampler is not None:
+            self.pipeline.sampler.maybe_sample(now)
+        ops: List[Tuple[int, Op, Tuple[str, int]]] = []
+        live_threads = 0
+        parked_threads = 0
+        for lane, gen in enumerate(warp.threads):
+            if gen is None:
+                continue
+            if warp.parked[lane]:
+                # Suspended at __syncthreads(), waiting for warp
+                # reconvergence (divergent lanes may still be executing).
+                live_threads += 1
+                parked_threads += 1
+                continue
+            value = warp.pending[lane]
+            warp.pending[lane] = None
+            try:
+                op = gen.send(value)
+            except StopIteration:
+                warp.threads[lane] = None
+                continue
+            live_threads += 1
+            if not isinstance(op, Op):
+                raise KernelError(
+                    f"kernel yielded {op!r}; kernels must yield repro.isa ops"
+                )
+            if isinstance(op, Barrier):
+                warp.parked[lane] = True
+                parked_threads += 1
+                continue
+            pc = _pc_of(gen)
+            tid = warp.warp_id * self.config.threads_per_warp + lane
+            ops.append((tid, op, pc))
+
+        if live_threads == 0:
+            self._finish_warp(warp, now)
+            return
+
+        if parked_threads == live_threads:
+            # The whole warp has reconverged at the barrier.
+            self._arrive_barrier(warp, now)
+            return
+
+        sm = self.sms[warp.sm_id]
+        issue = sm.issue.reserve(now, 1, 0)
+        completion = self._execute(warp, issue, ops)
+        self.instructions += 1
+        if completion <= issue:
+            completion = issue + 1
+        self.end_cycle = max(self.end_cycle, completion)
+        self.events.schedule(completion, self._stepper(warp))
+
+    def _execute(
+        self, warp: _Warp, now: int, ops: List[Tuple[int, Op, Tuple[str, int]]]
+    ) -> int:
+        fences = []
+        loads = []
+        stores = []
+        atomics = []
+        acquires = []
+        releases = []
+        completion = now
+        results: Dict[int, int] = {}
+        scratchpad = warp.block.scratchpad
+        for tid, op, pc in ops:
+            if isinstance(op, Ld):
+                loads.append((tid, op, pc))
+            elif isinstance(op, St):
+                stores.append((tid, op, pc))
+            elif isinstance(op, AtomicRMW):
+                atomics.append((tid, op, pc))
+            elif isinstance(op, AcquireLd):
+                acquires.append((tid, op, pc))
+            elif isinstance(op, ReleaseSt):
+                releases.append((tid, op, pc))
+            elif isinstance(op, Fence):
+                fences.append((tid, op, pc))
+            elif isinstance(op, ShLd):
+                results[tid] = scratchpad[op.offset]
+                completion = max(completion, now + self.config.scratchpad_latency)
+                if self.pipeline.shmem is not None:
+                    self.pipeline.shmem.on_access(
+                        warp.block.bid, warp.block.barrier_epoch, tid,
+                        op.offset, False, now, pc,
+                    )
+            elif isinstance(op, ShSt):
+                scratchpad[op.offset] = op.value
+                completion = max(completion, now + self.config.scratchpad_latency)
+                if self.pipeline.shmem is not None:
+                    self.pipeline.shmem.on_access(
+                        warp.block.bid, warp.block.barrier_epoch, tid,
+                        op.offset, True, now, pc,
+                    )
+            elif isinstance(op, Compute):
+                completion = max(completion, now + op.cycles)
+            else:  # pragma: no cover - Barrier handled by caller
+                raise KernelError(f"unexpected op {op!r}")
+
+        stall = 0
+        # Fences first: within one issue they order the warp's prior writes.
+        if fences:
+            done, s = self.pipeline.exec_fences(now, warp, fences)
+            completion = max(completion, done)
+            stall = max(stall, s)
+        if stores:
+            done, s = self.pipeline.exec_stores(now, warp, stores)
+            completion = max(completion, done)
+            stall = max(stall, s)
+        if atomics:
+            done, s = self.pipeline.exec_atomics(now, warp, atomics, results)
+            completion = max(completion, done)
+            stall = max(stall, s)
+        if acquires or releases:
+            done, s = self.pipeline.exec_sync_accesses(
+                now, warp, acquires, releases, results
+            )
+            completion = max(completion, done)
+            stall = max(stall, s)
+        if loads:
+            done, s = self.pipeline.exec_loads(now, warp, loads, results)
+            completion = max(completion, done)
+            stall = max(stall, s)
+
+        for tid, value in results.items():
+            lane = tid - warp.warp_id * self.config.threads_per_warp
+            warp.pending[lane] = value
+        return completion + stall
+
+    # ------------------------------------------------------------------
+    # Barriers and teardown
+    # ------------------------------------------------------------------
+    def _arrive_barrier(self, warp: _Warp, now: int) -> None:
+        warp.at_barrier = True
+        block = warp.block
+        block.barrier_arrivals += 1
+        if block.barrier_arrivals >= block.live_warps:
+            self._release_barrier(block, now)
+
+    def _release_barrier(self, block: _Block, now: int) -> None:
+        block.barrier_arrivals = 0
+        block.barrier_epoch += 1
+        participants = [w.uid for w in block.warps if w.live]
+        self.pipeline.visibility.barrier_drain(block.sm_id, participants)
+        if self.pipeline.detection_on:
+            self.pipeline.detector.on_barrier(now, block.bid)
+        for warp in block.warps:
+            if warp.live and warp.at_barrier:
+                warp.at_barrier = False
+                warp.parked = [False] * len(warp.parked)
+                self.events.schedule(
+                    now + _BARRIER_RELEASE_COST, self._stepper(warp)
+                )
+
+    def _finish_warp(self, warp: _Warp, now: int) -> None:
+        warp.live = False
+        block = warp.block
+        block.live_warps -= 1
+        if block.live_warps > 0:
+            # A warp exiting may complete a pending barrier.
+            if block.barrier_arrivals >= block.live_warps > 0:
+                self._release_barrier(block, now)
+            return
+        # Block complete: free the SM slot and admit a queued block.
+        sm = self.sms[block.sm_id]
+        sm.resident_blocks -= 1
+        sm.resident_warps -= self.warps_per_block
+        self.blocks_done += 1
+        self.end_cycle = max(self.end_cycle, now)
+        self._fill_sms(now)
+
+    # ------------------------------------------------------------------
+    def run(self) -> int:
+        """Execute to completion; returns the launch's end cycle."""
+        self._fill_sms(self.start_cycle)
+        self.events.run(max_events=self.config.max_spin_iterations)
+        if not self.events.empty:
+            raise SimulationError(
+                f"kernel exceeded {self.config.max_spin_iterations} events — "
+                "livelock (a spin loop whose partner never arrives?)"
+            )
+        if self.blocks_done != self.grid:
+            raise SimulationError(
+                f"deadlock: only {self.blocks_done}/{self.grid} blocks "
+                "completed (barrier without full participation?)"
+            )
+        return max(self.end_cycle, self.events.now)

@@ -1,0 +1,26 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+One module per exhibit:
+
+========  ==================================================== ==========
+module    reproduces                                            paper ref
+========  ==================================================== ==========
+table1    microbenchmark census and per-micro verdicts          Table I
+table2    application inventory                                  Table II
+table6    races caught (base w/o caching vs ScoRD)               Table VI
+table7    false positives vs metadata tracking granularity       Table VII
+table8    detector capability comparison                         Table VIII
+fig8      execution cycles normalized to no detection            Fig. 8
+fig9      DRAM accesses (data vs metadata), normalized           Fig. 9
+fig10     overhead breakdown: LHD / NOC / MD                     Fig. 10
+fig11     sensitivity to L2 capacity + DRAM bandwidth            Fig. 11
+========  ==================================================== ==========
+
+All modules share a memoizing :class:`~repro.experiments.runner.Runner`, so
+e.g. Fig. 9 reuses the Fig. 8 simulations.  ``scord-experiments`` (see
+``repro.experiments.cli``) runs any subset from the command line.
+"""
+
+from repro.experiments.runner import RunRecord, Runner
+
+__all__ = ["RunRecord", "Runner"]

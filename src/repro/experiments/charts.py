@@ -1,0 +1,99 @@
+"""ASCII bar charts for the figure exhibits.
+
+The paper's Figs. 8–11 are bar charts; the text tables carry the numbers,
+and these renderers carry the *shape* — grouped and stacked horizontal
+bars scaled to a character budget, so a terminal diff of two runs shows
+where bars moved.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+_FULL = "█"
+_PARTS = " ▏▎▍▌▋▊▉"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    """Render *value* as a bar of at most *width* characters."""
+    if value <= 0 or scale <= 0:
+        return ""
+    cells = value / scale * width
+    whole = int(cells)
+    frac = int((cells - whole) * 8)
+    bar = _FULL * min(whole, width)
+    if whole < width and frac:
+        bar += _PARTS[frac]
+    return bar
+
+
+def grouped_bars(
+    title: str,
+    labels: Sequence[str],
+    series: Sequence[Tuple[str, Sequence[float]]],
+    width: int = 40,
+    reference: Optional[float] = None,
+    reference_label: str = "",
+) -> str:
+    """Horizontal grouped bar chart: one group per label, one bar per series.
+
+    *reference* draws a vertical tick at that value on every bar line
+    (e.g. 1.0 for "no overhead").
+    """
+    peak = max(
+        (max(values) for _name, values in series if values), default=1.0
+    )
+    if reference is not None:
+        peak = max(peak, reference)
+    name_width = max(len(name) for name, _ in series)
+    label_width = max(len(label) for label in labels)
+    ref_col = (
+        int(reference / peak * width) if reference is not None else None
+    )
+
+    lines = [f"=== {title} ==="]
+    for index, label in enumerate(labels):
+        for si, (name, values) in enumerate(series):
+            value = values[index]
+            bar = _bar(value, peak, width)
+            if ref_col is not None and len(bar) < ref_col:
+                bar = bar + " " * (ref_col - len(bar)) + "|"
+            prefix = label if si == 0 else ""
+            lines.append(
+                f"{prefix:>{label_width}}  {name:<{name_width}} "
+                f"{bar} {value:.2f}"
+            )
+        lines.append("")
+    if reference is not None and reference_label:
+        lines.append(f"(| marks {reference_label})")
+    return "\n".join(lines)
+
+
+def stacked_bars(
+    title: str,
+    labels: Sequence[str],
+    components: Sequence[Tuple[str, str, Sequence[float]]],
+    width: int = 40,
+) -> str:
+    """Horizontal stacked bars: components are (name, glyph, values)."""
+    totals = [
+        sum(values[i] for _n, _g, values in components)
+        for i in range(len(labels))
+    ]
+    peak = max(totals, default=1.0) or 1.0
+    label_width = max(len(label) for label in labels)
+
+    lines = [f"=== {title} ==="]
+    for index, label in enumerate(labels):
+        bar = ""
+        for _name, glyph, values in components:
+            cells = int(round(values[index] / peak * width))
+            bar += glyph * cells
+        lines.append(
+            f"{label:>{label_width}}  {bar} {totals[index]:.2f}"
+        )
+    legend = "  ".join(
+        f"{glyph}={name}" for name, glyph, _values in components
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Command-line front-end: ``scord-experiments [exhibit ...]``.
+
+Runs the requested exhibits (or ``all``) and prints the paper-style tables
+to stdout.  Exhibits sharing simulations reuse them through the memoizing
+runner, so ``scord-experiments all`` is much cheaper than the sum of the
+parts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.fig11 import run_fig11
+from repro.experiments.runner import Runner
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table6 import run_table6
+from repro.experiments.table7 import run_table7
+from repro.experiments.table8 import run_table8
+
+EXHIBITS = ("table1", "table2", "table6", "table7", "table8",
+            "fig8", "fig9", "fig10", "fig11", "ablations", "litmus")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="scord-experiments",
+        description="Regenerate the tables and figures of the ScoRD paper.",
+    )
+    parser.add_argument(
+        "exhibits",
+        nargs="*",
+        default=["all"],
+        help=f"any of {', '.join(EXHIBITS)}, or 'all' (default)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-run progress"
+    )
+    parser.add_argument(
+        "--dump",
+        metavar="PATH",
+        help="write every simulation's raw record to PATH as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    wanted = list(args.exhibits)
+    if "all" in wanted:
+        wanted = list(EXHIBITS)
+    unknown = [name for name in wanted if name not in EXHIBITS]
+    if unknown:
+        parser.error(f"unknown exhibit(s): {', '.join(unknown)}")
+
+    runner = Runner(verbose=not args.quiet)
+    started = time.time()
+    for name in wanted:
+        if name == "table1":
+            print(run_table1().render())
+        elif name == "table2":
+            print(run_table2())
+        elif name == "table6":
+            result = run_table6(runner)
+            print(result.render())
+            print()
+            print(result.render_detail())
+        elif name == "table7":
+            print(run_table7(runner).render())
+        elif name == "table8":
+            print(run_table8())
+        elif name == "fig8":
+            result = run_fig8(runner)
+            print(result.render())
+            print()
+            print(result.chart())
+        elif name == "fig9":
+            result = run_fig9(runner)
+            print(result.render())
+            print()
+            print(result.chart())
+        elif name == "fig10":
+            result = run_fig10(runner)
+            print(result.render())
+            print()
+            print(result.chart())
+        elif name == "fig11":
+            result = run_fig11(runner)
+            print(result.render())
+            print()
+            print(result.chart())
+        elif name == "ablations":
+            from repro.experiments.ablations import run_all_ablations
+
+            for table in run_all_ablations().values():
+                print(table)
+                print()
+        elif name == "litmus":
+            from repro.litmus import ALL_LITMUS_TESTS, run_litmus
+
+            print("=== Scoped memory-model litmus tests ===")
+            for test in ALL_LITMUS_TESTS:
+                result = run_litmus(test)
+                verdict = "ok" if result.ok else "VIOLATION"
+                print(f"[{verdict}] {result.summary()}")
+        print()
+    if args.dump:
+        runner.dump_json(args.dump)
+        print(f"[raw records written to {args.dump}]", file=sys.stderr)
+    print(
+        f"[{runner.runs_done()} unique simulations, "
+        f"{time.time() - started:.0f}s]",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Figure 11 — sensitivity of ScoRD's overhead to memory resources.
+
+Three bars per application: ScoRD's cycles normalized to the no-detection
+cycles *of the same memory configuration*, for LOW (half the L2 capacity
+and DRAM channels), DEFAULT, and HIGH (double both).  The paper: overhead
+grows as the memory system shrinks — metadata fights data harder for L2
+and bandwidth — except for 1DC, whose baseline degrades relatively more.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from repro.experiments.runner import Runner
+from repro.experiments.tables import render_table
+from repro.scor.apps.registry import ALL_APPS
+
+_PRESETS = ("low", "default", "high")
+
+
+@dataclasses.dataclass
+class Fig11Result:
+    rows: List[Tuple[str, float, float, float]]  # app, low, default, high
+
+    def render(self) -> str:
+        rows = [
+            (app, f"{low:.2f}", f"{mid:.2f}", f"{high:.2f}")
+            for app, low, mid, high in self.rows
+        ]
+        n = len(self.rows)
+        rows.append(
+            (
+                "AVG",
+                f"{sum(r[1] for r in self.rows) / n:.2f}",
+                f"{sum(r[2] for r in self.rows) / n:.2f}",
+                f"{sum(r[3] for r in self.rows) / n:.2f}",
+            )
+        )
+        return render_table(
+            "Figure 11: ScoRD overhead vs memory resources "
+            "(normalized to no detection per configuration)",
+            ["workload", "low mem", "default", "high mem"],
+            rows,
+            note=(
+                "Paper: overhead increases with a more constrained memory "
+                "subsystem (except 1DC)."
+            ),
+        )
+
+    def chart(self) -> str:
+        from repro.experiments.charts import grouped_bars
+
+        labels = [app for app, _l, _m, _h in self.rows]
+        return grouped_bars(
+            "Figure 11 (bars): overhead vs memory resources",
+            labels,
+            [
+                ("low", [low for _a, low, _m, _h in self.rows]),
+                ("default", [mid for _a, _l, mid, _h in self.rows]),
+                ("high", [high for _a, _l, _m, high in self.rows]),
+            ],
+            reference=1.0,
+            reference_label="no detection (1.0)",
+        )
+
+
+def run_fig11(runner: Runner) -> Fig11Result:
+    rows = []
+    for app_cls in ALL_APPS:
+        values = []
+        for preset in _PRESETS:
+            none = runner.run(app_cls, detector="none", memory=preset)
+            scord = runner.run(app_cls, detector="scord", memory=preset)
+            values.append(scord.cycles / none.cycles)
+        rows.append((app_cls.name, *values))
+    return Fig11Result(rows)

@@ -1,0 +1,159 @@
+"""Shared, memoizing simulation runner for the experiment harnesses.
+
+An experiment asks for "application X under detector config Y on GPU
+config Z" and receives a :class:`RunRecord`.  Identical requests (e.g.
+Fig. 8's ScoRD runs and Fig. 9's DRAM breakdown of the same runs) are
+simulated once per process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+import time
+from typing import Dict, FrozenSet, List, Optional, Tuple, Type
+
+from repro.arch.config import GPUConfig, MemoryPreset, memory_preset
+from repro.arch.detector_config import DetectorConfig, DetectorMode
+from repro.scord.races import RaceType
+from repro.scor.apps.base import ScorApp, run_app
+
+
+# ----------------------------------------------------------------------
+# Detector configuration labels used across the evaluation
+# ----------------------------------------------------------------------
+DETECTORS: Dict[str, DetectorConfig] = {
+    "none": DetectorConfig.none(),
+    "base": DetectorConfig.base_no_cache(),  # 4B, no metadata caching
+    "base8": DetectorConfig.base_no_cache(granularity_bytes=8),
+    "base16": DetectorConfig.base_no_cache(granularity_bytes=16),
+    "scord": DetectorConfig.scord(),
+    "scord-nolhd": dataclasses.replace(DetectorConfig.scord(), model_lhd=False),
+    "scord-nonoc": dataclasses.replace(
+        DetectorConfig.scord(), model_noc=False, packet_overhead_bytes=0
+    ),
+    "scord-nomd": dataclasses.replace(DetectorConfig.scord(), model_md=False),
+}
+
+MEMORY_PRESETS: Tuple[str, ...] = ("low", "default", "high")
+
+
+def gpu_config_for(preset: str) -> GPUConfig:
+    base = GPUConfig.scaled_default()
+    return memory_preset(base, MemoryPreset(preset))
+
+
+@dataclasses.dataclass
+class RunRecord:
+    """Everything the exhibits need from one simulation."""
+
+    app: str
+    detector: str
+    memory: str
+    races_enabled: FrozenSet[str]
+    cycles: int
+    dram_data: int
+    dram_metadata: int
+    unique_races: int
+    race_types: FrozenSet[RaceType]
+    race_keys: FrozenSet[Tuple[RaceType, Tuple[str, int]]]
+    verified: bool
+    wall_seconds: float
+
+    @property
+    def dram_total(self) -> int:
+        return self.dram_data + self.dram_metadata
+
+
+class Runner:
+    """Memoizing simulation front-end for the experiments."""
+
+    def __init__(self, verbose: bool = True):
+        self._cache: Dict[Tuple, RunRecord] = {}
+        self.verbose = verbose
+
+    def run(
+        self,
+        app_cls: Type[ScorApp],
+        detector: str = "scord",
+        memory: str = "default",
+        races: Tuple[str, ...] = (),
+    ) -> RunRecord:
+        key = (app_cls.name, detector, memory, frozenset(races))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        if self.verbose:
+            flags = f" races={sorted(races)}" if races else ""
+            print(
+                f"  [run] {app_cls.name} detector={detector} memory={memory}{flags}",
+                file=sys.stderr,
+                flush=True,
+            )
+        started = time.time()
+        app = app_cls(races=races)
+        gpu = run_app(
+            app,
+            detector_config=DETECTORS[detector],
+            gpu_config=gpu_config_for(memory),
+        )
+        try:
+            verified = app.verify(gpu)
+        except Exception:
+            verified = False
+        dram_data, dram_metadata = gpu.dram_accesses()
+        record = RunRecord(
+            app=app_cls.name,
+            detector=detector,
+            memory=memory,
+            races_enabled=frozenset(races),
+            cycles=gpu.total_cycles,
+            dram_data=dram_data,
+            dram_metadata=dram_metadata,
+            unique_races=gpu.races.unique_count,
+            race_types=frozenset(
+                record.race_type for record in gpu.races.unique_races
+            ),
+            race_keys=frozenset(
+                record.key for record in gpu.races.unique_races
+            ),
+            verified=verified,
+            wall_seconds=time.time() - started,
+        )
+        self._cache[key] = record
+        return record
+
+    def runs_done(self) -> int:
+        return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def records(self) -> List[RunRecord]:
+        """All simulated records, in insertion order."""
+        return list(self._cache.values())
+
+    def dump_json(self, path) -> None:
+        """Write every simulated record to *path* as JSON."""
+        import json
+
+        payload = []
+        for record in self._cache.values():
+            payload.append(
+                {
+                    "app": record.app,
+                    "detector": record.detector,
+                    "memory": record.memory,
+                    "races_enabled": sorted(record.races_enabled),
+                    "cycles": record.cycles,
+                    "dram_data": record.dram_data,
+                    "dram_metadata": record.dram_metadata,
+                    "unique_races": record.unique_races,
+                    "race_types": sorted(t.value for t in record.race_types),
+                    "verified": record.verified,
+                    "wall_seconds": round(record.wall_seconds, 3),
+                }
+            )
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2)

@@ -1,0 +1,120 @@
+"""Generic sensitivity sweeps over hardware and detector parameters.
+
+Beyond the paper's fixed exhibits, this utility answers "how does ScoRD's
+overhead move if I change X?" for any numeric field of
+:class:`~repro.arch.config.GPUConfig` or
+:class:`~repro.arch.detector_config.DetectorConfig`:
+
+    from repro.experiments.sweeps import sweep_gpu_param
+    result = sweep_gpu_param("noc_bytes_per_cycle", (8, 16, 32))
+    print(result.render())
+
+Each sweep point runs the chosen application twice (with and without
+detection, both at the modified configuration) and reports the normalized
+overhead — the same methodology as Fig. 11, generalized.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence, Tuple, Type
+
+from repro.arch.config import GPUConfig
+from repro.arch.detector_config import DetectorConfig
+from repro.common.errors import ConfigError
+from repro.experiments.tables import render_table
+from repro.scor.apps.base import ScorApp, run_app
+from repro.scor.apps.reduction import ReductionApp
+
+
+@dataclasses.dataclass
+class SweepPoint:
+    value: object
+    cycles_none: int
+    cycles_scord: int
+
+    @property
+    def overhead(self) -> float:
+        return self.cycles_scord / max(1, self.cycles_none)
+
+
+@dataclasses.dataclass
+class SweepResult:
+    param: str
+    app: str
+    points: List[SweepPoint]
+
+    def render(self) -> str:
+        rows = [
+            (
+                point.value,
+                point.cycles_none,
+                point.cycles_scord,
+                f"{point.overhead:.2f}",
+            )
+            for point in self.points
+        ]
+        return render_table(
+            f"Sweep: {self.param} ({self.app})",
+            [self.param, "cycles (none)", "cycles (ScoRD)", "overhead"],
+            rows,
+        )
+
+    def overheads(self) -> List[float]:
+        return [point.overhead for point in self.points]
+
+
+def _run_point(app_cls: Type[ScorApp], gpu_config: GPUConfig,
+               detector_config: DetectorConfig) -> int:
+    app = app_cls()
+    gpu = run_app(app, detector_config=detector_config, gpu_config=gpu_config)
+    return gpu.total_cycles
+
+
+def sweep_gpu_param(
+    param: str,
+    values: Sequence[object],
+    app_cls: Type[ScorApp] = ReductionApp,
+    base_config: GPUConfig = None,
+) -> SweepResult:
+    """Sweep a :class:`GPUConfig` field; returns overheads per value."""
+    base = base_config if base_config is not None else GPUConfig.scaled_default()
+    if not hasattr(base, param):
+        raise ConfigError(f"GPUConfig has no field {param!r}")
+    points = []
+    for value in values:
+        config = dataclasses.replace(base, **{param: value})
+        points.append(
+            SweepPoint(
+                value,
+                _run_point(app_cls, config, DetectorConfig.none()),
+                _run_point(app_cls, config, DetectorConfig.scord()),
+            )
+        )
+    return SweepResult(param, app_cls.name, points)
+
+
+def sweep_detector_param(
+    param: str,
+    values: Sequence[object],
+    app_cls: Type[ScorApp] = ReductionApp,
+    base_config: GPUConfig = None,
+) -> SweepResult:
+    """Sweep a :class:`DetectorConfig` field (the no-detection baseline is
+    computed once; only the ScoRD side varies)."""
+    gpu_config = base_config if base_config is not None else GPUConfig.scaled_default()
+    scord = DetectorConfig.scord()
+    if not hasattr(scord, param):
+        raise ConfigError(f"DetectorConfig has no field {param!r}")
+    baseline = _run_point(app_cls, gpu_config, DetectorConfig.none())
+    points = []
+    for value in values:
+        config = dataclasses.replace(scord, **{param: value})
+        points.append(
+            SweepPoint(
+                value,
+                baseline,
+                _run_point(app_cls, gpu_config, config),
+            )
+        )
+    return SweepResult(param, app_cls.name, points)

@@ -1,0 +1,42 @@
+"""The device instruction vocabulary.
+
+Kernels in this reproduction are Python generator functions that *yield*
+operation objects from this subpackage (loads, stores, scoped atomics,
+scoped fences, barriers, scratchpad accesses, and compute delays) and receive
+load/atomic results back from the simulator.  This mirrors what the ScoRD
+hardware observes: a stream of typed, scoped memory operations per thread.
+"""
+
+from repro.isa.ops import (
+    AcquireLd,
+    AtomicOp,
+    AtomicRMW,
+    Barrier,
+    Compute,
+    Fence,
+    Ld,
+    MemOp,
+    Op,
+    ReleaseSt,
+    ShLd,
+    ShSt,
+    St,
+)
+from repro.isa.scopes import Scope
+
+__all__ = [
+    "AcquireLd",
+    "AtomicOp",
+    "AtomicRMW",
+    "Barrier",
+    "Compute",
+    "Fence",
+    "Ld",
+    "MemOp",
+    "Op",
+    "ReleaseSt",
+    "Scope",
+    "ShLd",
+    "ShSt",
+    "St",
+]

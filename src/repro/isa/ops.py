@@ -1,0 +1,223 @@
+"""Operation objects yielded by device threads.
+
+Each class is a small immutable record.  Global-memory operations carry a
+byte address (word aligned; the machine is 4-byte word addressed, matching
+ScoRD's default 4-byte tracking granularity) plus the qualifiers the detector
+cares about: scope for atomics/fences and the *strong* (``volatile``)
+qualifier for plain loads/stores.
+
+``Compute`` is a pure timing operation: it occupies the issuing warp for a
+number of cycles without touching memory.  Applications use it to model the
+ALU work between memory operations (e.g. the per-vertex work in graph
+coloring), which is what creates the load imbalance that work stealing
+exploits.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.isa.scopes import Scope
+
+
+class AtomicOp(enum.Enum):
+    """Read-modify-write flavors (the CUDA ``atomic*`` family)."""
+
+    ADD = "add"
+    SUB = "sub"
+    EXCH = "exch"
+    CAS = "cas"
+    MIN = "min"
+    MAX = "max"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+
+
+class Op:
+    """Base class for everything a kernel may yield."""
+
+    __slots__ = ()
+
+
+class MemOp(Op):
+    """Base class for global-memory operations (checked by the detector)."""
+
+    __slots__ = ("addr",)
+
+    def __init__(self, addr: int):
+        self.addr = addr
+
+
+class Ld(MemOp):
+    """Global-memory load.  ``strong=True`` models a ``volatile`` load that
+    bypasses the (non-coherent) L1 cache."""
+
+    __slots__ = ("strong",)
+
+    def __init__(self, addr: int, strong: bool = False):
+        super().__init__(addr)
+        self.strong = strong
+
+    def __repr__(self) -> str:
+        qual = ", strong" if self.strong else ""
+        return f"Ld(0x{self.addr:x}{qual})"
+
+
+class St(MemOp):
+    """Global-memory store.  ``strong=True`` models a ``volatile`` store."""
+
+    __slots__ = ("value", "strong")
+
+    def __init__(self, addr: int, value: int, strong: bool = False):
+        super().__init__(addr)
+        self.value = value
+        self.strong = strong
+
+    def __repr__(self) -> str:
+        qual = ", strong" if self.strong else ""
+        return f"St(0x{self.addr:x}, {self.value}{qual})"
+
+
+class AtomicRMW(MemOp):
+    """Scoped atomic read-modify-write on global memory.
+
+    Atomics are inherently *strong* operations (paper §II-B): they take
+    effect at the level of cache implied by their scope, bypassing
+    intermediate non-coherent caches.  ``compare`` is only meaningful for
+    :attr:`AtomicOp.CAS`.
+    """
+
+    __slots__ = ("op", "operand", "scope", "compare")
+
+    def __init__(
+        self,
+        addr: int,
+        op: AtomicOp,
+        operand: int,
+        scope: Scope = Scope.DEVICE,
+        compare: Optional[int] = None,
+    ):
+        super().__init__(addr)
+        if op is AtomicOp.CAS and compare is None:
+            raise ValueError("AtomicOp.CAS requires a compare value")
+        self.op = op
+        self.operand = operand
+        self.scope = scope
+        self.compare = compare
+
+    @property
+    def strong(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        extra = f", cmp={self.compare}" if self.op is AtomicOp.CAS else ""
+        return (
+            f"Atomic{self.op.value.capitalize()}"
+            f"(0x{self.addr:x}, {self.operand}, {self.scope}{extra})"
+        )
+
+
+class AcquireLd(MemOp):
+    """Scoped acquire load (PTX 6.0 ``ld.acquire``; paper §VI).
+
+    Functionally a strong load; to a detector with the acquire/release
+    extension enabled it is a synchronization access of the given scope.
+    """
+
+    __slots__ = ("scope",)
+
+    def __init__(self, addr: int, scope: Scope = Scope.DEVICE):
+        super().__init__(addr)
+        self.scope = scope
+
+    @property
+    def strong(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"AcquireLd(0x{self.addr:x}, {self.scope})"
+
+
+class ReleaseSt(MemOp):
+    """Scoped release store (PTX 6.0 ``st.release``; paper §VI).
+
+    Orders the warp's prior writes (like a fence of the same scope) and
+    then performs a strong store that synchronization-aware detection
+    treats as a sync access.
+    """
+
+    __slots__ = ("value", "scope")
+
+    def __init__(self, addr: int, value: int, scope: Scope = Scope.DEVICE):
+        super().__init__(addr)
+        self.value = value
+        self.scope = scope
+
+    @property
+    def strong(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"ReleaseSt(0x{self.addr:x}, {self.value}, {self.scope})"
+
+
+class Fence(Op):
+    """Scoped memory fence (``__threadfence_block`` / ``__threadfence``)."""
+
+    __slots__ = ("scope",)
+
+    def __init__(self, scope: Scope = Scope.DEVICE):
+        self.scope = scope
+
+    def __repr__(self) -> str:
+        return f"Fence({self.scope})"
+
+
+class Barrier(Op):
+    """Block-wide execution + memory barrier (``__syncthreads``)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "Barrier()"
+
+
+class ShLd(Op):
+    """Scratchpad (CUDA ``__shared__``) load; *offset* is a word index."""
+
+    __slots__ = ("offset",)
+
+    def __init__(self, offset: int):
+        self.offset = offset
+
+    def __repr__(self) -> str:
+        return f"ShLd({self.offset})"
+
+
+class ShSt(Op):
+    """Scratchpad store; *offset* is a word index."""
+
+    __slots__ = ("offset", "value")
+
+    def __init__(self, offset: int, value: int):
+        self.offset = offset
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"ShSt({self.offset}, {self.value})"
+
+
+class Compute(Op):
+    """Occupy the warp's issue slot for *cycles* cycles (ALU work)."""
+
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles: int):
+        if cycles < 0:
+            raise ValueError("compute cycles must be non-negative")
+        self.cycles = cycles
+
+    def __repr__(self) -> str:
+        return f"Compute({self.cycles})"

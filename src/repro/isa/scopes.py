@@ -1,0 +1,45 @@
+"""Synchronization scopes.
+
+CUDA exposes three scopes on atomics and fences — ``block``, ``device`` and
+``system`` (paper §II-B).  A scoped operation is only guaranteed to be
+visible to threads within that scope.  Like the paper, the reproduction
+models ``block`` and ``device``; ``system`` is accepted by the API (it
+behaves as ``device`` on a single simulated GPU) so programs written against
+the full CUDA surface still run.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Scope(enum.IntEnum):
+    """Visibility scope of a synchronization operation.
+
+    The integer ordering encodes inclusion: a wider scope is numerically
+    larger, so ``a <= b`` means "scope *a* is no wider than scope *b*".
+    """
+
+    BLOCK = 0
+    DEVICE = 1
+    SYSTEM = 2
+
+    @property
+    def is_block(self) -> bool:
+        return self is Scope.BLOCK
+
+    def includes(self, other: "Scope") -> bool:
+        """True if this scope is at least as wide as *other*."""
+        return self >= other
+
+    def narrowed_with(self, other: "Scope") -> "Scope":
+        """The narrower of two scopes.
+
+        The effective scope of a composed operation (e.g. a lock built from
+        an atomic and a fence) "is equal to the narrowest scope of its
+        constituents" (paper §III-A).
+        """
+        return self if self <= other else other
+
+    def __str__(self) -> str:
+        return self.name.lower()

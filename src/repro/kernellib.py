@@ -1,0 +1,134 @@
+"""Reusable device-side idioms for kernel authors.
+
+The ScoR applications each implement CUDA's synchronization idioms inline
+(so their race flags can mis-scope individual constituents); this module
+packages the *correct* versions for downstream users.  All helpers are
+sub-generators — drive them with ``yield from``:
+
+    from repro.kernellib import spin_lock, spin_unlock
+
+    def kernel(ctx, lock, shared):
+        got = yield from spin_lock(ctx, lock, 0)
+        if got:
+            value = yield ctx.ld(shared, 0, volatile=True)
+            yield ctx.st(shared, 0, value + 1, volatile=True)
+            yield from spin_unlock(ctx, lock, 0)
+
+Every helper follows the correctness rules of docs/writing_kernels.md, so
+kernels composed from them are race-free by construction (ScoRD-verified
+in tests/test_kernellib.py).
+"""
+
+from __future__ import annotations
+
+from repro.isa.scopes import Scope
+
+DEFAULT_SPIN_LIMIT = 20_000
+
+
+def spin_lock(ctx, lock, index, scope: Scope = Scope.DEVICE,
+              spin_limit: int = DEFAULT_SPIN_LIMIT):
+    """Acquire a lock: ``while(atomicCAS(&l,0,1)); fence`` (paper §II-B).
+
+    *scope* applies to both constituents (CAS and fence) — use
+    ``Scope.BLOCK`` only if every thread that ever takes this lock lives
+    in one block.  Returns True on success, False if *spin_limit* was
+    exhausted (the caller must then skip its critical section).
+    """
+    spins = 0
+    while True:
+        old = yield ctx.atomic_cas(lock, index, 0, 1, scope=scope)
+        if old == 0:
+            break
+        spins += 1
+        if spins >= spin_limit:
+            return False
+        yield ctx.compute(25)
+    yield ctx.fence(scope)
+    return True
+
+
+def spin_unlock(ctx, lock, index, scope: Scope = Scope.DEVICE):
+    """Release a lock: ``fence; atomicExch(&l, 0)``."""
+    yield ctx.fence(scope)
+    yield ctx.atomic_exch(lock, index, 0, scope=scope)
+
+
+def publish(ctx, flag, index, scope: Scope = Scope.DEVICE):
+    """Set a handoff flag after a fence covering the consumers.
+
+    Store your (volatile) payload first, then ``yield from publish(...)``.
+    """
+    yield ctx.fence(scope)
+    yield ctx.atomic_exch(flag, index, 1, scope=scope)
+
+
+def await_flag(ctx, flag, index, scope: Scope = Scope.DEVICE,
+               spin_limit: int = DEFAULT_SPIN_LIMIT, backoff: int = 25):
+    """Spin (atomically) until a handoff flag is set; bounded.
+
+    Returns True if the flag arrived, False if the bound expired.
+    """
+    spins = 0
+    while True:
+        value = yield ctx.atomic_add(flag, index, 0, scope=scope)
+        if value == 1:
+            return True
+        spins += 1
+        if spins >= spin_limit:
+            return False
+        yield ctx.compute(backoff)
+
+
+def global_barrier(ctx, arrive, index, spin_limit: int = DEFAULT_SPIN_LIMIT):
+    """Device-wide barrier over all resident blocks.
+
+    Each block's leader arrives at a device-scope counter and spins until
+    every block has; the other warps wait at ``__syncthreads``.  Word
+    *index* of *arrive* must be zero-initialized and used by exactly one
+    barrier episode (use one word per phase).  The grid must fit the GPU
+    (all blocks resident), as with CUDA cooperative groups.
+
+    Returns True on success, False if the leader's spin bound expired.
+    """
+    ok = True
+    yield ctx.barrier()
+    if ctx.tid == 0:
+        yield ctx.atomic_add(arrive, index, 1)
+        spins = 0
+        while True:
+            done = yield ctx.atomic_add(arrive, index, 0)
+            if done >= ctx.nbid:
+                break
+            spins += 1
+            if spins >= spin_limit:
+                ok = False
+                break
+            yield ctx.compute(30)
+    yield ctx.barrier()
+    return ok
+
+
+def grid_stride(ctx, total):
+    """Indices this thread owns under a grid-stride loop."""
+    return range(ctx.gtid, total, ctx.nthreads)
+
+
+def block_reduce_scratchpad(ctx, value):
+    """Block-wide sum via the scratchpad; every thread must call this.
+
+    Returns the block total (valid in every thread after the final
+    barrier).  Uses scratchpad words ``[0, blockDim)``.
+    """
+    yield ctx.shst(ctx.tid, value)
+    yield ctx.barrier()
+    stride = ctx.ntid // 2
+    while stride > 0:
+        if ctx.tid < stride:
+            a = yield ctx.shld(ctx.tid)
+            b = yield ctx.shld(ctx.tid + stride)
+            yield ctx.shst(ctx.tid, a + b)
+        yield ctx.barrier()
+        stride //= 2
+    total = yield ctx.shld(0)
+    return total

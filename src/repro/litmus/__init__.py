@@ -1,0 +1,24 @@
+"""Scoped memory-model litmus tests.
+
+Classic two-thread litmus patterns (message passing, store buffering,
+coherence) adapted to GPU scopes, run over a grid of injected timing
+offsets to explore interleavings.  Each test declares which outcomes the
+scoped (HRF-style) memory model *allows* and which it *forbids*; the
+framework asserts that forbidden outcomes never appear and reports which
+allowed outcomes were actually observed.
+
+This validates the foundation everything else stands on: that the
+reproduction's memory model produces exactly the weak behaviours scoped
+synchronization is supposed to rule out — no more, no fewer.
+"""
+
+from repro.litmus.framework import LitmusResult, LitmusTest, run_litmus
+from repro.litmus.catalog import ALL_LITMUS_TESTS, litmus_by_name
+
+__all__ = [
+    "ALL_LITMUS_TESTS",
+    "LitmusResult",
+    "LitmusTest",
+    "litmus_by_name",
+    "run_litmus",
+]

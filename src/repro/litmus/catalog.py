@@ -1,0 +1,360 @@
+"""The scoped litmus-test catalog.
+
+Outcome tuples list the observation registers in order.  ``-1`` never
+appears (registers are initialized to it and every test writes all of
+them on every path).
+
+Naming: ``mp`` = message passing, ``sb`` = store buffering, ``corr`` =
+read-read coherence, ``atom`` = RMW atomicity.  Suffixes name the
+synchronization recipe under test.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.scopes import Scope
+from repro.litmus.framework import LitmusTest
+
+# Shared-memory word indices.
+DATA, FLAG, FLAG2, X, Y = 0, 1, 2, 3, 4
+_SPIN = 300
+
+
+def _spin_on(ctx, mem, index):
+    """Bounded atomic spin; returns the final observed value."""
+    value = 0
+    for _ in range(_SPIN):
+        value = yield ctx.atomic_add(mem, index, 0)
+        if value == 1:
+            break
+        yield ctx.compute(25)
+    return value
+
+
+# ----------------------------------------------------------------------
+# Message passing
+# ----------------------------------------------------------------------
+def _mp_producer(data_volatile, fence_scope, flag_scope):
+    def t0(ctx, mem, out):
+        yield ctx.st(mem, DATA, 1, volatile=data_volatile)
+        if fence_scope is not None:
+            yield ctx.fence(fence_scope)
+        yield ctx.atomic_exch(mem, FLAG, 1, scope=flag_scope)
+
+    return t0
+
+
+def _mp_consumer(flag_scope):
+    def t1(ctx, mem, out):
+        r0 = yield ctx.atomic_add(mem, FLAG, 0, scope=flag_scope)
+        r1 = yield ctx.ld(mem, DATA, volatile=True)
+        yield ctx.st(out, 0, r0, volatile=True)
+        yield ctx.st(out, 1, r1, volatile=True)
+
+    return t1
+
+
+MP_DEVICE = LitmusTest(
+    name="mp_device_fence",
+    description=(
+        "volatile store → __threadfence() → flag; the consumer (another "
+        "block) must never see the flag without the data"
+    ),
+    t0=_mp_producer(True, Scope.DEVICE, Scope.DEVICE),
+    t1=_mp_consumer(Scope.DEVICE),
+    observed=2,
+    allowed=frozenset({(0, 0), (0, 1), (1, 1)}),
+    forbidden=frozenset({(1, 0)}),
+    must_observe=frozenset({(1, 1)}),
+)
+
+MP_BLOCK_CROSS = LitmusTest(
+    name="mp_block_fence_cross_block",
+    description=(
+        "weak store → __threadfence_block() → flag, consumer in another "
+        "block: the scoped-fence bug — stale data behind a set flag IS "
+        "observable"
+    ),
+    t0=_mp_producer(False, Scope.BLOCK, Scope.DEVICE),
+    t1=_mp_consumer(Scope.DEVICE),
+    observed=2,
+    allowed=frozenset({(0, 0), (0, 1), (1, 0), (1, 1)}),
+    forbidden=frozenset(),
+    must_observe=frozenset({(1, 0)}),
+)
+
+MP_BLOCK_SAME = LitmusTest(
+    name="mp_block_fence_same_block",
+    description=(
+        "weak store → __threadfence_block() → flag within one block: "
+        "block scope is sufficient here"
+    ),
+    t0=_mp_producer(False, Scope.BLOCK, Scope.BLOCK),
+    t1=_mp_consumer(Scope.BLOCK),
+    observed=2,
+    allowed=frozenset({(0, 0), (0, 1), (1, 1)}),
+    forbidden=frozenset({(1, 0)}),
+    must_observe=frozenset({(1, 1)}),
+    same_block=True,
+)
+
+MP_NO_FENCE = LitmusTest(
+    name="mp_missing_fence",
+    description=(
+        "weak store → (no fence) → flag, cross-block: the classic missing-"
+        "fence race; stale data behind the flag is observable"
+    ),
+    t0=_mp_producer(False, None, Scope.DEVICE),
+    t1=_mp_consumer(Scope.DEVICE),
+    observed=2,
+    allowed=frozenset({(0, 0), (0, 1), (1, 0), (1, 1)}),
+    forbidden=frozenset(),
+    must_observe=frozenset({(1, 0)}),
+)
+
+
+# ----------------------------------------------------------------------
+# Store buffering
+# ----------------------------------------------------------------------
+def _sb_thread(mine, other, volatile, fence_scope, out_reg):
+    def body(ctx, mem, out):
+        yield ctx.st(mem, mine, 1, volatile=volatile)
+        if fence_scope is not None:
+            yield ctx.fence(fence_scope)
+        r = yield ctx.ld(mem, other, volatile=True)
+        yield ctx.st(out, out_reg, r, volatile=True)
+
+    return body
+
+
+SB_FENCED = LitmusTest(
+    name="sb_volatile_fenced",
+    description=(
+        "volatile stores + device fences: the (0, 0) store-buffering "
+        "outcome is ruled out"
+    ),
+    t0=_sb_thread(X, Y, True, Scope.DEVICE, 0),
+    t1=_sb_thread(Y, X, True, Scope.DEVICE, 1),
+    observed=2,
+    allowed=frozenset({(0, 1), (1, 0), (1, 1)}),
+    forbidden=frozenset({(0, 0)}),
+)
+
+SB_WEAK = LitmusTest(
+    name="sb_weak_unfenced",
+    description=(
+        "weak unfenced stores sit in the write buffers: both threads can "
+        "read 0 — store buffering made visible"
+    ),
+    t0=_sb_thread(X, Y, False, None, 0),
+    t1=_sb_thread(Y, X, False, None, 1),
+    observed=2,
+    allowed=frozenset({(0, 0), (0, 1), (1, 0), (1, 1)}),
+    forbidden=frozenset(),
+    must_observe=frozenset({(0, 0)}),
+)
+
+
+# ----------------------------------------------------------------------
+# Read-read coherence (the non-coherent L1)
+# ----------------------------------------------------------------------
+def _corr_writer(ctx, mem, out):
+    yield ctx.st(mem, X, 1, volatile=True)
+
+
+def _corr_reader(volatile):
+    def body(ctx, mem, out):
+        r0 = yield ctx.ld(mem, X, volatile=volatile)
+        yield ctx.compute(600)
+        r1 = yield ctx.ld(mem, X, volatile=volatile)
+        yield ctx.st(out, 0, r0, volatile=True)
+        yield ctx.st(out, 1, r1, volatile=True)
+
+    return body
+
+
+CORR_WEAK = LitmusTest(
+    name="corr_weak_stale_l1",
+    description=(
+        "weak re-reads may keep returning a stale L1 line after a remote "
+        "volatile store (L1s are not coherent); values never go backwards"
+    ),
+    t0=_corr_writer,
+    t1=_corr_reader(False),
+    observed=2,
+    allowed=frozenset({(0, 0), (0, 1), (1, 1)}),
+    forbidden=frozenset({(1, 0)}),
+    must_observe=frozenset({(0, 0)}),
+)
+
+CORR_VOLATILE = LitmusTest(
+    name="corr_volatile",
+    description="volatile re-reads bypass the L1 and observe the store",
+    t0=_corr_writer,
+    t1=_corr_reader(True),
+    observed=2,
+    allowed=frozenset({(0, 0), (0, 1), (1, 1)}),
+    forbidden=frozenset({(1, 0)}),
+    must_observe=frozenset({(1, 1), (0, 1)}),
+)
+
+
+# ----------------------------------------------------------------------
+# RMW atomicity across scopes
+# ----------------------------------------------------------------------
+def _atom_thread(scope, out_reg):
+    def body(ctx, mem, out):
+        old = yield ctx.atomic_add(mem, X, 1, scope=scope)
+        yield ctx.st(out, out_reg, old, volatile=True)
+
+    return body
+
+
+ATOM_DEVICE = LitmusTest(
+    name="atom_device_scope",
+    description=(
+        "device-scope RMWs from two blocks serialize: one thread must "
+        "observe the other's increment"
+    ),
+    t0=_atom_thread(Scope.DEVICE, 0),
+    t1=_atom_thread(Scope.DEVICE, 1),
+    observed=2,
+    allowed=frozenset({(0, 1), (1, 0)}),
+    forbidden=frozenset({(0, 0), (1, 1)}),
+    must_observe=frozenset({(0, 1)}),
+)
+
+ATOM_BLOCK_CROSS = LitmusTest(
+    name="atom_block_scope_cross_block",
+    description=(
+        "block-scope RMWs from two blocks act on private SM views: both "
+        "observe 0 — the lost-update behaviour behind Fig. 3b"
+    ),
+    t0=_atom_thread(Scope.BLOCK, 0),
+    t1=_atom_thread(Scope.BLOCK, 1),
+    observed=2,
+    allowed=frozenset({(0, 0), (0, 1), (1, 0)}),
+    forbidden=frozenset(),
+    must_observe=frozenset({(0, 0)}),
+)
+
+
+# ----------------------------------------------------------------------
+# Transitivity (HRF-indirect, §II-C)
+# ----------------------------------------------------------------------
+def _trans_t0(ctx, mem, out):
+    yield ctx.st(mem, DATA, 1, volatile=True)
+    yield ctx.fence(Scope.DEVICE)
+    yield ctx.atomic_exch(mem, FLAG, 1)
+
+
+def _trans_t1(ctx, mem, out):
+    seen = yield from _spin_on(ctx, mem, FLAG)
+    if seen == 1:
+        yield ctx.fence(Scope.DEVICE)
+        yield ctx.atomic_exch(mem, FLAG2, 1)
+
+
+def _trans_t2(ctx, mem, out):
+    r0 = yield ctx.atomic_add(mem, FLAG2, 0)
+    r1 = yield ctx.ld(mem, DATA, volatile=True)
+    yield ctx.st(out, 0, r0, volatile=True)
+    yield ctx.st(out, 1, r1, volatile=True)
+
+
+TRANSITIVITY = LitmusTest(
+    name="transitivity_hrf_indirect",
+    description=(
+        "HRF-indirect transitivity: T0 synchronizes with T1, T1 with T2; "
+        "T2 seeing T1's flag implies it sees T0's data"
+    ),
+    t0=_trans_t0,
+    t1=_trans_t1,
+    t2=_trans_t2,
+    observed=2,
+    allowed=frozenset({(0, 0), (0, 1), (1, 1)}),
+    forbidden=frozenset({(1, 0)}),
+    must_observe=frozenset({(1, 1)}),
+    delays=(0, 150, 2000),
+)
+
+
+# ----------------------------------------------------------------------
+# IRIW (independent reads of independent writes)
+# ----------------------------------------------------------------------
+def _iriw_writer(index):
+    def body(ctx, mem, out):
+        yield ctx.st(mem, index, 1, volatile=True)
+
+    return body
+
+
+def _iriw_reader(first, second, out_base):
+    def body(ctx, mem, out):
+        r0 = yield ctx.ld(mem, first, volatile=True)
+        yield ctx.fence(Scope.DEVICE)
+        r1 = yield ctx.ld(mem, second, volatile=True)
+        yield ctx.st(out, out_base, r0, volatile=True)
+        yield ctx.st(out, out_base + 1, r1, volatile=True)
+
+    return body
+
+
+def _iriw_outcomes():
+    """All (r0, r1, r2, r3) except the readers disagreeing on the order of
+    the two writes: reader A seeing X before Y while reader B sees Y
+    before X — i.e. (1, 0, 1, 0)."""
+    allowed = set()
+    for a in range(2):
+        for b in range(2):
+            for c in range(2):
+                for d in range(2):
+                    if (a, b, c, d) != (1, 0, 1, 0):
+                        allowed.add((a, b, c, d))
+    return frozenset(allowed)
+
+
+IRIW = LitmusTest(
+    name="iriw_volatile_fenced",
+    description=(
+        "IRIW: two writers, two fenced volatile readers reading in "
+        "opposite orders must agree on the write order (the device level "
+        "is a single coherent point)"
+    ),
+    t0=_iriw_writer(X),
+    t1=_iriw_writer(Y),
+    t2=_iriw_reader(X, Y, 0),
+    t3=_iriw_reader(Y, X, 2),
+    observed=4,
+    allowed=_iriw_outcomes(),
+    forbidden=frozenset({(1, 0, 1, 0)}),
+    delays=(0, 200, 1500),
+)
+
+
+ALL_LITMUS_TESTS: List[LitmusTest] = [
+    TRANSITIVITY,
+    IRIW,
+    MP_DEVICE,
+    MP_BLOCK_CROSS,
+    MP_BLOCK_SAME,
+    MP_NO_FENCE,
+    SB_FENCED,
+    SB_WEAK,
+    CORR_WEAK,
+    CORR_VOLATILE,
+    ATOM_DEVICE,
+    ATOM_BLOCK_CROSS,
+]
+
+_BY_NAME = {test.name: test for test in ALL_LITMUS_TESTS}
+
+
+def litmus_by_name(name: str) -> LitmusTest:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown litmus test {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,154 @@
+"""Litmus-test execution framework.
+
+A litmus test is two single-thread programs, T0 and T1, placed in
+different blocks (different SMs) or the same block, plus a set of
+*observed registers* collected at the end.  The simulator is
+deterministic, so interleavings are explored by sweeping an injected
+compute delay at the start of each thread over a grid; every distinct
+observed outcome is recorded.
+
+Thread programs are written against the same ThreadCtx generator API as
+kernels, as functions ``body(ctx, mem, out)`` where ``mem`` is the shared
+test memory and ``out`` the per-thread observation array.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.arch.config import GPUConfig
+from repro.arch.detector_config import DetectorConfig
+from repro.engine.gpu import GPU
+
+Outcome = Tuple[int, ...]
+
+# Delay grids (cycles) injected before each thread's first instruction.
+DEFAULT_DELAYS = (0, 40, 120, 400, 1200)
+
+
+@dataclasses.dataclass(frozen=True)
+class LitmusTest:
+    """One scoped litmus pattern."""
+
+    name: str
+    description: str
+    t0: Callable  # generator(ctx, mem, out)
+    t1: Callable
+    #: optional third/fourth threads (blocks 2/3) for transitivity and
+    #: IRIW-style patterns
+    t2: Optional[Callable] = None
+    t3: Optional[Callable] = None
+    #: number of observation registers (spread across the threads)
+    observed: int = 2
+    #: outcomes the scoped memory model permits
+    allowed: FrozenSet[Outcome] = frozenset()
+    #: outcomes that must never appear (violations)
+    forbidden: FrozenSet[Outcome] = frozenset()
+    #: outcomes the delay grid is expected to actually produce — e.g. the
+    #: *weak* behaviour a scoped race makes observable
+    must_observe: FrozenSet[Outcome] = frozenset()
+    same_block: bool = False
+    #: shared memory words, host-initialized to zero
+    shared_words: int = 8
+    #: delay grid override (three-thread tests use a coarser grid to keep
+    #: the cartesian product small)
+    delays: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self):
+        overlap = self.allowed & self.forbidden
+        if overlap:
+            raise ValueError(f"{self.name}: outcomes both allowed and forbidden: {overlap}")
+
+
+@dataclasses.dataclass
+class LitmusResult:
+    """Outcomes observed over the delay grid."""
+
+    test: LitmusTest
+    observed: Dict[Outcome, int]  # outcome -> how many grid points hit it
+
+    @property
+    def violations(self) -> List[Outcome]:
+        return sorted(set(self.observed) & self.test.forbidden)
+
+    @property
+    def unexpected(self) -> List[Outcome]:
+        """Outcomes neither allowed nor forbidden (undeclared)."""
+        extra = set(self.observed) - self.test.allowed - self.test.forbidden
+        return sorted(extra)
+
+    @property
+    def missing(self) -> List[Outcome]:
+        """Declared must-observe outcomes the grid failed to produce."""
+        return sorted(self.test.must_observe - set(self.observed))
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.unexpected and not self.missing
+
+    def summary(self) -> str:
+        lines = [f"{self.test.name}: {len(self.observed)} distinct outcome(s)"]
+        for outcome, hits in sorted(self.observed.items()):
+            status = "ALLOWED"
+            if outcome in self.test.forbidden:
+                status = "FORBIDDEN!"
+            elif outcome not in self.test.allowed:
+                status = "UNDECLARED?"
+            lines.append(f"  {outcome}: {hits} grid point(s) [{status}]")
+        return "\n".join(lines)
+
+
+def run_litmus(
+    test: LitmusTest,
+    delays: Optional[Tuple[int, ...]] = None,
+    gpu_config: Optional[GPUConfig] = None,
+) -> LitmusResult:
+    """Execute *test* over the delay grid; returns the observed outcomes."""
+    config = gpu_config if gpu_config is not None else GPUConfig.scaled_default()
+    if delays is None:
+        delays = test.delays if test.delays is not None else DEFAULT_DELAYS
+    observed: Dict[Outcome, int] = {}
+
+    bodies = [test.t0, test.t1]
+    for extra in (test.t2, test.t3):
+        if extra is not None:
+            bodies.append(extra)
+    num_threads = len(bodies)
+    if test.same_block and num_threads > 2:
+        raise ValueError("same_block litmus tests support two threads")
+
+    grids = itertools.product(*([delays] * num_threads))
+    for point in grids:
+        gpu = GPU(config=config, detector_config=DetectorConfig.none())
+        mem = gpu.alloc(test.shared_words, "mem")
+        out = gpu.alloc(max(1, test.observed), "out")
+        for i in range(test.observed):
+            gpu.write(out, i, -1)
+
+        same_block = test.same_block
+        warp = config.threads_per_warp
+
+        def kernel(ctx, mem, out):
+            if same_block:
+                role = 0 if ctx.tid == 0 else (1 if ctx.tid == warp else None)
+            else:
+                role = (
+                    ctx.bid
+                    if ctx.tid == 0 and ctx.bid < num_threads
+                    else None
+                )
+            if role is not None:
+                if point[role]:
+                    yield ctx.compute(point[role])
+                yield from bodies[role](ctx, mem, out)
+
+        grid, block_dim = (
+            (1, 2 * warp) if same_block else (num_threads, warp)
+        )
+        gpu.launch(kernel, grid=grid, block_dim=block_dim, args=(mem, out))
+        outcome = tuple(gpu.read(out, i) for i in range(test.observed))
+        observed[outcome] = observed.get(outcome, 0) + 1
+
+    return LitmusResult(test, observed)

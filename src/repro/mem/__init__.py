@@ -1,0 +1,36 @@
+"""The GPU memory system.
+
+Functional side
+    * :class:`~repro.mem.allocator.DeviceAllocator` hands out device
+      addresses; :class:`~repro.mem.allocator.DeviceArray` is the word-array
+      view kernels index into.
+    * :class:`~repro.mem.backing.BackingStore` is the authoritative
+      device-level (L2/DRAM) image with int32 semantics.
+    * :class:`~repro.mem.visibility.VisibilityModel` layers per-warp write
+      buffers and per-SM local views on top of the backing store.  Scoped
+      fences drain between the layers, block-scope atomics act on the
+      SM-local view, and device-scope atomics act on the backing store —
+      which is exactly why insufficient scopes produce stale reads and lost
+      updates in this simulator, as on real hardware with non-coherent L1s.
+
+Timing side
+    * :class:`~repro.mem.cache.SetAssocCache` models L1/L2 tag arrays
+      (LRU, dirty bits, eviction accounting).
+"""
+
+from repro.mem.allocator import DeviceAllocator, DeviceArray
+from repro.mem.atomics import apply_atomic
+from repro.mem.backing import BackingStore, to_int32
+from repro.mem.cache import CacheResult, SetAssocCache
+from repro.mem.visibility import VisibilityModel
+
+__all__ = [
+    "BackingStore",
+    "CacheResult",
+    "DeviceAllocator",
+    "DeviceArray",
+    "SetAssocCache",
+    "VisibilityModel",
+    "apply_atomic",
+    "to_int32",
+]

@@ -1,0 +1,137 @@
+"""Device-memory allocation.
+
+A simple bump allocator over a fixed-size device memory.  The capacity
+matters beyond bookkeeping: ScoRD's software metadata cache is sized from the
+device memory size (one entry per ``cache_ratio`` granules of *device
+memory*), so the capacity determines how far apart two addresses must be to
+alias in the direct-mapped metadata cache.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional
+
+from repro.common.errors import DeviceMemoryError
+
+WORD_BYTES = 4
+
+
+class DeviceArray:
+    """A named, bounds-checked view of allocated device words.
+
+    Kernels address memory by byte address; ``DeviceArray.addr(i)`` converts
+    a word index into the byte address of that element.  The host reads and
+    writes elements through the owning :class:`~repro.engine.gpu.GPU` (which
+    consults the backing store), not through this view.
+    """
+
+    __slots__ = ("name", "base", "length")
+
+    def __init__(self, name: str, base: int, length: int):
+        self.name = name
+        self.base = base
+        self.length = length
+
+    def addr(self, index: int) -> int:
+        """Byte address of element *index* (bounds-checked)."""
+        if not 0 <= index < self.length:
+            raise DeviceMemoryError(
+                f"index {index} out of bounds for array {self.name!r} "
+                f"of length {self.length}"
+            )
+        return self.base + index * WORD_BYTES
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the array."""
+        return self.base + self.length * WORD_BYTES
+
+    def index_of(self, addr: int) -> int:
+        """Inverse of :meth:`addr`; raises if *addr* is outside the array."""
+        if not self.base <= addr < self.end:
+            raise DeviceMemoryError(
+                f"address 0x{addr:x} not within array {self.name!r}"
+            )
+        return (addr - self.base) // WORD_BYTES
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:
+        return f"DeviceArray({self.name!r}, base=0x{self.base:x}, len={self.length})"
+
+
+class DeviceAllocator:
+    """Bump allocator over a fixed device-memory capacity."""
+
+    def __init__(self, capacity_bytes: int = 256 * 1024):
+        if capacity_bytes <= 0 or capacity_bytes % WORD_BYTES:
+            raise DeviceMemoryError("capacity must be a positive multiple of 4")
+        self.capacity_bytes = capacity_bytes
+        self._next = 0
+        self._arrays: List[DeviceArray] = []
+        self._bases: List[int] = []
+        self._by_name: Dict[str, DeviceArray] = {}
+
+    def alloc(self, length: int, name: Optional[str] = None) -> DeviceArray:
+        """Allocate *length* words, returning a :class:`DeviceArray`.
+
+        Allocations are 64B-aligned so that distinct arrays never share a
+        cache line or a software-cache metadata entry (one entry covers 16
+        consecutive 4-byte granules), which keeps false sharing a property
+        of the *detector configuration* (Table VII) rather than an
+        allocator accident.
+        """
+        if length <= 0:
+            raise DeviceMemoryError("allocation length must be positive")
+        base = (self._next + 63) & ~63
+        nbytes = length * WORD_BYTES
+        if base + nbytes > self.capacity_bytes:
+            raise DeviceMemoryError(
+                f"device memory exhausted: need {nbytes} bytes at 0x{base:x}, "
+                f"capacity {self.capacity_bytes}"
+            )
+        if name is None:
+            name = f"array{len(self._arrays)}"
+        if name in self._by_name:
+            raise DeviceMemoryError(f"duplicate array name {name!r}")
+        array = DeviceArray(name, base, length)
+        self._next = base + nbytes
+        self._arrays.append(array)
+        self._bases.append(base)
+        self._by_name[name] = array
+        return array
+
+    def reset(self) -> None:
+        """Release every allocation (used between kernel experiments)."""
+        self._next = 0
+        self._arrays.clear()
+        self._bases.clear()
+        self._by_name.clear()
+
+    @property
+    def used_bytes(self) -> int:
+        return self._next
+
+    @property
+    def arrays(self) -> List[DeviceArray]:
+        return list(self._arrays)
+
+    def array_named(self, name: str) -> DeviceArray:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise DeviceMemoryError(f"no array named {name!r}") from None
+
+    def owner_of(self, addr: int) -> Optional[DeviceArray]:
+        """The array containing byte address *addr*, if any (for reports).
+
+        The bump allocator hands out monotonically increasing bases, so a
+        binary search over the allocation order suffices.
+        """
+        index = bisect.bisect_right(self._bases, addr) - 1
+        if index < 0:
+            return None
+        array = self._arrays[index]
+        return array if addr < array.end else None

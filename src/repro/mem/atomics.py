@@ -1,0 +1,48 @@
+"""Functional semantics of atomic read-modify-write operations.
+
+Each CUDA ``atomic*`` returns the *old* value; the new value is computed
+with int32 wrap-around semantics.  ``CAS`` writes only when the old value
+equals the compare operand.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.isa.ops import AtomicOp
+from repro.mem.backing import to_int32
+
+
+def apply_atomic(
+    op: AtomicOp, old: int, operand: int, compare: Optional[int] = None
+) -> Tuple[int, int]:
+    """Return ``(old_value, new_value)`` for an RMW on *old*.
+
+    >>> apply_atomic(AtomicOp.ADD, 5, 2)
+    (5, 7)
+    >>> apply_atomic(AtomicOp.CAS, 0, 1, compare=0)
+    (0, 1)
+    >>> apply_atomic(AtomicOp.CAS, 7, 1, compare=0)
+    (7, 7)
+    """
+    if op is AtomicOp.ADD:
+        new = old + operand
+    elif op is AtomicOp.SUB:
+        new = old - operand
+    elif op is AtomicOp.EXCH:
+        new = operand
+    elif op is AtomicOp.CAS:
+        new = operand if old == compare else old
+    elif op is AtomicOp.MIN:
+        new = min(old, operand)
+    elif op is AtomicOp.MAX:
+        new = max(old, operand)
+    elif op is AtomicOp.AND:
+        new = old & operand
+    elif op is AtomicOp.OR:
+        new = old | operand
+    elif op is AtomicOp.XOR:
+        new = old ^ operand
+    else:  # pragma: no cover - enum is closed
+        raise ValueError(f"unknown atomic op {op!r}")
+    return old, to_int32(new)

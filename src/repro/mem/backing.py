@@ -1,0 +1,55 @@
+"""The authoritative device-level memory image.
+
+This is the state a device-scope operation observes: conceptually the
+coherent L2/DRAM level of the GPU.  Values have int32 semantics — stores are
+truncated to 32 bits and loads sign-extend — matching the 4-byte word
+granularity that ScoRD tracks metadata at.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.common.errors import DeviceMemoryError
+
+_INT32_MASK = 0xFFFFFFFF
+_INT32_SIGN = 0x80000000
+
+
+def to_int32(value: int) -> int:
+    """Truncate *value* to 32-bit two's-complement and sign-extend."""
+    value &= _INT32_MASK
+    return value - (1 << 32) if value & _INT32_SIGN else value
+
+
+class BackingStore:
+    """Word-addressed memory with int32 values, zero-initialized."""
+
+    __slots__ = ("capacity_bytes", "_words")
+
+    def __init__(self, capacity_bytes: int):
+        self.capacity_bytes = capacity_bytes
+        self._words: Dict[int, int] = {}
+
+    def _check(self, addr: int) -> int:
+        if addr % 4:
+            raise DeviceMemoryError(f"unaligned word access at 0x{addr:x}")
+        if not 0 <= addr < self.capacity_bytes:
+            raise DeviceMemoryError(
+                f"access at 0x{addr:x} outside device memory "
+                f"(capacity {self.capacity_bytes} bytes)"
+            )
+        return addr
+
+    def read_word(self, addr: int) -> int:
+        return self._words.get(self._check(addr), 0)
+
+    def write_word(self, addr: int, value: int) -> None:
+        self._words[self._check(addr)] = to_int32(value)
+
+    def snapshot(self) -> Dict[int, int]:
+        """Copy of all non-zero words (used by tests)."""
+        return dict(self._words)
+
+    def clear(self) -> None:
+        self._words.clear()

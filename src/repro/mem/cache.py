@@ -1,0 +1,113 @@
+"""Set-associative cache tag model (used for both L1 and L2 timing).
+
+This models *presence* (tags, LRU, dirty bits), not contents — functional
+values come from :mod:`repro.mem.visibility`.  The split matches the
+reproduction's needs: the L1's functional job is only "can this load return
+a stale SM-local snapshot?", while its timing job (and all of L2's job) is
+hit/miss/eviction accounting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.common.stats import CounterBag
+
+
+@dataclasses.dataclass
+class CacheResult:
+    """Outcome of a cache access."""
+
+    hit: bool
+    evicted_line: Optional[int] = None  # line address of the victim
+    evicted_dirty: bool = False
+    writeback_class: str = ""  # traffic class of the victim line
+
+
+class SetAssocCache:
+    """LRU set-associative cache of line tags.
+
+    Each line tracks a dirty bit and a *traffic class* string ("data" or
+    "metadata") so that evictions can be attributed to the right DRAM
+    counter — the Fig. 9 breakdown depends on this attribution.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        assoc: int,
+        line_size: int,
+        stats: Optional[CounterBag] = None,
+    ):
+        self.name = name
+        self.line_size = line_size
+        self.assoc = assoc
+        self.num_sets = max(1, size_bytes // (line_size * assoc))
+        # sets[set_index] maps line_addr -> (dirty, traffic_class); ordered
+        # by recency (last = MRU).
+        self._sets: Dict[int, "OrderedDict[int, list]"] = {}
+        self.stats = stats if stats is not None else CounterBag()
+
+    def line_addr(self, addr: int) -> int:
+        return addr - (addr % self.line_size)
+
+    def _set_of(self, line: int) -> "OrderedDict[int, list]":
+        index = (line // self.line_size) % self.num_sets
+        cur = self._sets.get(index)
+        if cur is None:
+            cur = OrderedDict()
+            self._sets[index] = cur
+        return cur
+
+    def access(
+        self,
+        addr: int,
+        is_write: bool,
+        traffic_class: str = "data",
+        allocate: bool = True,
+    ) -> CacheResult:
+        """Access the line containing *addr*; fill on miss if *allocate*."""
+        line = self.line_addr(addr)
+        cache_set = self._set_of(line)
+        entry = cache_set.get(line)
+        if entry is not None:
+            cache_set.move_to_end(line)
+            if is_write:
+                entry[0] = True
+            self.stats.add(f"{self.name}.hit.{traffic_class}")
+            return CacheResult(hit=True)
+
+        self.stats.add(f"{self.name}.miss.{traffic_class}")
+        if not allocate:
+            return CacheResult(hit=False)
+
+        result = CacheResult(hit=False)
+        if len(cache_set) >= self.assoc:
+            victim_line, (victim_dirty, victim_class) = cache_set.popitem(last=False)
+            result.evicted_line = victim_line
+            result.evicted_dirty = victim_dirty
+            result.writeback_class = victim_class
+            if victim_dirty:
+                self.stats.add(f"{self.name}.writeback.{victim_class}")
+        cache_set[line] = [is_write, traffic_class]
+        return result
+
+    def contains(self, addr: int) -> bool:
+        line = self.line_addr(addr)
+        return line in self._set_of(line)
+
+    def invalidate(self, addr: int) -> None:
+        """Drop the line containing *addr* without writeback (write-evict)."""
+        line = self.line_addr(addr)
+        self._set_of(line).pop(line, None)
+
+    def flush(self) -> int:
+        """Invalidate everything; return the number of dirty lines dropped."""
+        dirty = 0
+        for cache_set in self._sets.values():
+            dirty += sum(1 for entry in cache_set.values() if entry[0])
+            cache_set.clear()
+        return dirty

@@ -1,0 +1,317 @@
+"""Scope-aware value visibility.
+
+This module is what makes *scoped* races observable in the reproduction, the
+way they are on hardware with non-coherent L1 caches (paper §II-B/§III):
+
+* Weak (non-``volatile``) stores sit in a **per-warp write buffer**.
+* A **block-scope fence** drains the issuing warp's buffer into the **SM-local
+  view** — visible to the other threads on that SM (the threadblock), but not
+  to other SMs.
+* A **device-scope fence** drains all the way to the **backing store** (the
+  device-coherent L2/DRAM level), including entries this warp previously
+  published only to the SM-local view.
+* **Block-scope atomics** read-modify-write the SM-local view; **device-scope
+  atomics** read-modify-write the backing store.  Two blocks doing block-scope
+  RMWs on one address therefore really do lose updates (Fig. 3b's work
+  stealing bug hands out duplicate work here).
+* Weak loads may hit a **stale L1 line**: L1 lines snapshot the SM view at
+  fill time and are never invalidated by remote stores.  ``volatile``
+  (strong) accesses bypass the L1, as in CUDA.
+
+Visibility beyond what a scope guarantees is allowed (scopes are lower
+bounds), and this model does grant some — e.g. an SM-local value is visible
+to *all* blocks co-resident on that SM, not only the writer's block.  What it
+never does is grant device-wide visibility to an operation whose scope was
+only ``block``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.stats import CounterBag
+from repro.isa.ops import AtomicOp
+from repro.mem.atomics import apply_atomic
+from repro.mem.backing import BackingStore, to_int32
+from repro.mem.cache import SetAssocCache
+
+# How a load was served; the engine maps this to a timing path.
+SERVED_WB = "wb"  # forwarded from the warp's own write buffer
+SERVED_L1 = "l1"  # L1 hit (possibly stale)
+SERVED_FILL = "fill"  # L1 miss, line filled from the SM view
+SERVED_STRONG = "strong"  # volatile access, L1 bypassed
+
+
+class _SMState:
+    """Per-SM functional state: write buffers, local view, L1 snapshots."""
+
+    __slots__ = ("local", "l1", "l1_data")
+
+    def __init__(self, l1: SetAssocCache):
+        # addr -> [value, owner_warp_uid]; the SM-local (block-visible) view.
+        self.local: Dict[int, List[int]] = {}
+        self.l1 = l1
+        # line_addr -> {addr: value} snapshot taken at fill time.
+        self.l1_data: Dict[int, Dict[int, int]] = {}
+
+
+class VisibilityModel:
+    """Layered value visibility: write buffer -> SM-local -> backing."""
+
+    def __init__(
+        self,
+        backing: BackingStore,
+        num_sms: int,
+        l1_size_bytes: int,
+        l1_assoc: int,
+        line_size: int,
+        write_buffer_capacity: int,
+        stats: Optional[CounterBag] = None,
+    ):
+        self.backing = backing
+        self.line_size = line_size
+        self.write_buffer_capacity = write_buffer_capacity
+        self.stats = stats if stats is not None else CounterBag()
+        self._sms = [
+            _SMState(
+                SetAssocCache("l1", l1_size_bytes, l1_assoc, line_size, self.stats)
+            )
+            for _ in range(num_sms)
+        ]
+        # warp_uid -> OrderedDict[addr, value]; warp_uid -> sm_id.
+        self._wb: Dict[int, "OrderedDict[int, int]"] = {}
+        self._wb_sm: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _sm_view(self, sm_id: int, addr: int) -> int:
+        """The SM's current committed view of *addr* (local over backing)."""
+        entry = self._sms[sm_id].local.get(addr)
+        if entry is not None:
+            return entry[0]
+        return self.backing.read_word(addr)
+
+    def _invalidate_l1(self, sm_id: int, addr: int) -> None:
+        sm = self._sms[sm_id]
+        line = sm.l1.line_addr(addr)
+        sm.l1.invalidate(addr)
+        sm.l1_data.pop(line, None)
+
+    def _buffer_of(self, warp_uid: int, sm_id: int) -> "OrderedDict[int, int]":
+        buf = self._wb.get(warp_uid)
+        if buf is None:
+            buf = OrderedDict()
+            self._wb[warp_uid] = buf
+        self._wb_sm[warp_uid] = sm_id
+        return buf
+
+    def _drain_entry_to_backing(self, sm_id: int, addr: int, value: int) -> None:
+        self.backing.write_word(addr, value)
+        self._invalidate_l1(sm_id, addr)
+
+    def _drain_entry_to_local(
+        self, sm_id: int, warp_uid: int, addr: int, value: int
+    ) -> None:
+        self._sms[sm_id].local[addr] = [to_int32(value), warp_uid]
+        self._invalidate_l1(sm_id, addr)
+
+    # ------------------------------------------------------------------
+    # Loads
+    # ------------------------------------------------------------------
+    def load(
+        self, sm_id: int, warp_uid: int, addr: int, strong: bool
+    ) -> Tuple[int, str]:
+        """Return ``(value, served_from)`` for a load by *warp_uid*."""
+        buf = self._wb.get(warp_uid)
+        if buf is not None and addr in buf:
+            return buf[addr], SERVED_WB
+
+        if strong:
+            # Volatile: bypass the L1 and read the SM view (which falls
+            # through to the device-coherent backing store).
+            return self._sm_view(sm_id, addr), SERVED_STRONG
+
+        sm = self._sms[sm_id]
+        line = sm.l1.line_addr(addr)
+        result = sm.l1.access(addr, is_write=False, traffic_class="data")
+        if result.hit:
+            snapshot = sm.l1_data.get(line)
+            if snapshot is not None and addr in snapshot:
+                return snapshot[addr], SERVED_L1
+            # Tag present without data can only happen if snapshots and tags
+            # desynchronized; treat as a fill from the current view.
+            value = self._sm_view(sm_id, addr)
+            sm.l1_data.setdefault(line, {})[addr] = value
+            return value, SERVED_L1
+
+        if result.evicted_line is not None:
+            sm.l1_data.pop(result.evicted_line, None)
+        snapshot = {
+            word_addr: self._sm_view(sm_id, word_addr)
+            for word_addr in range(line, line + self.line_size, 4)
+        }
+        sm.l1_data[line] = snapshot
+        return snapshot[addr], SERVED_FILL
+
+    # ------------------------------------------------------------------
+    # Stores
+    # ------------------------------------------------------------------
+    def store(
+        self, sm_id: int, warp_uid: int, addr: int, value: int, strong: bool
+    ) -> Optional[int]:
+        """Perform a store; weak stores are buffered, strong go to backing.
+
+        Returns the address of a capacity-drained older entry, if the write
+        buffer overflowed, so the caller can charge its drain traffic.
+        """
+        value = to_int32(value)
+        if strong:
+            # Program order: an older weak store of this warp to the same
+            # address must not survive in the write buffer (it would both
+            # shadow this store for the warp's own loads and clobber the
+            # backing store when it later drains).
+            buf = self._wb.get(warp_uid)
+            if buf is not None:
+                buf.pop(addr, None)
+            self.backing.write_word(addr, value)
+            # Volatile stores take effect at the device level; drop any
+            # SM-local shadow so this SM keeps reading the committed value.
+            self._sms[sm_id].local.pop(addr, None)
+            self._invalidate_l1(sm_id, addr)
+            return None
+
+        buf = self._buffer_of(warp_uid, sm_id)
+        buf[addr] = value
+        buf.move_to_end(addr)
+        # Global stores are write-evict: the SM must not keep serving the
+        # pre-store line to other warps once the store drains, and the
+        # storing warp itself is covered by buffer forwarding.
+        self._invalidate_l1(sm_id, addr)
+        if len(buf) > self.write_buffer_capacity:
+            # A real write buffer eventually drains to L2; evict the oldest
+            # entry to the backing store.  The drained address is returned
+            # so the engine can account its traffic.
+            old_addr, old_value = buf.popitem(last=False)
+            self.stats.add("wb.capacity_drain")
+            self._drain_entry_to_backing(sm_id, old_addr, old_value)
+            return old_addr
+        return None
+
+    # ------------------------------------------------------------------
+    # Atomics
+    # ------------------------------------------------------------------
+    def atomic(
+        self,
+        sm_id: int,
+        warp_uid: int,
+        addr: int,
+        op: AtomicOp,
+        operand: int,
+        compare: Optional[int],
+        device_scope: bool,
+    ) -> int:
+        """Perform a scoped RMW; returns the old value.
+
+        Block-scope atomics act on the SM-local view; device-scope atomics
+        act on the backing store.  Either way the warp's own buffered weak
+        store to the same address (if any) is ordered before the RMW.
+        """
+        buf = self._wb.get(warp_uid)
+        if buf is not None and addr in buf:
+            # Program order: the warp's own pending store happens first.
+            pending = buf.pop(addr)
+            if device_scope:
+                self._drain_entry_to_backing(sm_id, addr, pending)
+            else:
+                self._drain_entry_to_local(sm_id, warp_uid, addr, pending)
+
+        sm = self._sms[sm_id]
+        if device_scope:
+            old, new = apply_atomic(op, self.backing.read_word(addr), operand, compare)
+            self.backing.write_word(addr, new)
+            # Keep the SM self-consistent: refresh any local shadow.
+            if addr in sm.local:
+                sm.local[addr][0] = new
+        else:
+            old, new = apply_atomic(op, self._sm_view(sm_id, addr), operand, compare)
+            sm.local[addr] = [new, warp_uid]
+        self._invalidate_l1(sm_id, addr)
+        return old
+
+    # ------------------------------------------------------------------
+    # Fences and barriers
+    # ------------------------------------------------------------------
+    def fence(self, sm_id: int, warp_uid: int, device_scope: bool) -> List[int]:
+        """Drain per the fence's scope; returns the drained addresses.
+
+        SM-local entries always predate the warp's current write-buffer
+        contents (an atomic or drain created them before any still-buffered
+        store), so on a device fence they are published *first* — the
+        buffer's newer values must win at the backing store.
+        """
+        drained: List[int] = []
+        if device_scope:
+            # Publish everything this warp previously made block-visible.
+            local = self._sms[sm_id].local
+            owned = [addr for addr, entry in local.items() if entry[1] == warp_uid]
+            for addr in owned:
+                value = local.pop(addr)[0]
+                self._drain_entry_to_backing(sm_id, addr, value)
+                drained.append(addr)
+        buf = self._wb.get(warp_uid)
+        if buf:
+            entries = list(buf.items())
+            buf.clear()
+            for addr, value in entries:
+                if device_scope:
+                    self._drain_entry_to_backing(sm_id, addr, value)
+                else:
+                    self._drain_entry_to_local(sm_id, warp_uid, addr, value)
+                drained.append(addr)
+        return drained
+
+    def barrier_drain(self, sm_id: int, warp_uids: List[int]) -> None:
+        """A barrier implies block-scope visibility for every participant."""
+        for warp_uid in warp_uids:
+            self.fence(sm_id, warp_uid, device_scope=False)
+
+    # ------------------------------------------------------------------
+    # Kernel teardown
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Drain every buffer and local view to backing (kernel boundary).
+
+        Kernel termination is a device-wide synchronization point.  The
+        SM-local views drain before the write buffers (their entries are
+        older than anything still buffered); within that, draining order
+        is deterministic (SM index, then warp uid, then insertion order),
+        so conflicting SM-local values — the footprint of a manifested
+        scoped race — resolve last-writer-wins in that order.
+        """
+        for sm_id, sm in enumerate(self._sms):
+            for addr in list(sm.local):
+                value = sm.local.pop(addr)[0]
+                self._drain_entry_to_backing(sm_id, addr, value)
+        for warp_uid in sorted(self._wb):
+            buf = self._wb[warp_uid]
+            sm_id = self._wb_sm[warp_uid]
+            for addr, value in buf.items():
+                self._drain_entry_to_backing(sm_id, addr, value)
+            buf.clear()
+        for sm in self._sms:
+            sm.l1.flush()
+            sm.l1_data.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection (tests)
+    # ------------------------------------------------------------------
+    def pending_writes(self, warp_uid: int) -> Dict[int, int]:
+        return dict(self._wb.get(warp_uid, {}))
+
+    def sm_local_view(self, sm_id: int) -> Dict[int, int]:
+        return {addr: entry[0] for addr, entry in self._sms[sm_id].local.items()}
+
+    def l1_contains(self, sm_id: int, addr: int) -> bool:
+        return self._sms[sm_id].l1.contains(addr)

@@ -1,0 +1,26 @@
+"""The ScoR (Scoped Race) benchmark suite (paper §III-B).
+
+Seven applications and thirty-two microbenchmarks that exercise scoped
+synchronization operations.  Each application is correctly synchronized by
+default and exposes *race flags* — configuration switches that omit or
+mis-scope one synchronization operation, introducing one unique race each
+(26 in total across the applications, matching the paper).  The
+microbenchmarks are two-thread unit tests of individual race conditions:
+18 racey and 14 non-racey (Table I).
+
+Programming discipline for "correctly synchronized" (follows the paper's
+CUDA semantics):
+
+* cross-thread global data is accessed with ``volatile`` (strong) ops —
+  fences only order strong accesses (Table IV condition (c));
+* flags and handoffs use atomics, never plain load/store spins;
+* producers fence between data write and flag publication with a scope
+  covering the consumer;
+* locks follow the CUDA idiom ScoRD infers: ``atomicCAS`` + fence to
+  acquire, fence + ``atomicExch`` to release.
+"""
+
+from repro.scor.apps.registry import ALL_APPS, app_by_name
+from repro.scor.micro.registry import ALL_MICROS, micro_by_name
+
+__all__ = ["ALL_APPS", "ALL_MICROS", "app_by_name", "micro_by_name"]

@@ -1,0 +1,1 @@
+"""The seven ScoR applications (Table II)."""

@@ -1,0 +1,40 @@
+"""Registry of the seven ScoR applications (Table II order)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.scor.apps.base import ScorApp
+from repro.scor.apps.convolution import ConvolutionApp
+from repro.scor.apps.graph_coloring import GraphColoringApp
+from repro.scor.apps.graph_connectivity import GraphConnectivityApp
+from repro.scor.apps.matmul import MatMulApp
+from repro.scor.apps.reduction import ReductionApp
+from repro.scor.apps.rule110 import Rule110App
+from repro.scor.apps.uts import UnbalancedTreeSearchApp
+
+ALL_APPS: List[Type[ScorApp]] = [
+    MatMulApp,
+    ReductionApp,
+    Rule110App,
+    GraphColoringApp,
+    GraphConnectivityApp,
+    ConvolutionApp,
+    UnbalancedTreeSearchApp,
+]
+
+_BY_NAME: Dict[str, Type[ScorApp]] = {cls.name: cls for cls in ALL_APPS}
+
+
+def app_by_name(name: str) -> Type[ScorApp]:
+    try:
+        return _BY_NAME[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None
+
+
+def total_races_present() -> int:
+    """Total configurable application races (26, matching the paper)."""
+    return sum(cls.races_present() for cls in ALL_APPS)

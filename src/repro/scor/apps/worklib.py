@@ -1,0 +1,128 @@
+"""The Fig. 3 work-distribution library: per-block partitions with stealing.
+
+The graph applications partition their vertices across threadblocks.  A
+block's leader thread hands out batches of ``NTHREADS`` vertices by
+atomically advancing ``nextHead[bid]``; when its own partition is exhausted
+it *steals* a batch from a victim block's partition.  Correctly, every
+``nextHead`` access is a device-scope atomic — that array is exactly the
+cross-block contended state.  The scope knobs reproduce the Fig. 3b bug
+family: a block-scope atomic on ``nextHead`` is invisible to a concurrent
+stealer, which then hands out the same batch twice.
+
+Shared-state layout (device arrays, one slot per block):
+
+* ``partition_end[b]`` — end of block *b*'s partition (host-written);
+* ``next_head[b]``    — next unassigned index (device atomics);
+* ``curr_head[b]``    — leader→workers handoff of the current batch start;
+* ``curr_victim[b]``  — whose partition the batch came from.
+
+The leader/worker handoff uses volatile stores plus ``__syncthreads``; the
+``no_barrier`` knob drops the barrier (a missing-synchronization race, which
+ScoRD also detects).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.isa.scopes import Scope
+
+_NO_WORK = -1
+
+
+@dataclasses.dataclass
+class WorkScopes:
+    """Scope / synchronization knobs for the work-stealing machinery."""
+
+    own_advance: Scope = Scope.DEVICE  # atomicAdd on nextHead[bid]
+    steal_advance: Scope = Scope.DEVICE  # atomicAdd on nextHead[victim]
+    probe: Scope = Scope.DEVICE  # availability probe on nextHead[victim]
+    probe_atomic: bool = True  # False: plain volatile load (racey)
+    barrier_handoff: bool = True  # False: leader->worker handoff unfenced
+
+
+def get_work(ctx, state, batch, scopes: WorkScopes):
+    """Leader-side batch acquisition (Fig. 3a / 3b).
+
+    Returns ``(start, victim)`` or ``(_NO_WORK, _NO_WORK)`` when every
+    partition is exhausted.  Only call from a block's leader thread.
+    """
+    partition_end, next_head = state.partition_end, state.next_head
+    # Get work from our own partition first (the common case).
+    start = yield ctx.atomic_add(next_head, ctx.bid, batch, scope=scopes.own_advance)
+    end = yield ctx.ld(partition_end, ctx.bid)
+    if start < end:
+        return start, ctx.bid
+    # Otherwise steal from the first victim with work left.
+    for victim in range(ctx.nbid):
+        if victim == ctx.bid:
+            continue
+        if scopes.probe_atomic:
+            head = yield ctx.atomic_add(next_head, victim, 0, scope=scopes.probe)
+        else:
+            head = yield ctx.ld(next_head, victim, volatile=True)
+        vend = yield ctx.ld(partition_end, victim)
+        if head >= vend:
+            continue
+        start = yield ctx.atomic_add(
+            next_head, victim, batch, scope=scopes.steal_advance
+        )
+        if start < vend:  # validate the stolen batch
+            return start, victim
+    return _NO_WORK, _NO_WORK
+
+
+def distribute_work(ctx, state, batch, scopes: WorkScopes):
+    """Full leader+workers batch handoff; every thread calls this.
+
+    Returns ``(start, victim)`` to each thread (``start == -1`` means no
+    work anywhere — the block should stop looping).
+    """
+    if ctx.tid == 0:
+        start, victim = yield from get_work(ctx, state, batch, scopes)
+        yield ctx.st(state.curr_head, ctx.bid, start, volatile=True)
+        yield ctx.st(state.curr_victim, ctx.bid, victim, volatile=True)
+    if scopes.barrier_handoff:
+        yield ctx.barrier()
+    start = yield ctx.ld(state.curr_head, ctx.bid, volatile=True)
+    victim = yield ctx.ld(state.curr_victim, ctx.bid, volatile=True)
+    return start, victim
+
+
+def finish_batch(ctx, scopes: WorkScopes):
+    """Close one work batch: workers must be done before the leader hands
+    out the next one (second barrier of the loop)."""
+    if scopes.barrier_handoff:
+        yield ctx.barrier()
+
+
+@dataclasses.dataclass
+class WorkState:
+    """Device arrays backing the work-stealing machinery."""
+
+    partition_end: object
+    next_head: object
+    curr_head: object
+    curr_victim: object
+
+
+def alloc_work_state(gpu, num_blocks: int, prefix: str) -> WorkState:
+    return WorkState(
+        partition_end=gpu.alloc(num_blocks, f"{prefix}_partition_end"),
+        next_head=gpu.alloc(num_blocks, f"{prefix}_next_head"),
+        curr_head=gpu.alloc(num_blocks, f"{prefix}_curr_head"),
+        curr_victim=gpu.alloc(num_blocks, f"{prefix}_curr_victim"),
+    )
+
+
+def reset_work_state(gpu, state: WorkState, partition_bounds) -> None:
+    """Host-side reset before a kernel round.
+
+    *partition_bounds* is a list of (start, end) per block; ``next_head``
+    restarts at each partition's start.
+    """
+    for b, (start, end) in enumerate(partition_bounds):
+        gpu.write(state.partition_end, b, end)
+        gpu.write(state.next_head, b, start)
+        gpu.write(state.curr_head, b, 0)
+        gpu.write(state.curr_victim, b, 0)

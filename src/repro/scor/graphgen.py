@@ -1,0 +1,118 @@
+"""Synthetic graph generation (the GTgraph substitute).
+
+The paper generates inputs for Graph Coloring and Graph Connectivity with
+GTgraph, which "generates realistic graphs using the R-MAT algorithm"
+(Chakrabarti, Zhan & Faloutsos 2004).  This module implements R-MAT directly:
+each edge recursively descends a 2×2 partition of the adjacency matrix with
+probabilities (a, b, c, d), producing the skewed power-law degree
+distribution that makes the graph benchmarks load-imbalanced — which is what
+triggers the work stealing at the heart of the Fig. 3 scoped-atomic races.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Set, Tuple
+
+from repro.common.rng import SplitMix64
+
+
+@dataclasses.dataclass
+class Graph:
+    """An undirected graph in CSR form."""
+
+    num_vertices: int
+    row_ptr: List[int]  # len == num_vertices + 1
+    col_idx: List[int]
+
+    @property
+    def num_edges(self) -> int:
+        """Directed edge slots (2x the undirected edge count)."""
+        return len(self.col_idx)
+
+    def neighbors(self, v: int) -> List[int]:
+        return self.col_idx[self.row_ptr[v] : self.row_ptr[v + 1]]
+
+    def degree(self, v: int) -> int:
+        return self.row_ptr[v + 1] - self.row_ptr[v]
+
+
+def rmat_edges(
+    num_vertices: int,
+    num_edges: int,
+    seed: int,
+    a: float = 0.45,
+    b: float = 0.15,
+    c: float = 0.15,
+) -> Set[Tuple[int, int]]:
+    """Sample *num_edges* distinct undirected R-MAT edges (no self-loops).
+
+    ``num_vertices`` is rounded up to a power of two internally, as in the
+    original algorithm; out-of-range endpoints are resampled.
+    """
+    rng = SplitMix64(seed)
+    scale = max(1, (num_vertices - 1).bit_length())
+    edges: Set[Tuple[int, int]] = set()
+    attempts = 0
+    max_attempts = num_edges * 64
+    while len(edges) < num_edges and attempts < max_attempts:
+        attempts += 1
+        u = v = 0
+        for _ in range(scale):
+            r = rng.next_float()
+            if r < a:
+                quadrant = (0, 0)
+            elif r < a + b:
+                quadrant = (0, 1)
+            elif r < a + b + c:
+                quadrant = (1, 0)
+            else:
+                quadrant = (1, 1)
+            u = (u << 1) | quadrant[0]
+            v = (v << 1) | quadrant[1]
+        if u >= num_vertices or v >= num_vertices or u == v:
+            continue
+        edge = (u, v) if u < v else (v, u)
+        edges.add(edge)
+    return edges
+
+
+def rmat_graph(num_vertices: int, num_edges: int, seed: int = 1) -> Graph:
+    """Generate an undirected R-MAT graph in CSR form."""
+    edges = rmat_edges(num_vertices, num_edges, seed)
+    adjacency: List[List[int]] = [[] for _ in range(num_vertices)]
+    for u, v in sorted(edges):
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+    row_ptr = [0]
+    col_idx: List[int] = []
+    for v in range(num_vertices):
+        neighbors = sorted(adjacency[v])
+        col_idx.extend(neighbors)
+        row_ptr.append(len(col_idx))
+    return Graph(num_vertices, row_ptr, col_idx)
+
+
+def connected_components(graph: Graph) -> List[int]:
+    """Host-side reference: component label (minimum vertex id) per vertex."""
+    labels = list(range(graph.num_vertices))
+    for root in range(graph.num_vertices):
+        if labels[root] != root:
+            continue
+        stack = [root]
+        while stack:
+            v = stack.pop()
+            for u in graph.neighbors(v):
+                if labels[u] > root:
+                    labels[u] = root
+                    stack.append(u)
+    return labels
+
+
+def is_valid_coloring(graph: Graph, colors: List[int]) -> bool:
+    """Host-side reference check: no edge joins two same-colored vertices."""
+    for v in range(graph.num_vertices):
+        for u in graph.neighbors(v):
+            if u != v and colors[u] == colors[v]:
+                return False
+    return all(c >= 0 for c in colors)

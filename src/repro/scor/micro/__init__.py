@@ -1,0 +1,28 @@
+"""The 32 ScoR microbenchmarks (Table I).
+
+Two-thread unit tests of individual (non-)race conditions: 6 fence tests
+(2 racey), 9 atomics tests (4 racey), and 17 lock/unlock tests (12 racey).
+Racey tests each carry the set of race types ScoRD is expected to report;
+non-racey tests are the false-positive check — they must report nothing.
+"""
+
+from repro.scor.micro.base import Micro, MicroMem, Placement, run_micro
+from repro.scor.micro.registry import (
+    ALL_MICROS,
+    micro_by_name,
+    micros_in_category,
+    non_racey_micros,
+    racey_micros,
+)
+
+__all__ = [
+    "ALL_MICROS",
+    "Micro",
+    "MicroMem",
+    "Placement",
+    "micro_by_name",
+    "micros_in_category",
+    "non_racey_micros",
+    "racey_micros",
+    "run_micro",
+]

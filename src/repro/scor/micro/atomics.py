@@ -1,0 +1,177 @@
+"""Atomics microbenchmarks (Table I: 4 racey, 5 non-racey).
+
+"Atomic and non-atomic operations on global memory using varying scopes."
+"""
+
+from __future__ import annotations
+
+from repro.isa.scopes import Scope
+from repro.scord.races import RaceType
+from repro.scor.micro.base import (
+    Micro,
+    Placement,
+    T1_DELAY,
+    set_flag,
+    wait_flag,
+)
+
+
+def _both_atomic(scope):
+    """Both threads RMW the same word with the given scope."""
+
+    def kernel(ctx, role, mem):
+        if role == 0:
+            yield ctx.atomic_add(mem.data, 0, 1, scope=scope)
+        elif role == 1:
+            yield ctx.compute(T1_DELAY)
+            yield ctx.atomic_add(mem.data, 0, 1, scope=scope)
+
+    return kernel
+
+
+def _block_exch_then_load(ctx, role, mem):
+    """Producer publishes with atomicExch_block; cross-block consumer loads."""
+    if role == 0:
+        yield ctx.atomic_exch(mem.data, 0, 7, scope=Scope.BLOCK)
+    elif role == 1:
+        yield ctx.compute(T1_DELAY)
+        value = yield ctx.ld(mem.data, 0, volatile=True)
+        yield ctx.st(mem.aux, 0, value, volatile=True)
+
+
+def _device_atomic_then_plain_load(ctx, role, mem):
+    """Consumer reads an atomically-updated word with a plain load and no
+    fence from the producer — racey even though the atomic was device
+    scope (atomics are relaxed; they order nothing)."""
+    if role == 0:
+        yield ctx.atomic_add(mem.data, 0, 5, scope=Scope.DEVICE)
+    elif role == 1:
+        yield ctx.compute(T1_DELAY)
+        value = yield ctx.ld(mem.data, 0)
+        yield ctx.st(mem.aux, 0, value, volatile=True)
+
+
+def _plain_store_then_atomic(ctx, role, mem):
+    """Producer plain-stores; consumer RMWs without any fence between."""
+    if role == 0:
+        yield ctx.st(mem.data, 0, 9, volatile=True)
+    elif role == 1:
+        yield ctx.compute(T1_DELAY)
+        yield ctx.atomic_add(mem.data, 0, 1, scope=Scope.DEVICE)
+
+
+def _atomic_flag_handoff(ctx, role, mem):
+    """Pure flag handoff through device atomics (the correct idiom)."""
+    if role == 0:
+        yield from set_flag(ctx, mem.flag)
+    elif role == 1:
+        yield ctx.compute(T1_DELAY)
+        yield from wait_flag(ctx, mem.flag)
+
+
+def _fenced_publication(ctx, role, mem):
+    """volatile store → device fence → atomic flag; consumer spins then
+    reads — fully synchronized."""
+    if role == 0:
+        yield ctx.st(mem.data, 0, 11, volatile=True)
+        yield ctx.fence(Scope.DEVICE)
+        yield from set_flag(ctx, mem.flag)
+    elif role == 1:
+        yield ctx.compute(T1_DELAY)
+        if (yield from wait_flag(ctx, mem.flag)):
+            value = yield ctx.ld(mem.data, 0, volatile=True)
+            yield ctx.st(mem.aux, 0, value, volatile=True)
+
+
+def _different_addresses(ctx, role, mem):
+    """Block-scope atomics from different blocks on *different* words."""
+    if role == 0:
+        yield ctx.atomic_add(mem.data, 0, 1, scope=Scope.BLOCK)
+    elif role == 1:
+        yield ctx.compute(T1_DELAY)
+        yield ctx.atomic_add(mem.data, 1, 1, scope=Scope.BLOCK)
+
+
+ATOMIC_MICROS = [
+    Micro(
+        name="atomic_block_scope_cross_block",
+        category="atomics",
+        racey=True,
+        expected_types=frozenset({RaceType.SCOPED_ATOMIC}),
+        placement=Placement.CROSS_BLOCK,
+        description="atomicAdd_block from two different blocks on one word",
+        kernel=_both_atomic(Scope.BLOCK),
+    ),
+    Micro(
+        name="atomic_block_exch_then_load",
+        category="atomics",
+        racey=True,
+        expected_types=frozenset({RaceType.SCOPED_ATOMIC}),
+        placement=Placement.CROSS_BLOCK,
+        description="atomicExch_block publication read from another block",
+        kernel=_block_exch_then_load,
+    ),
+    Micro(
+        name="atomic_then_unfenced_load",
+        category="atomics",
+        racey=True,
+        expected_types=frozenset({RaceType.MISSING_DEVICE_FENCE}),
+        placement=Placement.CROSS_BLOCK,
+        description="device atomic then plain cross-block load, no fence",
+        kernel=_device_atomic_then_plain_load,
+    ),
+    Micro(
+        name="store_then_unfenced_atomic",
+        category="atomics",
+        racey=True,
+        expected_types=frozenset({RaceType.MISSING_DEVICE_FENCE}),
+        placement=Placement.CROSS_BLOCK,
+        description="plain store then cross-block atomic RMW, no fence",
+        kernel=_plain_store_then_atomic,
+    ),
+    Micro(
+        name="atomic_device_scope_cross_block",
+        category="atomics",
+        racey=False,
+        expected_types=frozenset(),
+        placement=Placement.CROSS_BLOCK,
+        description="device-scope atomics from two blocks are race-free",
+        kernel=_both_atomic(Scope.DEVICE),
+    ),
+    Micro(
+        name="atomic_block_scope_same_block",
+        category="atomics",
+        racey=False,
+        expected_types=frozenset(),
+        placement=Placement.SAME_BLOCK,
+        description="block-scope atomics within one block are race-free",
+        kernel=_both_atomic(Scope.BLOCK),
+    ),
+    Micro(
+        name="atomic_flag_handoff",
+        category="atomics",
+        racey=False,
+        expected_types=frozenset(),
+        placement=Placement.CROSS_BLOCK,
+        description="flag handoff entirely through device atomics",
+        kernel=_atomic_flag_handoff,
+    ),
+    Micro(
+        name="atomic_fenced_publication",
+        category="atomics",
+        racey=False,
+        expected_types=frozenset(),
+        placement=Placement.CROSS_BLOCK,
+        description="volatile store + device fence + atomic flag handoff",
+        kernel=_fenced_publication,
+    ),
+    Micro(
+        name="atomic_disjoint_addresses",
+        category="atomics",
+        racey=False,
+        expected_types=frozenset(),
+        placement=Placement.CROSS_BLOCK,
+        description="block-scope atomics on different words never conflict",
+        kernel=_different_addresses,
+    ),
+]

@@ -1,0 +1,106 @@
+"""Fence microbenchmarks (Table I: 2 racey, 4 non-racey).
+
+"A write to global memory followed by a read by another thread, with or
+without a ``__threadfence`` in between, of varying scopes."  The handoff
+flag itself uses device atomics (the correct idiom), so the only variable
+under test is the fence between the data write and the flag publication.
+"""
+
+from __future__ import annotations
+
+from repro.isa.scopes import Scope
+from repro.scord.races import RaceType
+from repro.scor.micro.base import (
+    Micro,
+    Placement,
+    T1_DELAY,
+    set_flag,
+    wait_flag,
+)
+
+
+def _producer_consumer(fence_scope):
+    """Build a producer→consumer kernel with an optional scoped fence."""
+
+    def kernel(ctx, role, mem):
+        if role == 0:
+            yield ctx.st(mem.data, 0, 42, volatile=True)
+            if fence_scope is not None:
+                yield ctx.fence(fence_scope)
+            yield from set_flag(ctx, mem.flag)
+        elif role == 1:
+            yield ctx.compute(T1_DELAY)
+            if (yield from wait_flag(ctx, mem.flag)):
+                value = yield ctx.ld(mem.data, 0, volatile=True)
+                yield ctx.st(mem.aux, 0, value, volatile=True)
+
+    return kernel
+
+
+def _barrier_separated(ctx, role, mem):
+    """Write → __syncthreads() → read, same block (barriers imply
+    block-scope memory ordering, §III)."""
+    if role == 0:
+        yield ctx.st(mem.data, 0, 42, volatile=True)
+    yield ctx.barrier()  # every thread of the block participates
+    if role == 1:
+        value = yield ctx.ld(mem.data, 0, volatile=True)
+        yield ctx.st(mem.aux, 0, value, volatile=True)
+
+
+FENCE_MICROS = [
+    Micro(
+        name="fence_missing_cross_block",
+        category="fence",
+        racey=True,
+        expected_types=frozenset({RaceType.MISSING_DEVICE_FENCE}),
+        placement=Placement.CROSS_BLOCK,
+        description="store → flag with no fence; consumer in another block",
+        kernel=_producer_consumer(None),
+    ),
+    Micro(
+        name="fence_block_scope_cross_block",
+        category="fence",
+        racey=True,
+        expected_types=frozenset({RaceType.SCOPED_FENCE}),
+        placement=Placement.CROSS_BLOCK,
+        description="__threadfence_block but the consumer is in another block",
+        kernel=_producer_consumer(Scope.BLOCK),
+    ),
+    Micro(
+        name="fence_device_cross_block",
+        category="fence",
+        racey=False,
+        expected_types=frozenset(),
+        placement=Placement.CROSS_BLOCK,
+        description="__threadfence (device) covers the cross-block consumer",
+        kernel=_producer_consumer(Scope.DEVICE),
+    ),
+    Micro(
+        name="fence_block_same_block",
+        category="fence",
+        racey=False,
+        expected_types=frozenset(),
+        placement=Placement.SAME_BLOCK,
+        description="__threadfence_block suffices within one block",
+        kernel=_producer_consumer(Scope.BLOCK),
+    ),
+    Micro(
+        name="fence_device_same_block",
+        category="fence",
+        racey=False,
+        expected_types=frozenset(),
+        placement=Placement.SAME_BLOCK,
+        description="device fence is (more than) sufficient within a block",
+        kernel=_producer_consumer(Scope.DEVICE),
+    ),
+    Micro(
+        name="fence_barrier_separated",
+        category="fence",
+        racey=False,
+        expected_types=frozenset(),
+        placement=Placement.SAME_BLOCK,
+        description="__syncthreads() separates write and read (no fence)",
+        kernel=_barrier_separated,
+    ),
+]

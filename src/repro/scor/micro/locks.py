@@ -1,0 +1,351 @@
+"""Lock/unlock microbenchmarks (Table I: 12 racey, 5 non-racey).
+
+"Loads/stores on global memory with or without lock/unlock
+(acquire/release) of varying scopes.  Required ``__threadfence`` may also
+be missing."
+
+Every test increments a shared word inside (or outside) a critical section
+built from the CUDA acquire/release idiom: ``atomicCAS`` + fence to lock,
+fence + ``atomicExch`` to unlock.  Racey variants mis-scope one of the four
+constituents, drop a lock on one side, use unrelated locks, or skip the
+fences entirely.
+"""
+
+from __future__ import annotations
+
+from repro.isa.scopes import Scope
+from repro.scord.races import RaceType
+from repro.scor.micro.base import (
+    Micro,
+    Placement,
+    T1_DELAY,
+    acquire,
+    release,
+    set_flag,
+    wait_flag,
+)
+
+
+def _cs_increment(ctx, mem):
+    """The critical-section body: read-modify-write the shared word."""
+    value = yield ctx.ld(mem.data, 0, volatile=True)
+    yield ctx.compute(40)
+    yield ctx.st(mem.data, 0, value + 1, volatile=True)
+
+
+def _locked_increment(
+    ctx,
+    mem,
+    cas_scope=Scope.DEVICE,
+    acq_fence=Scope.DEVICE,
+    exch_scope=Scope.DEVICE,
+    rel_fence=Scope.DEVICE,
+):
+    got = yield from acquire(ctx, mem.lock, 0, cas_scope, acq_fence)
+    if got:
+        yield from _cs_increment(ctx, mem)
+        yield from release(ctx, mem.lock, 0, exch_scope, rel_fence)
+
+
+def _scoped_lock(cas_scope, acq_fence, exch_scope, rel_fence, t1_delay=T1_DELAY):
+    """Both threads use the same (possibly mis-scoped) lock recipe.
+
+    A small *t1_delay* makes the acquires genuinely contend — necessary for
+    the block-scope-CAS race, which (being caught by happens-before on the
+    lock variable) must actually manifest during execution (§IV).
+    """
+
+    def kernel(ctx, role, mem):
+        if role == 0:
+            yield from _locked_increment(
+                ctx, mem, cas_scope, acq_fence, exch_scope, rel_fence
+            )
+        elif role == 1:
+            yield ctx.compute(t1_delay)
+            yield from _locked_increment(
+                ctx, mem, cas_scope, acq_fence, exch_scope, rel_fence
+            )
+
+    return kernel
+
+
+# --- one side unsynchronized -------------------------------------------
+def _no_lock_store(ctx, role, mem):
+    if role == 0:
+        yield from _locked_increment(ctx, mem)
+    elif role == 1:
+        yield ctx.compute(T1_DELAY)
+        yield ctx.st(mem.data, 0, 99, volatile=True)
+
+
+def _no_lock_load(ctx, role, mem):
+    if role == 0:
+        yield from _locked_increment(ctx, mem)
+    elif role == 1:
+        yield ctx.compute(T1_DELAY)
+        value = yield ctx.ld(mem.data, 0, volatile=True)
+        yield ctx.st(mem.aux, 0, value, volatile=True)
+
+
+def _different_locks(ctx, role, mem):
+    if role == 0:
+        got = yield from acquire(ctx, mem.lock, 0)
+        if got:
+            yield from _cs_increment(ctx, mem)
+            yield from release(ctx, mem.lock, 0)
+    elif role == 1:
+        yield ctx.compute(T1_DELAY)
+        got = yield from acquire(ctx, mem.lock2, 0)
+        if got:
+            yield from _cs_increment(ctx, mem)
+            yield from release(ctx, mem.lock2, 0)
+
+
+def _unlock_then_store(ctx, role, mem):
+    if role == 0:
+        yield from _locked_increment(ctx, mem)
+        # BUG: one more update after the release, outside the lock.
+        yield ctx.st(mem.data, 0, 5, volatile=True)
+    elif role == 1:
+        yield ctx.compute(T1_DELAY)
+        yield from _locked_increment(ctx, mem)
+
+
+def _give_up_and_touch(ctx, role, mem):
+    if role == 0:
+        got = yield from acquire(ctx, mem.lock, 0)
+        if got:
+            yield from _cs_increment(ctx, mem)
+        # BUG: never releases.
+    elif role == 1:
+        yield ctx.compute(T1_DELAY)
+        got = yield from acquire(ctx, mem.lock, 0)
+        if not got:
+            # BUG: spin bound exhausted; touches the data anyway.
+            yield from _cs_increment(ctx, mem)
+
+
+def _no_sync_same_block(ctx, role, mem):
+    if role == 0:
+        yield from _cs_increment(ctx, mem)
+    elif role == 1:
+        yield ctx.compute(T1_DELAY)
+        yield from _cs_increment(ctx, mem)
+
+
+def _store_release(ctx, role, mem):
+    """Unlock with a plain volatile store instead of atomicExch."""
+    if role == 0:
+        got = yield from acquire(ctx, mem.lock, 0)
+        if got:
+            yield from _cs_increment(ctx, mem)
+            yield ctx.fence(Scope.DEVICE)
+            yield ctx.st(mem.lock, 0, 0, volatile=True)  # BUG: not an atomic
+    elif role == 1:
+        yield ctx.compute(T1_DELAY)
+        got = yield from acquire(ctx, mem.lock, 0)
+        if got:
+            yield from _cs_increment(ctx, mem)
+            yield from release(ctx, mem.lock, 0)
+
+
+# --- correct variants ---------------------------------------------------
+def _nested_locks(ctx, role, mem):
+    def body(ctx, mem):
+        got1 = yield from acquire(ctx, mem.lock, 0)
+        if not got1:
+            return
+        got2 = yield from acquire(ctx, mem.lock2, 0)
+        if got2:
+            yield from _cs_increment(ctx, mem)
+            yield from release(ctx, mem.lock2, 0)
+        yield from release(ctx, mem.lock, 0)
+
+    if role == 0:
+        yield from body(ctx, mem)
+    elif role == 1:
+        yield ctx.compute(T1_DELAY)
+        yield from body(ctx, mem)
+
+
+def _reacquire_loop(ctx, role, mem):
+    if role in (0, 1):
+        if role == 1:
+            yield ctx.compute(T1_DELAY)
+        for _ in range(3):
+            yield from _locked_increment(ctx, mem)
+            yield ctx.compute(60)
+
+
+def _lock_plus_handoff(ctx, role, mem):
+    """Belt and suspenders: proper lock plus a fenced flag handoff."""
+    if role == 0:
+        yield from _locked_increment(ctx, mem)
+        yield ctx.fence(Scope.DEVICE)
+        yield from set_flag(ctx, mem.flag)
+    elif role == 1:
+        yield ctx.compute(T1_DELAY)
+        if (yield from wait_flag(ctx, mem.flag)):
+            yield from _locked_increment(ctx, mem)
+
+
+_D = Scope.DEVICE
+_B = Scope.BLOCK
+
+LOCK_MICROS = [
+    # ----- racey (12) -------------------------------------------------
+    Micro(
+        name="lock_missing_on_store",
+        category="lock",
+        racey=True,
+        expected_types=frozenset({RaceType.LOCK}),
+        placement=Placement.CROSS_BLOCK,
+        description="T0 locks; T1 stores without the lock",
+        kernel=_no_lock_store,
+    ),
+    Micro(
+        name="lock_missing_on_load",
+        category="lock",
+        racey=True,
+        expected_types=frozenset({RaceType.LOCK}),
+        placement=Placement.CROSS_BLOCK,
+        description="T0 locks; T1 loads without the lock",
+        kernel=_no_lock_load,
+    ),
+    Micro(
+        name="lock_different_locks",
+        category="lock",
+        racey=True,
+        expected_types=frozenset({RaceType.LOCK}),
+        placement=Placement.CROSS_BLOCK,
+        description="each thread protects the data with a different lock",
+        kernel=_different_locks,
+    ),
+    Micro(
+        name="lock_block_scope_cas",
+        category="lock",
+        racey=True,
+        expected_types=frozenset({RaceType.SCOPED_ATOMIC}),
+        placement=Placement.CROSS_BLOCK,
+        description="atomicCAS_block acquire used across blocks",
+        kernel=_scoped_lock(_B, _D, _D, _D, t1_delay=40),
+    ),
+    Micro(
+        name="lock_block_scope_exch",
+        category="lock",
+        racey=True,
+        expected_types=frozenset({RaceType.SCOPED_ATOMIC}),
+        placement=Placement.CROSS_BLOCK,
+        description="atomicExch_block release used across blocks",
+        kernel=_scoped_lock(_D, _D, _B, _D),
+    ),
+    Micro(
+        name="lock_block_scope_fences",
+        category="lock",
+        racey=True,
+        expected_types=frozenset({RaceType.SCOPED_FENCE}),
+        placement=Placement.CROSS_BLOCK,
+        description="device CAS/Exch but __threadfence_block inside the lock",
+        kernel=_scoped_lock(_D, _B, _D, _B),
+    ),
+    Micro(
+        name="lock_no_fences",
+        category="lock",
+        racey=True,
+        expected_types=frozenset({RaceType.MISSING_DEVICE_FENCE}),
+        placement=Placement.CROSS_BLOCK,
+        description="lock idiom with both fences missing",
+        kernel=_scoped_lock(_D, None, _D, None),
+    ),
+    Micro(
+        name="lock_fully_block_scoped",
+        category="lock",
+        racey=True,
+        expected_types=frozenset({RaceType.SCOPED_ATOMIC}),
+        placement=Placement.CROSS_BLOCK,
+        description="entirely block-scoped lock shared across blocks (Fig. 5 bug)",
+        kernel=_scoped_lock(_B, _B, _B, _B),
+    ),
+    Micro(
+        name="lock_unlock_then_store",
+        category="lock",
+        racey=True,
+        expected_types=frozenset({RaceType.LOCK}),
+        placement=Placement.CROSS_BLOCK,
+        description="data touched again after releasing the lock",
+        kernel=_unlock_then_store,
+    ),
+    Micro(
+        name="lock_give_up_and_touch",
+        category="lock",
+        racey=True,
+        expected_types=frozenset({RaceType.LOCK}),
+        placement=Placement.CROSS_BLOCK,
+        description="acquire times out and the thread touches the data anyway",
+        kernel=_give_up_and_touch,
+    ),
+    Micro(
+        name="lock_none_same_block",
+        category="lock",
+        racey=True,
+        expected_types=frozenset({RaceType.MISSING_BLOCK_FENCE}),
+        placement=Placement.SAME_BLOCK,
+        description="read-modify-write by two warps with no sync at all",
+        kernel=_no_sync_same_block,
+    ),
+    Micro(
+        name="lock_store_release",
+        category="lock",
+        racey=True,
+        expected_types=frozenset({RaceType.MISSING_DEVICE_FENCE}),
+        placement=Placement.CROSS_BLOCK,
+        description="release performed with a plain store, not atomicExch",
+        kernel=_store_release,
+    ),
+    # ----- non-racey (5) ----------------------------------------------
+    Micro(
+        name="lock_device_cross_block",
+        category="lock",
+        racey=False,
+        expected_types=frozenset(),
+        placement=Placement.CROSS_BLOCK,
+        description="proper device-scoped lock across blocks",
+        kernel=_scoped_lock(_D, _D, _D, _D),
+    ),
+    Micro(
+        name="lock_block_same_block",
+        category="lock",
+        racey=False,
+        expected_types=frozenset(),
+        placement=Placement.SAME_BLOCK,
+        description="block-scoped lock is sufficient within one block",
+        kernel=_scoped_lock(_B, _B, _B, _B),
+    ),
+    Micro(
+        name="lock_nested",
+        category="lock",
+        racey=False,
+        expected_types=frozenset(),
+        placement=Placement.CROSS_BLOCK,
+        description="two nested device locks, consistent order",
+        kernel=_nested_locks,
+    ),
+    Micro(
+        name="lock_reacquire_loop",
+        category="lock",
+        racey=False,
+        expected_types=frozenset(),
+        placement=Placement.CROSS_BLOCK,
+        description="lock acquired and released repeatedly by both threads",
+        kernel=_reacquire_loop,
+    ),
+    Micro(
+        name="lock_plus_handoff",
+        category="lock",
+        racey=False,
+        expected_types=frozenset(),
+        placement=Placement.CROSS_BLOCK,
+        description="proper lock plus a redundant fenced flag handoff",
+        kernel=_lock_plus_handoff,
+    ),
+]

@@ -1,0 +1,37 @@
+"""Registry of all 32 microbenchmarks (Table I)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.scor.micro.atomics import ATOMIC_MICROS
+from repro.scor.micro.base import Micro
+from repro.scor.micro.fence import FENCE_MICROS
+from repro.scor.micro.locks import LOCK_MICROS
+
+ALL_MICROS: List[Micro] = [*FENCE_MICROS, *ATOMIC_MICROS, *LOCK_MICROS]
+
+_BY_NAME = {micro.name: micro for micro in ALL_MICROS}
+if len(_BY_NAME) != len(ALL_MICROS):  # pragma: no cover - construction guard
+    raise RuntimeError("duplicate microbenchmark names")
+
+
+def micro_by_name(name: str) -> Micro:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown microbenchmark {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None
+
+
+def micros_in_category(category: str) -> List[Micro]:
+    return [micro for micro in ALL_MICROS if micro.category == category]
+
+
+def racey_micros() -> List[Micro]:
+    return [micro for micro in ALL_MICROS if micro.racey]
+
+
+def non_racey_micros() -> List[Micro]:
+    return [micro for micro in ALL_MICROS if not micro.racey]

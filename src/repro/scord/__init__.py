@@ -1,0 +1,46 @@
+"""The ScoRD race detector (paper §IV) and its baseline variants.
+
+The detector observes the stream of global-memory accesses, fences and
+barriers produced by the execution engine and maintains:
+
+* an 8-byte **metadata entry** per tracked granule of device memory
+  (bit layout of Fig. 7), optionally through a direct-mapped **software
+  cache** holding one entry per 16 granules (§IV-B);
+* a **fence file** of 6-bit block/device fence counters per (block, warp);
+* a per-warp 4-entry **lock table** that infers lock/unlock from
+  atomicCAS+fence / fence+atomicExch patterns, summarized into a 16-bit
+  **bloom filter** accompanying every access;
+* per-block 8-bit **barrier counters**.
+
+Races are reported with the kernel source line (the "instruction pointer"),
+the data address, the block/device scope classification, and the race type —
+exactly the context the paper says ScoRD gives the programmer.
+"""
+
+from repro.scord.bloom import bloom_bit, bloom_intersect
+from repro.scord.detector import ScoRDDetector
+from repro.scord.fencefile import FenceFile
+from repro.scord.interface import Access, AccessKind, BaseDetector, NullDetector
+from repro.scord.locktable import LockTable
+from repro.scord.metadata import MetadataStore, METADATA_LAYOUT
+from repro.scord.races import RaceRecord, RaceReport, RaceScopeClass, RaceType
+from repro.scord.variants import make_detector
+
+__all__ = [
+    "Access",
+    "AccessKind",
+    "BaseDetector",
+    "FenceFile",
+    "LockTable",
+    "METADATA_LAYOUT",
+    "MetadataStore",
+    "NullDetector",
+    "RaceRecord",
+    "RaceReport",
+    "RaceScopeClass",
+    "RaceType",
+    "ScoRDDetector",
+    "bloom_bit",
+    "bloom_intersect",
+    "make_detector",
+]

@@ -1,0 +1,32 @@
+"""The 16-bit lock bloom filter.
+
+Each access travels to the race detector with a bloom filter summarizing the
+locks its warp currently holds; the last accessor's filter is stored in the
+metadata entry.  An empty *intersection* (bitwise AND) of the two filters
+means no common lock — the lockset race conditions (e)/(f) of Table IV.
+
+A lock is identified by a 6-bit hash of its variable's address plus a scope
+bit (§IV-A).  Multiple locks can hash to the same bloom bit, which is the
+paper's acknowledged source of rare false negatives — faithfully reproduced
+here (and unit-tested).
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import hash_u64
+
+
+def lock_hash(addr: int, hash_bits: int = 6) -> int:
+    """The lock table's hash of a lock variable's address."""
+    return hash_u64(addr // 4) & ((1 << hash_bits) - 1)
+
+
+def bloom_bit(lock_hash6: int, scope_bit: int, bloom_bits: int = 16) -> int:
+    """Bloom filter bit mask for one (lock hash, scope) pair."""
+    key = (lock_hash6 << 1) | (scope_bit & 1)
+    return 1 << (hash_u64(key) % bloom_bits)
+
+
+def bloom_intersect(a: int, b: int) -> int:
+    """Bitwise-AND intersection of two bloom filters."""
+    return a & b

@@ -1,0 +1,496 @@
+"""The ScoRD detection logic (paper §IV-A) and its timing model.
+
+Check pipeline per global-memory access:
+
+1. **Metadata fetch** — via the (optional) software cache.  A tag mismatch
+   means the entry belongs to a different granule: detection is skipped and
+   the entry is overwritten (possible false negative, never a false
+   positive).
+2. **Preliminary checks** (Table III) — initialization, program order,
+   barrier separation.  Any hit ⇒ trivially race-free.
+3. **Lockset check** (Table IV e/f) — taken when either the access's or the
+   metadata's lock bloom filter is non-empty: an empty intersection is a
+   race due to improper locking.
+4. **Happens-before checks** (Table IV a–d) — otherwise: scoped-atomic
+   races, missing/insufficient fences, and non-strong conflicting accesses.
+5. **Metadata update** — the entry always records the current access.
+
+Timing: the detector unit services checks at a fixed rate behind a finite
+buffer.  L1 hits normally complete without waiting for the memory system,
+so when the buffer is full they stall (the LHD overhead source); metadata
+reads/updates are L2-side accesses that contend with data for L2 capacity
+and DRAM bandwidth (the MD source); and detection adds payload to every
+packet plus a detector packet for L1 hits (the NOC source).  Each source
+can be disabled independently to reproduce the Fig. 10 breakdown.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from repro.arch.detector_config import DetectorConfig, DetectorMode
+from repro.common.counters import WrappingCounter
+from repro.common.errors import ConfigError
+from repro.common.stats import CounterBag
+from repro.isa.ops import AtomicOp
+from repro.isa.scopes import Scope
+from repro.scord.fencefile import FenceFile
+from repro.scord.interface import Access, AccessKind, BaseDetector
+from repro.scord.locktable import LockTable
+from repro.scord.metadata import METADATA_LAYOUT, MetadataStore
+from repro.scord.races import RaceRecord, RaceReport, RaceScopeClass, RaceType
+from repro.timing.resource import QueuedResource
+
+_SCOPE_BLOCK_BIT = 0
+_SCOPE_DEVICE_BIT = 1
+
+
+class _Md:
+    """Unpacked metadata fields (one entry, Fig. 7).
+
+    ``unpack``/``pack`` hand-inline the METADATA_LAYOUT bit positions —
+    this is the hottest path in the whole simulator (one round trip per
+    global-memory access).  A unit test asserts equivalence with the
+    declarative layout.
+    """
+
+    __slots__ = (
+        "lane", "tag", "block", "warp", "devfence", "blkfence", "barrier",
+        "modified", "blkshared", "devshared", "isatom", "scope", "strong",
+        "bloom",
+    )
+
+    def __init__(self, lane, tag, block, warp, devfence, blkfence, barrier,
+                 modified, blkshared, devshared, isatom, scope, strong,
+                 bloom):
+        self.lane = lane
+        self.tag = tag
+        self.block = block
+        self.warp = warp
+        self.devfence = devfence
+        self.blkfence = blkfence
+        self.barrier = barrier
+        self.modified = modified
+        self.blkshared = blkshared
+        self.devshared = devshared
+        self.isatom = isatom
+        self.scope = scope
+        self.strong = strong
+        self.bloom = bloom
+
+    @classmethod
+    def unpack(cls, word: int) -> "_Md":
+        return cls(
+            (word >> 58) & 0x1F,
+            (word >> 54) & 0xF,
+            (word >> 47) & 0x7F,
+            (word >> 42) & 0x1F,
+            (word >> 36) & 0x3F,
+            (word >> 30) & 0x3F,
+            (word >> 22) & 0xFF,
+            (word >> 21) & 1,
+            (word >> 20) & 1,
+            (word >> 19) & 1,
+            (word >> 18) & 1,
+            (word >> 17) & 1,
+            (word >> 16) & 1,
+            word & 0xFFFF,
+        )
+
+    def pack(self) -> int:
+        return (
+            ((self.lane & 0x1F) << 58)
+            | ((self.tag & 0xF) << 54)
+            | ((self.block & 0x7F) << 47)
+            | ((self.warp & 0x1F) << 42)
+            | ((self.devfence & 0x3F) << 36)
+            | ((self.blkfence & 0x3F) << 30)
+            | ((self.barrier & 0xFF) << 22)
+            | ((self.modified & 1) << 21)
+            | ((self.blkshared & 1) << 20)
+            | ((self.devshared & 1) << 19)
+            | ((self.isatom & 1) << 18)
+            | ((self.scope & 1) << 17)
+            | ((self.strong & 1) << 16)
+            | (self.bloom & 0xFFFF)
+        )
+
+
+class ScoRDDetector(BaseDetector):
+    """The ScoRD hardware: metadata, fence file, lock tables, check logic."""
+
+    def __init__(self, config: DetectorConfig, device_capacity_bytes: int):
+        super().__init__()
+        if config.mode is not DetectorMode.SCORD:
+            raise ConfigError("ScoRDDetector requires DetectorMode.SCORD")
+        self.config = config
+        self.metadata = MetadataStore(config, device_capacity_bytes)
+        self.fence_file = FenceFile(config.fence_id_bits)
+        self._lock_tables: Dict[Tuple[int, int], LockTable] = {}
+        self._barriers: Dict[int, WrappingCounter] = {}
+        self._port = QueuedResource("detector")
+        self._fabric = None
+        self._stats = CounterBag()
+        self._block_id_mask = (1 << config.block_id_bits) - 1
+        self._warp_id_mask = (1 << config.warp_id_bits) - 1
+        # The detector sustains `detector_checks_per_cycle`; its input
+        # buffer absorbs this many cycles of backlog before the L1-hit
+        # path must stall.
+        self._buffer_cycles = max(
+            1,
+            config.detector_buffer_entries // config.detector_checks_per_cycle,
+        )
+        self._check_counter = 0
+        # Metadata entries are read-modify-written once per (cycle, entry),
+        # not once per lane: a coalesced warp access covers one entry.
+        self._last_md_access = (-1, -1)
+        if config.model_noc:
+            self.noc_packet_overhead = config.packet_overhead_bytes
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, fabric, stats: CounterBag) -> None:
+        self._fabric = fabric
+        self._stats = stats
+
+    def _lock_table(self, block_id: int, warp_id: int) -> LockTable:
+        key = (block_id, warp_id)
+        table = self._lock_tables.get(key)
+        if table is None:
+            table = LockTable(
+                self.config.lock_table_entries,
+                self.config.lock_hash_bits,
+                self.config.bloom_bits,
+            )
+            self._lock_tables[key] = table
+        return table
+
+    def _barrier_counter(self, block_id: int) -> WrappingCounter:
+        counter = self._barriers.get(block_id)
+        if counter is None:
+            counter = WrappingCounter(self.config.barrier_id_bits)
+            self._barriers[block_id] = counter
+        return counter
+
+    # ------------------------------------------------------------------
+    # Non-memory events
+    # ------------------------------------------------------------------
+    def on_fence(self, now: int, block_id: int, warp_id: int, scope: Scope) -> None:
+        if self.config.ignore_fence_scopes:
+            # Scope-blind comparator (HAccRG-like): any fence is treated
+            # as ordering device-wide.
+            scope = Scope.DEVICE
+        self.fence_file.on_fence(
+            block_id & self._block_id_mask, warp_id & self._warp_id_mask, scope
+        )
+        self._lock_table(block_id, warp_id).on_fence(scope)
+
+    def on_barrier(self, now: int, block_id: int) -> None:
+        self._barrier_counter(block_id).increment()
+
+    # ------------------------------------------------------------------
+    # The access pipeline
+    # ------------------------------------------------------------------
+    def on_access(self, now: int, access: Access) -> int:
+        self._stats.add("detector.checks")
+        if access.sync_op is not None and self.config.acquire_release_extension:
+            # §VI extension: explicit acquire/release are synchronization
+            # accesses — they behave like scoped atomics for the checks
+            # (two device-scope sync accesses on one variable do not race;
+            # a block-scope one seen from another block does).  A release
+            # additionally ordered the warp's prior writes, which the
+            # engine reported through on_fence.
+            access = dataclasses.replace(access, kind=AccessKind.ATOMIC)
+        if self.config.ignore_atomic_scopes and access.scope is Scope.BLOCK:
+            # Barracuda/CURD-like comparator: atomic scopes are ignored, so
+            # a block-scope atomic is (incorrectly) treated as device-wide.
+            access = dataclasses.replace(access, scope=Scope.DEVICE)
+        hw_block = access.block_id & self._block_id_mask
+        hw_warp = access.warp_id & self._warp_id_mask
+        bloom = self._lock_table(access.block_id, access.warp_id).active_bloom()
+
+        lookup = self.metadata.lookup(access.addr)
+        if lookup.tag_ok:
+            races = self._check(lookup.word, access, hw_block, hw_warp, bloom, now)
+            for race in races:
+                self.report.add(race)
+                self._stats.add("detector.races")
+        else:
+            # Software-cache tag mismatch: the slot holds a *neighbouring*
+            # granule's metadata.  No check is possible — a race here can
+            # be missed (the Table VI false-negative mechanism).
+            self._stats.add("detector.md_cache_skips")
+            if access.kind is AccessKind.LOAD:
+                # Loads do not take ownership of an aliased entry: a read
+                # scan over a 16-word group would otherwise re-tag the
+                # entry on its first word and blind every later check.
+                # Writes are what races are made of, so the last-writer
+                # information is the part worth keeping.
+                return self._timing(now, access)
+
+        new_word = self._updated_word(
+            lookup.word, lookup.tag, access, hw_block, hw_warp, bloom
+        )
+        self.metadata.store(lookup.index, new_word)
+
+        # Lock inference happens at the SM as part of executing the atomic;
+        # it is ordered after this access's own bloom was formed.
+        if access.kind is AccessKind.ATOMIC and access.atomic_op is not None:
+            table = self._lock_table(access.block_id, access.warp_id)
+            if access.atomic_op is AtomicOp.CAS:
+                table.on_cas(access.addr, access.scope)
+            elif access.atomic_op is AtomicOp.EXCH:
+                table.on_exch(access.addr, access.scope)
+
+        return self._timing(now, access)
+
+    # ------------------------------------------------------------------
+    # Checks (Tables III and IV)
+    # ------------------------------------------------------------------
+    def _check(
+        self,
+        word: int,
+        access: Access,
+        hw_block: int,
+        hw_warp: int,
+        bloom: int,
+        now: int,
+    ):
+        md = _Md.unpack(word)
+
+        # --- Preliminary checks (Table III) ---------------------------
+        # (a) first access since (re-)initialization.
+        if md.modified and md.blkshared and md.devshared:
+            self._stats.add("detector.prelim.init")
+            return []
+        # (b) program order: the same warp performed every access so far.
+        # With the ITS extension (§VI), lanes of a diverged warp are
+        # independent threads, so program order is lane-granular.
+        if (
+            md.warp == hw_warp
+            and md.block == hw_block
+            and not md.blkshared
+            and not md.devshared
+            and (not self.config.its_support or md.lane == access.lane_id)
+        ):
+            self._stats.add("detector.prelim.program_order")
+            return []
+        # (c) a barrier separates the accesses (same block, not shared wider).
+        barrier_now = self._barrier_counter(access.block_id).value
+        if (
+            md.block == hw_block
+            and md.barrier != barrier_now
+            and not md.devshared
+        ):
+            self._stats.add("detector.prelim.barrier")
+            return []
+
+        scope_class = (
+            RaceScopeClass.BLOCK if md.block == hw_block else RaceScopeClass.DEVICE
+        )
+
+        def race(race_type: RaceType) -> RaceRecord:
+            return RaceRecord(
+                race_type=race_type,
+                scope_class=scope_class,
+                addr=access.addr,
+                pc=access.pc,
+                cycle=now,
+                block_id=access.block_id,
+                warp_id=access.warp_id,
+                prev_block_id=md.block,
+                prev_warp_id=md.warp,
+                array_name=access.array_name,
+            )
+
+        # --- Lockset check (Table IV e/f) ------------------------------
+        # Triggered when either bloom filter is non-empty; applies to plain
+        # loads/stores (atomics are the lock-manipulation operations).
+        if access.kind is not AccessKind.ATOMIC and (md.bloom or bloom):
+            if access.kind is AccessKind.LOAD:
+                if md.modified and (md.bloom & bloom) == 0:
+                    return [race(RaceType.LOCK)]
+                return []
+            if (md.bloom & bloom) == 0:
+                return [race(RaceType.LOCK)]
+            return []
+
+        # --- Happens-before checks (Table IV a-d) ----------------------
+        if access.kind is AccessKind.ATOMIC:
+            if md.isatom:
+                # (d) both accesses atomic: a block-scope atomic from a
+                # different block cannot synchronize with this one.
+                if md.scope == _SCOPE_BLOCK_BIT and md.block != hw_block:
+                    return [race(RaceType.SCOPED_ATOMIC)]
+                return []
+            # Previous access was a plain load/store: the atomic behaves
+            # like a (strong) store for the fence checks below.
+            return self._fence_checks(md, access, hw_block, hw_warp, race, True)
+
+        # Plain load/store after an atomic: a block-scope atomic from a
+        # different block leaves this access unsynchronized (condition d).
+        if md.isatom and md.scope == _SCOPE_BLOCK_BIT and md.block != hw_block:
+            return [race(RaceType.SCOPED_ATOMIC)]
+
+        return self._fence_checks(
+            md, access, hw_block, hw_warp, race, access.kind is not AccessKind.LOAD
+        )
+
+    def _fence_checks(self, md, access, hw_block, hw_warp, race, is_write):
+        """Table IV (a)-(c): fence sufficiency and strong-access checks."""
+        if not is_write and not md.modified:
+            # Load after load: no conflict.
+            return []
+
+        prev_blk_fence, prev_dev_fence = self.fence_file.ids(md.block, md.warp)
+        if md.block == hw_block:
+            if md.warp == hw_warp:
+                if (
+                    not self.config.its_support
+                    or md.lane == access.lane_id
+                ):
+                    # Same warp; shared flags forced us past the program-
+                    # order fast path, but the last access is still
+                    # program-ordered (same lane, under ITS).
+                    return []
+                # ITS: different lanes of a diverged warp are concurrent
+                # threads; fall through to the fence checks below.
+            # (a) block-scope conflict: any fence by the previous accessor
+            # (block or device scope) orders it.
+            if md.blkfence == prev_blk_fence and md.devfence == prev_dev_fence:
+                return [race(RaceType.MISSING_BLOCK_FENCE)]
+            # (c) fences only order strong operations.
+            if not md.strong or not access.strong:
+                return [race(RaceType.NOT_STRONG)]
+            return []
+
+        # (b) device-scope conflict: only a device-scope fence helps.  If a
+        # block-scope fence was executed instead, this is precisely a scoped
+        # race due to an insufficiently-scoped fence.
+        if md.devfence == prev_dev_fence:
+            if md.blkfence != prev_blk_fence:
+                return [race(RaceType.SCOPED_FENCE)]
+            return [race(RaceType.MISSING_DEVICE_FENCE)]
+        if not md.strong or not access.strong:
+            return [race(RaceType.NOT_STRONG)]
+        return []
+
+    # ------------------------------------------------------------------
+    # Metadata update (always happens, §IV-A)
+    # ------------------------------------------------------------------
+    def _updated_word(
+        self,
+        old_word: int,
+        tag: int,
+        access: Access,
+        hw_block: int,
+        hw_warp: int,
+        bloom: int,
+    ) -> int:
+        md = _Md.unpack(old_word)
+        is_atomic = access.kind is AccessKind.ATOMIC
+        is_write = access.kind is not AccessKind.LOAD
+        was_init = bool(md.modified and md.blkshared and md.devshared)
+
+        # `modified` records whether the LAST access was a write.  This is
+        # what makes the no-false-positive claim hold: after "store, fence,
+        # load-by-warp-A", a load by warp B conflicts with nothing (loads
+        # don't race with loads), so the entry must not still advertise the
+        # old store.  The write-vs-write and write-vs-read conflicts were
+        # already checked when the intervening accesses executed.
+        if was_init:
+            modified = 1 if is_write else 0
+            blkshared = 0
+            devshared = 0
+            strong = 1 if access.strong else 0
+        else:
+            modified = 1 if is_write else 0
+            blkshared = md.blkshared
+            devshared = md.devshared
+            if access.kind is AccessKind.LOAD:
+                if md.block != hw_block:
+                    devshared = 1
+                elif md.warp != hw_warp:
+                    blkshared = 1
+            # The Strong bit survives only while *every* access is strong.
+            strong = md.strong if access.strong else 0
+
+        blk_fence, dev_fence = self.fence_file.ids(hw_block, hw_warp)
+        new = _Md(
+            lane=access.lane_id & ((1 << self.config.lane_id_bits) - 1),
+            tag=tag,
+            block=hw_block,
+            warp=hw_warp,
+            devfence=dev_fence,
+            blkfence=blk_fence,
+            barrier=self._barrier_counter(access.block_id).value,
+            modified=modified,
+            blkshared=blkshared,
+            devshared=devshared,
+            isatom=1 if is_atomic else 0,
+            scope=(
+                (_SCOPE_DEVICE_BIT if access.scope is not Scope.BLOCK else _SCOPE_BLOCK_BIT)
+                if is_atomic
+                else 0
+            ),
+            strong=strong,
+            bloom=bloom,
+        )
+        return new.pack()
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    def _timing(self, now: int, access: Access) -> int:
+        """Reserve detector-side resources; return warp stall cycles."""
+        if self._fabric is None:
+            return 0
+
+        # The detection logic is pipelined: latency `detector_service_cycles`
+        # per check, sustained throughput `detector_checks_per_cycle`.
+        self._check_counter += 1
+        occupancy = 1 if self._check_counter % self.config.detector_checks_per_cycle == 0 else 0
+        serviced = self._port.reserve(
+            now, occupancy, self.config.detector_service_cycles
+        )
+
+        if self.config.model_md:
+            # Metadata read-modify-write at the L2 side: contends for L2
+            # capacity/banks and DRAM bandwidth, off the warp's critical
+            # path ("execution can continue while race detection lags").
+            # A coalesced warp access covers one entry; only the first lane
+            # of the (cycle, entry) pair generates traffic.
+            entry_index = self.metadata.map_addr(access.addr)[0]
+            if (now, entry_index) != self._last_md_access:
+                self._last_md_access = (now, entry_index)
+                entry_addr = self.metadata.entry_addr(entry_index)
+                self._fabric.l2_side_access(serviced, entry_addr, True, "metadata")
+                self._stats.add("detector.md_accesses")
+
+        if access.l1_hit and self.config.model_lhd:
+            backlog = self._port.backlog(now)
+            if backlog > self._buffer_cycles:
+                stall = backlog - self._buffer_cycles
+                self._stats.add("detector.lhd_stall_cycles", stall)
+                return stall
+        return 0
+
+    # ------------------------------------------------------------------
+    def on_kernel_boundary(self) -> None:
+        self.metadata.reset()
+        self.fence_file = FenceFile(self.config.fence_id_bits)
+        self._lock_tables.clear()
+        self._barriers.clear()
+
+    def finalize(self) -> None:
+        pass
+
+    # Introspection helpers (tests/experiments).
+    @property
+    def md_cache_skips(self) -> int:
+        return self.metadata.tag_misses
+
+    def lock_table_of(self, block_id: int, warp_id: int) -> LockTable:
+        return self._lock_table(block_id, warp_id)

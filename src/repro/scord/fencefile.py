@@ -1,0 +1,51 @@
+"""The fence file: latest fence IDs per (threadblock, warp).
+
+The race detector keeps one entry per warp holding two 6-bit counters — the
+IDs of the latest block-scope and device-scope fences that warp executed
+(Fig. 6).  Comparing these against the fence IDs stored in a metadata entry
+answers "has the last accessor executed a fence (of sufficient scope) since
+it touched this location?" — the core of the Table IV (a)/(b) checks.
+
+The counters wrap: exactly 64 same-scope fences between two conflicting
+accesses produce the paper's acknowledged (practically non-existent) false
+positive, which the test suite reproduces deliberately.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.common.counters import WrappingCounter
+from repro.isa.scopes import Scope
+
+
+class FenceFile:
+    """Block/device fence counters indexed by (block_id, warp_id)."""
+
+    def __init__(self, fence_id_bits: int = 6):
+        self.fence_id_bits = fence_id_bits
+        self._entries: Dict[Tuple[int, int], Tuple[WrappingCounter, WrappingCounter]] = {}
+
+    def _entry(self, block_id: int, warp_id: int):
+        key = (block_id, warp_id)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = (
+                WrappingCounter(self.fence_id_bits),
+                WrappingCounter(self.fence_id_bits),
+            )
+            self._entries[key] = entry
+        return entry
+
+    def on_fence(self, block_id: int, warp_id: int, scope: Scope) -> None:
+        """Record a fence: bump the counter matching the fence's scope."""
+        blk, dev = self._entry(block_id, warp_id)
+        if scope is Scope.BLOCK:
+            blk.increment()
+        else:
+            dev.increment()
+
+    def ids(self, block_id: int, warp_id: int) -> Tuple[int, int]:
+        """Current ``(block_fence_id, device_fence_id)`` for a warp."""
+        blk, dev = self._entry(block_id, warp_id)
+        return blk.value, dev.value

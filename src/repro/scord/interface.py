@@ -1,0 +1,92 @@
+"""Detector-facing view of the execution stream.
+
+The engine reports every global-memory access, fence and barrier to the
+attached detector through this interface.  :class:`NullDetector` is the "no
+race detection" configuration the paper normalizes against: it does nothing
+and costs nothing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional, Tuple
+
+from repro.isa.ops import AtomicOp
+from repro.isa.scopes import Scope
+from repro.scord.races import RaceReport
+
+
+class AccessKind(enum.Enum):
+    LOAD = "ld"
+    STORE = "st"
+    ATOMIC = "atom"
+
+
+@dataclasses.dataclass
+class Access:
+    """One global-memory access as seen by the race detector.
+
+    ``pc`` is the (kernel name, source line) of the access — the
+    reproduction's stand-in for the instruction pointer ScoRD reports.
+    ``l1_hit`` drives the LHD timing path: on an L1 hit the core would not
+    otherwise wait for the memory system, so a full detector buffer stalls
+    it (§IV, Fig. 10).
+    """
+
+    kind: AccessKind
+    addr: int
+    strong: bool
+    block_id: int
+    warp_id: int
+    sm_id: int
+    pc: Tuple[str, int]
+    scope: Scope = Scope.DEVICE  # meaningful for atomics/sync accesses
+    atomic_op: Optional[AtomicOp] = None
+    l1_hit: bool = False
+    array_name: Optional[str] = None
+    # "acquire" / "release" for PTX 6.0 sync accesses (§VI extension);
+    # a detector without the extension sees them as plain strong ld/st.
+    sync_op: Optional[str] = None
+    # Lane within the warp (for the §VI ITS extension's thread-granular
+    # program-order check; ignored unless its_support is enabled).
+    lane_id: int = 0
+
+
+class BaseDetector:
+    """Interface between the memory system and a race detector."""
+
+    #: Extra bytes of detection payload on every memory packet (NOC source).
+    noc_packet_overhead: int = 0
+
+    def __init__(self) -> None:
+        self.report = RaceReport()
+
+    def attach(self, fabric, stats) -> None:
+        """Give the detector access to the shared timing fabric and stats."""
+
+    def on_access(self, now: int, access: Access) -> int:
+        """Process one access; returns extra stall cycles for the warp."""
+        return 0
+
+    def on_fence(self, now: int, block_id: int, warp_id: int, scope: Scope) -> None:
+        """A fence executed (updates fence file / lock tables)."""
+
+    def on_barrier(self, now: int, block_id: int) -> None:
+        """A block-wide barrier completed (bumps the block's barrier ID)."""
+
+    def on_kernel_boundary(self) -> None:
+        """A kernel launch begins.
+
+        A launch is a device-wide synchronization point, so per-kernel
+        hardware state (fence file, lock tables, barrier counters) resets
+        and the metadata region is re-initialized.  Accumulated races are
+        kept — ScoRD reports across the whole run.
+        """
+
+    def finalize(self) -> None:
+        """Kernel completed."""
+
+
+class NullDetector(BaseDetector):
+    """Race detection turned off (the paper's production-run mode)."""

@@ -1,0 +1,105 @@
+"""Per-warp lock table: inferring lock/unlock from atomic+fence patterns.
+
+CUDA (v8 era) has no lock instruction; the programming guide's idiom is
+``atomicCAS`` + fence for acquire and fence + ``atomicExch`` for release
+(paper §II-B/§III-A).  ScoRD infers these: each SM keeps a four-entry
+circular queue per warp (Fig. 6, top right).
+
+* ``atomicCAS`` inserts ``{hash6(addr), scope, valid=1, active=0}``.
+* A fence sets the **active** bit of valid entries of *matching or narrower*
+  scope — only then is the lock considered held (the acquire is complete).
+* ``atomicExch`` clears the **valid** bit of the entry with matching hash
+  and scope (release).
+
+The summary of active entries — the bloom filter — is what accompanies each
+memory access to the detector.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.isa.scopes import Scope
+from repro.scord.bloom import bloom_bit, lock_hash
+
+
+class _LockEntry:
+    __slots__ = ("hash6", "scope_bit", "valid", "active")
+
+    def __init__(self, hash6: int, scope_bit: int):
+        self.hash6 = hash6
+        self.scope_bit = scope_bit
+        self.valid = True
+        self.active = False
+
+
+class LockTable:
+    """A 4-entry circular lock-inference queue for one warp."""
+
+    def __init__(self, entries: int = 4, hash_bits: int = 6, bloom_bits: int = 16):
+        self.capacity = entries
+        self.hash_bits = hash_bits
+        self.bloom_bits = bloom_bits
+        self._entries: List[_LockEntry] = []
+
+    # ------------------------------------------------------------------
+    def _find(self, hash6: int, scope_bit: int) -> Optional[_LockEntry]:
+        for entry in self._entries:
+            if entry.valid and entry.hash6 == hash6 and entry.scope_bit == scope_bit:
+                return entry
+        return None
+
+    def on_cas(self, addr: int, scope: Scope) -> None:
+        """An atomicCAS was executed: start of a potential acquire."""
+        hash6 = lock_hash(addr, self.hash_bits)
+        scope_bit = 0 if scope is Scope.BLOCK else 1
+        if self._find(hash6, scope_bit) is not None:
+            # A spinning CAS loop re-executes the same acquire; the entry is
+            # already pending or held.
+            return
+        entry = _LockEntry(hash6, scope_bit)
+        if len(self._entries) >= self.capacity:
+            # Reuse the oldest released (invalid) slot if one exists;
+            # otherwise the circular queue overwrites the oldest entry.
+            for index, old in enumerate(self._entries):
+                if not old.valid:
+                    del self._entries[index]
+                    break
+            else:
+                self._entries.pop(0)
+        self._entries.append(entry)
+
+    def on_fence(self, scope: Scope) -> None:
+        """A fence activates valid entries of matching-or-narrower scope."""
+        fence_is_device = scope is not Scope.BLOCK
+        for entry in self._entries:
+            if not entry.valid:
+                continue
+            entry_is_device = bool(entry.scope_bit)
+            if fence_is_device or not entry_is_device:
+                entry.active = True
+
+    def on_exch(self, addr: int, scope: Scope) -> None:
+        """An atomicExch releases the matching lock (valid bit cleared)."""
+        hash6 = lock_hash(addr, self.hash_bits)
+        scope_bit = 0 if scope is Scope.BLOCK else 1
+        entry = self._find(hash6, scope_bit)
+        if entry is not None:
+            entry.valid = False
+
+    # ------------------------------------------------------------------
+    def active_bloom(self) -> int:
+        """Bloom summary of the locks this warp currently holds."""
+        bloom = 0
+        for entry in self._entries:
+            if entry.valid and entry.active:
+                bloom |= bloom_bit(entry.hash6, entry.scope_bit, self.bloom_bits)
+        return bloom
+
+    def held_count(self) -> int:
+        """Number of currently held (valid & active) locks."""
+        return sum(1 for e in self._entries if e.valid and e.active)
+
+    def pending_count(self) -> int:
+        """Number of acquires awaiting their fence (valid, not active)."""
+        return sum(1 for e in self._entries if e.valid and not e.active)

@@ -1,0 +1,153 @@
+"""Race records and the accumulated race report.
+
+ScoRD "reports the instruction pointer and the data address of the memory
+instruction associated with the resultant race ... whether the conflicting
+accesses were from the same threadblock (block-scope race) or different
+threadblocks (device-scope race), and the type of race" and keeps executing,
+accumulating races in a buffer (§IV).  This module is that buffer.
+
+The "instruction pointer" in this reproduction is the kernel's Python source
+line, which serves the same debugging purpose: it points at the racing
+access in the program text.  Table VI counts *unique* races, so the report
+deduplicates on (race type, instruction pointer).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Tuple
+
+
+class RaceType(enum.Enum):
+    """Why the detector declared a race (Table IV)."""
+
+    MISSING_BLOCK_FENCE = "missing-block-fence"  # (a)
+    MISSING_DEVICE_FENCE = "missing-device-fence"  # (b), no fence at all
+    SCOPED_FENCE = "scoped-fence"  # (b), a block fence existed but was insufficient
+    NOT_STRONG = "not-strong"  # (c)
+    SCOPED_ATOMIC = "scoped-atomic"  # (d)
+    LOCK = "lock"  # (e)/(f), empty lockset intersection
+
+
+class RaceScopeClass(enum.Enum):
+    """Were the conflicting accesses in the same threadblock?"""
+
+    BLOCK = "block-scope race"
+    DEVICE = "device-scope race"
+
+
+@dataclasses.dataclass(frozen=True)
+class RaceRecord:
+    """One detected race occurrence."""
+
+    race_type: RaceType
+    scope_class: RaceScopeClass
+    addr: int
+    pc: Tuple[str, int]  # (kernel name, source line) of the racing access
+    cycle: int
+    block_id: int
+    warp_id: int
+    prev_block_id: int
+    prev_warp_id: int
+    array_name: Optional[str] = None
+
+    @property
+    def key(self) -> Tuple[RaceType, Tuple[str, int]]:
+        """Identity used for "unique race" counting (Table VI)."""
+        return (self.race_type, self.pc)
+
+    def describe(self) -> str:
+        where = f"{self.pc[0]}:{self.pc[1]}"
+        target = self.array_name or f"0x{self.addr:x}"
+        return (
+            f"[{self.scope_class.value}] {self.race_type.value} on {target} "
+            f"at {where} (block {self.block_id} warp {self.warp_id} vs "
+            f"block {self.prev_block_id} warp {self.prev_warp_id}, "
+            f"cycle {self.cycle})"
+        )
+
+
+class RaceReport:
+    """The memory buffer ScoRD accumulates race information in."""
+
+    def __init__(self) -> None:
+        self._records: List[RaceRecord] = []
+        self._unique: Dict[Tuple[RaceType, Tuple[str, int]], RaceRecord] = {}
+
+    def add(self, record: RaceRecord) -> None:
+        self._records.append(record)
+        self._unique.setdefault(record.key, record)
+
+    @property
+    def records(self) -> List[RaceRecord]:
+        """Every race occurrence, in detection order."""
+        return list(self._records)
+
+    @property
+    def unique_races(self) -> List[RaceRecord]:
+        """First occurrence of each unique (type, instruction) race."""
+        return list(self._unique.values())
+
+    @property
+    def unique_count(self) -> int:
+        return len(self._unique)
+
+    def count_by_type(self) -> Dict[RaceType, int]:
+        counts: Dict[RaceType, int] = {}
+        for record in self._unique.values():
+            counts[record.race_type] = counts.get(record.race_type, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __bool__(self) -> bool:
+        return bool(self._records)
+
+    def summary(self) -> str:
+        if not self._records:
+            return "no races detected"
+        lines = [
+            f"{len(self._records)} race occurrence(s), "
+            f"{self.unique_count} unique race(s):"
+        ]
+        lines.extend("  " + record.describe() for record in self.unique_races)
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_dicts(self, unique_only: bool = True) -> List[Dict]:
+        """Serialize races as plain dicts (JSON-friendly)."""
+        records = self.unique_races if unique_only else self._records
+        return [
+            {
+                "type": record.race_type.value,
+                "scope_class": record.scope_class.value,
+                "addr": record.addr,
+                "array": record.array_name,
+                "kernel": record.pc[0],
+                "line": record.pc[1],
+                "cycle": record.cycle,
+                "block": record.block_id,
+                "warp": record.warp_id,
+                "prev_block": record.prev_block_id,
+                "prev_warp": record.prev_warp_id,
+            }
+            for record in records
+        ]
+
+    def save_json(self, path, unique_only: bool = True) -> None:
+        """Write the race report to *path* as JSON."""
+        import json
+
+        with open(path, "w") as handle:
+            json.dump(self.to_dicts(unique_only), handle, indent=2)
+
+    def by_array(self) -> Dict[str, List[RaceRecord]]:
+        """Unique races grouped by the array they hit (None -> "?")."""
+        groups: Dict[str, List[RaceRecord]] = {}
+        for record in self.unique_races:
+            groups.setdefault(record.array_name or "?", []).append(record)
+        return groups

@@ -1,0 +1,155 @@
+"""Scratchpad (shared-memory) hazard checking.
+
+ScoRD deliberately targets *global*-memory races; the paper positions
+tools like NVIDIA's Racecheck, GRace and GMRace as the complementary
+shared-memory detectors ("these detectors restrict themselves to shared
+memory", §VII).  This module provides that complement: a Racecheck-style
+hazard checker for the per-block scratchpad.
+
+Model: within one barrier epoch (the interval between two
+``__syncthreads``), two accesses to the same scratchpad word conflict if
+at least one writes and they come from different threads — unless they are
+lanes of the same warp at *different* issue steps, which SIMT lockstep
+orders.  Lanes of one warp writing the same word in the *same* step are a
+classic intra-warp WAW hazard and are reported.
+
+Enabled with ``GPU(..., shmem_check=True)``; hazards accumulate in
+``gpu.shmem_hazards`` (execution is never stopped, in ScoRD's spirit).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Tuple
+
+
+class HazardType(enum.Enum):
+    WAW = "write-after-write"
+    RAW = "read-after-write"
+    WAR = "write-after-read"
+
+
+@dataclasses.dataclass(frozen=True)
+class ShmemHazard:
+    """One shared-memory hazard within a block."""
+
+    hazard: HazardType
+    block_id: int
+    offset: int
+    tid: int
+    prev_tid: int
+    pc: Tuple[str, int]
+    prev_pc: Tuple[str, int]
+    cycle: int
+
+    @property
+    def key(self) -> Tuple[HazardType, Tuple[str, int], Tuple[str, int]]:
+        return (self.hazard, self.pc, self.prev_pc)
+
+    def describe(self) -> str:
+        return (
+            f"[shmem {self.hazard.value}] block {self.block_id} word "
+            f"{self.offset}: t{self.tid} at {self.pc[0]}:{self.pc[1]} vs "
+            f"t{self.prev_tid} at {self.prev_pc[0]}:{self.prev_pc[1]} "
+            f"(cycle {self.cycle})"
+        )
+
+
+class _Slot:
+    """Last write / last read to one scratchpad word in one epoch."""
+
+    __slots__ = ("epoch", "write", "read")
+
+    def __init__(self, epoch: int):
+        self.epoch = epoch
+        self.write: Optional[Tuple[int, int, int, Tuple[str, int]]] = None
+        self.read: Optional[Tuple[int, int, int, Tuple[str, int]]] = None
+
+
+class ShmemChecker:
+    """Per-launch shared-memory hazard state (one slot table per block)."""
+
+    def __init__(self, warp_size: int):
+        self.warp_size = warp_size
+        self._slots: Dict[Tuple[int, int], _Slot] = {}
+        self.hazards: List[ShmemHazard] = []
+        self._unique: Dict[Tuple, ShmemHazard] = {}
+
+    def new_launch(self) -> None:
+        """A kernel launch begins: scratchpads are fresh; hazards keep
+        accumulating across launches."""
+        self._slots.clear()
+
+    # ------------------------------------------------------------------
+    def _ordered(self, prev, tid: int, now: int) -> bool:
+        """Is the previous access ordered before this one without a race?
+
+        Same thread → program order.  Same warp at an earlier step →
+        SIMT lockstep order.  Everything else within the epoch conflicts.
+        """
+        prev_tid, prev_warp, prev_now, _pc = prev
+        if prev_tid == tid:
+            return True
+        same_warp = prev_warp == tid // self.warp_size
+        return same_warp and prev_now != now
+
+    def _report(self, hazard_type, block_id, offset, tid, prev, now, pc):
+        prev_tid, _w, _n, prev_pc = prev
+        hazard = ShmemHazard(
+            hazard_type, block_id, offset, tid, prev_tid, pc, prev_pc, now
+        )
+        self.hazards.append(hazard)
+        self._unique.setdefault(hazard.key, hazard)
+
+    # ------------------------------------------------------------------
+    def on_access(
+        self,
+        block_id: int,
+        epoch: int,
+        tid: int,
+        offset: int,
+        is_write: bool,
+        now: int,
+        pc: Tuple[str, int],
+    ) -> None:
+        key = (block_id, offset)
+        slot = self._slots.get(key)
+        if slot is None or slot.epoch != epoch:
+            slot = _Slot(epoch)
+            self._slots[key] = slot
+
+        warp = tid // self.warp_size
+        record = (tid, warp, now, pc)
+        if is_write:
+            # Note: lanes of one warp writing the same word in the same
+            # step are unordered even in lockstep (which lane wins is
+            # undefined) — `_ordered` treats same-warp/same-step as a
+            # conflict, so intra-warp WAW hazards are reported here too.
+            if slot.write and not self._ordered(slot.write, tid, now):
+                self._report(HazardType.WAW, block_id, offset, tid,
+                             slot.write, now, pc)
+            if slot.read and not self._ordered(slot.read, tid, now):
+                self._report(HazardType.WAR, block_id, offset, tid,
+                             slot.read, now, pc)
+            slot.write = record
+        else:
+            if slot.write and not self._ordered(slot.write, tid, now):
+                self._report(HazardType.RAW, block_id, offset, tid,
+                             slot.write, now, pc)
+            slot.read = record
+
+    # ------------------------------------------------------------------
+    @property
+    def unique_hazards(self) -> List[ShmemHazard]:
+        return list(self._unique.values())
+
+    def summary(self) -> str:
+        if not self.hazards:
+            return "no shared-memory hazards detected"
+        lines = [
+            f"{len(self.hazards)} shared-memory hazard occurrence(s), "
+            f"{len(self._unique)} unique:"
+        ]
+        lines.extend("  " + h.describe() for h in self.unique_hazards)
+        return "\n".join(lines)

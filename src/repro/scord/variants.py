@@ -1,0 +1,24 @@
+"""Factory for the detector configurations the evaluation compares.
+
+The paper's evaluation uses four families of configuration:
+
+* ``none`` — no detection (the normalization baseline of Figs. 8/9/11);
+* ``scord`` — full ScoRD: 4-byte granularity + the 1/16 software metadata
+  cache (12.5% memory overhead);
+* ``base`` — the base design without metadata caching (200% overhead);
+* ``base`` at 8/16-byte granularity — the Table VII alternative that trades
+  memory overhead for false positives.
+"""
+
+from __future__ import annotations
+
+from repro.arch.detector_config import DetectorConfig, DetectorMode
+from repro.scord.detector import ScoRDDetector
+from repro.scord.interface import BaseDetector, NullDetector
+
+
+def make_detector(config: DetectorConfig, device_capacity_bytes: int) -> BaseDetector:
+    """Instantiate the detector described by *config*."""
+    if config.mode is DetectorMode.NONE:
+        return NullDetector()
+    return ScoRDDetector(config, device_capacity_bytes)

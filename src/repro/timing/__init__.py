@@ -1,0 +1,23 @@
+"""Discrete-event timing models.
+
+The simulator is an approximate queueing model: every shared hardware
+structure (NoC links, L2 banks, DRAM channels, the race-detector port) is a
+:class:`~repro.timing.resource.QueuedResource` with a busy-until horizon.
+Because the engine processes warp-issue events in global time order,
+reserving a resource is equivalent to FIFO queueing at that resource, which
+captures the contention effects the paper's evaluation hinges on (metadata
+traffic fighting data traffic for L2/DRAM, detection packets congesting the
+NoC, detector back-pressure stalling L1 hits).
+"""
+
+from repro.timing.dram import DramModel
+from repro.timing.fabric import TimingFabric
+from repro.timing.resource import EventQueue, QueuedResource, ceil_div
+
+__all__ = [
+    "DramModel",
+    "EventQueue",
+    "QueuedResource",
+    "TimingFabric",
+    "ceil_div",
+]

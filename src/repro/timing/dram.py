@@ -1,0 +1,64 @@
+"""DRAM channel timing with a row-buffer model.
+
+Addresses interleave across channels at line granularity.  Each channel
+keeps its open row; a request to the open row pays ``t_cl`` + burst, a
+request to a different row additionally pays precharge + activate
+(Table V's GDDR5 parameters).  Every serviced request is counted under its
+traffic class ("data" or "metadata"), which is the raw material of the
+Fig. 9 DRAM-access breakdown.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.arch.config import DramTiming
+from repro.common.stats import CounterBag
+from repro.timing.resource import QueuedResource
+
+
+class DramModel:
+    """A set of independent DRAM channels with open-row tracking."""
+
+    def __init__(
+        self,
+        channels: int,
+        timing: DramTiming,
+        row_bytes: int,
+        line_bytes: int,
+        stats: CounterBag,
+    ):
+        self.timing = timing
+        self.row_bytes = row_bytes
+        self.line_bytes = line_bytes
+        self.stats = stats
+        self._channels: List[QueuedResource] = [
+            QueuedResource(f"dram.ch{i}") for i in range(channels)
+        ]
+        self._open_row: Dict[int, int] = {}
+
+    @property
+    def num_channels(self) -> int:
+        return len(self._channels)
+
+    def channel_of(self, addr: int) -> int:
+        return (addr // self.line_bytes) % len(self._channels)
+
+    def access(self, now: int, addr: int, traffic_class: str) -> int:
+        """Service one line-sized DRAM request; return its completion time."""
+        channel_index = self.channel_of(addr)
+        channel = self._channels[channel_index]
+        row = addr // self.row_bytes
+        if self._open_row.get(channel_index) == row:
+            occupancy = self.timing.row_hit_latency
+            self.stats.add(f"dram.row_hit.{traffic_class}")
+        else:
+            occupancy = self.timing.row_miss_latency
+            self._open_row[channel_index] = row
+            self.stats.add(f"dram.row_miss.{traffic_class}")
+        self.stats.add(f"dram.access.{traffic_class}")
+        return channel.reserve(now, occupancy)
+
+    @property
+    def total_busy_cycles(self) -> int:
+        return sum(channel.busy_cycles for channel in self._channels)

@@ -1,0 +1,136 @@
+"""The SM↔L2↔DRAM fabric.
+
+``TimingFabric`` owns the shared timing structures — the two NoC link
+directions, the banked L2 (tags via :class:`~repro.mem.cache.SetAssocCache`,
+occupancy via per-bank :class:`~repro.timing.resource.QueuedResource`), and
+the DRAM channels — and composes them into the two paths the engine and the
+detector use:
+
+* :meth:`round_trip` — an SM-originated request (L1 miss, volatile access,
+  device atomic) travelling NoC→L2(→DRAM)→NoC.
+* :meth:`l2_side_access` — a detector-originated metadata access that starts
+  at the L2 (the detector hangs off the interconnect next to the L2 per
+  Fig. 6), contending for L2 banks and DRAM but not for the SM-side links.
+
+Both consult the *same* L2 tag array, so metadata traffic steals L2 capacity
+from data exactly as the paper describes ("metadata entries also contend
+with normal data for L2 capacity").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.arch.config import GPUConfig
+from repro.common.stats import CounterBag
+from repro.mem.cache import SetAssocCache
+from repro.timing.dram import DramModel
+from repro.timing.resource import QueuedResource, ceil_div
+
+# Occupancy (not latency) of one request at an L2 bank; banks are pipelined.
+_L2_BANK_OCCUPANCY = 2
+
+
+class TimingFabric:
+    """Shared memory-system timing state for one simulated GPU."""
+
+    def __init__(self, config: GPUConfig, stats: CounterBag):
+        self.config = config
+        self.stats = stats
+        self.noc_up = QueuedResource("noc.up")
+        self.noc_down = QueuedResource("noc.down")
+        self.l2_banks: List[QueuedResource] = [
+            QueuedResource(f"l2.bank{i}") for i in range(config.l2_banks)
+        ]
+        self.l2 = SetAssocCache(
+            "l2",
+            config.l2_size_bytes,
+            config.l2_assoc,
+            config.line_size_bytes,
+            stats,
+        )
+        self.dram = DramModel(
+            config.dram_channels,
+            config.dram_timing,
+            config.dram_row_bytes,
+            config.line_size_bytes,
+            stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Component hops
+    # ------------------------------------------------------------------
+    def send_up(self, now: int, payload_bytes: int) -> int:
+        """Reserve the SM→L2 link for one packet; return arrival time."""
+        service = ceil_div(payload_bytes, self.config.noc_bytes_per_cycle)
+        self.stats.add("noc.packets")
+        self.stats.add("noc.bytes", payload_bytes)
+        return self.noc_up.reserve(
+            now, service, service + self.config.noc_base_latency
+        )
+
+    def send_down(self, now: int, payload_bytes: int) -> int:
+        """Reserve the L2→SM link for one packet; return arrival time."""
+        service = ceil_div(payload_bytes, self.config.noc_bytes_per_cycle)
+        self.stats.add("noc.packets")
+        self.stats.add("noc.bytes", payload_bytes)
+        return self.noc_down.reserve(
+            now, service, service + self.config.noc_base_latency
+        )
+
+    def _bank_of(self, addr: int) -> QueuedResource:
+        line = addr // self.config.line_size_bytes
+        return self.l2_banks[line % len(self.l2_banks)]
+
+    def access_l2(
+        self, now: int, addr: int, is_write: bool, traffic_class: str
+    ) -> int:
+        """One request at the L2: bank queueing, tags, DRAM on miss.
+
+        Returns the time the L2 can answer (hit latency on a hit, DRAM
+        completion on a miss).  Dirty evictions reserve DRAM bandwidth but
+        do not delay the requester (writebacks are off the critical path).
+        """
+        bank = self._bank_of(addr)
+        answered = bank.reserve(
+            now, _L2_BANK_OCCUPANCY, self.config.l2_hit_latency
+        )
+        result = self.l2.access(addr, is_write, traffic_class)
+        if result.hit:
+            return answered
+        if result.evicted_dirty:
+            # Fire-and-forget writeback of the victim line.
+            self.dram.access(answered, result.evicted_line, result.writeback_class)
+        return self.dram.access(answered, addr, traffic_class)
+
+    # ------------------------------------------------------------------
+    # Composed paths
+    # ------------------------------------------------------------------
+    def round_trip(
+        self,
+        now: int,
+        addr: int,
+        is_write: bool,
+        request_bytes: int,
+        response_bytes: int,
+        traffic_class: str = "data",
+        wait_for_response: bool = True,
+    ) -> int:
+        """An SM request through NoC→L2(→DRAM)→NoC; returns completion time.
+
+        With ``wait_for_response=False`` (fire-and-forget stores) the
+        resources are still reserved — the traffic exists and congests the
+        fabric — but the returned time is the request's arrival at the L2,
+        which is all the issuing warp waits for.
+        """
+        at_l2 = self.send_up(now, request_bytes)
+        answered = self.access_l2(at_l2, addr, is_write, traffic_class)
+        if not wait_for_response:
+            return at_l2
+        return self.send_down(answered, response_bytes)
+
+    def l2_side_access(
+        self, now: int, addr: int, is_write: bool, traffic_class: str
+    ) -> int:
+        """A detector-side access that starts and ends at the L2."""
+        return self.access_l2(now, addr, is_write, traffic_class)

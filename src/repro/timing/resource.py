@@ -1,0 +1,80 @@
+"""Event queue and busy-until resources."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Tuple
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling integer division for positive *b*."""
+    return -(-a // b)
+
+
+class QueuedResource:
+    """A pipelined hardware resource with FIFO queueing.
+
+    ``reserve`` occupies the resource for *occupancy* cycles starting at the
+    earliest point at or after *now* when it is free, and reports when the
+    request's *result* is available (*latency* cycles after the start, which
+    may exceed the occupancy for pipelined structures).
+    """
+
+    __slots__ = ("name", "next_free", "busy_cycles", "requests")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.next_free = 0
+        self.busy_cycles = 0  # total occupancy (utilization accounting)
+        self.requests = 0
+
+    def reserve(self, now: int, occupancy: int, latency: int = -1) -> int:
+        """Reserve the resource; return the completion time of the request."""
+        if latency < 0:
+            latency = occupancy
+        start = now if now > self.next_free else self.next_free
+        self.next_free = start + occupancy
+        self.busy_cycles += occupancy
+        self.requests += 1
+        return start + latency
+
+    def backlog(self, now: int) -> int:
+        """Cycles of queued work ahead of a request arriving at *now*."""
+        lag = self.next_free - now
+        return lag if lag > 0 else 0
+
+
+class EventQueue:
+    """A time-ordered queue of callbacks (min-heap, FIFO at equal times)."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Callable[[int], None]]] = []
+        self._seq = 0
+        self.now = 0
+
+    def schedule(self, time: int, callback: Callable[[int], None]) -> None:
+        """Run ``callback(time)`` when the clock reaches *time*."""
+        if time < self.now:
+            time = self.now
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, callback))
+
+    def run(self, max_events: int = 0) -> int:
+        """Drain the queue; returns the number of events processed.
+
+        *max_events* > 0 bounds the run (livelock guard for spinning
+        kernels whose partner never arrives).
+        """
+        processed = 0
+        while self._heap:
+            time, _seq, callback = heapq.heappop(self._heap)
+            self.now = time
+            callback(time)
+            processed += 1
+            if max_events and processed >= max_events:
+                break
+        return processed
+
+    @property
+    def empty(self) -> bool:
+        return not self._heap

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.config import GPUConfig
+from repro.arch.detector_config import DetectorConfig
+from repro.engine.gpu import GPU
+
+
+@pytest.fixture
+def gpu_config() -> GPUConfig:
+    """The scaled default configuration used throughout the evaluation."""
+    return GPUConfig.scaled_default()
+
+
+@pytest.fixture
+def gpu(gpu_config) -> GPU:
+    """A GPU with full ScoRD attached."""
+    return GPU(config=gpu_config, detector_config=DetectorConfig.scord())
+
+
+@pytest.fixture
+def gpu_base(gpu_config) -> GPU:
+    """A GPU with the base (no metadata caching) detector attached."""
+    return GPU(config=gpu_config, detector_config=DetectorConfig.base_no_cache())
+
+
+@pytest.fixture
+def gpu_plain(gpu_config) -> GPU:
+    """A GPU with no race detection (the normalization baseline)."""
+    return GPU(config=gpu_config, detector_config=DetectorConfig.none())

@@ -1,0 +1,120 @@
+"""Architecture and detector configuration validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.config import (
+    DramTiming,
+    GPUConfig,
+    MemoryPreset,
+    memory_preset,
+)
+from repro.arch.detector_config import DetectorConfig, DetectorMode
+from repro.common.errors import ConfigError
+
+
+class TestGPUConfig:
+    def test_paper_default_matches_table_v(self):
+        config = GPUConfig.paper_default()
+        assert config.num_sms == 15
+        assert config.threads_per_warp == 32
+        assert config.max_threads_per_block == 1024
+        assert config.max_blocks_per_sm == 8
+        assert config.max_warps_per_sm == 32
+        assert config.l1_size_bytes == 16 * 1024
+        assert config.l1_assoc == 4
+        assert config.line_size_bytes == 128
+        assert config.l2_size_bytes == 1536 * 1024
+        assert config.l2_assoc == 8
+        assert config.dram_channels == 12
+        timing = config.dram_timing
+        assert (timing.t_rrd, timing.t_rcd, timing.t_ras) == (6, 12, 28)
+        assert (timing.t_rp, timing.t_rc, timing.t_cl) == (12, 40, 12)
+
+    def test_scaled_default_is_valid_and_smaller(self):
+        scaled = GPUConfig.scaled_default()
+        paper = GPUConfig.paper_default()
+        assert scaled.l1_size_bytes < paper.l1_size_bytes
+        assert scaled.l2_size_bytes < paper.l2_size_bytes
+        assert scaled.l1_sets >= 1 and scaled.l2_sets >= 1
+
+    def test_derived_quantities(self):
+        config = GPUConfig.scaled_default()
+        assert config.words_per_line == config.line_size_bytes // 4
+        assert (
+            config.l1_sets * config.l1_assoc * config.line_size_bytes
+            == config.l1_size_bytes
+        )
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(num_sms=0)
+        with pytest.raises(ConfigError):
+            GPUConfig(line_size_bytes=30)
+        with pytest.raises(ConfigError):
+            GPUConfig(l1_size_bytes=128, l1_assoc=4, line_size_bytes=128)
+
+    def test_memory_scaling(self):
+        base = GPUConfig.scaled_default()
+        low = memory_preset(base, MemoryPreset.LOW)
+        high = memory_preset(base, MemoryPreset.HIGH)
+        assert low.l2_size_bytes < base.l2_size_bytes < high.l2_size_bytes
+        assert low.dram_channels < base.dram_channels < high.dram_channels
+        assert memory_preset(base, MemoryPreset.DEFAULT) is base
+
+    def test_dram_timing_latencies(self):
+        timing = DramTiming()
+        assert timing.row_hit_latency == timing.t_cl + timing.burst_cycles
+        assert timing.row_miss_latency == (
+            timing.t_rp + timing.t_rcd + timing.t_cl + timing.burst_cycles
+        )
+
+
+class TestDetectorConfig:
+    def test_scord_default(self):
+        config = DetectorConfig.scord()
+        assert config.mode is DetectorMode.SCORD
+        assert config.granularity_bytes == 4
+        assert config.metadata_cache
+        assert config.cache_ratio == 16
+        assert config.tag_bits == 4
+        assert config.fence_id_bits == 6
+        assert config.barrier_id_bits == 8
+        assert config.block_id_bits == 7
+        assert config.warp_id_bits == 5
+        assert config.bloom_bits == 16
+        assert config.lock_table_entries == 4
+        assert config.lock_hash_bits == 6
+
+    def test_memory_overhead_figures(self):
+        """The paper's headline numbers: 12.5% for ScoRD, 200%/100%/50%
+        for the 4/8/16-byte uncached designs."""
+        assert DetectorConfig.scord().metadata_overhead_fraction == 0.125
+        assert DetectorConfig.base_no_cache().metadata_overhead_fraction == 2.0
+        assert DetectorConfig.base_no_cache(8).metadata_overhead_fraction == 1.0
+        assert DetectorConfig.base_no_cache(16).metadata_overhead_fraction == 0.5
+
+    def test_none_mode(self):
+        assert DetectorConfig.none().mode is DetectorMode.NONE
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ConfigError):
+            DetectorConfig(granularity_bytes=6)
+
+    def test_invalid_cache_ratio(self):
+        with pytest.raises(ConfigError):
+            DetectorConfig(cache_ratio=0)
+
+    def test_comparator_presets(self):
+        barracuda = DetectorConfig.barracuda_like()
+        assert barracuda.ignore_atomic_scopes
+        assert not barracuda.ignore_fence_scopes
+        blind = DetectorConfig.scope_blind()
+        assert blind.ignore_atomic_scopes and blind.ignore_fence_scopes
+
+    def test_fig10_toggle_variants_exist(self):
+        full = DetectorConfig.scord()
+        assert full.model_lhd and full.model_noc and full.model_md
+        no_md = dataclasses.replace(full, model_md=False)
+        assert not no_md.model_md

@@ -1,0 +1,94 @@
+"""Unit and property tests for bit-field packing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.bitfield import BitField, BitStruct
+
+
+def make_struct() -> BitStruct:
+    return BitStruct(32, [("tag", 31, 28), ("mid", 27, 12), ("low", 11, 0)])
+
+
+class TestBitField:
+    def test_width_and_masks(self):
+        field = BitField("f", 7, 4)
+        assert field.width == 4
+        assert field.mask == 0xF
+        assert field.shifted_mask == 0xF0
+
+    def test_extract_insert_roundtrip(self):
+        field = BitField("f", 7, 4)
+        word = field.insert(0, 0xA)
+        assert word == 0xA0
+        assert field.extract(word) == 0xA
+
+    def test_insert_truncates_to_width(self):
+        field = BitField("f", 3, 0)
+        assert field.insert(0, 0x1F) == 0xF
+
+    def test_insert_preserves_other_bits(self):
+        field = BitField("f", 7, 4)
+        assert field.insert(0xF0F, 0x3) == 0xF3F
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            BitField("bad", 3, 5)
+        with pytest.raises(ValueError):
+            BitField("bad", 3, -1)
+
+
+class TestBitStruct:
+    def test_pack_unpack(self):
+        s = make_struct()
+        word = s.pack(tag=5, mid=0xABC, low=0x123)
+        assert s.unpack(word) == {"tag": 5, "mid": 0xABC, "low": 0x123}
+
+    def test_missing_fields_default_to_zero(self):
+        s = make_struct()
+        assert s.unpack(s.pack(tag=3)) == {"tag": 3, "mid": 0, "low": 0}
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(KeyError):
+            make_struct().pack(nope=1)
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            BitStruct(16, [("a", 7, 0), ("b", 8, 4)])
+
+    def test_field_beyond_width_rejected(self):
+        with pytest.raises(ValueError):
+            BitStruct(8, [("a", 8, 0)])
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError):
+            BitStruct(16, [("a", 3, 0), ("a", 7, 4)])
+
+    def test_get_set_single_field(self):
+        s = make_struct()
+        word = s.pack(tag=1, mid=2, low=3)
+        word = s.set(word, "mid", 0xFFFF)
+        assert s.get(word, "mid") == 0xFFFF
+        assert s.get(word, "tag") == 1
+        assert s.get(word, "low") == 3
+
+    def test_width_of(self):
+        s = make_struct()
+        assert s.width_of("tag") == 4
+        assert s.width_of("mid") == 16
+
+    @given(
+        tag=st.integers(0, 0xF),
+        mid=st.integers(0, 0xFFFF),
+        low=st.integers(0, 0xFFF),
+    )
+    def test_roundtrip_property(self, tag, mid, low):
+        s = make_struct()
+        word = s.pack(tag=tag, mid=mid, low=low)
+        assert 0 <= word < (1 << 32)
+        assert s.unpack(word) == {"tag": tag, "mid": mid, "low": low}
+
+    @given(st.integers(0, (1 << 32) - 1))
+    def test_unpack_pack_identity(self, word):
+        s = make_struct()
+        assert s.pack(**s.unpack(word)) == word

@@ -1,0 +1,46 @@
+"""Wrapping counter behaviour (including the ScoRD wrap-around hazard)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.counters import WrappingCounter
+
+
+class TestWrappingCounter:
+    def test_starts_at_zero(self):
+        assert WrappingCounter(4).value == 0
+
+    def test_increment_sequence(self):
+        c = WrappingCounter(2)
+        assert [c.increment() for _ in range(5)] == [1, 2, 3, 0, 1]
+
+    def test_initial_value_wraps(self):
+        assert WrappingCounter(3, initial=9).value == 1
+
+    def test_fence_id_width_matches_paper(self):
+        """A 6-bit fence counter revisits its value after exactly 64 bumps —
+        the paper's acknowledged theoretical false-positive window."""
+        c = WrappingCounter(6)
+        first = c.value
+        for _ in range(64):
+            c.increment()
+        assert c.value == first
+
+    def test_equality_with_int_and_counter(self):
+        a = WrappingCounter(4, initial=3)
+        b = WrappingCounter(4, initial=3)
+        assert a == b
+        assert a == 3
+        assert a != WrappingCounter(5, initial=3)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            WrappingCounter(0)
+
+    @given(width=st.integers(1, 16), bumps=st.integers(0, 300))
+    def test_value_always_in_range(self, width, bumps):
+        c = WrappingCounter(width)
+        for _ in range(bumps):
+            c.increment()
+        assert 0 <= c.value < (1 << width)
+        assert c.value == bumps % (1 << width)

@@ -1,0 +1,48 @@
+"""Determinism and distribution sanity of the SplitMix64 stream."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.rng import SplitMix64, hash_u64
+
+
+class TestSplitMix64:
+    def test_deterministic(self):
+        a = SplitMix64(42)
+        b = SplitMix64(42)
+        assert [a.next_u64() for _ in range(10)] == [
+            b.next_u64() for _ in range(10)
+        ]
+
+    def test_different_seeds_differ(self):
+        assert SplitMix64(1).next_u64() != SplitMix64(2).next_u64()
+
+    def test_next_below_range(self):
+        rng = SplitMix64(7)
+        for _ in range(200):
+            assert 0 <= rng.next_below(13) < 13
+
+    def test_next_below_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            SplitMix64(1).next_below(0)
+
+    def test_next_float_range(self):
+        rng = SplitMix64(9)
+        values = [rng.next_float() for _ in range(200)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        # crude uniformity check
+        assert 0.3 < sum(values) / len(values) < 0.7
+
+    def test_split_independence(self):
+        parent = SplitMix64(3)
+        child = parent.split()
+        assert child.next_u64() != parent.next_u64()
+
+    @given(st.integers(0, (1 << 64) - 1))
+    def test_hash_u64_in_range(self, value):
+        assert 0 <= hash_u64(value) < (1 << 64)
+
+    def test_hash_u64_spreads_consecutive_inputs(self):
+        hashes = {hash_u64(i) & 0x3F for i in range(64)}
+        # 6-bit lock hashes of consecutive addresses should not collapse.
+        assert len(hashes) > 30

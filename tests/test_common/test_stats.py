@@ -1,0 +1,41 @@
+"""CounterBag behaviour."""
+
+from repro.common.stats import CounterBag
+
+
+class TestCounterBag:
+    def test_default_zero(self):
+        assert CounterBag()["anything"] == 0
+
+    def test_add_and_read(self):
+        bag = CounterBag()
+        bag.add("x")
+        bag.add("x", 4)
+        assert bag["x"] == 5
+
+    def test_contains(self):
+        bag = CounterBag()
+        assert "x" not in bag
+        bag.add("x", 0)
+        assert "x" in bag
+
+    def test_iteration_sorted(self):
+        bag = CounterBag()
+        bag.add("b")
+        bag.add("a")
+        assert list(bag) == ["a", "b"]
+
+    def test_merge(self):
+        a, b = CounterBag(), CounterBag()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge(b)
+        assert a["x"] == 3 and a["y"] == 3
+
+    def test_as_dict_snapshot(self):
+        bag = CounterBag()
+        bag.add("x", 2)
+        snap = bag.as_dict()
+        bag.add("x")
+        assert snap == {"x": 2}

@@ -1,0 +1,157 @@
+"""Executable specification: the full two-access detection matrix.
+
+Every combination of
+
+* producer operation: weak store, volatile store, block-scope atomic,
+  device-scope atomic;
+* producer-side synchronization after the write: none, block fence,
+  device fence;
+* consumer operation: weak load, volatile load, block-scope atomic,
+  device-scope atomic;
+* placement: same warp, same block (different warps), different blocks
+
+is executed end-to-end (engine + memory system + detector, uncached
+metadata so nothing aliases), and the detector's verdict is compared
+against an oracle that encodes the paper's rules:
+
+1. Program order (same warp) never races.
+2. A block-scope atomic conflicting across blocks is a scoped-atomic race
+   regardless of fences (Table IV d).
+3. Two atomics race only by rule 2 — atomics are strong and take effect
+   at their scope; fences are not required between them.
+4. Otherwise a fence by the producer covering the consumer's distance is
+   required (missing/scoped fence races, Table IV a/b)...
+5. ...and both accesses must be strong for the fence to order them
+   (Table IV c).
+
+144 combinations, each a tiny simulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.arch.detector_config import DetectorConfig
+from repro.engine.gpu import GPU
+from repro.isa.scopes import Scope
+from repro.scord.races import RaceType
+
+PRODUCERS = ("st_weak", "st_vol", "atomic_block", "atomic_dev")
+SYNCS = ("none", "fence_block", "fence_dev")
+CONSUMERS = ("ld_weak", "ld_vol", "atomic_block", "atomic_dev")
+PLACEMENTS = ("same_warp", "same_block", "cross_block")
+
+
+def _is_atomic(op: str) -> bool:
+    return op.startswith("atomic")
+
+
+def _is_strong(op: str) -> bool:
+    return op != "st_weak" and op != "ld_weak"
+
+
+def oracle(producer: str, sync: str, consumer: str, placement: str):
+    """Expected race types (empty set = clean), per the paper's rules."""
+    if placement == "same_warp":
+        return set()
+
+    cross_block = placement == "cross_block"
+
+    # Rule 2: prior block-scope atomic observed from another block.
+    if producer == "atomic_block" and cross_block:
+        return {RaceType.SCOPED_ATOMIC}
+
+    # Rule 3: atomic after atomic otherwise races only by rule 2.
+    if _is_atomic(producer) and _is_atomic(consumer):
+        return set()
+
+    # Rule 4: fence sufficiency (producer side).
+    if cross_block:
+        if sync != "fence_dev":
+            if sync == "fence_block":
+                return {RaceType.SCOPED_FENCE}
+            return {RaceType.MISSING_DEVICE_FENCE}
+    else:
+        if sync == "none":
+            return {RaceType.MISSING_BLOCK_FENCE}
+
+    # Rule 5: fences only order strong accesses.
+    if not _is_strong(producer) or not _is_strong(consumer):
+        return {RaceType.NOT_STRONG}
+    return set()
+
+
+def _produce(ctx, data, producer: str):
+    if producer == "st_weak":
+        yield ctx.st(data, 0, 7)
+    elif producer == "st_vol":
+        yield ctx.st(data, 0, 7, volatile=True)
+    elif producer == "atomic_block":
+        yield ctx.atomic_add(data, 0, 7, scope=Scope.BLOCK)
+    else:
+        yield ctx.atomic_add(data, 0, 7, scope=Scope.DEVICE)
+
+
+def _consume(ctx, data, consumer: str):
+    if consumer == "ld_weak":
+        yield ctx.ld(data, 0)
+    elif consumer == "ld_vol":
+        yield ctx.ld(data, 0, volatile=True)
+    elif consumer == "atomic_block":
+        yield ctx.atomic_add(data, 0, 1, scope=Scope.BLOCK)
+    else:
+        yield ctx.atomic_add(data, 0, 1, scope=Scope.DEVICE)
+
+
+def run_combo(producer: str, sync: str, consumer: str, placement: str):
+    gpu = GPU(detector_config=DetectorConfig.base_no_cache())
+    data = gpu.alloc(1, "data")
+    warp = gpu.config.threads_per_warp
+
+    def kernel(ctx, data):
+        if placement == "same_warp":
+            role = {0: 0, 1: 1}.get(ctx.tid) if ctx.bid == 0 else None
+        elif placement == "same_block":
+            role = {0: 0, warp: 1}.get(ctx.tid) if ctx.bid == 0 else None
+        else:
+            role = ctx.bid if ctx.tid == 0 and ctx.bid < 2 else None
+        if role == 0:
+            yield from _produce(ctx, data, producer)
+            if sync == "fence_block":
+                yield ctx.fence_block()
+            elif sync == "fence_dev":
+                yield ctx.fence(Scope.DEVICE)
+        elif role == 1:
+            yield ctx.compute(2500)  # deterministically after the producer
+            yield from _consume(ctx, data, consumer)
+
+    grid = 2 if placement == "cross_block" else 1
+    block_dim = 2 * warp if placement == "same_block" else warp
+    gpu.launch(kernel, grid=grid, block_dim=block_dim, args=(data,))
+    return {record.race_type for record in gpu.races.unique_races}
+
+
+CASES = [
+    (p, s, c, where)
+    for p in PRODUCERS
+    for s in SYNCS
+    for c in CONSUMERS
+    for where in PLACEMENTS
+]
+
+
+@pytest.mark.parametrize(
+    "producer,sync,consumer,placement",
+    CASES,
+    ids=[f"{p}-{s}-{c}-{w}" for p, s, c, w in CASES],
+)
+def test_detection_matrix(producer, sync, consumer, placement):
+    expected = oracle(producer, sync, consumer, placement)
+    detected = run_combo(producer, sync, consumer, placement)
+    assert detected == expected, (
+        f"{producer} + {sync} then {consumer} [{placement}]: "
+        f"expected {sorted(t.value for t in expected)}, "
+        f"detected {sorted(t.value for t in detected)}"
+    )

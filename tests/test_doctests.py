@@ -1,0 +1,26 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.common.bitfield
+import repro.common.counters
+import repro.common.rng
+import repro.common.stats
+import repro.mem.atomics
+
+MODULES = [
+    repro.common.bitfield,
+    repro.common.counters,
+    repro.common.rng,
+    repro.common.stats,
+    repro.mem.atomics,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=[m.__name__ for m in MODULES])
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0, f"{module.__name__} lost its examples"

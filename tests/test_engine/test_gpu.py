@@ -1,0 +1,230 @@
+"""End-to-end engine semantics through the public GPU API."""
+
+import pytest
+
+from repro.common.errors import DeviceMemoryError, KernelError
+from repro.isa.scopes import Scope
+
+
+class TestHostMemory:
+    def test_write_read(self, gpu_plain):
+        arr = gpu_plain.alloc(4, "a")
+        gpu_plain.write(arr, 2, -7)
+        assert gpu_plain.read(arr, 2) == -7
+
+    def test_write_array_read_array(self, gpu_plain):
+        arr = gpu_plain.alloc(4, "a")
+        gpu_plain.write_array(arr, [1, 2, 3, 4])
+        assert gpu_plain.read_array(arr) == [1, 2, 3, 4]
+
+
+class TestLaunchBasics:
+    def test_every_thread_runs(self, gpu_plain):
+        out = gpu_plain.alloc(64, "out")
+
+        def mark(ctx, out):
+            yield ctx.st(out, ctx.gtid, ctx.gtid + 1)
+
+        gpu_plain.launch(mark, grid=8, block_dim=8, args=(out,))
+        assert gpu_plain.read_array(out) == list(range(1, 65))
+
+    def test_launch_result_fields(self, gpu_plain):
+        out = gpu_plain.alloc(8, "out")
+
+        def kern(ctx, out):
+            yield ctx.st(out, ctx.gtid, 1)
+
+        result = gpu_plain.launch(kern, grid=1, block_dim=8, args=(out,))
+        assert result.cycles > 0
+        assert result.instructions > 0
+        assert result.kernel_name == "kern"
+
+    def test_clock_advances_across_launches(self, gpu_plain):
+        out = gpu_plain.alloc(8, "out")
+
+        def kern(ctx, out):
+            yield ctx.st(out, ctx.gtid, 1)
+
+        first = gpu_plain.launch(kern, grid=1, block_dim=8, args=(out,))
+        second = gpu_plain.launch(kern, grid=1, block_dim=8, args=(out,))
+        assert second.start_cycle >= first.end_cycle
+
+    def test_non_generator_kernel_rejected(self, gpu_plain):
+        def not_a_kernel(ctx):
+            return 42
+
+        with pytest.raises(KernelError):
+            gpu_plain.launch(not_a_kernel, grid=1, block_dim=8)
+
+    def test_bad_yield_rejected(self, gpu_plain):
+        def bad(ctx):
+            yield "nope"
+
+        with pytest.raises(KernelError):
+            gpu_plain.launch(bad, grid=1, block_dim=8)
+
+    def test_out_of_bounds_access_raises(self, gpu_plain):
+        arr = gpu_plain.alloc(2, "small")
+
+        def oob(ctx, arr):
+            yield ctx.st(arr, 5, 1)
+
+        with pytest.raises(DeviceMemoryError):
+            gpu_plain.launch(oob, grid=1, block_dim=1, args=(arr,))
+
+    def test_grid_larger_than_resident_capacity(self, gpu_plain):
+        """More blocks than the SMs can hold at once must queue."""
+        config = gpu_plain.config
+        capacity = config.num_sms * config.max_blocks_per_sm
+        grid = capacity + 5
+        out = gpu_plain.alloc(grid, "out")
+
+        def kern(ctx, out):
+            if ctx.tid == 0:
+                yield ctx.st(out, ctx.bid, 1)
+            else:
+                yield ctx.compute(1)
+
+        gpu_plain.launch(kern, grid=grid, block_dim=8, args=(out,))
+        assert gpu_plain.read_array(out) == [1] * grid
+
+
+class TestAtomicsAndSync:
+    def test_device_atomic_counter(self, gpu_plain):
+        counter = gpu_plain.alloc(1, "counter")
+
+        def bump(ctx, counter):
+            yield ctx.atomic_add(counter, 0, 1)
+
+        gpu_plain.launch(bump, grid=4, block_dim=8, args=(counter,))
+        assert gpu_plain.read(counter, 0) == 32
+
+    def test_atomic_returns_old_value(self, gpu_plain):
+        counter = gpu_plain.alloc(1, "counter")
+        out = gpu_plain.alloc(8, "out")
+
+        def bump(ctx, counter, out):
+            old = yield ctx.atomic_add(counter, 0, 1)
+            yield ctx.st(out, old, 1)  # each old value distinct -> all set
+
+        gpu_plain.launch(bump, grid=1, block_dim=8, args=(counter, out))
+        assert gpu_plain.read_array(out) == [1] * 8
+
+    def test_barrier_phases(self, gpu_plain):
+        data = gpu_plain.alloc(8, "data")
+        out = gpu_plain.alloc(8, "out")
+
+        def phased(ctx, data, out):
+            yield ctx.st(data, ctx.tid, ctx.tid * 2, volatile=True)
+            yield ctx.barrier()
+            neighbour = (ctx.tid + 1) % ctx.ntid
+            value = yield ctx.ld(data, neighbour, volatile=True)
+            yield ctx.st(out, ctx.tid, value, volatile=True)
+
+        gpu_plain.launch(phased, grid=1, block_dim=8, args=(data, out))
+        assert gpu_plain.read_array(out) == [(i + 1) % 8 * 2 for i in range(8)]
+
+    def test_divergent_barrier_converges(self, gpu_plain):
+        """Lanes reaching __syncthreads at different instruction counts
+        must still synchronize (SIMT reconvergence)."""
+        out = gpu_plain.alloc(16, "out")
+
+        def divergent(ctx, out):
+            if ctx.tid == 0:
+                yield ctx.st(out, 0, 42, volatile=True)
+                yield ctx.compute(50)
+            yield ctx.barrier()
+            value = yield ctx.ld(out, 0, volatile=True)
+            yield ctx.st(out, ctx.tid, value, volatile=True)
+
+        gpu_plain.launch(divergent, grid=1, block_dim=16, args=(out,))
+        assert gpu_plain.read_array(out) == [42] * 16
+
+    def test_spin_lock_mutual_exclusion(self, gpu_plain):
+        lock = gpu_plain.alloc(1, "lock")
+        value = gpu_plain.alloc(1, "value")
+
+        def locked_increment(ctx, lock, value):
+            spins = 0
+            while True:
+                old = yield ctx.atomic_cas(lock, 0, 0, 1)
+                if old == 0:
+                    break
+                spins += 1
+                assert spins < 50_000
+                yield ctx.compute(20)
+            yield ctx.fence(Scope.DEVICE)
+            current = yield ctx.ld(value, 0, volatile=True)
+            yield ctx.st(value, 0, current + 1, volatile=True)
+            yield ctx.fence(Scope.DEVICE)
+            yield ctx.atomic_exch(lock, 0, 0)
+
+        gpu_plain.launch(locked_increment, grid=3, block_dim=8,
+                         args=(lock, value))
+        assert gpu_plain.read(value, 0) == 24
+
+
+class TestScopedBehaviour:
+    def test_block_atomics_lose_updates_across_blocks(self, gpu_plain):
+        """The headline scoped-atomic hazard, through the full engine."""
+        counter = gpu_plain.alloc(1, "counter")
+
+        def bump_block(ctx, counter):
+            yield ctx.atomic_add(counter, 0, 1, scope=Scope.BLOCK)
+
+        gpu_plain.launch(bump_block, grid=4, block_dim=8, args=(counter,))
+        # Four blocks on four SMs each counted privately; the final value
+        # is one SM's count, not the true total of 32.
+        assert gpu_plain.read(counter, 0) == 8
+
+    def test_block_atomics_correct_within_one_block(self, gpu_plain):
+        counter = gpu_plain.alloc(1, "counter")
+
+        def bump_block(ctx, counter):
+            yield ctx.atomic_add(counter, 0, 1, scope=Scope.BLOCK)
+
+        gpu_plain.launch(bump_block, grid=1, block_dim=8, args=(counter,))
+        assert gpu_plain.read(counter, 0) == 8
+
+    def test_kernel_end_publishes_everything(self, gpu_plain):
+        data = gpu_plain.alloc(8, "data")
+
+        def weak_writes(ctx, data):
+            yield ctx.st(data, ctx.tid, ctx.tid + 1)  # weak, unfenced
+
+        gpu_plain.launch(weak_writes, grid=1, block_dim=8, args=(data,))
+        assert gpu_plain.read_array(data) == list(range(1, 9))
+
+
+class TestStats:
+    def test_l1_hits_counted(self, gpu_plain):
+        data = gpu_plain.alloc(8, "data")
+
+        def reread(ctx, data):
+            for _ in range(4):
+                yield ctx.ld(data, 0)
+
+        gpu_plain.launch(reread, grid=1, block_dim=1, args=(data,))
+        assert gpu_plain.stats["l1.hit.data"] >= 3
+
+    def test_volatile_bypasses_l1(self, gpu_plain):
+        data = gpu_plain.alloc(8, "data")
+
+        def reread(ctx, data):
+            for _ in range(4):
+                yield ctx.ld(data, 0, volatile=True)
+
+        gpu_plain.launch(reread, grid=1, block_dim=1, args=(data,))
+        assert gpu_plain.stats["l1.hit.data"] == 0
+
+    def test_dram_accesses_accumulate(self, gpu_plain):
+        data = gpu_plain.alloc(1024, "data")
+
+        def sweep(ctx, data):
+            for i in range(ctx.gtid, 1024, ctx.nthreads):
+                yield ctx.ld(data, i)
+
+        gpu_plain.launch(sweep, grid=2, block_dim=8, args=(data,))
+        data_accesses, metadata_accesses = gpu_plain.dram_accesses()
+        assert data_accesses > 0
+        assert metadata_accesses == 0  # no detector attached

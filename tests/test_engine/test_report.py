@@ -1,0 +1,42 @@
+"""GPU.report(): the formatted run summary."""
+
+from repro.arch.detector_config import DetectorConfig
+from repro.engine.gpu import GPU
+
+
+def run_gpu(dconf):
+    gpu = GPU(detector_config=dconf)
+    data = gpu.alloc(64, "data")
+
+    def kern(ctx, data):
+        yield ctx.st(data, ctx.gtid % 64, 1, volatile=True)
+        yield ctx.ld(data, (ctx.gtid * 3) % 64)
+
+    gpu.launch(kern, grid=2, block_dim=8, args=(data,))
+    return gpu
+
+
+class TestReport:
+    def test_sections_present_with_detection(self):
+        report = run_gpu(DetectorConfig.scord()).report()
+        for fragment in ("launch(es)", "L1:", "DRAM accesses", "NoC:",
+                         "utilization", "detector:", "race"):
+            assert fragment in report, fragment
+
+    def test_no_detector_section_without_detection(self):
+        report = run_gpu(DetectorConfig.none()).report()
+        assert "detector:" not in report
+        assert "no races detected" in report
+
+    def test_multiple_launches_listed(self):
+        gpu = GPU(detector_config=DetectorConfig.none())
+        data = gpu.alloc(8, "data")
+
+        def kern(ctx, data):
+            yield ctx.st(data, ctx.tid, 1)
+
+        gpu.launch(kern, grid=1, block_dim=8, args=(data,))
+        gpu.launch(kern, grid=1, block_dim=8, args=(data,))
+        report = gpu.report()
+        assert "2 launch(es)" in report
+        assert report.count("kern:") == 2

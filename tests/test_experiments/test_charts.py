@@ -1,0 +1,74 @@
+"""ASCII chart renderers (pure formatting, no simulation)."""
+
+from repro.experiments.charts import grouped_bars, stacked_bars
+from repro.experiments.fig8 import Fig8Result
+from repro.experiments.fig9 import Fig9Result, Fig9Row
+from repro.experiments.fig10 import Fig10Result, Fig10Row
+from repro.experiments.fig11 import Fig11Result
+
+
+class TestGroupedBars:
+    def test_values_and_labels_present(self):
+        out = grouped_bars(
+            "t", ["A", "B"], [("s1", [1.0, 2.0]), ("s2", [0.5, 1.5])]
+        )
+        assert "A" in out and "B" in out
+        assert "1.00" in out and "2.00" in out
+
+    def test_longest_bar_belongs_to_peak(self):
+        out = grouped_bars("t", ["A", "B"], [("s", [1.0, 4.0])])
+        lines = [l for l in out.splitlines() if "█" in l]
+        assert len(lines) == 2
+        assert lines[1].count("█") > lines[0].count("█")
+
+    def test_reference_tick_on_short_bars(self):
+        out = grouped_bars(
+            "t", ["A"], [("s", [0.5])], reference=2.0, reference_label="ref"
+        )
+        assert "|" in out
+        assert "ref" in out
+
+    def test_zero_value(self):
+        out = grouped_bars("t", ["A"], [("s", [0.0])])
+        assert "0.00" in out
+
+
+class TestStackedBars:
+    def test_totals_and_legend(self):
+        out = stacked_bars(
+            "t", ["A"], [("x", "█", [1.0]), ("y", "▒", [2.0])]
+        )
+        assert "3.00" in out
+        assert "legend" in out
+        assert "█=x" in out
+
+    def test_component_proportions(self):
+        out = stacked_bars(
+            "t", ["A"], [("x", "█", [1.0]), ("y", "▒", [3.0])], width=40
+        )
+        bar_line = next(l for l in out.splitlines() if "█" in l)
+        assert bar_line.count("▒") > bar_line.count("█")
+
+
+class TestFigureCharts:
+    def test_fig8_chart(self):
+        result = Fig8Result([("MM", 1.2, 1.3), ("1DC", 2.0, 1.9)])
+        chart = result.chart()
+        assert "MM" in chart and "1DC" in chart
+        assert "no detection" in chart
+
+    def test_fig9_chart(self):
+        result = Fig9Result([Fig9Row("MM", 1.0, 2.0, 1.0, 0.13)])
+        chart = result.chart()
+        assert "MM base" in chart and "MM scord" in chart
+
+    def test_fig10_chart(self):
+        result = Fig10Result([Fig10Row("UTS", 0.0, 0.2, 0.8)])
+        chart = result.chart()
+        assert "UTS" in chart and "legend" in chart
+
+    def test_fig11_chart(self):
+        result = Fig11Result([("RED", 1.4, 1.2, 1.1)])
+        chart = result.chart()
+        assert "RED" in chart
+        assert "low" in chart and "high" in chart

@@ -1,0 +1,44 @@
+"""The scord-experiments CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import EXHIBITS, main
+
+
+class TestArgs:
+    def test_unknown_exhibit_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["not_an_exhibit"])
+
+    def test_exhibit_list_is_complete(self):
+        for name in ("table1", "table2", "table6", "table7", "table8",
+                     "fig8", "fig9", "fig10", "fig11", "ablations",
+                     "litmus"):
+            assert name in EXHIBITS
+
+
+class TestFastExhibits:
+    def test_table2_and_table8(self, capsys):
+        assert main(["table2", "table8", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "Table VIII" in out
+
+    def test_litmus(self, capsys):
+        assert main(["litmus", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "mp_device_fence" in out
+        assert "VIOLATION" not in out
+
+
+class TestDump:
+    def test_dump_writes_records(self, tmp_path, capsys):
+        path = tmp_path / "records.json"
+        # fig8 on its own is the cheapest simulating exhibit... still
+        # heavy; use table2 (no sims) to prove the dump path, then check
+        # the file is valid JSON (possibly empty list).
+        assert main(["table2", "--quiet", "--dump", str(path)]) == 0
+        records = json.loads(path.read_text())
+        assert isinstance(records, list)

@@ -1,0 +1,93 @@
+"""Exhibit result objects: rendering and aggregation (no simulation)."""
+
+from repro.experiments.fig8 import Fig8Result
+from repro.experiments.fig9 import Fig9Result, Fig9Row
+from repro.experiments.fig10 import Fig10Result, Fig10Row
+from repro.experiments.fig11 import Fig11Result
+from repro.experiments.table6 import Table6Detail, Table6Result, Table6Row
+from repro.experiments.table7 import Table7Result
+
+
+class TestFig8Result:
+    def test_averages(self):
+        result = Fig8Result([("A", 2.0, 1.2), ("B", 3.0, 1.4)])
+        assert result.base_average == 2.5
+        assert abs(result.scord_average - 1.3) < 1e-9
+
+    def test_as_dict(self):
+        result = Fig8Result([("A", 2.0, 1.2)])
+        assert result.as_dict() == {"A": (2.0, 1.2)}
+
+    def test_render_includes_avg_row(self):
+        out = Fig8Result([("A", 2.0, 1.2)]).render()
+        assert "AVG" in out and "2.00" in out
+
+
+class TestFig9Result:
+    def test_totals(self):
+        row = Fig9Row("A", 1.0, 2.0, 1.0, 0.1)
+        assert row.base_total == 3.0
+        assert abs(row.scord_total - 1.1) < 1e-9
+
+    def test_render(self):
+        out = Fig9Result([Fig9Row("A", 1.0, 2.0, 1.0, 0.1)]).render()
+        assert "base md" in out
+
+
+class TestFig10Result:
+    def test_averages(self):
+        result = Fig10Result(
+            [Fig10Row("A", 0.2, 0.3, 0.5), Fig10Row("B", 0.0, 0.5, 0.5)]
+        )
+        avg = result.averages()
+        assert abs(avg.lhd - 0.1) < 1e-9
+        assert abs(avg.noc - 0.4) < 1e-9
+        assert abs(avg.md - 0.5) < 1e-9
+
+    def test_render_uses_percent(self):
+        out = Fig10Result([Fig10Row("A", 0.165, 0.362, 0.473)]).render()
+        assert "16.5%" in out and "47.3%" in out
+
+
+class TestFig11Result:
+    def test_render_has_avg(self):
+        out = Fig11Result([("A", 1.4, 1.2, 1.1), ("B", 1.6, 1.4, 1.3)]).render()
+        assert "AVG" in out
+        assert "1.50" in out  # avg of lows
+
+
+class TestTable6Result:
+    def _result(self):
+        details = (
+            Table6Detail("MM", "f1", "scoped-atomic", True, True),
+            Table6Detail("MM", "f2", "lock", True, False),
+        )
+        return Table6Result(
+            [Table6Row("MM", 2, 2, 1, ("f2",), details)]
+        )
+
+    def test_totals(self):
+        totals = self._result().totals
+        assert (totals.present, totals.base_caught, totals.scord_caught) == (2, 2, 1)
+
+    def test_render_notes_misses(self):
+        out = self._result().render()
+        assert "MM:f2" in out
+
+    def test_detail_rows(self):
+        out = self._result().render_detail()
+        assert out.count("yes") >= 3
+        assert "NO" in out
+
+
+class TestTable7Result:
+    def test_fp_counts_by_config(self):
+        result = Table7Result([["MM", 0, 1, 3, 0], ["UTS", 0, 12, 23, 0]])
+        assert result.false_positive_counts("base") == [0, 0]
+        assert result.false_positive_counts("base8") == [1, 12]
+        assert result.false_positive_counts("base16") == [3, 23]
+        assert result.false_positive_counts("scord") == [0, 0]
+
+    def test_render_overhead_header(self):
+        out = Table7Result([["MM", 0, 1, 3, 0]]).render()
+        assert "200%" in out and "12.5%" in out

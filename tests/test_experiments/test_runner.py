@@ -1,0 +1,49 @@
+"""The memoizing experiment runner."""
+
+from repro.experiments.runner import DETECTORS, Runner, gpu_config_for
+from repro.scor.apps.reduction import ReductionApp
+
+
+class TestRunner:
+    def test_memoization(self):
+        runner = Runner(verbose=False)
+        first = runner.run(ReductionApp, detector="scord")
+        second = runner.run(ReductionApp, detector="scord")
+        assert first is second
+        assert runner.runs_done() == 1
+
+    def test_distinct_configs_are_distinct_runs(self):
+        runner = Runner(verbose=False)
+        runner.run(ReductionApp, detector="scord")
+        runner.run(ReductionApp, detector="none")
+        runner.run(ReductionApp, detector="scord", races=("block_fence",))
+        assert runner.runs_done() == 3
+
+    def test_record_fields(self):
+        runner = Runner(verbose=False)
+        record = runner.run(ReductionApp, detector="scord")
+        assert record.app == "RED"
+        assert record.cycles > 0
+        assert record.verified
+        assert record.unique_races == 0
+        assert record.dram_total == record.dram_data + record.dram_metadata
+
+    def test_racey_run_reports_races(self):
+        runner = Runner(verbose=False)
+        record = runner.run(
+            ReductionApp, detector="scord", races=("block_fence",)
+        )
+        assert record.unique_races >= 1
+
+
+class TestConfigurations:
+    def test_detector_labels_cover_the_evaluation(self):
+        for label in ("none", "base", "base8", "base16", "scord",
+                      "scord-nolhd", "scord-nonoc", "scord-nomd"):
+            assert label in DETECTORS
+
+    def test_memory_presets_scale_l2(self):
+        low = gpu_config_for("low")
+        default = gpu_config_for("default")
+        high = gpu_config_for("high")
+        assert low.l2_size_bytes < default.l2_size_bytes < high.l2_size_bytes

@@ -1,0 +1,39 @@
+"""Generic sensitivity sweeps."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.experiments.sweeps import sweep_detector_param, sweep_gpu_param
+from repro.scor.apps.reduction import ReductionApp
+
+
+class TestGpuSweep:
+    def test_noc_bandwidth_sweep(self):
+        result = sweep_gpu_param(
+            "noc_bytes_per_cycle", (8, 32), app_cls=ReductionApp
+        )
+        assert len(result.points) == 2
+        # More link bandwidth never slows the detected run down much.
+        assert result.points[1].cycles_scord <= result.points[0].cycles_scord
+        rendered = result.render()
+        assert "noc_bytes_per_cycle" in rendered
+        assert "overhead" in rendered
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ConfigError):
+            sweep_gpu_param("not_a_field", (1, 2))
+
+
+class TestDetectorSweep:
+    def test_packet_overhead_sweep(self):
+        result = sweep_detector_param(
+            "packet_overhead_bytes", (0, 32), app_cls=ReductionApp
+        )
+        # The no-detection baseline is shared across points.
+        assert result.points[0].cycles_none == result.points[1].cycles_none
+        # Heavier detection payload cannot make things faster.
+        assert result.points[1].overhead >= result.points[0].overhead - 0.02
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ConfigError):
+            sweep_detector_param("not_a_field", (1,))

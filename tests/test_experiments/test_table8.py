@@ -1,0 +1,76 @@
+"""Table VIII, live: scope-blind detectors miss what ScoRD catches.
+
+The paper's comparison matrix says Barracuda/CURD handle scoped fences but
+not scoped atomics, and earlier detectors handle neither.  These tests run
+the actual ScoR microbenchmarks against detector models with the
+corresponding checks disabled.
+"""
+
+from repro.arch.detector_config import DetectorConfig
+from repro.scord.races import RaceType
+from repro.scor.micro.base import run_micro
+from repro.scor.micro.registry import micro_by_name
+
+SCOPED_ATOMIC_MICRO = "atomic_block_scope_cross_block"
+SCOPED_FENCE_MICRO = "fence_block_scope_cross_block"
+MISSING_FENCE_MICRO = "fence_missing_cross_block"
+
+
+def detected_types(micro_name, config):
+    gpu = run_micro(micro_by_name(micro_name), detector_config=config)
+    return {record.race_type for record in gpu.races.unique_races}
+
+
+class TestScoRDRow:
+    def test_scord_catches_scoped_atomics(self):
+        types = detected_types(SCOPED_ATOMIC_MICRO, DetectorConfig.scord())
+        assert RaceType.SCOPED_ATOMIC in types
+
+    def test_scord_catches_scoped_fences(self):
+        types = detected_types(SCOPED_FENCE_MICRO, DetectorConfig.scord())
+        assert RaceType.SCOPED_FENCE in types
+
+
+class TestBarracudaRow:
+    def test_misses_scoped_atomics(self):
+        """Barracuda "considers scopes in only fence operations while
+        ignoring them for ... atomics" (paper §I)."""
+        types = detected_types(
+            SCOPED_ATOMIC_MICRO, DetectorConfig.barracuda_like()
+        )
+        assert RaceType.SCOPED_ATOMIC not in types
+
+    def test_still_catches_scoped_fences(self):
+        types = detected_types(
+            SCOPED_FENCE_MICRO, DetectorConfig.barracuda_like()
+        )
+        assert RaceType.SCOPED_FENCE in types
+
+    def test_still_catches_missing_fences(self):
+        types = detected_types(
+            MISSING_FENCE_MICRO, DetectorConfig.barracuda_like()
+        )
+        assert RaceType.MISSING_DEVICE_FENCE in types
+
+
+class TestScopeBlindRow:
+    def test_misses_both_scoped_classes(self):
+        blind = DetectorConfig.scope_blind()
+        assert RaceType.SCOPED_ATOMIC not in detected_types(
+            SCOPED_ATOMIC_MICRO, blind
+        )
+        assert RaceType.SCOPED_FENCE not in detected_types(
+            SCOPED_FENCE_MICRO, blind
+        )
+
+    def test_still_catches_plain_missing_sync(self):
+        types = detected_types(MISSING_FENCE_MICRO, DetectorConfig.scope_blind())
+        assert RaceType.MISSING_DEVICE_FENCE in types
+
+
+def test_rendered_matrix_mentions_all_detectors():
+    from repro.experiments.table8 import run_table8
+
+    output = run_table8()
+    for name in ("LDetector", "HAccRG", "Barracuda", "CURD", "ScoRD"):
+        assert name in output

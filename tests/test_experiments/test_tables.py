@@ -1,0 +1,21 @@
+"""Table rendering."""
+
+from repro.experiments.tables import render_table
+
+
+class TestRenderTable:
+    def test_contains_title_headers_and_cells(self):
+        out = render_table("My Title", ["a", "bb"], [[1, 2.5], ["x", "y"]])
+        assert "My Title" in out
+        assert "bb" in out
+        assert "2.50" in out
+        assert "x" in out
+
+    def test_alignment(self):
+        out = render_table("t", ["col"], [[1], [12345]])
+        lines = out.splitlines()
+        assert len({len(line) for line in lines[1:]} - {0}) <= 2
+
+    def test_note_appended(self):
+        out = render_table("t", ["c"], [[1]], note="hello note")
+        assert out.endswith("hello note")

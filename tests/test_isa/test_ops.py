@@ -1,0 +1,103 @@
+"""Operation objects and the ThreadCtx constructors."""
+
+import pytest
+
+from repro.common.errors import KernelError
+from repro.engine.context import ThreadCtx
+from repro.isa.ops import AtomicOp, AtomicRMW, Compute, Fence, Ld, St
+from repro.isa.scopes import Scope
+from repro.mem.allocator import DeviceAllocator
+
+
+@pytest.fixture
+def ctx():
+    return ThreadCtx(tid=3, bid=2, ntid=16, nbid=4, warp_size=8)
+
+
+@pytest.fixture
+def arr():
+    return DeviceAllocator(4096).alloc(16, "arr")
+
+
+class TestThreadIdentity:
+    def test_gtid(self, ctx):
+        assert ctx.gtid == 2 * 16 + 3
+
+    def test_warp_and_lane(self, ctx):
+        assert ctx.warp_id == 0
+        assert ctx.lane == 3
+        other = ThreadCtx(tid=11, bid=0, ntid=16, nbid=1, warp_size=8)
+        assert other.warp_id == 1
+        assert other.lane == 3
+
+    def test_nthreads(self, ctx):
+        assert ctx.nthreads == 64
+
+
+class TestOpConstruction:
+    def test_ld_from_array(self, ctx, arr):
+        op = ctx.ld(arr, 2)
+        assert isinstance(op, Ld)
+        assert op.addr == arr.addr(2)
+        assert not op.strong
+
+    def test_volatile_ld(self, ctx, arr):
+        assert ctx.ld(arr, 0, volatile=True).strong
+
+    def test_st(self, ctx, arr):
+        op = ctx.st(arr, 1, -5)
+        assert isinstance(op, St)
+        assert op.value == -5
+
+    def test_raw_address_target(self, ctx, arr):
+        op = ctx.ld(arr.addr(3))
+        assert op.addr == arr.addr(3)
+
+    def test_array_without_index_rejected(self, ctx, arr):
+        with pytest.raises(KernelError):
+            ctx.ld(arr)
+
+    def test_raw_address_with_index_rejected(self, ctx, arr):
+        with pytest.raises(KernelError):
+            ctx.ld(arr.addr(0), 1)
+
+    def test_atomic_add_default_device_scope(self, ctx, arr):
+        op = ctx.atomic_add(arr, 0, 1)
+        assert isinstance(op, AtomicRMW)
+        assert op.op is AtomicOp.ADD
+        assert op.scope is Scope.DEVICE
+        assert op.strong
+
+    def test_atomic_block_scope(self, ctx, arr):
+        op = ctx.atomic_exch(arr, 0, 1, scope=Scope.BLOCK)
+        assert op.scope is Scope.BLOCK
+
+    def test_atomic_cas_carries_compare(self, ctx, arr):
+        op = ctx.atomic_cas(arr, 0, 0, 1)
+        assert op.op is AtomicOp.CAS
+        assert op.compare == 0
+        assert op.operand == 1
+
+    def test_cas_without_compare_rejected(self, arr):
+        with pytest.raises(ValueError):
+            AtomicRMW(arr.addr(0), AtomicOp.CAS, 1)
+
+    def test_fences(self, ctx):
+        assert ctx.fence().scope is Scope.DEVICE
+        assert ctx.fence_block().scope is Scope.BLOCK
+        assert isinstance(ctx.fence(Scope.SYSTEM), Fence)
+
+    def test_compute_rejects_negative(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.compute(-1)
+
+    def test_compute(self, ctx):
+        op = ctx.compute(7)
+        assert isinstance(op, Compute)
+        assert op.cycles == 7
+
+    def test_reprs_are_informative(self, ctx, arr):
+        assert "Ld" in repr(ctx.ld(arr, 0))
+        assert "strong" in repr(ctx.ld(arr, 0, volatile=True))
+        assert "block" in repr(ctx.atomic_add(arr, 0, 1, scope=Scope.BLOCK))
+        assert "Fence" in repr(ctx.fence())

@@ -1,0 +1,28 @@
+"""Scope ordering and composition."""
+
+from repro.isa.scopes import Scope
+
+
+class TestScopeOrdering:
+    def test_inclusion_order(self):
+        assert Scope.BLOCK < Scope.DEVICE < Scope.SYSTEM
+
+    def test_includes(self):
+        assert Scope.DEVICE.includes(Scope.BLOCK)
+        assert Scope.DEVICE.includes(Scope.DEVICE)
+        assert not Scope.BLOCK.includes(Scope.DEVICE)
+
+    def test_narrowed_with(self):
+        """A composed operation's scope is its narrowest constituent
+        (paper §III-A)."""
+        assert Scope.DEVICE.narrowed_with(Scope.BLOCK) is Scope.BLOCK
+        assert Scope.BLOCK.narrowed_with(Scope.SYSTEM) is Scope.BLOCK
+        assert Scope.DEVICE.narrowed_with(Scope.DEVICE) is Scope.DEVICE
+
+    def test_is_block(self):
+        assert Scope.BLOCK.is_block
+        assert not Scope.DEVICE.is_block
+
+    def test_str(self):
+        assert str(Scope.BLOCK) == "block"
+        assert str(Scope.DEVICE) == "device"

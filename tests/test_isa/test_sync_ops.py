@@ -1,0 +1,79 @@
+"""PTX 6.0 acquire/release operation objects and constructors."""
+
+import pytest
+
+from repro.engine.context import ThreadCtx
+from repro.isa.ops import AcquireLd, ReleaseSt
+from repro.isa.scopes import Scope
+from repro.mem.allocator import DeviceAllocator
+
+
+@pytest.fixture
+def ctx():
+    return ThreadCtx(tid=0, bid=0, ntid=8, nbid=1, warp_size=8)
+
+
+@pytest.fixture
+def arr():
+    return DeviceAllocator(4096).alloc(4, "arr")
+
+
+class TestSyncOps:
+    def test_acquire_defaults(self, ctx, arr):
+        op = ctx.ld_acquire(arr, 1)
+        assert isinstance(op, AcquireLd)
+        assert op.addr == arr.addr(1)
+        assert op.scope is Scope.DEVICE
+        assert op.strong
+
+    def test_release_defaults(self, ctx, arr):
+        op = ctx.st_release(arr, 2, 9)
+        assert isinstance(op, ReleaseSt)
+        assert op.value == 9
+        assert op.scope is Scope.DEVICE
+        assert op.strong
+
+    def test_scoped_variants(self, ctx, arr):
+        assert ctx.ld_acquire(arr, 0, scope=Scope.BLOCK).scope is Scope.BLOCK
+        assert ctx.st_release(arr, 0, 1, scope=Scope.BLOCK).scope is Scope.BLOCK
+
+    def test_reprs(self, ctx, arr):
+        assert "AcquireLd" in repr(ctx.ld_acquire(arr, 0))
+        assert "ReleaseSt" in repr(ctx.st_release(arr, 0, 1))
+
+
+class TestMicroValidation:
+    def test_racey_micro_requires_expected_types(self):
+        from repro.scor.micro.base import Micro, Placement
+
+        def kernel(ctx, role, mem):
+            yield ctx.compute(1)
+
+        with pytest.raises(ValueError):
+            Micro(
+                name="bad",
+                category="fence",
+                racey=True,
+                expected_types=frozenset(),
+                placement=Placement.CROSS_BLOCK,
+                description="",
+                kernel=kernel,
+            )
+
+    def test_non_racey_micro_must_expect_nothing(self):
+        from repro.scord.races import RaceType
+        from repro.scor.micro.base import Micro, Placement
+
+        def kernel(ctx, role, mem):
+            yield ctx.compute(1)
+
+        with pytest.raises(ValueError):
+            Micro(
+                name="bad",
+                category="fence",
+                racey=False,
+                expected_types=frozenset({RaceType.LOCK}),
+                placement=Placement.CROSS_BLOCK,
+                description="",
+                kernel=kernel,
+            )

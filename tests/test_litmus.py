@@ -1,0 +1,50 @@
+"""Scoped memory-model litmus tests.
+
+Each catalog entry declares allowed / forbidden / must-observe outcomes;
+a failure here means the memory model produces weak behaviour it should
+rule out (or fails to produce the weak behaviour scoped races depend on).
+"""
+
+import pytest
+
+from repro.litmus import ALL_LITMUS_TESTS, litmus_by_name, run_litmus
+
+
+@pytest.mark.parametrize(
+    "test", ALL_LITMUS_TESTS, ids=[t.name for t in ALL_LITMUS_TESTS]
+)
+def test_litmus(test):
+    result = run_litmus(test)
+    assert result.ok, result.summary()
+
+
+class TestFrameworkItself:
+    def test_lookup(self):
+        assert litmus_by_name("mp_device_fence").observed == 2
+        with pytest.raises(KeyError):
+            litmus_by_name("nope")
+
+    def test_conflicting_declaration_rejected(self):
+        from repro.litmus.framework import LitmusTest
+
+        def body(ctx, mem, out):
+            yield ctx.compute(1)
+
+        with pytest.raises(ValueError):
+            LitmusTest(
+                name="bad",
+                description="",
+                t0=body,
+                t1=body,
+                observed=1,
+                allowed=frozenset({(0,)}),
+                forbidden=frozenset({(0,)}),
+            )
+
+    def test_weak_behaviours_are_scope_dependent(self):
+        """The same MP pattern: stale read observable with a block fence
+        across blocks, never with a device fence."""
+        weak = run_litmus(litmus_by_name("mp_block_fence_cross_block"))
+        strong = run_litmus(litmus_by_name("mp_device_fence"))
+        assert (1, 0) in weak.observed
+        assert (1, 0) not in strong.observed

@@ -1,0 +1,98 @@
+"""Device allocator: alignment, bounds, ownership lookup."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import DeviceMemoryError
+from repro.mem.allocator import DeviceAllocator
+
+
+class TestAlloc:
+    def test_alignment_is_64_bytes(self):
+        alloc = DeviceAllocator(4096)
+        a = alloc.alloc(1, "a")
+        b = alloc.alloc(1, "b")
+        assert a.base % 64 == 0
+        assert b.base % 64 == 0
+        assert b.base >= a.base + 64
+
+    def test_addresses_and_bounds(self):
+        alloc = DeviceAllocator(4096)
+        arr = alloc.alloc(4, "arr")
+        assert arr.addr(0) == arr.base
+        assert arr.addr(3) == arr.base + 12
+        with pytest.raises(DeviceMemoryError):
+            arr.addr(4)
+        with pytest.raises(DeviceMemoryError):
+            arr.addr(-1)
+
+    def test_index_of_inverse(self):
+        alloc = DeviceAllocator(4096)
+        arr = alloc.alloc(8, "arr")
+        for i in range(8):
+            assert arr.index_of(arr.addr(i)) == i
+        with pytest.raises(DeviceMemoryError):
+            arr.index_of(arr.end)
+
+    def test_exhaustion(self):
+        alloc = DeviceAllocator(256)
+        alloc.alloc(32, "big")
+        with pytest.raises(DeviceMemoryError):
+            alloc.alloc(64, "too_big")
+
+    def test_duplicate_name_rejected(self):
+        alloc = DeviceAllocator(4096)
+        alloc.alloc(1, "x")
+        with pytest.raises(DeviceMemoryError):
+            alloc.alloc(1, "x")
+
+    def test_auto_names(self):
+        alloc = DeviceAllocator(4096)
+        a = alloc.alloc(1)
+        b = alloc.alloc(1)
+        assert a.name != b.name
+
+    def test_array_named(self):
+        alloc = DeviceAllocator(4096)
+        arr = alloc.alloc(2, "mine")
+        assert alloc.array_named("mine") is arr
+        with pytest.raises(DeviceMemoryError):
+            alloc.array_named("nope")
+
+    def test_reset(self):
+        alloc = DeviceAllocator(4096)
+        alloc.alloc(8, "x")
+        alloc.reset()
+        assert alloc.used_bytes == 0
+        assert alloc.arrays == []
+        alloc.alloc(8, "x")  # name reusable after reset
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(DeviceMemoryError):
+            DeviceAllocator(4096).alloc(0)
+
+
+class TestOwnerOf:
+    def test_owner_lookup(self):
+        alloc = DeviceAllocator(8192)
+        arrays = [alloc.alloc(5, f"a{i}") for i in range(6)]
+        for arr in arrays:
+            assert alloc.owner_of(arr.addr(0)) is arr
+            assert alloc.owner_of(arr.addr(4)) is arr
+
+    def test_gap_addresses_unowned(self):
+        alloc = DeviceAllocator(8192)
+        arr = alloc.alloc(1, "one")  # 4 bytes used, 64B aligned
+        assert alloc.owner_of(arr.base + 4) is None
+
+    def test_before_first_allocation(self):
+        alloc = DeviceAllocator(8192)
+        assert alloc.owner_of(0) is None
+
+    @given(st.lists(st.integers(1, 30), min_size=1, max_size=12))
+    def test_allocations_never_overlap(self, lengths):
+        alloc = DeviceAllocator(64 * 1024)
+        arrays = [alloc.alloc(length) for length in lengths]
+        spans = sorted((a.base, a.end) for a in arrays)
+        for (_, prev_end), (next_base, _) in zip(spans, spans[1:]):
+            assert next_base >= prev_end

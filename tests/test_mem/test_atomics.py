@@ -1,0 +1,55 @@
+"""Functional semantics of atomic RMWs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.ops import AtomicOp
+from repro.mem.atomics import apply_atomic
+from repro.mem.backing import to_int32
+
+i32 = st.integers(-(2**31), 2**31 - 1)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize(
+        "op,old,operand,expected_new",
+        [
+            (AtomicOp.ADD, 5, 3, 8),
+            (AtomicOp.SUB, 5, 3, 2),
+            (AtomicOp.EXCH, 5, 3, 3),
+            (AtomicOp.MIN, 5, 3, 3),
+            (AtomicOp.MIN, 3, 5, 3),
+            (AtomicOp.MAX, 5, 3, 5),
+            (AtomicOp.MAX, 3, 5, 5),
+            (AtomicOp.AND, 0b1100, 0b1010, 0b1000),
+            (AtomicOp.OR, 0b1100, 0b1010, 0b1110),
+            (AtomicOp.XOR, 0b1100, 0b1010, 0b0110),
+        ],
+    )
+    def test_flavors(self, op, old, operand, expected_new):
+        returned_old, new = apply_atomic(op, old, operand)
+        assert returned_old == old
+        assert new == expected_new
+
+    def test_cas_success(self):
+        assert apply_atomic(AtomicOp.CAS, 0, 9, compare=0) == (0, 9)
+
+    def test_cas_failure(self):
+        assert apply_atomic(AtomicOp.CAS, 7, 9, compare=0) == (7, 7)
+
+    def test_add_wraps_int32(self):
+        _, new = apply_atomic(AtomicOp.ADD, 2**31 - 1, 1)
+        assert new == -(2**31)
+
+    @given(old=i32, operand=i32)
+    def test_returns_old_and_int32_new(self, old, operand):
+        for op in (AtomicOp.ADD, AtomicOp.SUB, AtomicOp.MIN, AtomicOp.MAX,
+                   AtomicOp.EXCH, AtomicOp.AND, AtomicOp.OR, AtomicOp.XOR):
+            returned_old, new = apply_atomic(op, old, operand)
+            assert returned_old == old
+            assert new == to_int32(new)
+
+    @given(old=i32, operand=i32, compare=i32)
+    def test_cas_writes_only_on_match(self, old, operand, compare):
+        _, new = apply_atomic(AtomicOp.CAS, old, operand, compare=compare)
+        assert new == (operand if old == compare else old)

@@ -1,0 +1,66 @@
+"""Backing store: int32 semantics and bounds."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import DeviceMemoryError
+from repro.mem.backing import BackingStore, to_int32
+
+
+class TestToInt32:
+    def test_positive_passthrough(self):
+        assert to_int32(123) == 123
+
+    def test_negative_roundtrip(self):
+        assert to_int32(-1) == -1
+        assert to_int32(0xFFFFFFFF) == -1
+
+    def test_overflow_wraps(self):
+        assert to_int32(2**31) == -(2**31)
+        assert to_int32(2**31 - 1) == 2**31 - 1
+
+    @given(st.integers(-(2**62), 2**62))
+    def test_idempotent(self, value):
+        assert to_int32(to_int32(value)) == to_int32(value)
+
+    @given(st.integers(-(2**31), 2**31 - 1))
+    def test_identity_in_range(self, value):
+        assert to_int32(value) == value
+
+
+class TestBackingStore:
+    def test_zero_initialized(self):
+        store = BackingStore(1024)
+        assert store.read_word(0) == 0
+        assert store.read_word(1020) == 0
+
+    def test_write_read(self):
+        store = BackingStore(1024)
+        store.write_word(8, 77)
+        assert store.read_word(8) == 77
+
+    def test_negative_values(self):
+        store = BackingStore(1024)
+        store.write_word(4, -42)
+        assert store.read_word(4) == -42
+
+    def test_unaligned_rejected(self):
+        store = BackingStore(1024)
+        with pytest.raises(DeviceMemoryError):
+            store.read_word(2)
+        with pytest.raises(DeviceMemoryError):
+            store.write_word(5, 1)
+
+    def test_out_of_range_rejected(self):
+        store = BackingStore(1024)
+        with pytest.raises(DeviceMemoryError):
+            store.read_word(1024)
+        with pytest.raises(DeviceMemoryError):
+            store.write_word(-4, 0)
+
+    def test_snapshot_and_clear(self):
+        store = BackingStore(1024)
+        store.write_word(0, 5)
+        assert store.snapshot() == {0: 5}
+        store.clear()
+        assert store.read_word(0) == 0

@@ -1,0 +1,98 @@
+"""Set-associative cache model: LRU, dirty tracking, eviction classes."""
+
+from hypothesis import given, strategies as st
+
+from repro.common.stats import CounterBag
+from repro.mem.cache import SetAssocCache
+
+
+def make_cache(sets=2, assoc=2, line=32):
+    stats = CounterBag()
+    return SetAssocCache("c", sets * assoc * line, assoc, line, stats), stats
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache, stats = make_cache()
+        assert not cache.access(0, False).hit
+        assert cache.access(0, False).hit
+        assert stats["c.miss.data"] == 1
+        assert stats["c.hit.data"] == 1
+
+    def test_line_granularity(self):
+        cache, _ = make_cache(line=32)
+        cache.access(0, False)
+        assert cache.access(28, False).hit  # same 32B line
+        assert not cache.access(32, False).hit
+
+    def test_set_mapping(self):
+        cache, _ = make_cache(sets=2, line=32)
+        assert cache.line_addr(100) == 96
+        # lines 0 and 64 map to set 0; line 32 maps to set 1
+        cache.access(0, False)
+        cache.access(32, False)
+        cache.access(64, False)
+        assert cache.access(0, False).hit  # assoc 2 keeps both in set 0
+
+    def test_lru_eviction(self):
+        cache, _ = make_cache(sets=1, assoc=2)
+        cache.access(0, False)
+        cache.access(32, False)
+        cache.access(0, False)  # refresh 0
+        result = cache.access(64, False)  # evicts 32 (LRU)
+        assert result.evicted_line == 32
+        assert cache.contains(0)
+        assert not cache.contains(32)
+
+    def test_dirty_writeback_class(self):
+        cache, stats = make_cache(sets=1, assoc=1)
+        cache.access(0, True, traffic_class="metadata")
+        result = cache.access(32, False)
+        assert result.evicted_dirty
+        assert result.writeback_class == "metadata"
+        assert stats["c.writeback.metadata"] == 1
+
+    def test_write_hit_marks_dirty(self):
+        cache, _ = make_cache(sets=1, assoc=1)
+        cache.access(0, False)
+        cache.access(0, True)
+        result = cache.access(32, False)
+        assert result.evicted_dirty
+
+    def test_no_allocate(self):
+        cache, stats = make_cache()
+        result = cache.access(0, False, allocate=False)
+        assert not result.hit
+        assert not cache.contains(0)
+
+    def test_invalidate(self):
+        cache, _ = make_cache()
+        cache.access(0, True)
+        cache.invalidate(0)
+        assert not cache.contains(0)
+
+    def test_flush_counts_dirty(self):
+        cache, _ = make_cache()
+        cache.access(0, True)
+        cache.access(32, False)
+        assert cache.flush() == 1
+        assert not cache.contains(0)
+
+
+class TestProperties:
+    @given(st.lists(st.integers(0, 1023), min_size=1, max_size=200))
+    def test_occupancy_bounded_by_capacity(self, addrs):
+        cache, _ = make_cache(sets=2, assoc=2, line=32)
+        for addr in addrs:
+            cache.access(addr, False)
+        resident = sum(
+            1 for line in range(0, 1024, 32) if cache.contains(line)
+        )
+        assert resident <= 4
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=100))
+    def test_immediate_rehit(self, addrs):
+        cache, _ = make_cache(sets=4, assoc=4, line=32)
+        for addr in addrs:
+            cache.access(addr, False)
+            assert cache.access(addr, False).hit

@@ -1,0 +1,167 @@
+"""The scoped visibility model — where scoped races become observable."""
+
+import pytest
+
+from repro.common.stats import CounterBag
+from repro.isa.ops import AtomicOp
+from repro.mem.backing import BackingStore
+from repro.mem.visibility import (
+    SERVED_FILL,
+    SERVED_L1,
+    SERVED_STRONG,
+    SERVED_WB,
+    VisibilityModel,
+)
+
+W0, W1, W2 = 100, 101, 102  # warp uids; W0/W1 on SM0, W2 on SM1
+
+
+@pytest.fixture
+def vis():
+    backing = BackingStore(64 * 1024)
+    return VisibilityModel(
+        backing,
+        num_sms=2,
+        l1_size_bytes=256,
+        l1_assoc=2,
+        line_size=32,
+        write_buffer_capacity=4,
+        stats=CounterBag(),
+    )
+
+
+class TestWriteBuffer:
+    def test_weak_store_invisible_to_other_warps(self, vis):
+        vis.store(0, W0, 0x40, 7, strong=False)
+        value, _ = vis.load(0, W1, 0x40, strong=True)
+        assert value == 0  # still buffered in W0's write buffer
+
+    def test_store_forwarding_to_own_warp(self, vis):
+        vis.store(0, W0, 0x40, 7, strong=False)
+        value, served = vis.load(0, W0, 0x40, strong=False)
+        assert (value, served) == (7, SERVED_WB)
+
+    def test_capacity_drain_to_backing(self, vis):
+        drained = []
+        for i in range(5):
+            result = vis.store(0, W0, 0x40 + 4 * i, i, strong=False)
+            if result is not None:
+                drained.append(result)
+        assert drained == [0x40]  # oldest entry went to L2/backing
+        assert vis.backing.read_word(0x40) == 0
+
+    def test_strong_store_immediately_device_visible(self, vis):
+        vis.store(0, W0, 0x40, 9, strong=True)
+        assert vis.backing.read_word(0x40) == 9
+        value, served = vis.load(1, W2, 0x40, strong=True)
+        assert (value, served) == (9, SERVED_STRONG)
+
+
+class TestFences:
+    def test_block_fence_publishes_to_same_sm_only(self, vis):
+        vis.store(0, W0, 0x40, 5, strong=False)
+        drained = vis.fence(0, W0, device_scope=False)
+        assert drained == [0x40]
+        same_sm, _ = vis.load(0, W1, 0x40, strong=True)
+        other_sm, _ = vis.load(1, W2, 0x40, strong=True)
+        assert same_sm == 5  # block-visible
+        assert other_sm == 0  # not device-visible: the scoped-fence hazard
+
+    def test_device_fence_publishes_to_backing(self, vis):
+        vis.store(0, W0, 0x40, 5, strong=False)
+        vis.fence(0, W0, device_scope=True)
+        assert vis.backing.read_word(0x40) == 5
+        value, _ = vis.load(1, W2, 0x40, strong=True)
+        assert value == 5
+
+    def test_device_fence_promotes_earlier_block_published_entries(self, vis):
+        vis.store(0, W0, 0x40, 5, strong=False)
+        vis.fence(0, W0, device_scope=False)  # block-visible only
+        assert vis.backing.read_word(0x40) == 0
+        drained = vis.fence(0, W0, device_scope=True)
+        assert drained == [0x40]
+        assert vis.backing.read_word(0x40) == 5
+
+    def test_fence_with_empty_buffer(self, vis):
+        assert vis.fence(0, W0, device_scope=True) == []
+
+    def test_barrier_drain_is_block_scope(self, vis):
+        vis.store(0, W0, 0x40, 5, strong=False)
+        vis.barrier_drain(0, [W0, W1])
+        value, _ = vis.load(0, W1, 0x40, strong=True)
+        assert value == 5
+        assert vis.backing.read_word(0x40) == 0
+
+
+class TestL1Staleness:
+    def test_weak_load_can_return_stale_line(self, vis):
+        vis.store(0, W0, 0x40, 1, strong=True)
+        value, served = vis.load(1, W2, 0x40, strong=False)
+        assert (value, served) == (1, SERVED_FILL)  # SM1 caches the line
+        vis.store(0, W0, 0x40, 2, strong=True)  # remote update
+        value, served = vis.load(1, W2, 0x40, strong=False)
+        assert (value, served) == (1, SERVED_L1)  # stale L1 hit
+
+    def test_volatile_load_bypasses_stale_l1(self, vis):
+        vis.store(0, W0, 0x40, 1, strong=True)
+        vis.load(1, W2, 0x40, strong=False)  # fill SM1's L1
+        vis.store(0, W0, 0x40, 2, strong=True)
+        value, served = vis.load(1, W2, 0x40, strong=True)
+        assert (value, served) == (2, SERVED_STRONG)
+
+    def test_own_sm_store_invalidates_l1(self, vis):
+        vis.store(0, W0, 0x40, 1, strong=True)
+        vis.load(0, W1, 0x40, strong=False)  # fill SM0 L1
+        vis.store(0, W0, 0x40, 2, strong=True)
+        value, _ = vis.load(0, W1, 0x40, strong=False)
+        assert value == 2  # write-evict invalidated the line
+
+
+class TestScopedAtomics:
+    def test_device_atomic_on_backing(self, vis):
+        old = vis.atomic(0, W0, 0x40, AtomicOp.ADD, 5, None, device_scope=True)
+        assert old == 0
+        assert vis.backing.read_word(0x40) == 5
+
+    def test_block_atomic_stays_sm_local(self, vis):
+        vis.atomic(0, W0, 0x40, AtomicOp.ADD, 5, None, device_scope=False)
+        assert vis.backing.read_word(0x40) == 0
+        assert vis.sm_local_view(0)[0x40] == 5
+
+    def test_block_atomics_lose_updates_across_sms(self, vis):
+        """The Fig. 3b work-stealing bug, at memory-model level."""
+        vis.atomic(0, W0, 0x40, AtomicOp.ADD, 1, None, device_scope=False)
+        vis.atomic(1, W2, 0x40, AtomicOp.ADD, 1, None, device_scope=False)
+        # Each SM saw only its own increment.
+        assert vis.sm_local_view(0)[0x40] == 1
+        assert vis.sm_local_view(1)[0x40] == 1
+
+    def test_device_atomics_serialize_across_sms(self, vis):
+        vis.atomic(0, W0, 0x40, AtomicOp.ADD, 1, None, device_scope=True)
+        vis.atomic(1, W2, 0x40, AtomicOp.ADD, 1, None, device_scope=True)
+        assert vis.backing.read_word(0x40) == 2
+
+    def test_device_atomic_refreshes_local_shadow(self, vis):
+        vis.atomic(0, W0, 0x40, AtomicOp.ADD, 1, None, device_scope=False)
+        vis.atomic(0, W0, 0x40, AtomicOp.EXCH, 0, None, device_scope=True)
+        assert vis.sm_local_view(0)[0x40] == 0
+
+    def test_atomic_orders_own_pending_store(self, vis):
+        vis.store(0, W0, 0x40, 10, strong=False)
+        old = vis.atomic(0, W0, 0x40, AtomicOp.ADD, 1, None, device_scope=True)
+        assert old == 10
+        assert vis.backing.read_word(0x40) == 11
+
+
+class TestFinalize:
+    def test_finalize_drains_everything(self, vis):
+        vis.store(0, W0, 0x40, 1, strong=False)
+        vis.store(1, W2, 0x80, 2, strong=False)
+        vis.fence(0, W0, device_scope=False)  # 0x40 now SM0-local
+        vis.store(0, W0, 0xC0, 3, strong=False)  # still buffered
+        vis.finalize()
+        assert vis.backing.read_word(0x40) == 1
+        assert vis.backing.read_word(0x80) == 2
+        assert vis.backing.read_word(0xC0) == 3
+        assert vis.pending_writes(W0) == {}
+        assert vis.sm_local_view(0) == {}

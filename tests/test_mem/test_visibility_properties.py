@@ -1,0 +1,121 @@
+"""Property-based invariants of the scoped visibility model.
+
+Random operation sequences are checked against two oracles:
+
+* **Program order**: a warp always reads its own most recent store to an
+  address, whatever mix of weak/strong stores, fences and drains happened.
+* **Publication**: after a warp's device-scope fence, the backing store
+  holds exactly that warp's latest values for everything it wrote; other
+  warps then observe them with strong loads.
+* **Conservation**: after ``finalize``, every address holds a value that
+  *some* warp actually wrote there (the model never invents values).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.stats import CounterBag
+from repro.isa.ops import AtomicOp
+from repro.mem.backing import BackingStore
+from repro.mem.visibility import VisibilityModel
+
+ADDRS = [0x40, 0x44, 0x80, 0x100]
+W0, W1 = 0, 1  # warp uids; W0 on SM0, W1 on SM1
+
+
+def fresh_model() -> VisibilityModel:
+    return VisibilityModel(
+        BackingStore(64 * 1024),
+        num_sms=2,
+        l1_size_bytes=256,
+        l1_assoc=2,
+        line_size=32,
+        write_buffer_capacity=3,
+        stats=CounterBag(),
+    )
+
+
+# One thread's op: (kind, addr_index, value, flag)
+op_strategy = st.tuples(
+    st.sampled_from(["st_weak", "st_strong", "ld_weak", "ld_strong",
+                     "fence_block", "fence_dev", "atomic"]),
+    st.integers(0, len(ADDRS) - 1),
+    st.integers(0, 1000),
+)
+
+
+class TestProgramOrder:
+    @given(st.lists(op_strategy, min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_warp_reads_its_own_latest_store(self, ops):
+        vis = fresh_model()
+        latest = {}  # addr -> value this warp last wrote
+        for kind, ai, value in ops:
+            addr = ADDRS[ai]
+            if kind.startswith("st"):
+                vis.store(0, W0, addr, value, strong=kind == "st_strong")
+                latest[addr] = value
+            elif kind.startswith("ld"):
+                got, _served = vis.load(0, W0, addr, strong=kind == "ld_strong")
+                assert got == latest.get(addr, 0)
+            elif kind == "atomic":
+                vis.atomic(0, W0, addr, AtomicOp.EXCH, value, None, True)
+                latest[addr] = value
+            else:
+                vis.fence(0, W0, device_scope=kind == "fence_dev")
+        # And once more after everything settled:
+        for addr, value in latest.items():
+            got, _ = vis.load(0, W0, addr, strong=True)
+            assert got == value
+
+
+class TestPublication:
+    @given(st.lists(op_strategy, min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_device_fence_publishes_writers_view(self, ops):
+        vis = fresh_model()
+        latest = {}
+        for kind, ai, value in ops:
+            addr = ADDRS[ai]
+            if kind.startswith("st"):
+                vis.store(0, W0, addr, value, strong=kind == "st_strong")
+                latest[addr] = value
+            elif kind == "atomic":
+                vis.atomic(0, W0, addr, AtomicOp.EXCH, value, None, False)
+                latest[addr] = value
+            elif kind.startswith("fence"):
+                vis.fence(0, W0, device_scope=kind == "fence_dev")
+        vis.fence(0, W0, device_scope=True)
+        for addr, value in latest.items():
+            assert vis.backing.read_word(addr) == value
+            got, _ = vis.load(1, W1, addr, strong=True)
+            assert got == value
+
+
+class TestConservation:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from([W0, W1]),
+                st.integers(0, len(ADDRS) - 1),
+                st.integers(1, 1000),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_finalize_keeps_only_written_values(self, stores):
+        vis = fresh_model()
+        written = {}  # addr -> set of values ever written there
+        for warp, ai, value, strong in stores:
+            addr = ADDRS[ai]
+            vis.store(warp, warp, addr, value, strong=strong)
+            written.setdefault(addr, set()).add(value)
+        vis.finalize()
+        for addr, values in written.items():
+            final = vis.backing.read_word(addr)
+            assert final in values
+        assert all(not vis.pending_writes(w) for w in (W0, W1))

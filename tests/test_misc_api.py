@@ -1,0 +1,132 @@
+"""Smaller API surfaces: results, reports, app scaffolding, variants."""
+
+import pytest
+
+from repro.arch.detector_config import DetectorConfig, DetectorMode
+from repro.common.errors import ConfigError
+from repro.engine.gpu import GPU
+from repro.scord.interface import NullDetector
+from repro.scord.races import (
+    RaceRecord,
+    RaceReport,
+    RaceScopeClass,
+    RaceType,
+)
+from repro.scord.variants import make_detector
+from repro.scor.apps.base import RaceFlag, ScorApp, detected_flag_report
+from repro.scor.apps.reduction import ReductionApp
+
+
+class TestRaceReport:
+    def _record(self, line=1, race_type=RaceType.LOCK):
+        return RaceRecord(
+            race_type=race_type,
+            scope_class=RaceScopeClass.DEVICE,
+            addr=0x100,
+            pc=("k", line),
+            cycle=5,
+            block_id=1,
+            warp_id=0,
+            prev_block_id=0,
+            prev_warp_id=0,
+            array_name="arr",
+        )
+
+    def test_empty_report(self):
+        report = RaceReport()
+        assert not report
+        assert report.summary() == "no races detected"
+        assert report.unique_count == 0
+        assert report.to_dicts() == []
+
+    def test_dedup_by_type_and_pc(self):
+        report = RaceReport()
+        report.add(self._record(line=1))
+        report.add(self._record(line=1))
+        report.add(self._record(line=2))
+        report.add(self._record(line=2, race_type=RaceType.NOT_STRONG))
+        assert len(report) == 4
+        assert report.unique_count == 3
+
+    def test_count_by_type(self):
+        report = RaceReport()
+        report.add(self._record(line=1))
+        report.add(self._record(line=2))
+        report.add(self._record(line=3, race_type=RaceType.SCOPED_FENCE))
+        counts = report.count_by_type()
+        assert counts[RaceType.LOCK] == 2
+        assert counts[RaceType.SCOPED_FENCE] == 1
+
+    def test_records_in_detection_order(self):
+        report = RaceReport()
+        report.add(self._record(line=2))
+        report.add(self._record(line=1))
+        assert [r.pc[1] for r in report.records] == [2, 1]
+
+
+class TestVariants:
+    def test_none_mode_gives_null_detector(self):
+        detector = make_detector(DetectorConfig.none(), 1024)
+        assert isinstance(detector, NullDetector)
+
+    def test_null_detector_is_inert(self):
+        detector = NullDetector()
+        assert detector.on_access(0, None) == 0
+        detector.on_fence(0, 0, 0, None)
+        detector.on_barrier(0, 0)
+        detector.on_kernel_boundary()
+        detector.finalize()
+        assert not detector.report
+
+    def test_scord_mode_rejected_by_wrong_class(self):
+        from repro.scord.detector import ScoRDDetector
+
+        with pytest.raises(ConfigError):
+            ScoRDDetector(DetectorConfig.none(), 1024)
+
+
+class TestScorAppScaffolding:
+    def test_flag_named(self):
+        flag = ReductionApp.flag_named("block_fence")
+        assert flag.expected_types
+        with pytest.raises(KeyError):
+            ReductionApp.flag_named("nope")
+
+    def test_race_flag_record(self):
+        flag = RaceFlag("f", "desc", frozenset({RaceType.LOCK}))
+        assert flag.name == "f"
+
+    def test_enabled(self):
+        app = ReductionApp(races=["block_fence"])
+        assert app.enabled("block_fence")
+        assert not app.enabled("block_count")
+
+    def test_detected_flag_report_only_enabled_flags(self):
+        from repro.scor.apps.base import run_app
+
+        app = ReductionApp(races=["block_count"])
+        gpu = run_app(app)
+        report = detected_flag_report(app, gpu)
+        assert set(report) == {"block_count"}
+
+    def test_base_class_is_abstract(self):
+        app = ScorApp()
+        with pytest.raises(NotImplementedError):
+            app.run(None)
+        with pytest.raises(NotImplementedError):
+            app.verify(None)
+
+
+class TestLaunchResultDescribe:
+    def test_describe_mentions_key_numbers(self):
+        gpu = GPU(detector_config=DetectorConfig.scord())
+        data = gpu.alloc(8, "data")
+
+        def kern(ctx, data):
+            yield ctx.st(data, ctx.tid, 1, volatile=True)
+
+        result = gpu.launch(kern, grid=1, block_dim=8, args=(data,))
+        text = result.describe()
+        assert "kern" in text
+        assert "cycles" in text
+        assert "DRAM" in text

@@ -1,0 +1,98 @@
+"""Every application's default configuration: correct output, zero races.
+
+These are the suite's functional-correctness and false-positive gates in
+one: each app verifies against a host-computed reference AND must be
+race-free under full ScoRD.
+"""
+
+import pytest
+
+from repro.scor.apps.base import run_app
+from repro.scor.apps.convolution import ConvolutionApp, convolve_host
+from repro.scor.apps.graph_coloring import GraphColoringApp
+from repro.scor.apps.graph_connectivity import GraphConnectivityApp
+from repro.scor.apps.matmul import MatMulApp
+from repro.scor.apps.reduction import ReductionApp
+from repro.scor.apps.registry import ALL_APPS, app_by_name, total_races_present
+from repro.scor.apps.rule110 import Rule110App, rule110_host
+from repro.scor.apps.uts import (
+    UnbalancedTreeSearchApp,
+    count_tree_host,
+    make_roots,
+)
+
+
+class TestRegistry:
+    def test_seven_apps(self):
+        assert len(ALL_APPS) == 7
+        assert [cls.name for cls in ALL_APPS] == [
+            "MM", "RED", "R110", "GCOL", "GCON", "1DC", "UTS",
+        ]
+
+    def test_twenty_six_races(self):
+        """Table II/VI: 26 unique configurable races across the apps."""
+        assert total_races_present() == 26
+        per_app = {cls.name: cls.races_present() for cls in ALL_APPS}
+        assert per_app == {
+            "MM": 4, "RED": 2, "R110": 2, "GCOL": 6,
+            "GCON": 5, "1DC": 1, "UTS": 6,
+        }
+
+    def test_lookup(self):
+        assert app_by_name("mm") is MatMulApp
+        with pytest.raises(KeyError):
+            app_by_name("nope")
+
+    def test_unknown_race_flag_rejected(self):
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            ReductionApp(races=["not_a_flag"])
+
+
+@pytest.mark.parametrize("app_cls", ALL_APPS, ids=[c.name for c in ALL_APPS])
+def test_correct_config_verifies_with_zero_races(app_cls):
+    app = app_cls()
+    gpu = run_app(app)
+    assert app.verify(gpu), f"{app_cls.name}: wrong result"
+    assert gpu.races.unique_count == 0, (
+        f"{app_cls.name}: false positives:\n{gpu.races.summary()}"
+    )
+
+
+class TestHostReferences:
+    def test_rule110_host_known_pattern(self):
+        # Rule 110 of ...0001000... after one step is ...0011000...
+        cells = [0] * 8
+        cells[4] = 1
+        result = rule110_host(cells, 1)
+        assert result == [0, 0, 0, 1, 1, 0, 0, 0]
+
+    def test_convolve_host_identity_filter(self):
+        values = [1, 2, 3, 4, 5]
+        weights = [0, 0, 0, 0, 1, 0, 0, 0, 0]
+        assert convolve_host(values, weights) == values
+
+    def test_convolve_host_shift(self):
+        values = [1, 2, 3, 4, 5]
+        weights = [0, 0, 0, 0, 0, 1, 0, 0, 0]  # scatter to i+1
+        assert convolve_host(values, weights) == [0, 1, 2, 3, 4]
+
+    def test_uts_tree_counts_deterministic(self):
+        roots = make_roots(4, seed=9)
+        assert [count_tree_host(r) for r in roots] == [
+            count_tree_host(r) for r in make_roots(4, seed=9)
+        ]
+
+    def test_uts_root_alone_when_no_children(self):
+        # A node at max depth has no children: count == 1.
+        from repro.scor.apps.uts import _MAX_DEPTH, _node
+
+        leaf = _node(_MAX_DEPTH, 12345)
+        assert count_tree_host(leaf) == 1
+
+    def test_matmul_host_reference(self):
+        app = MatMulApp(n=2, k=2, m=2, grid=2, block_dim=8)
+        app.a = [[1, 2], [3, 4]]
+        app.b = [[5, 6], [7, 8]]
+        assert app.host_reference() == [[19, 22], [43, 50]]

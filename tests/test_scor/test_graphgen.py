@@ -1,0 +1,85 @@
+"""R-MAT graph generation and host references."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.scor.graphgen import (
+    connected_components,
+    is_valid_coloring,
+    rmat_graph,
+)
+
+
+class TestRmat:
+    def test_deterministic(self):
+        a = rmat_graph(64, 128, seed=3)
+        b = rmat_graph(64, 128, seed=3)
+        assert a.row_ptr == b.row_ptr and a.col_idx == b.col_idx
+
+    def test_seeds_differ(self):
+        a = rmat_graph(64, 128, seed=3)
+        b = rmat_graph(64, 128, seed=4)
+        assert a.col_idx != b.col_idx
+
+    def test_csr_well_formed(self):
+        g = rmat_graph(100, 200, seed=1)
+        assert len(g.row_ptr) == 101
+        assert g.row_ptr[0] == 0
+        assert g.row_ptr[-1] == len(g.col_idx)
+        assert all(a <= b for a, b in zip(g.row_ptr, g.row_ptr[1:]))
+        assert all(0 <= v < 100 for v in g.col_idx)
+
+    def test_undirected_symmetry(self):
+        g = rmat_graph(80, 160, seed=2)
+        edges = set()
+        for v in range(80):
+            for u in g.neighbors(v):
+                edges.add((v, u))
+        assert all((u, v) in edges for v, u in edges)
+
+    def test_no_self_loops(self):
+        g = rmat_graph(80, 160, seed=2)
+        for v in range(80):
+            assert v not in g.neighbors(v)
+
+    def test_degree_skew(self):
+        """R-MAT produces skewed degrees — the load imbalance that drives
+        work stealing."""
+        g = rmat_graph(512, 1024, seed=1)
+        degrees = sorted((g.degree(v) for v in range(512)), reverse=True)
+        top_decile = degrees[: len(degrees) // 10]
+        assert sum(top_decile) > 0.25 * sum(degrees)
+
+    def test_degree_helper(self):
+        g = rmat_graph(50, 100, seed=5)
+        for v in range(50):
+            assert g.degree(v) == len(g.neighbors(v))
+
+
+class TestHostReferences:
+    @given(st.integers(1, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_components_are_fixpoints(self, seed):
+        g = rmat_graph(60, 90, seed=seed)
+        labels = connected_components(g)
+        for v in range(60):
+            for u in g.neighbors(v):
+                assert labels[u] == labels[v]
+        # labels are the min vertex of each component
+        for v in range(60):
+            assert labels[v] <= v
+
+    def test_valid_coloring_accepts_distinct_neighbours(self):
+        g = rmat_graph(40, 60, seed=1)
+        colors = list(range(40))  # all distinct: trivially valid
+        assert is_valid_coloring(g, colors)
+
+    def test_valid_coloring_rejects_conflicts(self):
+        g = rmat_graph(40, 60, seed=1)
+        colors = [0] * 40
+        has_edge = any(g.degree(v) for v in range(40))
+        assert has_edge
+        assert not is_valid_coloring(g, colors)
+
+    def test_valid_coloring_rejects_negative(self):
+        g = rmat_graph(4, 2, seed=1)
+        assert not is_valid_coloring(g, [-1, 0, 1, 2])

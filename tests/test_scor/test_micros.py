@@ -1,0 +1,82 @@
+"""All 32 microbenchmarks against the full detector matrix.
+
+This is the executable form of Table I: every racey micro must report a
+race of its expected type; every non-racey micro must be silent (the
+false-positive check).  The base (uncached) design must agree.
+"""
+
+import pytest
+
+from repro.arch.detector_config import DetectorConfig
+from repro.scor.micro.base import run_micro
+from repro.scor.micro.registry import (
+    ALL_MICROS,
+    micro_by_name,
+    micros_in_category,
+    non_racey_micros,
+    racey_micros,
+)
+
+MICRO_IDS = [micro.name for micro in ALL_MICROS]
+
+
+class TestCensus:
+    def test_total_counts_match_table_1(self):
+        assert len(ALL_MICROS) == 32
+        assert len(racey_micros()) == 18
+        assert len(non_racey_micros()) == 14
+
+    @pytest.mark.parametrize(
+        "category,racey,nonracey",
+        [("fence", 2, 4), ("atomics", 4, 5), ("lock", 12, 5)],
+    )
+    def test_category_counts(self, category, racey, nonracey):
+        micros = micros_in_category(category)
+        assert sum(1 for m in micros if m.racey) == racey
+        assert sum(1 for m in micros if not m.racey) == nonracey
+
+    def test_registry_lookup(self):
+        micro = micro_by_name("fence_missing_cross_block")
+        assert micro.category == "fence"
+        with pytest.raises(KeyError):
+            micro_by_name("nonexistent")
+
+
+@pytest.mark.parametrize("micro", ALL_MICROS, ids=MICRO_IDS)
+class TestScoRDVerdicts:
+    def test_scord_verdict(self, micro):
+        gpu = run_micro(micro)
+        detected = {r.race_type for r in gpu.races.unique_races}
+        if micro.racey:
+            assert micro.expected_types & detected, (
+                f"{micro.name}: expected one of "
+                f"{[t.value for t in micro.expected_types]}, detected "
+                f"{[t.value for t in detected]}"
+            )
+        else:
+            assert gpu.races.unique_count == 0, (
+                f"{micro.name}: false positive(s): {gpu.races.summary()}"
+            )
+
+
+@pytest.mark.parametrize(
+    "micro", [m for m in ALL_MICROS if not m.racey], ids=lambda m: m.name
+)
+def test_base_design_has_no_false_positives(micro):
+    gpu = run_micro(micro, detector_config=DetectorConfig.base_no_cache())
+    assert gpu.races.unique_count == 0
+
+
+@pytest.mark.parametrize(
+    "micro", [m for m in ALL_MICROS if m.racey], ids=lambda m: m.name
+)
+def test_base_design_catches_every_racey_micro(micro):
+    gpu = run_micro(micro, detector_config=DetectorConfig.base_no_cache())
+    detected = {r.race_type for r in gpu.races.unique_races}
+    assert micro.expected_types & detected
+
+
+def test_no_detection_mode_reports_nothing():
+    for micro in ALL_MICROS[:4]:
+        gpu = run_micro(micro, detector_config=DetectorConfig.none())
+        assert gpu.races.unique_count == 0

@@ -1,0 +1,100 @@
+"""The Fig. 3 work-stealing library in isolation."""
+
+import pytest
+
+from repro.arch.detector_config import DetectorConfig
+from repro.engine.gpu import GPU
+from repro.isa.scopes import Scope
+from repro.scord.races import RaceType
+from repro.scor.apps.worklib import (
+    WorkScopes,
+    alloc_work_state,
+    distribute_work,
+    finish_batch,
+    reset_work_state,
+)
+
+
+def run_work_kernel(scopes: WorkScopes, detector=None, grid=4, block_dim=8,
+                    items_per_block=32, imbalance=None):
+    """Run a toy workload through the work-stealing machinery; returns
+    (gpu, claimed) where claimed[i] counts how often item i was handed out."""
+    gpu = GPU(detector_config=detector or DetectorConfig.scord())
+    total = grid * items_per_block
+    state = alloc_work_state(gpu, grid, "w")
+    claimed = gpu.alloc(total, "claimed")
+    bounds = []
+    cursor = 0
+    for b in range(grid):
+        size = imbalance[b] if imbalance else items_per_block
+        bounds.append((cursor, cursor + size))
+        cursor += size
+    reset_work_state(gpu, state, bounds)
+    batch = block_dim
+
+    def worker(ctx, state, claimed):
+        while True:
+            start, victim = yield from distribute_work(ctx, state, batch, scopes)
+            if start < 0:
+                break
+            item = start + ctx.tid
+            if 0 <= victim < ctx.nbid:
+                end = yield ctx.ld(state.partition_end, victim)
+                if item < end:
+                    yield ctx.atomic_add(claimed, item, 1)
+                    # Uneven processing cost drives stealing.
+                    yield ctx.compute(40 + (item % 7) * 30)
+            yield from finish_batch(ctx, scopes)
+
+    gpu.launch(worker, grid=grid, block_dim=block_dim, args=(state, claimed))
+    return gpu, gpu.read_array(claimed)[:cursor]
+
+
+class TestCorrectScopes:
+    def test_every_item_claimed_exactly_once(self):
+        gpu, claimed = run_work_kernel(WorkScopes())
+        assert claimed == [1] * len(claimed)
+        assert gpu.races.unique_count == 0
+
+    def test_stealing_covers_imbalanced_partitions(self):
+        """One block gets most of the work; the others must steal it."""
+        gpu, claimed = run_work_kernel(
+            WorkScopes(), grid=4, imbalance=[104, 8, 8, 8]
+        )
+        assert claimed == [1] * 128
+        assert gpu.races.unique_count == 0
+
+
+class TestScopedBugs:
+    def test_block_scope_own_advance_duplicates_work(self):
+        """Fig. 3b: the stealer cannot see a block-scope advance, so the
+        same batch is handed out twice — and ScoRD reports the scoped
+        atomic race."""
+        gpu, claimed = run_work_kernel(
+            WorkScopes(own_advance=Scope.BLOCK),
+            grid=4,
+            imbalance=[104, 8, 8, 8],
+        )
+        types = {r.race_type for r in gpu.races.unique_races}
+        assert RaceType.SCOPED_ATOMIC in types
+        assert any(count > 1 for count in claimed)  # duplicated hand-outs
+
+    def test_block_scope_steal_detected(self):
+        gpu, _ = run_work_kernel(
+            WorkScopes(steal_advance=Scope.BLOCK),
+            grid=4,
+            imbalance=[104, 8, 8, 8],
+        )
+        assert RaceType.SCOPED_ATOMIC in {
+            r.race_type for r in gpu.races.unique_races
+        }
+
+    def test_missing_barrier_detected(self):
+        # Needs >1 warp per block: the leader→worker handoff race is
+        # between warps (within a warp everything is program-ordered).
+        gpu, _ = run_work_kernel(
+            WorkScopes(barrier_handoff=False), block_dim=16
+        )
+        assert RaceType.MISSING_BLOCK_FENCE in {
+            r.race_type for r in gpu.races.unique_races
+        }

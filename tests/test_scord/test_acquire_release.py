@@ -1,0 +1,111 @@
+"""The §VI extension: explicit acquire/release support.
+
+Without the extension, a detector sees ``ld.acquire``/``st.release`` as
+plain strong loads/stores and (wrongly) reports races on the sync variable
+— the motivation the paper gives for the extension.  With it, properly
+scoped acquire/release pairs are synchronization accesses: clean at
+sufficient scope, a scoped race otherwise.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.detector_config import DetectorConfig
+from repro.engine.gpu import GPU
+from repro.isa.scopes import Scope
+from repro.scord.races import RaceType
+
+
+def scord(extension: bool) -> DetectorConfig:
+    return dataclasses.replace(
+        DetectorConfig.scord(), acquire_release_extension=extension
+    )
+
+
+def handoff_kernel(release_scope):
+    def kernel(ctx, flag, data):
+        if ctx.gtid == 0:  # producer (block 0)
+            yield ctx.st(data, 0, 7, volatile=True)
+            yield ctx.st_release(flag, 0, 1, scope=release_scope)
+        elif ctx.gtid == ctx.ntid:  # consumer (block 1)
+            spins = 0
+            while (yield ctx.ld_acquire(flag, 0)) != 1:
+                yield ctx.compute(20)
+                spins += 1
+                if spins > 4000:
+                    return
+            value = yield ctx.ld(data, 0, volatile=True)
+            yield ctx.st(data, 1, value, volatile=True)
+
+    return kernel
+
+
+def run(release_scope, extension):
+    gpu = GPU(detector_config=scord(extension))
+    flag = gpu.alloc(1, "flag")
+    data = gpu.alloc(2, "data")
+    gpu.launch(handoff_kernel(release_scope), grid=2, block_dim=8,
+               args=(flag, data))
+    return gpu
+
+
+class TestWithExtension:
+    def test_device_release_acquire_is_clean(self):
+        gpu = run(Scope.DEVICE, extension=True)
+        assert gpu.races.unique_count == 0
+        assert gpu.read(gpu.allocator.array_named("data"), 1) == 7
+
+    def test_block_scope_release_races(self):
+        """A release of insufficient scope is a scoped race, reported on
+        the sync variable like a scoped atomic."""
+        gpu = run(Scope.BLOCK, extension=True)
+        types = {r.race_type for r in gpu.races.unique_races}
+        assert RaceType.SCOPED_ATOMIC in types
+
+    def test_release_orders_prior_writes(self):
+        """The release carries fence semantics for the payload: with a
+        device release, the payload read cannot be a fence race."""
+        gpu = run(Scope.DEVICE, extension=True)
+        payload_races = [
+            r for r in gpu.races.unique_races if r.array_name == "data"
+        ]
+        assert not payload_races
+
+
+class TestWithoutExtension:
+    def test_sync_variable_flagged_without_extension(self):
+        """Pre-extension ScoRD sees acquire/release as plain strong ld/st
+        and flags the handoff — exactly why §VI proposes the extension."""
+        gpu = run(Scope.DEVICE, extension=False)
+        flag_races = [
+            r for r in gpu.races.unique_races if r.array_name == "flag"
+        ]
+        assert flag_races
+
+
+class TestFunctional:
+    def test_release_store_immediately_visible(self):
+        gpu = GPU(detector_config=DetectorConfig.none())
+        flag = gpu.alloc(1, "flag")
+
+        def kern(ctx, flag):
+            if ctx.gtid == 0:
+                yield ctx.st_release(flag, 0, 5)
+
+        gpu.launch(kern, grid=1, block_dim=8, args=(flag,))
+        assert gpu.read(flag, 0) == 5
+
+    def test_acquire_returns_value(self):
+        gpu = GPU(detector_config=DetectorConfig.none())
+        flag = gpu.alloc(1, "flag")
+        out = gpu.alloc(1, "out")
+        gpu.write(flag, 0, 9)
+
+        def kern(ctx, flag, out):
+            if ctx.gtid == 0:
+                value = yield ctx.ld_acquire(flag, 0)
+                yield ctx.st(out, 0, value, volatile=True)
+
+        gpu.launch(kern, grid=1, block_dim=8, args=(flag, out))
+        assert gpu.read(out, 0) == 9

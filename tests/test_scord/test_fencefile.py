@@ -1,0 +1,46 @@
+"""Fence file: per-(block, warp) scoped fence counters."""
+
+from repro.isa.scopes import Scope
+from repro.scord.fencefile import FenceFile
+
+
+class TestFenceFile:
+    def test_initial_ids_zero(self):
+        ff = FenceFile()
+        assert ff.ids(0, 0) == (0, 0)
+
+    def test_block_fence_bumps_block_counter_only(self):
+        ff = FenceFile()
+        ff.on_fence(1, 2, Scope.BLOCK)
+        assert ff.ids(1, 2) == (1, 0)
+
+    def test_device_fence_bumps_device_counter_only(self):
+        ff = FenceFile()
+        ff.on_fence(1, 2, Scope.DEVICE)
+        assert ff.ids(1, 2) == (0, 1)
+
+    def test_system_fence_counts_as_device(self):
+        ff = FenceFile()
+        ff.on_fence(0, 0, Scope.SYSTEM)
+        assert ff.ids(0, 0) == (0, 1)
+
+    def test_entries_are_per_warp(self):
+        ff = FenceFile()
+        ff.on_fence(0, 0, Scope.DEVICE)
+        assert ff.ids(0, 1) == (0, 0)
+        assert ff.ids(1, 0) == (0, 0)
+
+    def test_six_bit_wraparound(self):
+        """64 same-scope fences return the counter to its old value — the
+        paper's theoretical false-positive window (§IV-A)."""
+        ff = FenceFile(fence_id_bits=6)
+        before = ff.ids(0, 0)
+        for _ in range(64):
+            ff.on_fence(0, 0, Scope.DEVICE)
+        assert ff.ids(0, 0) == before
+
+    def test_custom_width(self):
+        ff = FenceFile(fence_id_bits=2)
+        for _ in range(4):
+            ff.on_fence(0, 0, Scope.BLOCK)
+        assert ff.ids(0, 0) == (0, 0)

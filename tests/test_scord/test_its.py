@@ -1,0 +1,100 @@
+"""The §VI ITS (Independent Thread Scheduling) extension.
+
+With ITS, lanes of a diverged warp interleave like independent threads and
+can race with *each other*.  Pre-Volta ScoRD treats a warp as one accessor
+(program order hides intra-warp conflicts); with ``its_support`` the
+program-order check becomes lane-granular, using a ThreadID stored in the
+metadata word's unused bits.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.detector_config import DetectorConfig
+from repro.engine.gpu import GPU
+from repro.scord.races import RaceType
+
+
+def detector_config(its: bool) -> DetectorConfig:
+    return dataclasses.replace(DetectorConfig.scord(), its_support=its)
+
+
+def intra_warp_conflict(ctx, data):
+    """Two lanes of warp 0 hit the same word with no synchronization."""
+    if ctx.tid == 0:
+        yield ctx.st(data, 0, 1, volatile=True)
+    elif ctx.tid == 1:
+        yield ctx.compute(200)
+        yield ctx.st(data, 0, 2, volatile=True)
+
+
+def run(its: bool, kernel=intra_warp_conflict):
+    gpu = GPU(detector_config=detector_config(its))
+    data = gpu.alloc(4, "data")
+    gpu.launch(kernel, grid=1, block_dim=8, args=(data,))
+    return gpu
+
+
+class TestItsDetection:
+    def test_simt_mode_hides_intra_warp_conflicts(self):
+        """Pre-Volta: a warp is one scheduling entity; lanes cannot race."""
+        gpu = run(its=False)
+        assert gpu.races.unique_count == 0
+
+    def test_its_mode_flags_intra_warp_conflicts(self):
+        gpu = run(its=True)
+        types = {r.race_type for r in gpu.races.unique_races}
+        assert RaceType.MISSING_BLOCK_FENCE in types
+        record = gpu.races.unique_races[0]
+        assert record.scope_class.value == "block-scope race"
+
+    def test_its_same_lane_program_order_still_clean(self):
+        def same_lane(ctx, data):
+            if ctx.tid == 0:
+                yield ctx.st(data, 0, 1, volatile=True)
+                value = yield ctx.ld(data, 0, volatile=True)
+                yield ctx.st(data, 0, value + 1, volatile=True)
+
+        gpu = run(its=True, kernel=same_lane)
+        assert gpu.races.unique_count == 0
+
+    def test_its_barrier_still_separates(self):
+        def barriered(ctx, data):
+            if ctx.tid == 0:
+                yield ctx.st(data, 0, 1, volatile=True)
+            yield ctx.barrier()
+            if ctx.tid == 1:
+                yield ctx.st(data, 0, 2, volatile=True)
+
+        gpu = run(its=True, kernel=barriered)
+        assert gpu.races.unique_count == 0
+
+    def test_its_fenced_lanes_clean(self):
+        """A fence by the warp between the conflicting lane accesses
+        orders them (the fence file is still per-warp)."""
+        def fenced(ctx, data):
+            if ctx.tid == 0:
+                yield ctx.st(data, 0, 1, volatile=True)
+                yield ctx.fence_block()
+            elif ctx.tid == 1:
+                yield ctx.compute(400)
+                value = yield ctx.ld(data, 0, volatile=True)
+                yield ctx.st(data, 1, value, volatile=True)
+
+        gpu = run(its=True, kernel=fenced)
+        assert gpu.races.unique_count == 0
+
+    def test_lane_ids_recorded_in_metadata(self):
+        from repro.scord.metadata import METADATA_LAYOUT
+
+        gpu = GPU(detector_config=detector_config(True))
+        data = gpu.alloc(4, "data")
+
+        def one_lane(ctx, data):
+            if ctx.tid == 3:
+                yield ctx.st(data, 0, 1, volatile=True)
+
+        gpu.launch(one_lane, grid=1, block_dim=8, args=(data,))
+        lookup = gpu.detector.metadata.lookup(data.addr(0))
+        assert METADATA_LAYOUT.get(lookup.word, "lane") == 3

@@ -1,0 +1,111 @@
+"""Lock-table inference: CAS inserts, fences activate, Exch releases."""
+
+from repro.isa.scopes import Scope
+from repro.scord.locktable import LockTable
+
+LOCK_A = 0x100
+LOCK_B = 0x200
+LOCK_C = 0x300
+LOCK_D = 0x400
+LOCK_E = 0x500
+
+
+class TestAcquireRelease:
+    def test_cas_alone_is_not_held(self):
+        table = LockTable()
+        table.on_cas(LOCK_A, Scope.DEVICE)
+        assert table.held_count() == 0
+        assert table.pending_count() == 1
+        assert table.active_bloom() == 0
+
+    def test_fence_completes_the_acquire(self):
+        table = LockTable()
+        table.on_cas(LOCK_A, Scope.DEVICE)
+        table.on_fence(Scope.DEVICE)
+        assert table.held_count() == 1
+        assert table.active_bloom() != 0
+
+    def test_exch_releases(self):
+        table = LockTable()
+        table.on_cas(LOCK_A, Scope.DEVICE)
+        table.on_fence(Scope.DEVICE)
+        table.on_exch(LOCK_A, Scope.DEVICE)
+        assert table.held_count() == 0
+        assert table.active_bloom() == 0
+
+    def test_exch_requires_matching_scope(self):
+        table = LockTable()
+        table.on_cas(LOCK_A, Scope.DEVICE)
+        table.on_fence(Scope.DEVICE)
+        table.on_exch(LOCK_A, Scope.BLOCK)  # wrong scope: no release
+        assert table.held_count() == 1
+
+    def test_reacquire_after_release(self):
+        table = LockTable()
+        for _ in range(3):
+            table.on_cas(LOCK_A, Scope.DEVICE)
+            table.on_fence(Scope.DEVICE)
+            assert table.held_count() == 1
+            table.on_exch(LOCK_A, Scope.DEVICE)
+            assert table.held_count() == 0
+
+
+class TestFenceScopes:
+    def test_block_fence_does_not_activate_device_entries(self):
+        """A device-scope CAS followed by only a block fence never forms a
+        held lock — the basis of the scoped-fence lock bug detection."""
+        table = LockTable()
+        table.on_cas(LOCK_A, Scope.DEVICE)
+        table.on_fence(Scope.BLOCK)
+        assert table.held_count() == 0
+
+    def test_block_fence_activates_block_entries(self):
+        table = LockTable()
+        table.on_cas(LOCK_A, Scope.BLOCK)
+        table.on_fence(Scope.BLOCK)
+        assert table.held_count() == 1
+
+    def test_device_fence_activates_everything(self):
+        table = LockTable()
+        table.on_cas(LOCK_A, Scope.BLOCK)
+        table.on_cas(LOCK_B, Scope.DEVICE)
+        table.on_fence(Scope.DEVICE)
+        assert table.held_count() == 2
+
+
+class TestCapacity:
+    def test_spinning_cas_dedupes(self):
+        table = LockTable()
+        for _ in range(10):
+            table.on_cas(LOCK_A, Scope.DEVICE)
+        assert table.pending_count() == 1
+
+    def test_invalid_slots_reused_before_eviction(self):
+        table = LockTable(entries=4)
+        # Hold A; churn B (acquire/release) repeatedly.
+        table.on_cas(LOCK_A, Scope.DEVICE)
+        table.on_fence(Scope.DEVICE)
+        for _ in range(6):
+            table.on_cas(LOCK_B, Scope.DEVICE)
+            table.on_fence(Scope.DEVICE)
+            table.on_exch(LOCK_B, Scope.DEVICE)
+        # A's held entry must have survived the churn.
+        assert table.held_count() == 1
+
+    def test_overflow_evicts_oldest(self):
+        table = LockTable(entries=4)
+        for lock in (LOCK_A, LOCK_B, LOCK_C, LOCK_D):
+            table.on_cas(lock, Scope.DEVICE)
+        table.on_fence(Scope.DEVICE)
+        table.on_cas(LOCK_E, Scope.DEVICE)  # evicts A (oldest, no invalid slot)
+        table.on_fence(Scope.DEVICE)
+        assert table.held_count() == 4  # B, C, D, E
+        # A's release is now a no-op: its entry is gone (hardware reality).
+        table.on_exch(LOCK_A, Scope.DEVICE)
+        assert table.held_count() == 4
+
+    def test_same_lock_different_scopes_are_distinct_entries(self):
+        table = LockTable()
+        table.on_cas(LOCK_A, Scope.BLOCK)
+        table.on_cas(LOCK_A, Scope.DEVICE)
+        assert table.pending_count() == 2

@@ -1,0 +1,52 @@
+"""The hand-inlined _Md pack/unpack must match the declarative layout."""
+
+from hypothesis import given, strategies as st
+
+from repro.scord.detector import _Md
+from repro.scord.metadata import METADATA_LAYOUT
+
+word64 = st.integers(0, (1 << 64) - 1)
+
+
+@given(word64)
+def test_unpack_matches_layout(word):
+    md = _Md.unpack(word)
+    fields = METADATA_LAYOUT.unpack(word)
+    for name, value in fields.items():
+        assert getattr(md, name) == value, name
+
+
+@given(word64)
+def test_pack_roundtrips_through_layout(word):
+    # Mask out the single unused bit [63] first: _Md does not carry it.
+    canonical = word & ((1 << 63) - 1)
+    md = _Md.unpack(canonical)
+    assert md.pack() == canonical
+
+
+@given(
+    lane=st.integers(0, 0x1F),
+    tag=st.integers(0, 0xF),
+    block=st.integers(0, 0x7F),
+    warp=st.integers(0, 0x1F),
+    devfence=st.integers(0, 0x3F),
+    blkfence=st.integers(0, 0x3F),
+    barrier=st.integers(0, 0xFF),
+    flags=st.integers(0, 0x3F),
+    bloom=st.integers(0, 0xFFFF),
+)
+def test_pack_matches_layout(lane, tag, block, warp, devfence, blkfence,
+                             barrier, flags, bloom):
+    md = _Md(
+        lane, tag, block, warp, devfence, blkfence, barrier,
+        (flags >> 5) & 1, (flags >> 4) & 1, (flags >> 3) & 1,
+        (flags >> 2) & 1, (flags >> 1) & 1, flags & 1, bloom,
+    )
+    expected = METADATA_LAYOUT.pack(
+        lane=lane, tag=tag, block=block, warp=warp, devfence=devfence,
+        blkfence=blkfence, barrier=barrier,
+        modified=(flags >> 5) & 1, blkshared=(flags >> 4) & 1,
+        devshared=(flags >> 3) & 1, isatom=(flags >> 2) & 1,
+        scope=(flags >> 1) & 1, strong=flags & 1, bloom=bloom,
+    )
+    assert md.pack() == expected

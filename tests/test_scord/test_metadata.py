@@ -1,0 +1,133 @@
+"""Metadata store: Fig. 7 layout, software cache mapping, tags."""
+
+from hypothesis import given, strategies as st
+
+from repro.arch.detector_config import DetectorConfig
+from repro.scord.metadata import (
+    INIT_WORD,
+    METADATA_LAYOUT,
+    MetadataStore,
+)
+
+CAPACITY = 64 * 1024
+
+
+def cached_store() -> MetadataStore:
+    return MetadataStore(DetectorConfig.scord(), CAPACITY)
+
+
+def uncached_store(granularity=4) -> MetadataStore:
+    return MetadataStore(
+        DetectorConfig.base_no_cache(granularity_bytes=granularity), CAPACITY
+    )
+
+
+class TestLayout:
+    def test_layout_matches_figure_7(self):
+        layout = METADATA_LAYOUT
+        assert layout.fields["tag"].hi == 57 and layout.fields["tag"].lo == 54
+        assert layout.fields["block"].width == 7
+        assert layout.fields["warp"].width == 5
+        assert layout.fields["devfence"].width == 6
+        assert layout.fields["blkfence"].width == 6
+        assert layout.fields["barrier"].width == 8
+        assert layout.fields["bloom"].width == 16
+        for flag in ("modified", "blkshared", "devshared", "isatom",
+                     "scope", "strong"):
+            assert layout.fields[flag].width == 1
+
+    def test_init_word_has_all_three_flags(self):
+        fields = METADATA_LAYOUT.unpack(INIT_WORD)
+        assert fields["modified"] == 1
+        assert fields["blkshared"] == 1
+        assert fields["devshared"] == 1
+        assert fields["bloom"] == 0
+
+    def test_entry_fits_in_64_bits(self):
+        word = METADATA_LAYOUT.pack(
+            tag=0xF, block=0x7F, warp=0x1F, devfence=0x3F, blkfence=0x3F,
+            barrier=0xFF, modified=1, blkshared=1, devshared=1, isatom=1,
+            scope=1, strong=1, bloom=0xFFFF,
+        )
+        assert word < (1 << 64)
+
+
+class TestCachedMapping:
+    def test_region_is_one_sixteenth_of_granules(self):
+        store = cached_store()
+        assert store.num_entries == CAPACITY // 4 // 16
+
+    def test_memory_overhead_is_12_5_percent(self):
+        store = cached_store()
+        assert store.region_bytes / CAPACITY == 0.125
+
+    def test_consecutive_granules_share_an_entry(self):
+        """One entry per 16 consecutive 4-byte segments (§IV-B) — the
+        source of the paper's "1/16th of unique metadata entries"."""
+        store = cached_store()
+        indices = {store.map_addr(addr)[0] for addr in range(0, 64, 4)}
+        assert len(indices) == 1
+
+    def test_tags_distinguish_granules_within_group(self):
+        store = cached_store()
+        tags = [store.map_addr(addr)[1] for addr in range(0, 64, 4)]
+        assert tags == list(range(16))
+
+    def test_tag_mismatch_skips_detection(self):
+        store = cached_store()
+        lookup0 = store.lookup(0)
+        assert lookup0.tag_ok  # INIT state matches any tag
+        store.store(lookup0.index, METADATA_LAYOUT.pack(tag=0, block=3))
+        lookup4 = store.lookup(4)  # neighbour granule, tag 1
+        assert not lookup4.tag_ok
+        assert store.tag_misses == 1
+
+    def test_matching_tag_returns_content(self):
+        store = cached_store()
+        word = METADATA_LAYOUT.pack(tag=2, block=5)
+        index, _tag = store.map_addr(8)  # granule 2 -> tag 2
+        store.store(index, word)
+        lookup = store.lookup(8)
+        assert lookup.tag_ok
+        assert lookup.word == word
+
+
+class TestUncachedMapping:
+    def test_every_granule_has_its_own_entry(self):
+        store = uncached_store()
+        indices = {store.map_addr(addr)[0] for addr in range(0, 64, 4)}
+        assert len(indices) == 16
+
+    def test_no_tag_misses_ever(self):
+        store = uncached_store()
+        lookup = store.lookup(0)
+        store.store(lookup.index, METADATA_LAYOUT.pack(block=1))
+        for addr in range(0, 256, 4):
+            assert store.lookup(addr).tag_ok
+
+    def test_coarse_granularity_shares_entries(self):
+        store = uncached_store(granularity=16)
+        index0 = store.map_addr(0)[0]
+        assert store.map_addr(12)[0] == index0  # same 16B granule
+        assert store.map_addr(16)[0] != index0
+
+
+class TestLifecycle:
+    def test_fresh_entries_are_init(self):
+        store = cached_store()
+        assert store.lookup(128).word == INIT_WORD
+
+    def test_reset(self):
+        store = cached_store()
+        lookup = store.lookup(0)
+        store.store(lookup.index, 12345)
+        store.reset()
+        assert store.lookup(0).word == INIT_WORD
+        assert store.resident_entries == 0
+
+    @given(st.integers(0, CAPACITY - 4))
+    def test_map_addr_in_range(self, addr):
+        store = cached_store()
+        index, tag = store.map_addr(addr)
+        assert 0 <= index < store.num_entries
+        assert 0 <= tag < 16

@@ -1,0 +1,148 @@
+"""Racecheck-style scratchpad hazard checking."""
+
+import pytest
+
+from repro.arch.detector_config import DetectorConfig
+from repro.engine.gpu import GPU
+from repro.scord.shmem import HazardType, ShmemChecker
+
+
+def run(kernel, grid=1, block_dim=16):
+    gpu = GPU(detector_config=DetectorConfig.none(), shmem_check=True)
+    gpu.launch(kernel, grid=grid, block_dim=block_dim)
+    return gpu
+
+
+class TestEndToEnd:
+    def test_missing_barrier_reduction_raw(self):
+        """The textbook shared-memory bug: tree reduction without
+        __syncthreads between levels."""
+
+        def buggy_reduce(ctx):
+            yield ctx.shst(ctx.tid, ctx.tid + 1)
+            yield ctx.barrier()
+            stride = ctx.ntid // 2
+            while stride > 0:
+                if ctx.tid < stride:
+                    a = yield ctx.shld(ctx.tid)
+                    b = yield ctx.shld(ctx.tid + stride)  # RAW hazard
+                    yield ctx.shst(ctx.tid, a + b)
+                # BUG: no barrier between levels
+                stride //= 2
+
+        # Needs >2 warps: within one warp, SIMT lockstep orders the levels
+        # (which is why warp-synchronous final levels are legal).
+        gpu = run(buggy_reduce, block_dim=32)
+        kinds = {h.hazard for h in gpu.shmem_hazards}
+        assert HazardType.RAW in kinds or HazardType.WAR in kinds
+
+    def test_barriered_reduction_is_clean(self):
+        def good_reduce(ctx):
+            yield ctx.shst(ctx.tid, ctx.tid + 1)
+            yield ctx.barrier()
+            stride = ctx.ntid // 2
+            while stride > 0:
+                if ctx.tid < stride:
+                    a = yield ctx.shld(ctx.tid)
+                    b = yield ctx.shld(ctx.tid + stride)
+                    yield ctx.shst(ctx.tid, a + b)
+                yield ctx.barrier()
+                stride //= 2
+
+        gpu = run(good_reduce)
+        assert gpu.shmem_hazards == []
+
+    def test_intra_warp_same_step_waw(self):
+        """Lanes of one warp writing the same word simultaneously."""
+
+        def waw(ctx):
+            yield ctx.shst(ctx.tid % 2, ctx.tid)
+
+        gpu = run(waw, block_dim=8)  # one warp
+        kinds = {h.hazard for h in gpu.shmem_hazards}
+        assert kinds == {HazardType.WAW}
+
+    def test_same_warp_different_steps_ordered(self):
+        """SIMT lockstep orders a warp's earlier step before its later."""
+
+        def ordered(ctx):
+            yield ctx.shst(0, ctx.tid) if ctx.tid == 0 else ctx.compute(1)
+            value = yield ctx.shld(0)
+            yield ctx.shst(4 + ctx.tid, value)
+
+        gpu = run(ordered, block_dim=8)
+        assert gpu.shmem_hazards == []
+
+    def test_blocks_do_not_interfere(self):
+        """Scratchpads are per-block: the same offsets in two blocks never
+        conflict."""
+
+        def per_block(ctx):
+            if ctx.tid == 0:
+                yield ctx.shst(0, ctx.bid)
+
+        gpu = run(per_block, grid=4, block_dim=8)
+        assert gpu.shmem_hazards == []
+
+    def test_disabled_by_default(self):
+        gpu = GPU(detector_config=DetectorConfig.none())
+
+        def waw(ctx):
+            yield ctx.shst(0, ctx.tid)
+
+        gpu.launch(waw, grid=1, block_dim=8)
+        assert gpu.shmem_hazards == []
+
+    def test_red_app_is_shmem_clean(self):
+        """The suite's reduction uses barriers correctly."""
+        from repro.scor.apps.reduction import ReductionApp
+
+        gpu = GPU(detector_config=DetectorConfig.none(), shmem_check=True)
+        app = ReductionApp()
+        app.run(gpu)
+        assert app.verify(gpu)
+        assert gpu.shmem_hazards == []
+
+
+class TestCheckerUnit:
+    def test_cross_warp_raw(self):
+        checker = ShmemChecker(warp_size=8)
+        checker.on_access(0, 0, tid=0, offset=0, is_write=True, now=1, pc=("k", 1))
+        checker.on_access(0, 0, tid=9, offset=0, is_write=False, now=5, pc=("k", 2))
+        assert [h.hazard for h in checker.hazards] == [HazardType.RAW]
+
+    def test_epoch_reset_clears_conflicts(self):
+        checker = ShmemChecker(warp_size=8)
+        checker.on_access(0, 0, tid=0, offset=0, is_write=True, now=1, pc=("k", 1))
+        checker.on_access(0, 1, tid=9, offset=0, is_write=False, now=5, pc=("k", 2))
+        assert checker.hazards == []
+
+    def test_war_hazard(self):
+        checker = ShmemChecker(warp_size=8)
+        checker.on_access(0, 0, tid=0, offset=0, is_write=False, now=1, pc=("k", 1))
+        checker.on_access(0, 0, tid=9, offset=0, is_write=True, now=5, pc=("k", 2))
+        assert [h.hazard for h in checker.hazards] == [HazardType.WAR]
+
+    def test_same_thread_program_order(self):
+        checker = ShmemChecker(warp_size=8)
+        checker.on_access(0, 0, tid=3, offset=0, is_write=True, now=1, pc=("k", 1))
+        checker.on_access(0, 0, tid=3, offset=0, is_write=True, now=9, pc=("k", 2))
+        assert checker.hazards == []
+
+    def test_unique_deduplication(self):
+        checker = ShmemChecker(warp_size=8)
+        for now in (1, 10, 20):
+            checker.on_access(0, 0, tid=0, offset=0, is_write=True,
+                              now=now, pc=("k", 1))
+            checker.on_access(0, 0, tid=9, offset=0, is_write=True,
+                              now=now + 4, pc=("k", 2))
+        assert len(checker.hazards) > 2
+        # Both directions of the ping-pong dedupe to one hazard each.
+        assert len(checker.unique_hazards) == 2
+
+    def test_summary(self):
+        checker = ShmemChecker(warp_size=8)
+        assert "no shared-memory hazards" in checker.summary()
+        checker.on_access(0, 0, tid=0, offset=0, is_write=True, now=1, pc=("k", 1))
+        checker.on_access(0, 0, tid=9, offset=0, is_write=True, now=2, pc=("k", 2))
+        assert "write-after-write" in checker.summary()

@@ -1,0 +1,61 @@
+"""DRAM channel model: interleaving, row-buffer hits, traffic classes."""
+
+from repro.arch.config import DramTiming
+from repro.common.stats import CounterBag
+from repro.timing.dram import DramModel
+
+
+def make_dram(channels=2, row_bytes=256, line=32):
+    stats = CounterBag()
+    return DramModel(channels, DramTiming(), row_bytes, line, stats), stats
+
+
+class TestChannelInterleave:
+    def test_lines_interleave_across_channels(self):
+        dram, _ = make_dram(channels=2, line=32)
+        assert dram.channel_of(0) == 0
+        assert dram.channel_of(32) == 1
+        assert dram.channel_of(64) == 0
+
+
+class TestRowBuffer:
+    def test_first_access_is_row_miss(self):
+        dram, stats = make_dram()
+        dram.access(0, 0, "data")
+        assert stats["dram.row_miss.data"] == 1
+
+    def test_same_row_hits(self):
+        dram, stats = make_dram(row_bytes=256)
+        dram.access(0, 0, "data")
+        dram.access(100, 64, "data")  # same 256B row, same channel
+        assert stats["dram.row_hit.data"] == 1
+
+    def test_row_conflict_misses(self):
+        dram, stats = make_dram(row_bytes=256, channels=1)
+        dram.access(0, 0, "data")
+        dram.access(100, 256, "data")
+        assert stats["dram.row_miss.data"] == 2
+
+    def test_hit_faster_than_miss(self):
+        timing = DramTiming()
+        assert timing.row_hit_latency < timing.row_miss_latency
+
+
+class TestAccounting:
+    def test_traffic_classes_separate(self):
+        dram, stats = make_dram()
+        dram.access(0, 0, "data")
+        dram.access(0, 32, "metadata")
+        assert stats["dram.access.data"] == 1
+        assert stats["dram.access.metadata"] == 1
+
+    def test_busy_cycles_accumulate(self):
+        dram, _ = make_dram()
+        dram.access(0, 0, "data")
+        assert dram.total_busy_cycles > 0
+
+    def test_channels_are_independent_queues(self):
+        dram, _ = make_dram(channels=2)
+        done_a = dram.access(0, 0, "data")
+        done_b = dram.access(0, 32, "data")  # other channel: no queueing
+        assert done_b == done_a  # identical service, parallel channels

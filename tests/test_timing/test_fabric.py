@@ -1,0 +1,82 @@
+"""The NoC→L2→DRAM fabric composition."""
+
+from repro.arch.config import GPUConfig
+from repro.common.stats import CounterBag
+from repro.timing.fabric import TimingFabric
+
+
+def make_fabric():
+    stats = CounterBag()
+    return TimingFabric(GPUConfig.scaled_default(), stats), stats
+
+
+class TestNoC:
+    def test_packets_counted(self):
+        fabric, stats = make_fabric()
+        fabric.send_up(0, 16)
+        fabric.send_down(0, 40)
+        assert stats["noc.packets"] == 2
+        assert stats["noc.bytes"] == 56
+
+    def test_larger_packets_take_longer(self):
+        fabric, _ = make_fabric()
+        small = fabric.send_up(0, 8)
+        fabric2, _ = make_fabric()
+        big = fabric2.send_up(0, 256)
+        assert big > small
+
+    def test_link_congestion(self):
+        fabric, _ = make_fabric()
+        first = fabric.send_up(0, 256)
+        second = fabric.send_up(0, 256)
+        assert second > first
+
+
+class TestL2Path:
+    def test_miss_goes_to_dram(self):
+        fabric, stats = make_fabric()
+        fabric.access_l2(0, 0x1000, False, "data")
+        assert stats["dram.access.data"] == 1
+        assert stats["l2.miss.data"] == 1
+
+    def test_hit_stays_in_l2(self):
+        fabric, stats = make_fabric()
+        fabric.access_l2(0, 0x1000, False, "data")
+        fabric.access_l2(100, 0x1000, False, "data")
+        assert stats["dram.access.data"] == 1
+        assert stats["l2.hit.data"] == 1
+
+    def test_hit_faster_than_miss(self):
+        fabric, _ = make_fabric()
+        miss_done = fabric.access_l2(0, 0x1000, False, "data")
+        hit_done = fabric.access_l2(miss_done, 0x1000, False, "data")
+        assert hit_done - miss_done < miss_done - 0
+
+    def test_dirty_eviction_writes_back_with_class(self):
+        fabric, stats = make_fabric()
+        config = fabric.config
+        # Fill one L2 set with dirty metadata lines, then overflow it.
+        set_stride = config.line_size_bytes * fabric.l2.num_sets
+        for way in range(config.l2_assoc + 1):
+            fabric.access_l2(way * 10, way * set_stride, True, "metadata")
+        assert stats["l2.writeback.metadata"] == 1
+        # writeback + fills all reached DRAM
+        assert stats["dram.access.metadata"] == config.l2_assoc + 2
+
+
+class TestRoundTrip:
+    def test_round_trip_slower_than_l2_only(self):
+        fabric, _ = make_fabric()
+        rt = fabric.round_trip(0, 0x2000, False, 16, 40, "data")
+        fabric2, _ = make_fabric()
+        l2_only = fabric2.access_l2(0, 0x2000, False, "data")
+        assert rt > l2_only
+
+    def test_fire_and_forget_returns_request_arrival(self):
+        fabric, _ = make_fabric()
+        arrival = fabric.round_trip(
+            0, 0x2000, True, 16, 0, "data", wait_for_response=False
+        )
+        fabric2, stats2 = make_fabric()
+        full = fabric2.round_trip(0, 0x2000, True, 16, 40, "data")
+        assert arrival < full

@@ -1,0 +1,107 @@
+"""Queued resources and the event queue."""
+
+from hypothesis import given, strategies as st
+
+from repro.timing.resource import EventQueue, QueuedResource, ceil_div
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(9, 4) == 3
+
+    @given(st.integers(0, 10_000), st.integers(1, 100))
+    def test_matches_math(self, a, b):
+        assert ceil_div(a, b) == -(-a // b)
+
+
+class TestQueuedResource:
+    def test_idle_resource_serves_immediately(self):
+        r = QueuedResource("r")
+        assert r.reserve(10, 4) == 14
+
+    def test_busy_resource_queues(self):
+        r = QueuedResource("r")
+        r.reserve(0, 10)
+        assert r.reserve(3, 5) == 15  # waits until cycle 10
+
+    def test_latency_exceeding_occupancy(self):
+        r = QueuedResource("r")
+        done = r.reserve(0, 1, latency=20)  # pipelined: result at 20
+        assert done == 20
+        assert r.next_free == 1
+
+    def test_backlog(self):
+        r = QueuedResource("r")
+        r.reserve(0, 100)
+        assert r.backlog(30) == 70
+        assert r.backlog(200) == 0
+
+    def test_utilization_accounting(self):
+        r = QueuedResource("r")
+        r.reserve(0, 3)
+        r.reserve(0, 4)
+        assert r.busy_cycles == 7
+        assert r.requests == 2
+
+    @given(st.lists(st.tuples(st.integers(0, 100), st.integers(1, 10)),
+                    min_size=1, max_size=50))
+    def test_completions_monotone_for_monotone_arrivals(self, requests):
+        r = QueuedResource("r")
+        requests.sort()
+        last_done = 0
+        for now, occupancy in requests:
+            done = r.reserve(now, occupancy)
+            assert done >= last_done
+            assert done >= now + occupancy
+            last_done = done
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        order = []
+        q.schedule(5, lambda t: order.append(("b", t)))
+        q.schedule(2, lambda t: order.append(("a", t)))
+        q.run()
+        assert order == [("a", 2), ("b", 5)]
+
+    def test_fifo_at_equal_times(self):
+        q = EventQueue()
+        order = []
+        q.schedule(1, lambda t: order.append("first"))
+        q.schedule(1, lambda t: order.append("second"))
+        q.run()
+        assert order == ["first", "second"]
+
+    def test_events_scheduled_during_run(self):
+        q = EventQueue()
+        seen = []
+
+        def chain(t):
+            seen.append(t)
+            if t < 3:
+                q.schedule(t + 1, chain)
+
+        q.schedule(0, chain)
+        q.run()
+        assert seen == [0, 1, 2, 3]
+
+    def test_past_schedule_clamped_to_now(self):
+        q = EventQueue()
+        times = []
+        q.schedule(10, lambda t: q.schedule(5, times.append))
+        q.run()
+        assert times == [10]
+
+    def test_max_events_bound(self):
+        q = EventQueue()
+
+        def forever(t):
+            q.schedule(t + 1, forever)
+
+        q.schedule(0, forever)
+        assert q.run(max_events=25) == 25
+        assert not q.empty

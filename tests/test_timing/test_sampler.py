@@ -1,0 +1,65 @@
+"""Utilization timeline sampling."""
+
+import pytest
+
+from repro.arch.detector_config import DetectorConfig
+from repro.engine.gpu import GPU
+from repro.timing.sampler import TimelineSampler
+
+
+def run_sampled(interval=200):
+    gpu = GPU(detector_config=DetectorConfig.scord(), sample_interval=interval)
+    data = gpu.alloc(512, "data")
+
+    def sweep(ctx, data):
+        for i in range(ctx.gtid, 512, ctx.nthreads):
+            value = yield ctx.ld(data, i)
+            yield ctx.st(data, i, value + 1, volatile=True)
+
+    gpu.launch(sweep, grid=4, block_dim=16, args=(data,))
+    return gpu
+
+
+class TestSampling:
+    def test_samples_recorded(self):
+        gpu = run_sampled()
+        samples = gpu.sampler.samples
+        assert len(samples) >= 2
+        times = [s.time for s in samples]
+        assert times == sorted(times)
+        assert times[-1] == gpu.total_cycles
+
+    def test_busy_counters_monotone(self):
+        gpu = run_sampled()
+        for prev, cur in zip(gpu.sampler.samples, gpu.sampler.samples[1:]):
+            assert cur.noc_busy >= prev.noc_busy
+            assert cur.dram_busy >= prev.dram_busy
+            assert cur.l2_busy >= prev.l2_busy
+
+    def test_utilization_bounded(self):
+        gpu = run_sampled()
+        for values in gpu.sampler.utilization_series().values():
+            assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_timeline_render(self):
+        gpu = run_sampled()
+        timeline = gpu.timeline()
+        assert "noc" in timeline and "dram" in timeline and "l2" in timeline
+        assert "peak" in timeline
+
+    def test_disabled_by_default(self):
+        gpu = GPU(detector_config=DetectorConfig.none())
+        assert gpu.sampler is None
+        assert "disabled" in gpu.timeline()
+
+    def test_invalid_interval(self):
+        gpu = GPU(detector_config=DetectorConfig.none())
+        with pytest.raises(ValueError):
+            TimelineSampler(gpu.fabric, 0)
+
+    def test_downsampling_to_width(self):
+        gpu = run_sampled(interval=20)  # many samples
+        timeline = gpu.timeline(width=10)
+        noc_line = next(l for l in timeline.splitlines() if l.startswith(" noc"))
+        bars = noc_line.split()[1]
+        assert len(bars) <= 10
