@@ -1,23 +1,120 @@
-"""Exception hierarchy for the ScoRD reproduction."""
+"""Exception hierarchy for the ScoRD reproduction.
+
+Every error carries a stable machine-readable :attr:`~ReproError.code`
+(used by the campaign layer's failure manifests) and may carry
+:attr:`~ReproError.diagnostics` — a rich, human-readable post-mortem
+(e.g. the scheduler's hang report) kept out of the one-line message.
+"""
 
 from __future__ import annotations
+
+from typing import Optional
 
 
 class ReproError(Exception):
     """Base class for every error raised by this package."""
 
+    #: stable machine-readable category, e.g. for failure manifests
+    code: str = "repro"
+
+    def __init__(self, message: str = "", diagnostics: Optional[str] = None):
+        super().__init__(message)
+        self.diagnostics = diagnostics
+
+    def describe(self) -> str:
+        """One-line structured rendering: ``code: message``."""
+        return f"{self.code}: {self}"
+
 
 class ConfigError(ReproError):
     """An architectural or detector configuration is inconsistent."""
+
+    code = "config"
 
 
 class DeviceMemoryError(ReproError):
     """Out-of-bounds access, double free, or allocator exhaustion."""
 
+    code = "device-memory"
+
 
 class KernelError(ReproError):
     """A kernel misused the device API (e.g. yielded a non-operation)."""
 
+    code = "kernel"
+
 
 class SimulationError(ReproError):
     """The simulator reached an impossible state (deadlock, livelock cap)."""
+
+    code = "simulation"
+
+
+class EventBudgetExceeded(SimulationError):
+    """The event loop hit its budget — a livelock / runaway spin."""
+
+    code = "event-budget"
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained with blocks still incomplete."""
+
+    code = "deadlock"
+
+
+class WatchdogTimeout(SimulationError):
+    """A watchdog wall-clock deadline expired mid-simulation."""
+
+    code = "watchdog-timeout"
+
+
+class StoreError(ReproError):
+    """The run-record store could not be read or written."""
+
+    code = "store"
+
+
+class StoreCorruption(StoreError):
+    """A store entry failed to parse or validate (quarantined on load)."""
+
+    code = "store-corruption"
+
+
+class RunTimeout(ReproError):
+    """A campaign worker exceeded its wall-clock timeout and was killed."""
+
+    code = "run-timeout"
+
+
+class WorkerCrash(ReproError):
+    """A campaign worker subprocess died without producing a record."""
+
+    code = "worker-crash"
+
+
+class RunFailedError(ReproError):
+    """A campaign run failed permanently (every retry exhausted).
+
+    Carries the :class:`repro.experiments.campaign.RunFailure` describing
+    the run, the category of the final failure, and the attempt count, so
+    exhibits can render ``FAILED(reason)`` cells and manifests can record
+    structured entries.
+    """
+
+    code = "run-failed"
+
+    def __init__(self, message: str, failure=None):
+        super().__init__(message)
+        self.failure = failure
+        # Surface the final attempt's category (e.g. "run-timeout") in
+        # FAILED(...) cells and manifests instead of the generic code.
+        category = getattr(failure, "category", None)
+        if category:
+            self.code = category
+
+
+def error_code(exc: BaseException) -> str:
+    """Short stable category for *exc*, for manifests and FAILED cells."""
+    if isinstance(exc, ReproError):
+        return exc.code
+    return type(exc).__name__

@@ -1,0 +1,207 @@
+"""Watchdogs, progress heartbeats, and hang diagnostics.
+
+Long campaigns die in two ways: a simulation that *spins* (livelock —
+events keep firing but nothing completes) and one that *stalls* (the
+event queue drains with blocks still blocked).  The scheduler already
+bounds the former with an event budget; this module adds the missing
+pieces:
+
+* :class:`Watchdog` — a per-run wall-clock deadline checked from inside
+  the event loop, with periodic progress heartbeats, so a hung kernel
+  raises a structured :class:`~repro.common.errors.WatchdogTimeout`
+  instead of wedging the whole campaign;
+* :class:`OpTrace` — a bounded ring of the most recent memory
+  operations, cheap enough to keep always-on;
+* :class:`HangReport` — a post-mortem of which warps are blocked, on
+  what (barrier epoch, spin PC), plus the trailing memory ops.  The
+  scheduler attaches one to every :class:`SimulationError` it raises.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections import deque
+from typing import Callable, List, Optional, Tuple
+
+from repro.common.errors import WatchdogTimeout
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class GuardConfig:
+    """Limits and reporting cadence for one guarded simulation."""
+
+    #: wall-clock limit for one kernel launch (None = unlimited)
+    deadline_seconds: Optional[float] = None
+    #: event-loop budget overriding ``GPUConfig.max_spin_iterations``
+    #: when set (None = use the architectural default)
+    event_budget: Optional[int] = None
+    #: events between wall-clock checks (the deadline is only observed
+    #: at this granularity; keep it coarse — checking is not free)
+    check_interval: int = 4096
+    #: seconds between progress heartbeats (0 disables them)
+    heartbeat_seconds: float = 10.0
+    #: memory operations retained for post-mortems
+    trace_depth: int = 32
+
+
+@dataclasses.dataclass
+class Heartbeat:
+    """One progress observation from inside the event loop."""
+
+    elapsed_seconds: float
+    events_processed: int
+    cycle: int
+
+
+class Watchdog:
+    """Wall-clock deadline guard with progress heartbeats.
+
+    One watchdog guards one kernel launch; ``start()`` arms it and the
+    scheduler calls :meth:`check` every ``check_interval`` events.  The
+    optional *on_heartbeat* callback receives a :class:`Heartbeat` at
+    most every ``heartbeat_seconds`` — campaign workers use it to prove
+    liveness to their parent.
+    """
+
+    def __init__(
+        self,
+        config: Optional[GuardConfig] = None,
+        on_heartbeat: Optional[Callable[[Heartbeat], None]] = None,
+    ):
+        self.config = config if config is not None else GuardConfig()
+        self.on_heartbeat = on_heartbeat
+        self._started: Optional[float] = None
+        self._last_beat = 0.0
+        self.last_heartbeat: Optional[Heartbeat] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the deadline clock (idempotent).
+
+        A multi-launch application shares one deadline: the first launch
+        arms the clock, later launches inherit it.  Use :meth:`restart`
+        to re-arm explicitly between independent runs.
+        """
+        if self._started is None:
+            self.restart()
+
+    def restart(self) -> None:
+        """Re-arm the deadline clock at *now*."""
+        self._started = time.monotonic()
+        self._last_beat = self._started
+
+    def elapsed(self) -> float:
+        if self._started is None:
+            return 0.0
+        return time.monotonic() - self._started
+
+    def check(self, cycle: int, events_processed: int) -> None:
+        """Raise :class:`WatchdogTimeout` if the deadline has expired.
+
+        Called from inside the event loop; also emits heartbeats.
+        """
+        if self._started is None:
+            self.start()
+        now = time.monotonic()
+        elapsed = now - self._started
+        beat_every = self.config.heartbeat_seconds
+        if beat_every and now - self._last_beat >= beat_every:
+            self._last_beat = now
+            self.last_heartbeat = Heartbeat(elapsed, events_processed, cycle)
+            if self.on_heartbeat is not None:
+                self.on_heartbeat(self.last_heartbeat)
+        deadline = self.config.deadline_seconds
+        if deadline is not None and elapsed > deadline:
+            raise WatchdogTimeout(
+                f"simulation exceeded its {deadline:g}s wall-clock deadline "
+                f"({events_processed} events, cycle {cycle})"
+            )
+
+
+# ----------------------------------------------------------------------
+# Post-mortem structures
+# ----------------------------------------------------------------------
+class OpTrace:
+    """Bounded ring of recent memory operations (always-on, cheap)."""
+
+    __slots__ = ("_ring",)
+
+    def __init__(self, depth: int = 32):
+        self._ring: deque = deque(maxlen=max(1, depth))
+
+    def record(
+        self, cycle: int, tid: int, kind: str, addr: Optional[int],
+        pc: Tuple[str, int],
+    ) -> None:
+        self._ring.append((cycle, tid, kind, addr, pc))
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def render(self) -> List[str]:
+        lines = []
+        for cycle, tid, kind, addr, pc in self._ring:
+            where = f"0x{addr:x}" if addr is not None else "-"
+            lines.append(
+                f"cycle {cycle}: t{tid} {kind} {where} @ {pc[0]}:{pc[1]}"
+            )
+        return lines
+
+
+@dataclasses.dataclass
+class WarpState:
+    """Where one live warp is stuck (or running)."""
+
+    uid: int
+    warp_id: int
+    block_id: int
+    sm_id: int
+    status: str  # e.g. "at barrier (epoch 3, 1/2 arrived)", "spinning"
+    pc: Optional[Tuple[str, int]] = None  # innermost suspended frame
+
+    def describe(self) -> str:
+        at = f" @ {self.pc[0]}:{self.pc[1]}" if self.pc else ""
+        return (
+            f"warp {self.uid} (block {self.block_id}, warp {self.warp_id}, "
+            f"sm {self.sm_id}): {self.status}{at}"
+        )
+
+
+@dataclasses.dataclass
+class HangReport:
+    """Everything worth knowing about a launch that would not finish."""
+
+    live_warps: List[WarpState]
+    queued_blocks: int
+    blocks_done: int
+    grid: int
+    events_processed: int
+    cycle: int
+    trace: List[str] = dataclasses.field(default_factory=list)
+
+    def blocked_summary(self, limit: int = 4) -> str:
+        """Short, message-grade naming of the offending warps."""
+        if not self.live_warps:
+            return "no live warps"
+        parts = [w.describe() for w in self.live_warps[:limit]]
+        extra = len(self.live_warps) - limit
+        if extra > 0:
+            parts.append(f"... and {extra} more")
+        return "; ".join(parts)
+
+    def render(self) -> str:
+        lines = [
+            f"hang report: {self.blocks_done}/{self.grid} blocks done, "
+            f"{self.queued_blocks} queued, {len(self.live_warps)} live "
+            f"warp(s), {self.events_processed} events, cycle {self.cycle}",
+        ]
+        for warp in self.live_warps:
+            lines.append(f"  {warp.describe()}")
+        if self.trace:
+            lines.append(f"  last {len(self.trace)} memory op(s):")
+            lines.extend(f"    {entry}" for entry in self.trace)
+        return "\n".join(lines)

@@ -47,6 +47,7 @@ class GPU:
         capacity_bytes: int = DEFAULT_CAPACITY_BYTES,
         shmem_check: bool = False,
         sample_interval: int = 0,
+        guard=None,
     ):
         self.config = config if config is not None else GPUConfig.scaled_default()
         self.detector_config = (
@@ -88,6 +89,9 @@ class GPU:
             else None
         )
         self.pipeline.sampler = self.sampler
+        # Optional watchdog (see repro.common.guard): wall-clock deadline
+        # and event-budget limits enforced from inside the event loop.
+        self.guard = guard
         self.clock = 0
         self.launches: List[LaunchResult] = []
         self._next_warp_uid = 0
@@ -144,6 +148,7 @@ class GPU:
             self.pipeline,
             self.clock,
             self._next_warp_uid,
+            guard=self.guard,
         )
         end_cycle = run.run()
         self._next_warp_uid = run._next_warp_uid

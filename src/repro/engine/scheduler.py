@@ -19,7 +19,14 @@ import math
 from collections import deque
 from typing import Dict, List, Optional, Tuple
 
-from repro.common.errors import KernelError, SimulationError
+from repro.common.errors import (
+    DeadlockError,
+    EventBudgetExceeded,
+    KernelError,
+    SimulationError,
+    WatchdogTimeout,
+)
+from repro.common.guard import HangReport, OpTrace, Watchdog, WarpState
 from repro.engine.context import ThreadCtx
 from repro.engine.memops import MemoryPipeline
 from repro.isa.ops import (
@@ -121,6 +128,7 @@ class KernelRun:
         pipeline: MemoryPipeline,
         start_cycle: int,
         warp_uid_base: int,
+        guard: Optional[Watchdog] = None,
     ):
         config = pipeline.config
         if block_dim <= 0 or grid <= 0:
@@ -149,6 +157,10 @@ class KernelRun:
         self.instructions = 0
         self.end_cycle = start_cycle
         self._next_warp_uid = warp_uid_base
+        self.guard = guard
+        self.active_blocks: List[_Block] = []
+        trace_depth = guard.config.trace_depth if guard is not None else 32
+        self.trace = OpTrace(trace_depth)
 
     # ------------------------------------------------------------------
     # Placement
@@ -162,6 +174,7 @@ class KernelRun:
 
     def _place_block(self, bid: int, sm: _SM, now: int) -> None:
         block = _Block(bid, sm.sm_id, self.config.scratchpad_words_per_block)
+        self.active_blocks.append(block)
         sm.resident_blocks += 1
         sm.resident_warps += self.warps_per_block
         warp_size = self.config.threads_per_warp
@@ -273,17 +286,23 @@ class KernelRun:
         completion = now
         results: Dict[int, int] = {}
         scratchpad = warp.block.scratchpad
+        trace = self.trace
         for tid, op, pc in ops:
             if isinstance(op, Ld):
                 loads.append((tid, op, pc))
+                trace.record(now, tid, "Ld", op.addr, pc)
             elif isinstance(op, St):
                 stores.append((tid, op, pc))
+                trace.record(now, tid, "St", op.addr, pc)
             elif isinstance(op, AtomicRMW):
                 atomics.append((tid, op, pc))
+                trace.record(now, tid, f"Atomic{op.op.value}", op.addr, pc)
             elif isinstance(op, AcquireLd):
                 acquires.append((tid, op, pc))
+                trace.record(now, tid, "AcquireLd", op.addr, pc)
             elif isinstance(op, ReleaseSt):
                 releases.append((tid, op, pc))
+                trace.record(now, tid, "ReleaseSt", op.addr, pc)
             elif isinstance(op, Fence):
                 fences.append((tid, op, pc))
             elif isinstance(op, ShLd):
@@ -372,6 +391,7 @@ class KernelRun:
                 self._release_barrier(block, now)
             return
         # Block complete: free the SM slot and admit a queued block.
+        self.active_blocks.remove(block)
         sm = self.sms[block.sm_id]
         sm.resident_blocks -= 1
         sm.resident_warps -= self.warps_per_block
@@ -380,18 +400,100 @@ class KernelRun:
         self._fill_sms(now)
 
     # ------------------------------------------------------------------
+    # Post-mortems
+    # ------------------------------------------------------------------
+    def hang_report(self, events_processed: int) -> HangReport:
+        """Snapshot of every live warp and the trailing memory ops."""
+        states: List[WarpState] = []
+        for block in self.active_blocks:
+            if block.live_warps <= 0:
+                continue
+            for warp in block.warps:
+                if not warp.live:
+                    continue
+                lanes = [g for g in warp.threads if g is not None]
+                parked = sum(
+                    1 for lane, g in enumerate(warp.threads)
+                    if g is not None and warp.parked[lane]
+                )
+                if warp.at_barrier:
+                    status = (
+                        f"blocked at block barrier (epoch "
+                        f"{block.barrier_epoch}, {block.barrier_arrivals}/"
+                        f"{block.live_warps} warps arrived)"
+                    )
+                elif parked:
+                    status = (
+                        f"{parked}/{len(lanes)} lanes at a barrier, "
+                        "divergent lanes still executing"
+                    )
+                else:
+                    status = "executing (spinning?)"
+                pc = None
+                for gen in lanes:
+                    try:
+                        pc = _pc_of(gen)
+                        break
+                    except Exception:  # exhausted generator, no frame
+                        continue
+                states.append(
+                    WarpState(
+                        warp.uid, warp.warp_id, block.bid, warp.sm_id,
+                        status, pc,
+                    )
+                )
+        return HangReport(
+            live_warps=states,
+            queued_blocks=len(self.pending_blocks),
+            blocks_done=self.blocks_done,
+            grid=self.grid,
+            events_processed=events_processed,
+            cycle=self.events.now,
+            trace=self.trace.render(),
+        )
+
+    def _watcher(self, guard: Watchdog):
+        def watch(now: int, processed: int) -> None:
+            try:
+                guard.check(now, processed)
+            except WatchdogTimeout as err:
+                report = self.hang_report(processed)
+                raise WatchdogTimeout(
+                    f"{err}; blocked: {report.blocked_summary()}",
+                    diagnostics=report.render(),
+                ) from None
+
+        return watch
+
+    # ------------------------------------------------------------------
     def run(self) -> int:
         """Execute to completion; returns the launch's end cycle."""
         self._fill_sms(self.start_cycle)
-        self.events.run(max_events=self.config.max_spin_iterations)
+        budget = self.config.max_spin_iterations
+        watcher = None
+        watch_interval = 4096
+        if self.guard is not None:
+            if self.guard.config.event_budget:
+                budget = min(budget, self.guard.config.event_budget)
+            watch_interval = self.guard.config.check_interval
+            self.guard.start()
+            watcher = self._watcher(self.guard)
+        processed = self.events.run(
+            max_events=budget, watcher=watcher, watch_interval=watch_interval
+        )
         if not self.events.empty:
-            raise SimulationError(
-                f"kernel exceeded {self.config.max_spin_iterations} events — "
-                "livelock (a spin loop whose partner never arrives?)"
+            report = self.hang_report(processed)
+            raise EventBudgetExceeded(
+                f"kernel exceeded {budget} events — livelock (a spin loop "
+                f"whose partner never arrives?); {report.blocked_summary()}",
+                diagnostics=report.render(),
             )
         if self.blocks_done != self.grid:
-            raise SimulationError(
+            report = self.hang_report(processed)
+            raise DeadlockError(
                 f"deadlock: only {self.blocks_done}/{self.grid} blocks "
-                "completed (barrier without full participation?)"
+                f"completed (barrier without full participation?); "
+                f"{report.blocked_summary()}",
+                diagnostics=report.render(),
             )
         return max(self.end_cycle, self.events.now)

@@ -1,0 +1,371 @@
+"""Fault-tolerant campaign execution: crash isolation, timeout, retry.
+
+The in-process :class:`~repro.experiments.runner.Runner` is fast but
+fragile — one hung kernel wedges the whole ``scord-experiments all``
+campaign and one crash loses it.  This module supplies the resilient
+execution layer:
+
+* each simulation runs in a **worker subprocess** (``python -m
+  repro.experiments.campaign``), so a crash or hang is contained to one
+  run;
+* the parent enforces a **wall-clock timeout** (the worker additionally
+  arms an in-process :class:`~repro.common.guard.Watchdog` at ~80% of
+  it, so simulator-level hangs die with a structured hang report before
+  the SIGKILL);
+* failures are **retried with exponential backoff** up to a bound, then
+  surfaced as a :class:`~repro.common.errors.RunFailedError` carrying a
+  structured :class:`RunFailure` — which exhibits render as
+  ``FAILED(reason)`` cells and the CLI collects into a failure manifest;
+* completed records are durably appended to the
+  :class:`~repro.experiments.store.RunStore` *by the worker itself*, so
+  even a SIGKILL of the parent between runs loses nothing.
+
+Fault injection (``repro.experiments.faults``) plugs in as a per-attempt
+plan the parent serializes into the worker spec — recovery paths are
+proven by tests, not assumed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+from typing import List, Optional, Tuple, Type
+
+from repro.common.errors import (
+    ConfigError,
+    ReproError,
+    RunFailedError,
+    RunTimeout,
+    WorkerCrash,
+    error_code,
+)
+from repro.common.guard import GuardConfig, Watchdog
+from repro.experiments.runner import Runner, RunRecord
+from repro.experiments.store import (
+    RunStore,
+    record_from_dict,
+    record_to_dict,
+)
+from repro.scor.apps.base import ScorApp
+
+SPEC_SCHEMA = 1
+
+#: worker exit codes (parent classifies failures by these)
+EXIT_OK = 0
+EXIT_BAD_SPEC = 2
+EXIT_REPRO_ERROR = 4
+EXIT_UNEXPECTED = 5
+
+_WORKER_ERROR_RE = re.compile(r"^\[worker-error\] ([a-z-]+): (.*)$")
+
+#: retryable failure categories; deterministic misconfigurations are not
+_NO_RETRY_CODES = frozenset({"config", "kernel"})
+
+
+# ----------------------------------------------------------------------
+# Specs and failures
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class RunSpec:
+    """One simulation request, serializable across the worker boundary."""
+
+    app: str
+    detector: str = "scord"
+    memory: str = "default"
+    races: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        flags = f" races={sorted(self.races)}" if self.races else ""
+        return f"{self.app}/{self.detector}/{self.memory}{flags}"
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SPEC_SCHEMA,
+            "app": self.app,
+            "detector": self.detector,
+            "memory": self.memory,
+            "races": sorted(self.races),
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "RunSpec":
+        if payload.get("schema") != SPEC_SCHEMA:
+            raise ConfigError(
+                f"unsupported spec schema {payload.get('schema')!r}"
+            )
+        return RunSpec(
+            app=payload["app"],
+            detector=payload.get("detector", "scord"),
+            memory=payload.get("memory", "default"),
+            races=tuple(payload.get("races", ())),
+        )
+
+
+@dataclasses.dataclass
+class RunFailure:
+    """A run that failed permanently (all retries exhausted)."""
+
+    spec: RunSpec
+    category: str  # e.g. run-timeout, worker-crash, simulation
+    message: str
+    attempts: int
+
+    def to_dict(self) -> dict:
+        return {
+            "app": self.spec.app,
+            "detector": self.spec.detector,
+            "memory": self.spec.memory,
+            "races": sorted(self.spec.races),
+            "category": self.category,
+            "message": self.message,
+            "attempts": self.attempts,
+        }
+
+
+# ----------------------------------------------------------------------
+# Parent side: the executor
+# ----------------------------------------------------------------------
+class CampaignExecutor:
+    """Runs simulations in isolated workers with timeout and retry."""
+
+    def __init__(
+        self,
+        store_path: Optional[str] = None,
+        timeout: Optional[float] = None,
+        max_retries: int = 1,
+        backoff_seconds: float = 0.25,
+        fault_plan=None,
+        verbose: bool = False,
+    ):
+        if max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        self.store_path = os.fspath(store_path) if store_path else None
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff_seconds = backoff_seconds
+        self.fault_plan = fault_plan
+        self.verbose = verbose
+
+    # ------------------------------------------------------------------
+    def execute(self, spec: RunSpec) -> RunRecord:
+        """Run *spec* to completion; raises :class:`RunFailedError`."""
+        attempts = self.max_retries + 1
+        last_category = "unknown"
+        last_message = ""
+        for attempt in range(1, attempts + 1):
+            fault = None
+            if self.fault_plan is not None:
+                fault = self.fault_plan.action_for(
+                    spec.app, spec.detector, spec.memory, attempt
+                )
+            try:
+                return self._attempt(spec, fault)
+            except (RunTimeout, WorkerCrash, ReproError) as err:
+                last_category = error_code(err)
+                last_message = str(err)
+                if self.verbose:
+                    print(
+                        f"  [attempt {attempt}/{attempts} failed] "
+                        f"{spec.describe()}: {last_category}: {last_message}",
+                        file=sys.stderr,
+                        flush=True,
+                    )
+                if last_category in _NO_RETRY_CODES:
+                    break
+                if attempt < attempts:
+                    time.sleep(self.backoff_seconds * (2 ** (attempt - 1)))
+        failure = RunFailure(spec, last_category, last_message, attempt)
+        raise RunFailedError(
+            f"{spec.describe()} failed after {attempt} attempt(s): "
+            f"{last_category}: {last_message}",
+            failure=failure,
+        )
+
+    # ------------------------------------------------------------------
+    def _attempt(self, spec: RunSpec, fault: Optional[str]) -> RunRecord:
+        payload = spec.to_dict()
+        payload["store"] = self.store_path
+        if self.timeout:
+            # In-process watchdog fires before the parent's SIGKILL so
+            # simulator-level hangs produce a structured hang report.
+            payload["deadline"] = self.timeout * 0.8
+        if fault is not None:
+            payload["fault"] = fault
+        cmd = [sys.executable, "-m", "repro.experiments.campaign"]
+        try:
+            proc = subprocess.run(
+                cmd,
+                input=json.dumps(payload),
+                capture_output=True,
+                text=True,
+                timeout=self.timeout,
+                env=_worker_env(),
+            )
+        except subprocess.TimeoutExpired:
+            raise RunTimeout(
+                f"worker exceeded the {self.timeout:g}s timeout and was "
+                "killed"
+            ) from None
+        if proc.returncode == EXIT_OK:
+            return self._parse_record(spec, proc.stdout)
+        raise self._classify_failure(proc)
+
+    def _parse_record(self, spec: RunSpec, stdout: str) -> RunRecord:
+        for line in reversed(stdout.splitlines()):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                return record_from_dict(json.loads(line))
+            except (json.JSONDecodeError, ReproError) as err:
+                raise WorkerCrash(
+                    f"worker for {spec.describe()} exited cleanly but "
+                    f"produced an unreadable record: {err}"
+                ) from err
+        raise WorkerCrash(
+            f"worker for {spec.describe()} exited cleanly without a record"
+        )
+
+    @staticmethod
+    def _classify_failure(proc) -> ReproError:
+        stderr_lines = proc.stderr.strip().splitlines()
+        for line in reversed(stderr_lines):
+            match = _WORKER_ERROR_RE.match(line.strip())
+            if match:
+                code, message = match.groups()
+                err = ReproError(message)
+                err.code = code
+                return err
+        tail = " | ".join(stderr_lines[-3:]) if stderr_lines else "(no stderr)"
+        return WorkerCrash(
+            f"worker died with exit code {proc.returncode}: {tail}"
+        )
+
+
+def _worker_env() -> dict:
+    """The parent's environment with this package importable."""
+    import repro
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_dir + os.pathsep + existing if existing else src_dir
+    )
+    return env
+
+
+# ----------------------------------------------------------------------
+# The resilient Runner
+# ----------------------------------------------------------------------
+class CampaignRunner(Runner):
+    """A :class:`Runner` whose cache misses execute in isolated workers.
+
+    Drop-in for the exhibits: same ``run()`` signature, same memoizing
+    cache, but a hung or crashed simulation costs one run (retried, then
+    marked failed) instead of the campaign.  Permanent failures are
+    collected in :attr:`failures` for the CLI's manifest.
+    """
+
+    def __init__(
+        self,
+        executor: CampaignExecutor,
+        verbose: bool = True,
+        store: Optional[RunStore] = None,
+        preload: bool = True,
+    ):
+        super().__init__(verbose=verbose, store=store, preload=preload)
+        self.executor = executor
+        self.failures: List[RunFailure] = []
+
+    def _simulate(
+        self,
+        app_cls: Type[ScorApp],
+        detector: str,
+        memory: str,
+        races: Tuple[str, ...],
+    ) -> RunRecord:
+        spec = RunSpec(app_cls.name, detector, memory, tuple(races))
+        try:
+            return self.executor.execute(spec)
+        except RunFailedError as err:
+            if err.failure is not None:
+                self.failures.append(err.failure)
+            raise
+
+    def _persist(self, record: RunRecord) -> None:
+        # The worker already fsync'd the record into the store; writing
+        # it again would only duplicate lines.
+        if self.executor.store_path is None:
+            super()._persist(record)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def worker_main(argv=None) -> int:
+    """``python -m repro.experiments.campaign``: run one spec from stdin.
+
+    Protocol: read a JSON spec on stdin; simulate; durably append the
+    record to the spec's store (if any); print the record as one JSON
+    line on stdout.  Errors exit non-zero with a final
+    ``[worker-error] code: message`` line on stderr.
+    """
+    raw = sys.stdin.read()
+    try:
+        payload = json.loads(raw)
+        spec = RunSpec.from_dict(payload)
+    except (json.JSONDecodeError, KeyError, ReproError) as err:
+        print(f"[worker-error] config: bad spec: {err}", file=sys.stderr)
+        return EXIT_BAD_SPEC
+
+    # Injected faults fire before the simulation, exactly like a real
+    # hang/crash would strike mid-campaign.
+    from repro.experiments.faults import apply_fault
+
+    try:
+        apply_fault(payload.get("fault"))
+        deadline = payload.get("deadline")
+        guard_factory = None
+        if deadline:
+            guard_factory = lambda: Watchdog(
+                GuardConfig(deadline_seconds=float(deadline))
+            )
+        from repro.scor.apps.registry import app_by_name
+
+        runner = Runner(verbose=False, guard_factory=guard_factory)
+        record = runner.run(
+            app_by_name(spec.app),
+            detector=spec.detector,
+            memory=spec.memory,
+            races=spec.races,
+        )
+    except ReproError as err:
+        if err.diagnostics:
+            print(err.diagnostics, file=sys.stderr)
+        print(f"[worker-error] {err.code}: {err}", file=sys.stderr)
+        return EXIT_REPRO_ERROR
+    except KeyError as err:
+        print(f"[worker-error] config: {err}", file=sys.stderr)
+        return EXIT_BAD_SPEC
+    except Exception as err:  # noqa: BLE001 - the whole point is isolation
+        print(
+            f"[worker-error] worker-crash: {type(err).__name__}: {err}",
+            file=sys.stderr,
+        )
+        return EXIT_UNEXPECTED
+
+    store_path = payload.get("store")
+    if store_path:
+        RunStore(store_path).append(record)
+    print(json.dumps(record_to_dict(record), separators=(",", ":")))
+    return EXIT_OK
+
+
+if __name__ == "__main__":
+    sys.exit(worker_main())

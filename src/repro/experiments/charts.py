@@ -45,8 +45,10 @@ def grouped_bars(
     )
     if reference is not None:
         peak = max(peak, reference)
-    name_width = max(len(name) for name, _ in series)
-    label_width = max(len(label) for label in labels)
+    # Every group may have been filtered out (e.g. all runs FAILED):
+    # render a bare title rather than crashing the exhibit.
+    name_width = max((len(name) for name, _ in series), default=0)
+    label_width = max((len(label) for label in labels), default=0)
     ref_col = (
         int(reference / peak * width) if reference is not None else None
     )
@@ -81,7 +83,7 @@ def stacked_bars(
         for i in range(len(labels))
     ]
     peak = max(totals, default=1.0) or 1.0
-    label_width = max(len(label) for label in labels)
+    label_width = max((len(label) for label in labels), default=0)
 
     lines = [f"=== {title} ==="]
     for index, label in enumerate(labels):

@@ -4,6 +4,19 @@ Runs the requested exhibits (or ``all``) and prints the paper-style tables
 to stdout.  Exhibits sharing simulations reuse them through the memoizing
 runner, so ``scord-experiments all`` is much cheaper than the sum of the
 parts.
+
+Resilience (see docs/architecture.md, "Resilience"):
+
+* ``--store PATH`` checkpoints every completed simulation to a durable
+  JSONL store; ``--resume`` preloads it, so a killed campaign restarts
+  without re-simulating finished runs.
+* ``--isolate`` runs each simulation in a worker subprocess;
+  ``--timeout``/``--max-retries`` (which imply ``--isolate``) bound and
+  retry hung or crashed workers.
+* A failing run costs its table cells (``FAILED(reason)``), a failing
+  exhibit costs one structured error line — never the campaign.  The
+  exit code is non-zero if anything failed, and ``--manifest PATH``
+  writes a machine-readable failure manifest.
 """
 
 from __future__ import annotations
@@ -12,22 +25,99 @@ import argparse
 import sys
 import time
 
-from repro.experiments.fig8 import run_fig8
-from repro.experiments.fig9 import run_fig9
-from repro.experiments.fig10 import run_fig10
-from repro.experiments.fig11 import run_fig11
+from repro.common.errors import ReproError, error_code
 from repro.experiments.runner import Runner
-from repro.experiments.table1 import run_table1
-from repro.experiments.table2 import run_table2
-from repro.experiments.table6 import run_table6
-from repro.experiments.table7 import run_table7
-from repro.experiments.table8 import run_table8
 
 EXHIBITS = ("table1", "table2", "table6", "table7", "table8",
             "fig8", "fig9", "fig10", "fig11", "ablations", "litmus")
 
 
-def main(argv=None) -> int:
+# ----------------------------------------------------------------------
+# Exhibit dispatch (uniform: name -> callable(runner) -> printable text)
+# ----------------------------------------------------------------------
+def _table1(runner: Runner) -> str:
+    from repro.experiments.table1 import run_table1
+
+    return run_table1().render()
+
+
+def _table2(runner: Runner) -> str:
+    from repro.experiments.table2 import run_table2
+
+    return str(run_table2())
+
+
+def _table6(runner: Runner) -> str:
+    from repro.experiments.table6 import run_table6
+
+    result = run_table6(runner)
+    return result.render() + "\n\n" + result.render_detail()
+
+
+def _table7(runner: Runner) -> str:
+    from repro.experiments.table7 import run_table7
+
+    return run_table7(runner).render()
+
+
+def _table8(runner: Runner) -> str:
+    from repro.experiments.table8 import run_table8
+
+    return str(run_table8())
+
+
+def _figure(run):
+    def render(runner: Runner) -> str:
+        result = run(runner)
+        return result.render() + "\n\n" + result.chart()
+
+    return render
+
+
+def _ablations(runner: Runner) -> str:
+    from repro.experiments.ablations import run_all_ablations
+
+    parts = []
+    for table in run_all_ablations().values():
+        parts.append(str(table))
+        parts.append("")
+    return "\n".join(parts).rstrip()
+
+
+def _litmus(runner: Runner) -> str:
+    from repro.litmus import ALL_LITMUS_TESTS, run_litmus
+
+    lines = ["=== Scoped memory-model litmus tests ==="]
+    for test in ALL_LITMUS_TESTS:
+        result = run_litmus(test)
+        verdict = "ok" if result.ok else "VIOLATION"
+        lines.append(f"[{verdict}] {result.summary()}")
+    return "\n".join(lines)
+
+
+def _exhibit_runners():
+    from repro.experiments.fig8 import run_fig8
+    from repro.experiments.fig9 import run_fig9
+    from repro.experiments.fig10 import run_fig10
+    from repro.experiments.fig11 import run_fig11
+
+    return {
+        "table1": _table1,
+        "table2": _table2,
+        "table6": _table6,
+        "table7": _table7,
+        "table8": _table8,
+        "fig8": _figure(run_fig8),
+        "fig9": _figure(run_fig9),
+        "fig10": _figure(run_fig10),
+        "fig11": _figure(run_fig11),
+        "ablations": _ablations,
+        "litmus": _litmus,
+    }
+
+
+# ----------------------------------------------------------------------
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="scord-experiments",
         description="Regenerate the tables and figures of the ScoRD paper.",
@@ -44,8 +134,116 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--dump",
         metavar="PATH",
-        help="write every simulation's raw record to PATH as JSON",
+        help="write every simulation's raw record to PATH as JSON "
+        "(atomic: temp file + rename)",
     )
+    parser.add_argument(
+        "--store",
+        metavar="PATH",
+        help="durably checkpoint every completed simulation to this "
+        "JSONL store",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="preload completed runs from --store instead of "
+        "re-simulating them",
+    )
+    parser.add_argument(
+        "--isolate",
+        action="store_true",
+        help="run each simulation in an isolated worker subprocess",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help="per-simulation wall-clock timeout (implies --isolate)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        metavar="N",
+        help="retries (with backoff) for a failed simulation "
+        "(implies --isolate; default 1 when isolated)",
+    )
+    parser.add_argument(
+        "--manifest",
+        metavar="PATH",
+        help="write a machine-readable campaign manifest (exhibit "
+        "status + failed runs) to PATH as JSON",
+    )
+    return parser
+
+
+def _build_runner(args) -> Runner:
+    store = None
+    if args.store:
+        from repro.experiments.store import RunStore
+
+        store = RunStore(args.store)
+    isolate = (
+        args.isolate
+        or args.timeout is not None
+        or args.max_retries is not None
+    )
+    verbose = not args.quiet
+    if not isolate:
+        return Runner(verbose=verbose, store=store, preload=args.resume)
+    from repro.experiments.campaign import CampaignExecutor, CampaignRunner
+
+    executor = CampaignExecutor(
+        store_path=args.store,
+        timeout=args.timeout,
+        max_retries=args.max_retries if args.max_retries is not None else 1,
+        verbose=verbose,
+    )
+    return CampaignRunner(
+        executor, verbose=verbose, store=store, preload=args.resume
+    )
+
+
+def _write_manifest(
+    path, wanted, exhibit_errors, runner, elapsed_seconds
+) -> None:
+    from repro.experiments.store import SCHEMA_VERSION, atomic_write_json
+
+    failed_runs = [f.to_dict() for f in getattr(runner, "failures", [])]
+    exhibits = {}
+    for name in wanted:
+        err = exhibit_errors.get(name)
+        if err is None:
+            exhibits[name] = {"status": "ok"}
+        else:
+            exhibits[name] = {
+                "status": "failed",
+                "code": error_code(err),
+                "error": str(err),
+            }
+    store = runner._store
+    atomic_write_json(
+        path,
+        {
+            "schema": SCHEMA_VERSION,
+            "ok": not exhibit_errors and not failed_runs,
+            "exhibits": exhibits,
+            "failed_runs": failed_runs,
+            "counts": {
+                "unique_simulations": runner.runs_done(),
+                "fresh_runs": runner.fresh_runs,
+                "resumed_runs": runner.resumed_runs,
+                "failed_runs": len(failed_runs),
+                "quarantined_store_lines": (
+                    store.quarantined if store is not None else 0
+                ),
+            },
+            "elapsed_seconds": round(elapsed_seconds, 3),
+        },
+    )
+
+
+def main(argv=None) -> int:
+    parser = _build_parser()
     args = parser.parse_args(argv)
 
     wanted = list(args.exhibits)
@@ -54,66 +252,47 @@ def main(argv=None) -> int:
     unknown = [name for name in wanted if name not in EXHIBITS]
     if unknown:
         parser.error(f"unknown exhibit(s): {', '.join(unknown)}")
+    if args.resume and not args.store:
+        parser.error("--resume requires --store PATH")
 
-    runner = Runner(verbose=not args.quiet)
+    runner = _build_runner(args)
+    runners = _exhibit_runners()
     started = time.time()
+    exhibit_errors = {}
     for name in wanted:
-        if name == "table1":
-            print(run_table1().render())
-        elif name == "table2":
-            print(run_table2())
-        elif name == "table6":
-            result = run_table6(runner)
-            print(result.render())
-            print()
-            print(result.render_detail())
-        elif name == "table7":
-            print(run_table7(runner).render())
-        elif name == "table8":
-            print(run_table8())
-        elif name == "fig8":
-            result = run_fig8(runner)
-            print(result.render())
-            print()
-            print(result.chart())
-        elif name == "fig9":
-            result = run_fig9(runner)
-            print(result.render())
-            print()
-            print(result.chart())
-        elif name == "fig10":
-            result = run_fig10(runner)
-            print(result.render())
-            print()
-            print(result.chart())
-        elif name == "fig11":
-            result = run_fig11(runner)
-            print(result.render())
-            print()
-            print(result.chart())
-        elif name == "ablations":
-            from repro.experiments.ablations import run_all_ablations
-
-            for table in run_all_ablations().values():
-                print(table)
-                print()
-        elif name == "litmus":
-            from repro.litmus import ALL_LITMUS_TESTS, run_litmus
-
-            print("=== Scoped memory-model litmus tests ===")
-            for test in ALL_LITMUS_TESTS:
-                result = run_litmus(test)
-                verdict = "ok" if result.ok else "VIOLATION"
-                print(f"[{verdict}] {result.summary()}")
+        try:
+            print(runners[name](runner))
+        except ReproError as err:
+            # One exhibit failing must not abort the campaign: report a
+            # single structured line and keep rendering the rest.
+            exhibit_errors[name] = err
+            print(
+                f"[exhibit-failed] {name}: {err.describe()}",
+                file=sys.stderr,
+                flush=True,
+            )
         print()
     if args.dump:
         runner.dump_json(args.dump)
         print(f"[raw records written to {args.dump}]", file=sys.stderr)
+    elapsed = time.time() - started
+    if args.manifest:
+        _write_manifest(args.manifest, wanted, exhibit_errors, runner, elapsed)
+        print(f"[manifest written to {args.manifest}]", file=sys.stderr)
+    failed_runs = getattr(runner, "failures", [])
     print(
-        f"[{runner.runs_done()} unique simulations, "
-        f"{time.time() - started:.0f}s]",
+        f"[{runner.runs_done()} unique simulations "
+        f"({runner.fresh_runs} fresh, {runner.resumed_runs} resumed), "
+        f"{elapsed:.0f}s]",
         file=sys.stderr,
     )
+    if exhibit_errors or failed_runs:
+        print(
+            f"[FAILURES: {len(exhibit_errors)} exhibit(s), "
+            f"{len(failed_runs)} run(s)]",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -1,0 +1,137 @@
+"""Deliberate fault injection for the campaign resilience tests.
+
+Recovery paths that are never exercised do not exist.  Following GPUMC's
+discipline of *proving* checking machinery rather than trusting it, this
+module injects the three failure shapes the campaign layer claims to
+survive:
+
+* **hang** — the worker stops making progress (caught by the parent's
+  wall-clock timeout, then retried);
+* **crash** — the worker dies abruptly without a record (``os._exit``,
+  indistinguishable from a SIGKILL'd process);
+* **error** — the simulation raises a :class:`SimulationError`
+  (exercises the structured worker-error protocol);
+
+plus **store corruption** (:func:`corrupt_store`) — torn tails, garbage
+bytes, and schema drift in the checkpoint file, which ``RunStore.load``
+must quarantine rather than crash on.
+
+A :class:`FaultPlan` is parent-side policy: it decides, per run and per
+attempt, which action the worker is told to perform — e.g. "hang on the
+first attempt, behave on the second" proves the retry path end to end.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from typing import Optional, Tuple
+
+from repro.common.errors import ConfigError, SimulationError
+
+#: worker-side actions a plan may request
+ACTIONS = ("hang", "crash", "error")
+
+#: exit code of a deliberately crashed worker (recognizable in stderr)
+CRASH_EXIT_CODE = 23
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultRule:
+    """Inject *actions* (one per attempt) into matching runs.
+
+    ``None`` fields match anything; ``actions[i]`` applies to attempt
+    ``i + 1`` and attempts beyond the list run clean — so
+    ``actions=("hang",)`` means "hang once, then behave".
+    """
+
+    actions: Tuple[Optional[str], ...]
+    app: Optional[str] = None
+    detector: Optional[str] = None
+    memory: Optional[str] = None
+
+    def __post_init__(self):
+        for action in self.actions:
+            if action is not None and action not in ACTIONS:
+                raise ConfigError(
+                    f"unknown fault action {action!r}; known: {ACTIONS}"
+                )
+
+    def matches(self, app: str, detector: str, memory: str) -> bool:
+        return (
+            (self.app is None or self.app == app)
+            and (self.detector is None or self.detector == detector)
+            and (self.memory is None or self.memory == memory)
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """An ordered rule list; the first matching rule decides."""
+
+    rules: Tuple[FaultRule, ...] = ()
+
+    def action_for(
+        self, app: str, detector: str, memory: str, attempt: int
+    ) -> Optional[str]:
+        """The action for *attempt* (1-based) of this run, or None."""
+        for rule in self.rules:
+            if rule.matches(app, detector, memory):
+                if 1 <= attempt <= len(rule.actions):
+                    return rule.actions[attempt - 1]
+                return None
+        return None
+
+    @staticmethod
+    def always(action: str, app: Optional[str] = None,
+               attempts: int = 64) -> "FaultPlan":
+        """A plan injecting *action* on every attempt (optionally per app)."""
+        return FaultPlan((FaultRule((action,) * attempts, app=app),))
+
+    @staticmethod
+    def once(action: str, app: Optional[str] = None) -> "FaultPlan":
+        """A plan injecting *action* on the first attempt only."""
+        return FaultPlan((FaultRule((action,), app=app),))
+
+
+def apply_fault(action: Optional[str]) -> None:
+    """Execute an injected fault inside the worker process."""
+    if action is None:
+        return
+    if action == "hang":
+        # Park well past any sane campaign timeout; the parent kills us.
+        time.sleep(3600)
+    elif action == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    elif action == "error":
+        raise SimulationError("injected fault: deliberate simulation error")
+    else:
+        raise ConfigError(f"unknown fault action {action!r}")
+
+
+# ----------------------------------------------------------------------
+# Store corruption (test helper)
+# ----------------------------------------------------------------------
+def corrupt_store(path, line: int = 0, mode: str = "garbage") -> None:
+    """Corrupt one line of a JSONL store file, in place.
+
+    *mode*: ``garbage`` (non-JSON bytes), ``truncate`` (torn write — the
+    line is cut in half, as a SIGKILL mid-append would leave it), or
+    ``schema`` (valid JSON with an unsupported schema version).
+    """
+    with open(path, "r") as handle:
+        lines = handle.readlines()
+    if not lines:
+        raise ConfigError(f"cannot corrupt empty store {path}")
+    target = lines[line].rstrip("\n")
+    if mode == "garbage":
+        lines[line] = "{this is not json at all\n"
+    elif mode == "truncate":
+        lines[line] = target[: max(1, len(target) // 2)] + "\n"
+    elif mode == "schema":
+        lines[line] = '{"schema": 999999}\n'
+    else:
+        raise ConfigError(f"unknown corruption mode {mode!r}")
+    with open(path, "w") as handle:
+        handle.writelines(lines)

@@ -14,10 +14,11 @@ UTS shows no LHD at all because its volatile accesses bypass the L1.
 from __future__ import annotations
 
 import dataclasses
-from typing import List
+from typing import List, Optional
 
+from repro.common.errors import ReproError, error_code
 from repro.experiments.runner import Runner
-from repro.experiments.tables import render_table
+from repro.experiments.tables import failed_cell, render_table
 from repro.scor.apps.registry import ALL_APPS
 
 _SOURCES = ("lhd", "noc", "md")
@@ -29,6 +30,8 @@ class Fig10Row:
     lhd: float  # relative contribution, fraction of total overhead
     noc: float
     md: float
+    #: set when the app's runs failed permanently; values are meaningless
+    failed_reason: Optional[str] = None
 
 
 @dataclasses.dataclass
@@ -36,17 +39,23 @@ class Fig10Result:
     rows: List[Fig10Row]
 
     def averages(self) -> Fig10Row:
-        n = len(self.rows)
+        ok = [r for r in self.rows if r.failed_reason is None]
+        if not ok:
+            return Fig10Row("AVG", 0.0, 0.0, 0.0)
+        n = len(ok)
         return Fig10Row(
             "AVG",
-            sum(r.lhd for r in self.rows) / n,
-            sum(r.noc for r in self.rows) / n,
-            sum(r.md for r in self.rows) / n,
+            sum(r.lhd for r in ok) / n,
+            sum(r.noc for r in ok) / n,
+            sum(r.md for r in ok) / n,
         )
 
     def render(self) -> str:
         rows = [
-            (r.app, f"{100 * r.lhd:.1f}%", f"{100 * r.noc:.1f}%", f"{100 * r.md:.1f}%")
+            (r.app,) + (failed_cell(r.failed_reason),) * 3
+            if r.failed_reason is not None
+            else (r.app, f"{100 * r.lhd:.1f}%", f"{100 * r.noc:.1f}%",
+                  f"{100 * r.md:.1f}%")
             for r in [*self.rows, self.averages()]
         ]
         return render_table(
@@ -62,14 +71,15 @@ class Fig10Result:
     def chart(self) -> str:
         from repro.experiments.charts import stacked_bars
 
-        labels = [row.app for row in self.rows]
+        plotted = [row for row in self.rows if row.failed_reason is None]
+        labels = [row.app for row in plotted]
         return stacked_bars(
             "Figure 10 (bars): overhead source shares",
             labels,
             [
-                ("LHD", "░", [row.lhd for row in self.rows]),
-                ("NOC", "▒", [row.noc for row in self.rows]),
-                ("MD", "█", [row.md for row in self.rows]),
+                ("LHD", "░", [row.lhd for row in plotted]),
+                ("NOC", "▒", [row.noc for row in plotted]),
+                ("MD", "█", [row.md for row in plotted]),
             ],
         )
 
@@ -77,11 +87,20 @@ class Fig10Result:
 def run_fig10(runner: Runner) -> Fig10Result:
     rows = []
     for app_cls in ALL_APPS:
-        full = runner.run(app_cls, detector="scord").cycles
-        uplifts = {}
-        for source in _SOURCES:
-            without = runner.run(app_cls, detector=f"scord-no{source}").cycles
-            uplifts[source] = max(0, full - without)
+        try:
+            full = runner.run(app_cls, detector="scord").cycles
+            uplifts = {}
+            for source in _SOURCES:
+                without = runner.run(
+                    app_cls, detector=f"scord-no{source}"
+                ).cycles
+                uplifts[source] = max(0, full - without)
+        except ReproError as err:
+            rows.append(
+                Fig10Row(app_cls.name, 0.0, 0.0, 0.0,
+                         failed_reason=error_code(err))
+            )
+            continue
         total = sum(uplifts.values())
         if total == 0:
             rows.append(Fig10Row(app_cls.name, 0.0, 0.0, 0.0))

@@ -12,8 +12,9 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Tuple
 
+from repro.common.errors import ReproError, error_code
 from repro.experiments.runner import Runner
-from repro.experiments.tables import render_table
+from repro.experiments.tables import failed_cell, is_failed, render_table
 from repro.scor.apps.registry import ALL_APPS
 
 _PRESETS = ("low", "default", "high")
@@ -21,22 +22,28 @@ _PRESETS = ("low", "default", "high")
 
 @dataclasses.dataclass
 class Fig11Result:
-    rows: List[Tuple[str, float, float, float]]  # app, low, default, high
+    # app, low, default, high; failed runs carry failed_cell() markers
+    rows: List[Tuple[str, object, object, object]]
 
     def render(self) -> str:
         rows = [
-            (app, f"{low:.2f}", f"{mid:.2f}", f"{high:.2f}")
+            (
+                app,
+                *(v if is_failed(v) else f"{v:.2f}" for v in (low, mid, high)),
+            )
             for app, low, mid, high in self.rows
         ]
-        n = len(self.rows)
-        rows.append(
-            (
-                "AVG",
-                f"{sum(r[1] for r in self.rows) / n:.2f}",
-                f"{sum(r[2] for r in self.rows) / n:.2f}",
-                f"{sum(r[3] for r in self.rows) / n:.2f}",
+        ok = [r for r in self.rows if not is_failed(r[1])]
+        if ok:
+            n = len(ok)
+            rows.append(
+                (
+                    "AVG",
+                    f"{sum(r[1] for r in ok) / n:.2f}",
+                    f"{sum(r[2] for r in ok) / n:.2f}",
+                    f"{sum(r[3] for r in ok) / n:.2f}",
+                )
             )
-        )
         return render_table(
             "Figure 11: ScoRD overhead vs memory resources "
             "(normalized to no detection per configuration)",
@@ -51,14 +58,15 @@ class Fig11Result:
     def chart(self) -> str:
         from repro.experiments.charts import grouped_bars
 
-        labels = [app for app, _l, _m, _h in self.rows]
+        plotted = [row for row in self.rows if not is_failed(row[1])]
+        labels = [app for app, _l, _m, _h in plotted]
         return grouped_bars(
             "Figure 11 (bars): overhead vs memory resources",
             labels,
             [
-                ("low", [low for _a, low, _m, _h in self.rows]),
-                ("default", [mid for _a, _l, mid, _h in self.rows]),
-                ("high", [high for _a, _l, _m, high in self.rows]),
+                ("low", [low for _a, low, _m, _h in plotted]),
+                ("default", [mid for _a, _l, mid, _h in plotted]),
+                ("high", [high for _a, _l, _m, high in plotted]),
             ],
             reference=1.0,
             reference_label="no detection (1.0)",
@@ -68,10 +76,15 @@ class Fig11Result:
 def run_fig11(runner: Runner) -> Fig11Result:
     rows = []
     for app_cls in ALL_APPS:
-        values = []
-        for preset in _PRESETS:
-            none = runner.run(app_cls, detector="none", memory=preset)
-            scord = runner.run(app_cls, detector="scord", memory=preset)
-            values.append(scord.cycles / none.cycles)
+        try:
+            values = []
+            for preset in _PRESETS:
+                none = runner.run(app_cls, detector="none", memory=preset)
+                scord = runner.run(app_cls, detector="scord", memory=preset)
+                values.append(scord.cycles / none.cycles)
+        except ReproError as err:
+            marker = failed_cell(error_code(err))
+            rows.append((app_cls.name, marker, marker, marker))
+            continue
         rows.append((app_cls.name, *values))
     return Fig11Result(rows)

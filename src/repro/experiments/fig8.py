@@ -11,29 +11,40 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Tuple
 
+from repro.common.errors import ReproError, error_code
 from repro.experiments.runner import Runner
-from repro.experiments.tables import render_table
+from repro.experiments.tables import failed_cell, is_failed, render_table
 from repro.scor.apps.registry import ALL_APPS
+
+
+def _fmt_cell(value) -> str:
+    return value if is_failed(value) else f"{value:.2f}"
 
 
 @dataclasses.dataclass
 class Fig8Result:
-    rows: List[Tuple[str, float, float]]  # app, base_norm, scord_norm
+    # app, base_norm, scord_norm; failed runs carry failed_cell() markers
+    rows: List[Tuple[str, object, object]]
+
+    def _average(self, index: int) -> float:
+        values = [row[index] for row in self.rows if not is_failed(row[index])]
+        return sum(values) / len(values) if values else 0.0
 
     @property
     def scord_average(self) -> float:
-        return sum(row[2] for row in self.rows) / len(self.rows)
+        return self._average(2)
 
     @property
     def base_average(self) -> float:
-        return sum(row[1] for row in self.rows) / len(self.rows)
+        return self._average(1)
 
-    def as_dict(self) -> Dict[str, Tuple[float, float]]:
+    def as_dict(self) -> Dict[str, Tuple[object, object]]:
         return {app: (base, scord) for app, base, scord in self.rows}
 
     def render(self) -> str:
         rows = [
-            (app, f"{base:.2f}", f"{scord:.2f}") for app, base, scord in self.rows
+            (app, _fmt_cell(base), _fmt_cell(scord))
+            for app, base, scord in self.rows
         ]
         rows.append(("AVG", f"{self.base_average:.2f}", f"{self.scord_average:.2f}"))
         return render_table(
@@ -49,13 +60,14 @@ class Fig8Result:
     def chart(self) -> str:
         from repro.experiments.charts import grouped_bars
 
-        labels = [app for app, _b, _s in self.rows]
+        plotted = [row for row in self.rows if not is_failed(row[1])]
+        labels = [app for app, _b, _s in plotted]
         return grouped_bars(
             "Figure 8 (bars): normalized execution cycles",
             labels,
             [
-                ("base", [b for _a, b, _s in self.rows]),
-                ("scord", [s for _a, _b, s in self.rows]),
+                ("base", [b for _a, b, _s in plotted]),
+                ("scord", [s for _a, _b, s in plotted]),
             ],
             reference=1.0,
             reference_label="no detection (1.0)",
@@ -65,9 +77,14 @@ class Fig8Result:
 def run_fig8(runner: Runner) -> Fig8Result:
     rows = []
     for app_cls in ALL_APPS:
-        none = runner.run(app_cls, detector="none")
-        base = runner.run(app_cls, detector="base")
-        scord = runner.run(app_cls, detector="scord")
+        try:
+            none = runner.run(app_cls, detector="none")
+            base = runner.run(app_cls, detector="base")
+            scord = runner.run(app_cls, detector="scord")
+        except ReproError as err:
+            marker = failed_cell(error_code(err))
+            rows.append((app_cls.name, marker, marker))
+            continue
         rows.append(
             (app_cls.name, base.cycles / none.cycles, scord.cycles / none.cycles)
         )

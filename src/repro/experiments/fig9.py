@@ -10,10 +10,11 @@ metadata traffic and the L2 contention it induces on normal data.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
+from repro.common.errors import ReproError, error_code
 from repro.experiments.runner import Runner
-from repro.experiments.tables import render_table
+from repro.experiments.tables import failed_cell, render_table
 from repro.scor.apps.registry import ALL_APPS
 
 
@@ -24,6 +25,8 @@ class Fig9Row:
     base_metadata: float
     scord_data: float
     scord_metadata: float
+    #: set when the app's runs failed permanently; values are meaningless
+    failed_reason: Optional[str] = None
 
     @property
     def base_total(self) -> float:
@@ -41,6 +44,11 @@ class Fig9Result:
     def render(self) -> str:
         table_rows: List[Tuple] = []
         for row in self.rows:
+            if row.failed_reason is not None:
+                table_rows.append(
+                    (row.app,) + (failed_cell(row.failed_reason),) * 6
+                )
+                continue
             table_rows.append(
                 (
                     row.app,
@@ -71,6 +79,8 @@ class Fig9Result:
         data_values = []
         md_values = []
         for row in self.rows:
+            if row.failed_reason is not None:
+                continue
             labels.append(f"{row.app} base")
             data_values.append(row.base_data)
             md_values.append(row.base_metadata)
@@ -87,9 +97,16 @@ class Fig9Result:
 def run_fig9(runner: Runner) -> Fig9Result:
     rows = []
     for app_cls in ALL_APPS:
-        none = runner.run(app_cls, detector="none")
-        base = runner.run(app_cls, detector="base")
-        scord = runner.run(app_cls, detector="scord")
+        try:
+            none = runner.run(app_cls, detector="none")
+            base = runner.run(app_cls, detector="base")
+            scord = runner.run(app_cls, detector="scord")
+        except ReproError as err:
+            rows.append(
+                Fig9Row(app_cls.name, 0.0, 0.0, 0.0, 0.0,
+                        failed_reason=error_code(err))
+            )
+            continue
         denom = max(1, none.dram_total)
         rows.append(
             Fig9Row(

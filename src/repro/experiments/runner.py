@@ -18,6 +18,9 @@ from repro.arch.detector_config import DetectorConfig, DetectorMode
 from repro.scord.races import RaceType
 from repro.scor.apps.base import ScorApp, run_app
 
+if False:  # typing-only, avoids a runtime import cycle with store.py
+    from repro.experiments.store import RunStore
+
 
 # ----------------------------------------------------------------------
 # Detector configuration labels used across the evaluation
@@ -66,11 +69,47 @@ class RunRecord:
 
 
 class Runner:
-    """Memoizing simulation front-end for the experiments."""
+    """Memoizing simulation front-end for the experiments.
 
-    def __init__(self, verbose: bool = True):
+    With a :class:`~repro.experiments.store.RunStore` attached the cache
+    becomes disk-backed: every fresh simulation is durably appended, and
+    (with ``preload=True``) previously completed runs are loaded up
+    front — that is what gives ``scord-experiments --resume`` its
+    checkpoint/resume behavior.
+    """
+
+    def __init__(
+        self,
+        verbose: bool = True,
+        store: "Optional[RunStore]" = None,
+        preload: bool = True,
+        guard_factory=None,
+    ):
         self._cache: Dict[Tuple, RunRecord] = {}
         self.verbose = verbose
+        self._store = store
+        #: simulations actually executed by this process (cache misses)
+        self.fresh_runs = 0
+        #: records recovered from the store rather than simulated
+        self.resumed_runs = 0
+        #: optional () -> Watchdog factory guarding in-process runs
+        self.guard_factory = guard_factory
+        if store is not None and preload:
+            loaded = store.load()
+            self._cache.update(loaded)
+            self.resumed_runs = len(loaded)
+            if self.verbose and loaded:
+                quarantined = (
+                    f" ({store.quarantined} corrupt line(s) quarantined)"
+                    if store.quarantined
+                    else ""
+                )
+                print(
+                    f"  [resume] {len(loaded)} completed run(s) loaded "
+                    f"from {store.path}{quarantined}",
+                    file=sys.stderr,
+                    flush=True,
+                )
 
     def run(
         self,
@@ -91,19 +130,36 @@ class Runner:
                 file=sys.stderr,
                 flush=True,
             )
+        record = self._simulate(app_cls, detector, memory, races)
+        self.fresh_runs += 1
+        self._cache[key] = record
+        self._persist(record)
+        return record
+
+    # -- overridable by the campaign layer -----------------------------
+    def _simulate(
+        self,
+        app_cls: Type[ScorApp],
+        detector: str,
+        memory: str,
+        races: Tuple[str, ...],
+    ) -> RunRecord:
+        """Execute one simulation in-process and build its record."""
         started = time.time()
         app = app_cls(races=races)
+        guard = self.guard_factory() if self.guard_factory else None
         gpu = run_app(
             app,
             detector_config=DETECTORS[detector],
             gpu_config=gpu_config_for(memory),
+            guard=guard,
         )
         try:
             verified = app.verify(gpu)
         except Exception:
             verified = False
         dram_data, dram_metadata = gpu.dram_accesses()
-        record = RunRecord(
+        return RunRecord(
             app=app_cls.name,
             detector=detector,
             memory=memory,
@@ -121,8 +177,11 @@ class Runner:
             verified=verified,
             wall_seconds=time.time() - started,
         )
-        self._cache[key] = record
-        return record
+
+    def _persist(self, record: RunRecord) -> None:
+        """Durably checkpoint one fresh record (no-op without a store)."""
+        if self._store is not None:
+            self._store.append(record)
 
     def runs_done(self) -> int:
         return len(self._cache)
@@ -135,25 +194,12 @@ class Runner:
         return list(self._cache.values())
 
     def dump_json(self, path) -> None:
-        """Write every simulated record to *path* as JSON."""
-        import json
+        """Write every simulated record to *path* as JSON.
 
-        payload = []
-        for record in self._cache.values():
-            payload.append(
-                {
-                    "app": record.app,
-                    "detector": record.detector,
-                    "memory": record.memory,
-                    "races_enabled": sorted(record.races_enabled),
-                    "cycles": record.cycles,
-                    "dram_data": record.dram_data,
-                    "dram_metadata": record.dram_metadata,
-                    "unique_races": record.unique_races,
-                    "race_types": sorted(t.value for t in record.race_types),
-                    "verified": record.verified,
-                    "wall_seconds": round(record.wall_seconds, 3),
-                }
-            )
-        with open(path, "w") as handle:
-            json.dump(payload, handle, indent=2)
+        The write is atomic (temp file + rename): a crash mid-dump never
+        leaves a half-written file behind.
+        """
+        from repro.experiments.store import atomic_write_json, record_to_dict
+
+        payload = [record_to_dict(record) for record in self._cache.values()]
+        atomic_write_json(path, payload)

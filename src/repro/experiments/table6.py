@@ -13,8 +13,9 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Tuple
 
+from repro.common.errors import ReproError, error_code
 from repro.experiments.runner import Runner
-from repro.experiments.tables import render_table
+from repro.experiments.tables import failed_cell, render_table
 from repro.arch.detector_config import DetectorConfig
 from repro.scor.apps.registry import ALL_APPS
 from repro.scor.micro.base import run_micro
@@ -111,8 +112,21 @@ def run_table6(runner: Runner) -> Table6Result:
         missed: List[str] = []
         details: List[Table6Detail] = []
         for flag in app_cls.RACE_FLAGS:
-            base = runner.run(app_cls, detector="base", races=(flag.name,))
-            scord = runner.run(app_cls, detector="scord", races=(flag.name,))
+            expected = ",".join(sorted(t.value for t in flag.expected_types))
+            try:
+                base = runner.run(app_cls, detector="base", races=(flag.name,))
+                scord = runner.run(
+                    app_cls, detector="scord", races=(flag.name,)
+                )
+            except ReproError as err:
+                # A failed run can't catch its race: count it missed but
+                # keep the rest of the table.
+                missed.append(f"{flag.name}[{failed_cell(error_code(err))}]")
+                details.append(
+                    Table6Detail(app_cls.name, flag.name, expected,
+                                 False, False)
+                )
+                continue
             base_ok = _caught(base, flag.expected_types)
             scord_ok = _caught(scord, flag.expected_types)
             base_caught += base_ok
@@ -123,7 +137,7 @@ def run_table6(runner: Runner) -> Table6Result:
                 Table6Detail(
                     app_cls.name,
                     flag.name,
-                    ",".join(sorted(t.value for t in flag.expected_types)),
+                    expected,
                     base_ok,
                     scord_ok,
                 )
@@ -145,8 +159,25 @@ def run_table6(runner: Runner) -> Table6Result:
     micro_details: List[Table6Detail] = []
     micros = racey_micros()
     for micro in micros:
-        base_gpu = run_micro(micro, detector_config=DetectorConfig.base_no_cache())
-        scord_gpu = run_micro(micro, detector_config=DetectorConfig.scord())
+        try:
+            base_gpu = run_micro(
+                micro, detector_config=DetectorConfig.base_no_cache()
+            )
+            scord_gpu = run_micro(micro, detector_config=DetectorConfig.scord())
+        except ReproError as err:
+            micro_missed.append(
+                f"{micro.name}[{failed_cell(error_code(err))}]"
+            )
+            micro_details.append(
+                Table6Detail(
+                    "micro",
+                    micro.name,
+                    ",".join(sorted(t.value for t in micro.expected_types)),
+                    False,
+                    False,
+                )
+            )
+            continue
         base_types = {r.race_type for r in base_gpu.races.unique_races}
         scord_types = {r.race_type for r in scord_gpu.races.unique_races}
         base_ok = bool(micro.expected_types & base_types)

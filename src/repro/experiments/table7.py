@@ -14,8 +14,9 @@ from __future__ import annotations
 import dataclasses
 from typing import List
 
+from repro.common.errors import ReproError, error_code
 from repro.experiments.runner import Runner
-from repro.experiments.tables import render_table
+from repro.experiments.tables import failed_cell, render_table
 from repro.scor.apps.registry import ALL_APPS
 
 _CONFIGS = ("base", "base8", "base16", "scord")
@@ -49,7 +50,11 @@ def run_table7(runner: Runner) -> Table7Result:
     for app_cls in ALL_APPS:
         row: List[object] = [app_cls.name]
         for config in _CONFIGS:
-            record = runner.run(app_cls, detector=config)
+            try:
+                record = runner.run(app_cls, detector=config)
+            except ReproError as err:
+                row.append(failed_cell(error_code(err)))
+                continue
             row.append(record.unique_races)
         rows.append(row)
     return Table7Result(rows)

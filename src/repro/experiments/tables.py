@@ -5,6 +5,20 @@ from __future__ import annotations
 from typing import List, Sequence
 
 
+def failed_cell(reason: str) -> str:
+    """The marker exhibits print for a run that failed permanently.
+
+    Campaign degradation contract: a failed simulation costs its cells,
+    not the table — the rest of the exhibit still renders.
+    """
+    return f"FAILED({reason})"
+
+
+def is_failed(cell: object) -> bool:
+    """Is *cell* a :func:`failed_cell` marker (vs a real value)?"""
+    return isinstance(cell, str) and cell.startswith("FAILED(")
+
+
 def render_table(
     title: str,
     headers: Sequence[str],

@@ -95,11 +95,21 @@ def run_app(
     detector_config: Optional[DetectorConfig] = None,
     gpu_config: Optional[GPUConfig] = None,
     capacity_bytes: int = 256 * 1024,
+    guard=None,
 ) -> GPU:
-    """Run one application configuration on a fresh GPU."""
+    """Run one application configuration on a fresh GPU.
+
+    *guard* is an optional :class:`repro.common.guard.Watchdog` enforcing
+    a wall-clock deadline / event budget across the app's launches.
+    """
     config = gpu_config if gpu_config is not None else GPUConfig.scaled_default()
     dconf = detector_config if detector_config is not None else DetectorConfig.scord()
-    gpu = GPU(config=config, detector_config=dconf, capacity_bytes=capacity_bytes)
+    gpu = GPU(
+        config=config,
+        detector_config=dconf,
+        capacity_bytes=capacity_bytes,
+        guard=guard,
+    )
     app.run(gpu)
     return gpu
 

@@ -59,11 +59,19 @@ class EventQueue:
         self._seq += 1
         heapq.heappush(self._heap, (time, self._seq, callback))
 
-    def run(self, max_events: int = 0) -> int:
+    def run(
+        self,
+        max_events: int = 0,
+        watcher: Callable[[int, int], None] = None,
+        watch_interval: int = 4096,
+    ) -> int:
         """Drain the queue; returns the number of events processed.
 
         *max_events* > 0 bounds the run (livelock guard for spinning
-        kernels whose partner never arrives).
+        kernels whose partner never arrives).  *watcher*, if given, is
+        called as ``watcher(now, processed)`` every *watch_interval*
+        events — a hook for wall-clock watchdogs and heartbeats; any
+        exception it raises aborts the run and propagates.
         """
         processed = 0
         while self._heap:
@@ -71,6 +79,8 @@ class EventQueue:
             self.now = time
             callback(time)
             processed += 1
+            if watcher is not None and processed % watch_interval == 0:
+                watcher(time, processed)
             if max_events and processed >= max_events:
                 break
         return processed

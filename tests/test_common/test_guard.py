@@ -1,0 +1,185 @@
+"""Watchdogs and hang diagnostics (repro.common.guard + scheduler hooks)."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.config import GPUConfig
+from repro.arch.detector_config import DetectorConfig
+from repro.common.errors import (
+    EventBudgetExceeded,
+    SimulationError,
+    WatchdogTimeout,
+)
+from repro.common.guard import GuardConfig, HangReport, OpTrace, Watchdog
+from repro.engine.gpu import GPU
+
+
+def plain_gpu(guard=None, **config_overrides) -> GPU:
+    config = GPUConfig.scaled_default()
+    if config_overrides:
+        config = dataclasses.replace(config, **config_overrides)
+    return GPU(config=config, detector_config=DetectorConfig.none(),
+               guard=guard)
+
+
+def spin_forever(ctx, flag):
+    while True:
+        value = yield ctx.ld(flag, 0, volatile=True)
+        if value == 1:  # never happens
+            break
+
+
+class TestWatchdogDeadline:
+    def test_deadline_raises_watchdog_timeout(self):
+        guard = Watchdog(
+            GuardConfig(deadline_seconds=0.05, check_interval=256)
+        )
+        gpu = plain_gpu(guard=guard)
+        flag = gpu.alloc(1, "flag")
+        with pytest.raises(WatchdogTimeout) as excinfo:
+            gpu.launch(spin_forever, grid=1, block_dim=8, args=(flag,))
+        # The timeout is a SimulationError (campaign code catches those)
+        assert isinstance(excinfo.value, SimulationError)
+        message = str(excinfo.value)
+        assert "deadline" in message
+        # Offending warps are named in the message with their spin PC.
+        assert "spin_forever" in message
+
+    def test_diagnostics_attached(self):
+        guard = Watchdog(
+            GuardConfig(deadline_seconds=0.05, check_interval=256)
+        )
+        gpu = plain_gpu(guard=guard)
+        flag = gpu.alloc(1, "flag")
+        with pytest.raises(WatchdogTimeout) as excinfo:
+            gpu.launch(spin_forever, grid=1, block_dim=8, args=(flag,))
+        diag = excinfo.value.diagnostics
+        assert diag is not None
+        assert "hang report" in diag
+        assert "spin_forever" in diag
+        # The trailing memory ops of the spin loop are included.
+        assert "Ld" in diag
+
+    def test_healthy_run_unaffected(self):
+        guard = Watchdog(
+            GuardConfig(deadline_seconds=30.0, check_interval=256)
+        )
+        gpu = plain_gpu(guard=guard)
+        data = gpu.alloc(8, "data")
+
+        def kern(ctx, data):
+            yield ctx.st(data, ctx.tid, 1)
+
+        gpu.launch(kern, grid=1, block_dim=8, args=(data,))
+        assert gpu.read_array(data) == [1] * 8
+
+
+class TestEventBudget:
+    def test_guard_budget_tightens_architectural_cap(self):
+        guard = Watchdog(GuardConfig(event_budget=2_000))
+        gpu = plain_gpu(guard=guard)
+        flag = gpu.alloc(1, "flag")
+        with pytest.raises(EventBudgetExceeded):
+            gpu.launch(spin_forever, grid=1, block_dim=8, args=(flag,))
+
+    def test_livelock_message_names_offenders(self):
+        gpu = plain_gpu(max_spin_iterations=3_000)
+        flag = gpu.alloc(1, "flag")
+        with pytest.raises(SimulationError) as excinfo:
+            gpu.launch(spin_forever, grid=1, block_dim=8, args=(flag,))
+        message = str(excinfo.value)
+        assert "livelock" in message
+        assert "warp" in message
+        assert "spin_forever" in message
+        assert excinfo.value.diagnostics is not None
+
+    def test_barrier_blocked_warps_reported(self):
+        """A mixed hang: one warp parked at a barrier, one spinning."""
+        gpu = plain_gpu(max_spin_iterations=3_000)
+        flag = gpu.alloc(1, "flag")
+
+        def mixed(ctx, flag):
+            if ctx.tid < 8:  # warp 0 waits at the block barrier
+                yield ctx.barrier()
+            else:  # warp 1 spins forever; the barrier never completes
+                while True:
+                    value = yield ctx.ld(flag, 0, volatile=True)
+                    if value == 1:
+                        break
+
+        with pytest.raises(SimulationError) as excinfo:
+            gpu.launch(mixed, grid=1, block_dim=16, args=(flag,))
+        diag = excinfo.value.diagnostics
+        assert "blocked at block barrier" in diag
+        assert "warps arrived" in diag
+        assert "mixed" in diag  # the spin PC names the kernel function
+
+
+class TestWatchdogUnit:
+    def test_idempotent_start_spans_launches(self):
+        guard = Watchdog(GuardConfig(deadline_seconds=100))
+        guard.start()
+        first = guard._started
+        guard.start()
+        assert guard._started == first
+        guard.restart()
+        assert guard._started >= first
+
+    def test_heartbeat_callback_fires(self):
+        beats = []
+        guard = Watchdog(
+            GuardConfig(deadline_seconds=None, heartbeat_seconds=0.0001),
+            on_heartbeat=beats.append,
+        )
+        guard.start()
+        import time
+
+        time.sleep(0.002)
+        guard.check(cycle=10, events_processed=100)
+        assert beats and beats[0].events_processed == 100
+        assert guard.last_heartbeat is not None
+
+    def test_no_deadline_never_raises(self):
+        guard = Watchdog(GuardConfig(deadline_seconds=None))
+        guard.start()
+        guard.check(cycle=1, events_processed=1)
+
+
+class TestOpTrace:
+    def test_ring_is_bounded(self):
+        trace = OpTrace(depth=4)
+        for i in range(10):
+            trace.record(i, i, "Ld", 0x10 + i, ("kern", i))
+        assert len(trace) == 4
+        lines = trace.render()
+        assert len(lines) == 4
+        assert "0x16" in lines[0]  # oldest retained entry is op 6
+
+    def test_render_mentions_pc(self):
+        trace = OpTrace()
+        trace.record(5, 2, "St", 0x20, ("my_kernel", 42))
+        assert "my_kernel:42" in trace.render()[0]
+
+
+class TestHangReport:
+    def test_empty_report_renders(self):
+        report = HangReport(
+            live_warps=[], queued_blocks=0, blocks_done=1, grid=1,
+            events_processed=10, cycle=99,
+        )
+        assert "no live warps" in report.blocked_summary()
+        assert "1/1 blocks done" in report.render()
+
+    def test_summary_truncates(self):
+        from repro.common.guard import WarpState
+
+        warps = [
+            WarpState(i, i, 0, 0, "executing (spinning?)", ("k", 1))
+            for i in range(10)
+        ]
+        report = HangReport(
+            live_warps=warps, queued_blocks=0, blocks_done=0, grid=1,
+            events_processed=10, cycle=5,
+        )
+        assert "and 6 more" in report.blocked_summary(limit=4)

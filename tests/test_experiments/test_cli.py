@@ -42,3 +42,48 @@ class TestDump:
         assert main(["table2", "--quiet", "--dump", str(path)]) == 0
         records = json.loads(path.read_text())
         assert isinstance(records, list)
+
+
+class TestResilienceFlags:
+    def test_resume_requires_store(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table2", "--quiet", "--resume"])
+        assert "--resume requires --store" in capsys.readouterr().err
+
+    def test_manifest_written_on_success(self, tmp_path, capsys):
+        path = tmp_path / "manifest.json"
+        assert main(["table2", "--quiet", "--manifest", str(path)]) == 0
+        manifest = json.loads(path.read_text())
+        assert manifest["ok"] is True
+        assert manifest["exhibits"] == {"table2": {"status": "ok"}}
+        assert manifest["failed_runs"] == []
+        assert manifest["counts"]["failed_runs"] == 0
+        assert "schema" in manifest
+
+    def test_failed_exhibit_reported_but_not_fatal(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """One failing exhibit: structured stderr line, exit 1, others run."""
+        import repro.experiments.cli as cli_module
+        from repro.common.errors import SimulationError
+
+        def boom(runner):
+            raise SimulationError("synthetic failure")
+
+        # _exhibit_runners resolves module globals at call time, so
+        # patching the module attribute is enough.
+        monkeypatch.setattr(cli_module, "_table2", boom)
+        path = tmp_path / "manifest.json"
+        assert main(
+            ["table2", "table8", "--quiet", "--manifest", str(path)]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "[exhibit-failed] table2: simulation: synthetic failure" \
+            in captured.err
+        assert "[FAILURES: 1 exhibit(s), 0 run(s)]" in captured.err
+        assert "Table VIII" in captured.out  # later exhibit still rendered
+        manifest = json.loads(path.read_text())
+        assert manifest["ok"] is False
+        assert manifest["exhibits"]["table2"]["status"] == "failed"
+        assert manifest["exhibits"]["table2"]["code"] == "simulation"
+        assert manifest["exhibits"]["table8"]["status"] == "ok"

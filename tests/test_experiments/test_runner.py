@@ -1,6 +1,14 @@
 """The memoizing experiment runner."""
 
-from repro.experiments.runner import DETECTORS, Runner, gpu_config_for
+import itertools
+
+from repro.experiments.runner import (
+    DETECTORS,
+    MEMORY_PRESETS,
+    Runner,
+    gpu_config_for,
+)
+from repro.experiments.store import run_key
 from repro.scor.apps.reduction import ReductionApp
 
 
@@ -34,6 +42,52 @@ class TestRunner:
             ReductionApp, detector="scord", races=("block_fence",)
         )
         assert record.unique_races >= 1
+
+
+class TestMemoizationKeys:
+    """The cache key must separate every axis the evaluation varies."""
+
+    def test_full_config_grid_never_collides(self):
+        races_axis = ((), ("block_fence",), ("block_fence", "scoped_atomic"))
+        keys = {
+            run_key(app, detector, memory, races)
+            for app, detector, memory, races in itertools.product(
+                ("RED", "MM"), DETECTORS, MEMORY_PRESETS, races_axis
+            )
+        }
+        assert len(keys) == 2 * len(DETECTORS) * len(MEMORY_PRESETS) * 3
+
+    def test_distinct_detectors_do_not_collide(self):
+        runner = Runner(verbose=False)
+        base = runner.run(ReductionApp, detector="base")
+        scord = runner.run(ReductionApp, detector="scord")
+        assert base is not scord
+        assert runner.runs_done() == 2
+
+    def test_distinct_memory_presets_do_not_collide(self):
+        runner = Runner(verbose=False)
+        low = runner.run(ReductionApp, detector="none", memory="low")
+        high = runner.run(ReductionApp, detector="none", memory="high")
+        assert low is not high
+        assert runner.runs_done() == 2
+
+    def test_race_sets_compare_unordered(self):
+        runner = Runner(verbose=False)
+        a = runner.run(ReductionApp, detector="scord",
+                       races=("block_fence", "block_count"))
+        b = runner.run(ReductionApp, detector="scord",
+                       races=("block_count", "block_fence"))
+        assert a is b
+        assert runner.runs_done() == 1
+
+    def test_verbose_flag_is_not_part_of_the_key(self):
+        """Flipping verbosity must still hit the cache (same key)."""
+        runner = Runner(verbose=False)
+        first = runner.run(ReductionApp, detector="none")
+        runner.verbose = True
+        second = runner.run(ReductionApp, detector="none")
+        assert first is second
+        assert runner.fresh_runs == 1
 
 
 class TestConfigurations:
