@@ -78,10 +78,20 @@ class RunSpec:
     detector: str = "scord"
     memory: str = "default"
     races: Tuple[str, ...] = ()
+    seed: int = 1
 
     def describe(self) -> str:
         flags = f" races={sorted(self.races)}" if self.races else ""
-        return f"{self.app}/{self.detector}/{self.memory}{flags}"
+        tag = f" seed={self.seed}" if self.seed != 1 else ""
+        return f"{self.app}/{self.detector}/{self.memory}{flags}{tag}"
+
+    def key(self):
+        """The runner-cache identity of this spec."""
+        from repro.experiments.store import run_key
+
+        return run_key(
+            self.app, self.detector, self.memory, self.races, self.seed
+        )
 
     def to_dict(self) -> dict:
         return {
@@ -90,6 +100,7 @@ class RunSpec:
             "detector": self.detector,
             "memory": self.memory,
             "races": sorted(self.races),
+            "seed": self.seed,
         }
 
     @staticmethod
@@ -103,6 +114,7 @@ class RunSpec:
             detector=payload.get("detector", "scord"),
             memory=payload.get("memory", "default"),
             races=tuple(payload.get("races", ())),
+            seed=int(payload.get("seed", 1)),
         )
 
 
@@ -120,6 +132,7 @@ class RunFailure:
             "app": self.spec.app,
             "detector": self.spec.detector,
             "memory": self.spec.memory,
+            "seed": self.spec.seed,
             "races": sorted(self.spec.races),
             "category": self.category,
             "message": self.message,
@@ -282,6 +295,9 @@ class CampaignRunner(Runner):
         super().__init__(verbose=verbose, store=store, preload=preload)
         self.executor = executor
         self.failures: List[RunFailure] = []
+        #: units a parallel prefetch already failed permanently; keyed by
+        #: run_key, consulted so exhibits do not pay the retries twice
+        self.prefailed: dict = {}
 
     def _simulate(
         self,
@@ -289,8 +305,16 @@ class CampaignRunner(Runner):
         detector: str,
         memory: str,
         races: Tuple[str, ...],
+        seed: int = 1,
     ) -> RunRecord:
-        spec = RunSpec(app_cls.name, detector, memory, tuple(races))
+        spec = RunSpec(app_cls.name, detector, memory, tuple(races), seed)
+        prior = self.prefailed.get(spec.key())
+        if prior is not None:
+            raise RunFailedError(
+                f"{spec.describe()} already failed during the parallel "
+                f"prefetch: {prior.category}: {prior.message}",
+                failure=prior,
+            )
         try:
             return self.executor.execute(spec)
         except RunFailedError as err:
@@ -344,6 +368,7 @@ def worker_main(argv=None) -> int:
             detector=spec.detector,
             memory=spec.memory,
             races=spec.races,
+            seed=spec.seed,
         )
     except ReproError as err:
         if err.diagnostics:

@@ -17,11 +17,22 @@ Resilience (see docs/architecture.md, "Resilience"):
   exhibit costs one structured error line — never the campaign.  The
   exit code is non-zero if anything failed, and ``--manifest PATH``
   writes a machine-readable failure manifest.
+
+Parallelism and caching (see docs/architecture.md, "Parallel campaigns"):
+
+* ``--jobs N`` (implies ``--isolate``) shards the campaign's work units
+  across N concurrent worker subprocesses with work stealing and a
+  deterministic merge — results are identical to ``--jobs 1``.
+* ``--cache-dir PATH`` layers a content-addressed result cache over the
+  runs: units are keyed by a stable hash of the resolved configs, kernel
+  identity, seed, and schema version, so re-runs and overlapping
+  exhibits hit disk instead of re-simulating; ``--no-cache`` disables.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -30,6 +41,11 @@ from repro.experiments.runner import Runner
 
 EXHIBITS = ("table1", "table2", "table6", "table7", "table8",
             "fig8", "fig9", "fig10", "fig11", "ablations", "litmus")
+
+#: exhibits whose simulations flow through the shared Runner — the ones a
+#: parallel prefetch can plan and shard.  The rest (micros, litmus,
+#: ablations) simulate inline and are cheap.
+RUNNER_EXHIBITS = ("table6", "table7", "fig8", "fig9", "fig10", "fig11")
 
 
 # ----------------------------------------------------------------------
@@ -173,10 +189,38 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write a machine-readable campaign manifest (exhibit "
         "status + failed runs) to PATH as JSON",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run the campaign's simulations across N concurrent worker "
+        "subprocesses (implies --isolate; 0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="content-addressed result cache directory: completed units "
+        "are stored by config/seed/schema hash and reused across runs",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the result cache even if --cache-dir "
+        "is given",
+    )
     return parser
 
 
-def _build_runner(args) -> Runner:
+def _build_cache(args):
+    if args.no_cache or not args.cache_dir:
+        return None
+    from repro.experiments.parallel import ResultCache
+
+    return ResultCache(args.cache_dir)
+
+
+def _build_runner(args, cache=None) -> Runner:
     store = None
     if args.store:
         from repro.experiments.store import RunStore
@@ -186,10 +230,14 @@ def _build_runner(args) -> Runner:
         args.isolate
         or args.timeout is not None
         or args.max_retries is not None
+        or args.jobs != 1
     )
     verbose = not args.quiet
     if not isolate:
-        return Runner(verbose=verbose, store=store, preload=args.resume)
+        return Runner(
+            verbose=verbose, store=store, preload=args.resume,
+            result_cache=cache,
+        )
     from repro.experiments.campaign import CampaignExecutor, CampaignRunner
 
     executor = CampaignExecutor(
@@ -198,9 +246,11 @@ def _build_runner(args) -> Runner:
         max_retries=args.max_retries if args.max_retries is not None else 1,
         verbose=verbose,
     )
-    return CampaignRunner(
+    runner = CampaignRunner(
         executor, verbose=verbose, store=store, preload=args.resume
     )
+    runner.result_cache = cache
+    return runner
 
 
 def _write_manifest(
@@ -232,11 +282,17 @@ def _write_manifest(
                 "unique_simulations": runner.runs_done(),
                 "fresh_runs": runner.fresh_runs,
                 "resumed_runs": runner.resumed_runs,
+                "cached_runs": runner.cached_runs,
                 "failed_runs": len(failed_runs),
                 "quarantined_store_lines": (
                     store.quarantined if store is not None else 0
                 ),
             },
+            "cache": (
+                runner.result_cache.stats()
+                if runner.result_cache is not None
+                else None
+            ),
             "elapsed_seconds": round(elapsed_seconds, 3),
         },
     )
@@ -254,10 +310,22 @@ def main(argv=None) -> int:
         parser.error(f"unknown exhibit(s): {', '.join(unknown)}")
     if args.resume and not args.store:
         parser.error("--resume requires --store PATH")
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 0 (0 = one per CPU)")
 
-    runner = _build_runner(args)
+    cache = _build_cache(args)
+    runner = _build_runner(args, cache=cache)
     runners = _exhibit_runners()
     started = time.time()
+    plannable = [name for name in wanted if name in RUNNER_EXHIBITS]
+    if args.jobs != 1 and plannable:
+        from repro.experiments.parallel import prefetch_exhibits
+
+        jobs = args.jobs or (os.cpu_count() or 1)
+        prefetch_exhibits(
+            runner, runners, plannable, jobs=jobs, cache=cache,
+            verbose=not args.quiet,
+        )
     exhibit_errors = {}
     for name in wanted:
         try:
@@ -280,10 +348,11 @@ def main(argv=None) -> int:
         _write_manifest(args.manifest, wanted, exhibit_errors, runner, elapsed)
         print(f"[manifest written to {args.manifest}]", file=sys.stderr)
     failed_runs = getattr(runner, "failures", [])
+    cached = f", {runner.cached_runs} cached" if runner.cached_runs else ""
     print(
         f"[{runner.runs_done()} unique simulations "
-        f"({runner.fresh_runs} fresh, {runner.resumed_runs} resumed), "
-        f"{elapsed:.0f}s]",
+        f"({runner.fresh_runs} fresh, {runner.resumed_runs} resumed"
+        f"{cached}), {elapsed:.0f}s]",
         file=sys.stderr,
     )
     if exhibit_errors or failed_runs:

@@ -62,6 +62,7 @@ class RunRecord:
     race_keys: FrozenSet[Tuple[RaceType, Tuple[str, int]]]
     verified: bool
     wall_seconds: float
+    seed: int = 1
 
     @property
     def dram_total(self) -> int:
@@ -84,6 +85,7 @@ class Runner:
         store: "Optional[RunStore]" = None,
         preload: bool = True,
         guard_factory=None,
+        result_cache=None,
     ):
         self._cache: Dict[Tuple, RunRecord] = {}
         self.verbose = verbose
@@ -92,8 +94,12 @@ class Runner:
         self.fresh_runs = 0
         #: records recovered from the store rather than simulated
         self.resumed_runs = 0
+        #: records served by the content-addressed result cache
+        self.cached_runs = 0
         #: optional () -> Watchdog factory guarding in-process runs
         self.guard_factory = guard_factory
+        #: optional :class:`repro.experiments.parallel.ResultCache`
+        self.result_cache = result_cache
         if store is not None and preload:
             loaded = store.load()
             self._cache.update(loaded)
@@ -117,23 +123,38 @@ class Runner:
         detector: str = "scord",
         memory: str = "default",
         races: Tuple[str, ...] = (),
+        seed: int = 1,
     ) -> RunRecord:
-        key = (app_cls.name, detector, memory, frozenset(races))
+        key = (app_cls.name, detector, memory, frozenset(races), seed)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
 
+        if self.result_cache is not None:
+            hit = self.result_cache.get(
+                app_cls.name, detector, memory, races, seed
+            )
+            if hit is not None:
+                self.cached_runs += 1
+                self._cache[key] = hit
+                self._persist(hit)
+                return hit
+
         if self.verbose:
             flags = f" races={sorted(races)}" if races else ""
+            tag = f" seed={seed}" if seed != 1 else ""
             print(
-                f"  [run] {app_cls.name} detector={detector} memory={memory}{flags}",
+                f"  [run] {app_cls.name} detector={detector} "
+                f"memory={memory}{flags}{tag}",
                 file=sys.stderr,
                 flush=True,
             )
-        record = self._simulate(app_cls, detector, memory, races)
+        record = self._simulate(app_cls, detector, memory, races, seed)
         self.fresh_runs += 1
         self._cache[key] = record
         self._persist(record)
+        if self.result_cache is not None:
+            self.result_cache.put(record)
         return record
 
     # -- overridable by the campaign layer -----------------------------
@@ -143,10 +164,11 @@ class Runner:
         detector: str,
         memory: str,
         races: Tuple[str, ...],
+        seed: int = 1,
     ) -> RunRecord:
         """Execute one simulation in-process and build its record."""
         started = time.time()
-        app = app_cls(races=races)
+        app = app_cls(races=races, seed=seed)
         guard = self.guard_factory() if self.guard_factory else None
         gpu = run_app(
             app,
@@ -176,6 +198,7 @@ class Runner:
             ),
             verified=verified,
             wall_seconds=time.time() - started,
+            seed=seed,
         )
 
     def _persist(self, record: RunRecord) -> None:

@@ -24,6 +24,9 @@ record.
 
 from __future__ import annotations
 
+import dataclasses
+import enum
+import hashlib
 import json
 import os
 import tempfile
@@ -35,7 +38,7 @@ from repro.scord.races import RaceType
 #: bump when the record wire format changes incompatibly
 SCHEMA_VERSION = 1
 
-RunKey = Tuple[str, str, str, frozenset]
+RunKey = Tuple[str, str, str, frozenset, int]
 
 _REQUIRED_FIELDS = (
     "app", "detector", "memory", "races_enabled", "cycles", "dram_data",
@@ -43,17 +46,24 @@ _REQUIRED_FIELDS = (
     "wall_seconds",
 )
 
+#: record fields that describe *how* a run went, not *what* was run or
+#: found — they must never enter a cache key or a semantic comparison.
+#: (Timestamps and host identity are deliberately never recorded at all.)
+NON_SEMANTIC_FIELDS = frozenset({"wall_seconds"})
+
 
 def run_key(
-    app: str, detector: str, memory: str, races: Iterable[str]
+    app: str, detector: str, memory: str, races: Iterable[str],
+    seed: int = 1,
 ) -> RunKey:
     """The memoization identity of one simulation request."""
-    return (app, detector, memory, frozenset(races))
+    return (app, detector, memory, frozenset(races), int(seed))
 
 
 def record_key(record) -> RunKey:
     """The memoization identity of an existing record."""
-    return (record.app, record.detector, record.memory, record.races_enabled)
+    return (record.app, record.detector, record.memory,
+            record.races_enabled, record.seed)
 
 
 # ----------------------------------------------------------------------
@@ -66,6 +76,7 @@ def record_to_dict(record) -> dict:
         "app": record.app,
         "detector": record.detector,
         "memory": record.memory,
+        "seed": record.seed,
         "races_enabled": sorted(record.races_enabled),
         "cycles": record.cycles,
         "dram_data": record.dram_data,
@@ -100,6 +111,9 @@ def record_from_dict(payload: dict):
             app=payload["app"],
             detector=payload["detector"],
             memory=payload["memory"],
+            # Optional for schema-1 compatibility: pre-seed stores imply
+            # the default workload seed.
+            seed=int(payload.get("seed", 1)),
             races_enabled=frozenset(payload["races_enabled"]),
             cycles=int(payload["cycles"]),
             dram_data=int(payload["dram_data"]),
@@ -117,6 +131,73 @@ def record_from_dict(payload: dict):
         )
     except (KeyError, TypeError, ValueError) as err:
         raise StoreCorruption(f"entry failed validation: {err}") from err
+
+
+# ----------------------------------------------------------------------
+# Content addressing
+# ----------------------------------------------------------------------
+def _jsonify(value):
+    """JSON fallback for config objects (enums -> values, sets -> sorted)."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    raise TypeError(f"{value!r} is not canonically serializable")
+
+
+def canonical_json(payload) -> str:
+    """Machine-stable JSON text: sorted keys, tight separators.
+
+    Two equal payloads produce byte-identical text on every machine and
+    Python version, which is what makes hashing it a portable identity.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=_jsonify
+    )
+
+
+def semantic_record_dict(record) -> dict:
+    """The record's wire form minus non-semantic fields.
+
+    Two runs of the same unit on different machines (or at different
+    parallelism) must compare equal here even though their wall-clock
+    times differ.
+    """
+    payload = record_to_dict(record)
+    for field in NON_SEMANTIC_FIELDS:
+        payload.pop(field, None)
+    return payload
+
+
+def unit_digest(
+    app: str, detector: str, memory: str, races: Iterable[str],
+    seed: int = 1,
+) -> str:
+    """Content address of one work unit: a stable SHA-256 hex digest.
+
+    The identity hashes what *determines the simulation's output* — the
+    resolved GPU configuration, the resolved detector configuration, the
+    kernel identity (app + enabled race flags), the workload seed, and
+    the record schema version (so a schema bump invalidates every cached
+    result instead of replaying stale wire formats).  Nothing volatile
+    (timestamps, host names, wall-clock) is hashed, so the digest is
+    identical across machines and across time.
+
+    Detector and memory *labels* are resolved to their configurations
+    before hashing: two labels naming the same configuration share cache
+    entries.
+    """
+    from repro.experiments.runner import DETECTORS, gpu_config_for
+
+    identity = {
+        "schema": SCHEMA_VERSION,
+        "app": app,
+        "races": sorted(races),
+        "seed": int(seed),
+        "detector": dataclasses.asdict(DETECTORS[detector]),
+        "gpu": dataclasses.asdict(gpu_config_for(memory)),
+    }
+    return hashlib.sha256(canonical_json(identity).encode("utf-8")).hexdigest()
 
 
 def atomic_write_json(path, payload) -> None:

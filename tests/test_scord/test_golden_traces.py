@@ -1,0 +1,74 @@
+"""Golden-trace regression tests: the detector's verdicts, pinned.
+
+Each fixture under ``golden/`` is the canonical race report
+(:func:`repro.scord.trace.race_report_json`) of one racey
+microbenchmark under full ScoRD, committed to the repository.  The test
+re-runs the micro and compares the export *bit for bit* — any change in
+what is detected (type, scope class, array, racing source location)
+fails loudly instead of drifting silently.
+
+If a change legitimately alters detection (or moves a kernel's source
+lines), regenerate with::
+
+    PYTHONPATH=src python tests/test_scord/test_golden_traces.py
+
+which rewrites the fixtures in place; the diff then documents the drift.
+"""
+
+import os
+
+import pytest
+
+from repro.arch.detector_config import DetectorConfig
+from repro.scor.micro.base import run_micro
+from repro.scor.micro.registry import racey_micros
+from repro.scord.trace import race_report_json
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+#: one micro per category (fence / atomics / lock)
+GOLDEN_MICROS = (
+    "fence_block_scope_cross_block",
+    "atomic_block_scope_cross_block",
+    "lock_missing_on_store",
+)
+
+
+def _micro(name):
+    for micro in racey_micros():
+        if micro.name == name:
+            return micro
+    raise KeyError(name)
+
+
+def _export(name) -> str:
+    gpu = run_micro(_micro(name), detector_config=DetectorConfig.scord())
+    return race_report_json(gpu.races)
+
+
+@pytest.mark.parametrize("name", GOLDEN_MICROS)
+def test_race_report_matches_golden_fixture(name):
+    path = os.path.join(GOLDEN_DIR, name + ".json")
+    with open(path, "r") as handle:
+        golden = handle.read()
+    exported = _export(name)
+    assert exported == golden, (
+        f"{name}: detector race report drifted from the committed golden "
+        f"fixture {path}.\n--- golden ---\n{golden}\n--- current ---\n"
+        f"{exported}\nIf the change is intentional, regenerate the "
+        "fixtures (see module docstring)."
+    )
+
+
+def test_export_is_deterministic():
+    name = GOLDEN_MICROS[0]
+    assert _export(name) == _export(name)
+
+
+if __name__ == "__main__":  # fixture regeneration entry point
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for name in GOLDEN_MICROS:
+        path = os.path.join(GOLDEN_DIR, name + ".json")
+        with open(path, "w") as handle:
+            handle.write(_export(name))
+        print(f"regenerated {path}")
