@@ -59,6 +59,59 @@ def table6_units(flags_per_app: int = 0) -> list:
     return units
 
 
+def bench_telemetry(repeats: int = 3) -> dict:
+    """Telemetry-on vs -off overhead on one in-process app simulation.
+
+    Three variants of the same workload, min-of-*repeats* each:
+    ``off`` (no telemetry object at all), ``disabled`` (a Telemetry
+    bundle with tracing off — what tier-1 tests pay), and ``tracing``
+    (full spans, warp-step sampling, and fabric counter tracks).
+    """
+    from repro.scor.apps.registry import app_by_name
+    from repro.scor.apps.base import run_app
+    from repro.experiments.runner import DETECTORS
+    from repro.telemetry import Telemetry, TraceConfig
+
+    app_cls = app_by_name("1DC")
+
+    def once(make_telemetry, sample_interval):
+        telemetry = make_telemetry()
+        started = time.perf_counter()
+        run_app(
+            app_cls(),
+            detector_config=DETECTORS["scord"],
+            telemetry=telemetry,
+            sample_interval=sample_interval,
+        )
+        return time.perf_counter() - started
+
+    def best(make_telemetry, sample_interval=0):
+        return min(
+            once(make_telemetry, sample_interval) for _ in range(repeats)
+        )
+
+    once(lambda: None, 0)  # warm imports/allocators out of the timings
+    off = best(lambda: None)
+    disabled = best(Telemetry.disabled)
+    tracing = best(
+        lambda: Telemetry(TraceConfig(warp_step_interval=64)),
+        sample_interval=2000,
+    )
+
+    def ratio(a, b):
+        return round(a / b, 3) if b > 0 else None
+
+    return {
+        "workload": "1DC/scord/default",
+        "repeats": repeats,
+        "off_seconds": round(off, 4),
+        "disabled_seconds": round(disabled, 4),
+        "tracing_seconds": round(tracing, 4),
+        "disabled_overhead": ratio(disabled, off),
+        "tracing_overhead": ratio(tracing, off),
+    }
+
+
 def run_phase(units, jobs, cache, timeout, verbose) -> dict:
     executor = CampaignExecutor(timeout=timeout, max_retries=1)
     parallel = ParallelCampaignExecutor(
@@ -126,6 +179,12 @@ def main(argv=None) -> int:
     log(f"[bench]   {warm['seconds']}s, "
         f"{warm['cache_hits']}/{len(units)} cache hits")
 
+    log("[bench] telemetry overhead (in-process, telemetry on vs off)")
+    telemetry = bench_telemetry()
+    log(f"[bench]   off {telemetry['off_seconds']}s, disabled "
+        f"x{telemetry['disabled_overhead']}, tracing "
+        f"x{telemetry['tracing_overhead']}")
+
     def merged(phase):
         return [
             (u.spec.key(), semantic_record_dict(u.record))
@@ -157,6 +216,9 @@ def main(argv=None) -> int:
         "parallel_speedup": ratio(serial["seconds"], cold["seconds"]),
         "warm_speedup": ratio(cold["seconds"], warm["seconds"]),
         "cache_hit_rate": ratio(warm["cache_hits"], len(units)),
+        # A separate top-level key: the phases dict is shape-checked by
+        # CI (every entry has "failed"), telemetry timings are not phases.
+        "telemetry": telemetry,
     }
     atomic_write_json(args.out, payload)
     log(f"[bench] wrote {args.out}: parallel x{payload['parallel_speedup']}"

@@ -182,6 +182,10 @@ class HangReport:
     events_processed: int
     cycle: int
     trace: List[str] = dataclasses.field(default_factory=list)
+    #: the telemetry tracer's open-span stack at hang time (outermost
+    #: first), e.g. ["campaign", "exhibit:table6", "unit:UTS/scord",
+    #: "kernel:uts_expand"] — which campaign step was wedged
+    span_stack: List[str] = dataclasses.field(default_factory=list)
 
     def blocked_summary(self, limit: int = 4) -> str:
         """Short, message-grade naming of the offending warps."""
@@ -201,6 +205,10 @@ class HangReport:
         ]
         for warp in self.live_warps:
             lines.append(f"  {warp.describe()}")
+        if self.span_stack:
+            lines.append(
+                "  active telemetry spans: " + " > ".join(self.span_stack)
+            )
         if self.trace:
             lines.append(f"  last {len(self.trace)} memory op(s):")
             lines.extend(f"    {entry}" for entry in self.trace)

@@ -34,17 +34,29 @@ class CounterBag:
         return name in self._counts
 
     def __iter__(self) -> Iterator[str]:
-        return iter(sorted(self._counts))
+        return iter(sorted(self.as_dict()))
 
     def as_dict(self) -> Dict[str, int]:
-        """Snapshot of all non-zero counters."""
-        return dict(self._counts)
+        """Snapshot of all non-zero counters.
+
+        This is the bag's *single* snapshot path: iteration, merging,
+        ``repr`` and every external consumer (launch deltas, the
+        telemetry metrics registry's
+        :meth:`~repro.telemetry.metrics.MetricsRegistry.bind_bag`
+        adapter) all read through it, so its contract — a detached dict
+        of the non-zero counters — holds everywhere.
+        """
+        return {
+            name: value for name, value in self._counts.items() if value
+        }
 
     def merge(self, other: "CounterBag") -> None:
         """Add every counter of *other* into this bag."""
-        for name, amount in other._counts.items():
+        for name, amount in other.as_dict().items():
             self.add(name, amount)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        inner = ", ".join(
+            f"{k}={v}" for k, v in sorted(self.as_dict().items())
+        )
         return f"CounterBag({inner})"

@@ -48,6 +48,7 @@ class GPU:
         shmem_check: bool = False,
         sample_interval: int = 0,
         guard=None,
+        telemetry=None,
     ):
         self.config = config if config is not None else GPUConfig.scaled_default()
         self.detector_config = (
@@ -92,9 +93,56 @@ class GPU:
         # Optional watchdog (see repro.common.guard): wall-clock deadline
         # and event-budget limits enforced from inside the event loop.
         self.guard = guard
+        # Optional telemetry bundle (see repro.telemetry): binds the
+        # stats bag and hardware-structure gauges into the metrics
+        # registry and traces launches as kernel spans.
+        self.telemetry = telemetry
+        # Each GPU gets its own simulated-cycles track: cycle clocks
+        # restart at 0 per simulation, so sharing a track across a
+        # campaign's runs would make kernel spans falsely overlap.
+        self._sim_track = 0
+        if telemetry is not None:
+            telemetry.metrics.bind_bag(self.stats, key="engine.gpu.bag")
+            telemetry.metrics.register_collector(
+                self._collect_telemetry, key="engine.gpu"
+            )
+            self._sim_track = telemetry.tracer.alloc_sim_track()
+            if self.sampler is not None:
+                telemetry.tracer.add_counter_source(
+                    self.sampler.counter_events
+                )
         self.clock = 0
         self.launches: List[LaunchResult] = []
         self._next_warp_uid = 0
+
+    def _collect_telemetry(self) -> dict:
+        """Engine/timing/detector gauges for the metrics registry."""
+        fabric = self.fabric
+        noc_busy = fabric.noc_up.busy_cycles + fabric.noc_down.busy_cycles
+        dram_busy = fabric.dram.total_busy_cycles
+        l2_busy = sum(bank.busy_cycles for bank in fabric.l2_banks)
+        out = {
+            "engine.gpu.cycles": float(self.clock),
+            "engine.gpu.launches": float(len(self.launches)),
+            "engine.gpu.warp_instructions": float(
+                sum(launch.instructions for launch in self.launches)
+            ),
+            "timing.noc.busy_cycles": float(noc_busy),
+            "timing.dram.busy_cycles": float(dram_busy),
+            "timing.l2.busy_cycles": float(l2_busy),
+        }
+        if self.clock:
+            out["timing.noc.utilization"] = round(
+                noc_busy / (2 * self.clock), 6
+            )
+            out["timing.dram.utilization"] = round(
+                dram_busy / (fabric.dram.num_channels * self.clock), 6
+            )
+            out["timing.l2.utilization"] = round(
+                l2_busy / (len(fabric.l2_banks) * self.clock), 6
+            )
+        out.update(self.detector.telemetry_snapshot())
+        return out
 
     # ------------------------------------------------------------------
     # Host-side memory API
@@ -136,6 +184,30 @@ class GPU:
         return, all effects are visible to the host and the clock has
         advanced past the kernel's completion.
         """
+        name = getattr(kernel, "__name__", str(kernel))
+        if self.telemetry is None:
+            return self._launch(kernel, name, grid, block_dim, args)
+        tracer = self.telemetry.tracer
+        with tracer.span(
+            f"kernel:{name}", cat="engine", grid=grid, block_dim=block_dim
+        ), self.telemetry.profiler.phase("engine.launch") as prof:
+            result = self._launch(
+                kernel, name, grid, block_dim, args, tracer=tracer
+            )
+            prof.add_ops(result.events)
+        tracer.sim_span(
+            f"kernel:{name}",
+            result.start_cycle,
+            result.end_cycle,
+            track=self._sim_track,
+            cat="engine",
+            instructions=result.instructions,
+        )
+        return result
+
+    def _launch(
+        self, kernel, name, grid, block_dim, args, tracer=None
+    ) -> LaunchResult:
         self.detector.on_kernel_boundary()
         if self.shmem_checker is not None:
             self.shmem_checker.new_launch()
@@ -149,6 +221,7 @@ class GPU:
             self.clock,
             self._next_warp_uid,
             guard=self.guard,
+            tracer=tracer,
         )
         end_cycle = run.run()
         self._next_warp_uid = run._next_warp_uid
@@ -156,6 +229,10 @@ class GPU:
         self.detector.finalize()
         if self.sampler is not None:
             self.sampler.finish(end_cycle)
+        # Scheduler-health accounting: warp issues are counted by the
+        # run itself (no per-step cost), folded into the bag here so the
+        # launch delta and the metrics registry both see them.
+        self.stats.add("sched.warp_issues", run.instructions)
 
         after = self.stats.as_dict()
         delta = CounterBag()
@@ -164,13 +241,14 @@ class GPU:
             if diff:
                 delta.add(key, diff)
         result = LaunchResult(
-            kernel_name=getattr(kernel, "__name__", str(kernel)),
+            kernel_name=name,
             cycles=end_cycle - self.clock,
             start_cycle=self.clock,
             end_cycle=end_cycle,
             stats=delta,
             races=self.races,
             instructions=run.instructions,
+            events=run.events_processed,
         )
         self.clock = end_cycle
         self.launches.append(result)

@@ -31,6 +31,9 @@ class LaunchResult:
     stats: CounterBag
     races: RaceReport
     instructions: int
+    #: simulator event-loop callbacks processed (the launch's "ops" for
+    #: telemetry throughput accounting)
+    events: int = 0
 
     @property
     def dram_accesses(self) -> Dict[str, int]:

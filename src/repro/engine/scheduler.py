@@ -129,6 +129,7 @@ class KernelRun:
         start_cycle: int,
         warp_uid_base: int,
         guard: Optional[Watchdog] = None,
+        tracer=None,
     ):
         config = pipeline.config
         if block_dim <= 0 or grid <= 0:
@@ -161,6 +162,16 @@ class KernelRun:
         self.active_blocks: List[_Block] = []
         trace_depth = guard.config.trace_depth if guard is not None else 32
         self.trace = OpTrace(trace_depth)
+        self.events_processed = 0
+        # Telemetry hook (repro.telemetry.Tracer).  When warp-step
+        # sampling is on, every Nth issue of each warp emits an instant
+        # event on the warp's simulated-cycles track.
+        self.tracer = tracer
+        self._step_interval = (
+            tracer.config.warp_step_interval
+            if tracer is not None and tracer.enabled
+            else 0
+        )
 
     # ------------------------------------------------------------------
     # Placement
@@ -269,6 +280,18 @@ class KernelRun:
         issue = sm.issue.reserve(now, 1, 0)
         completion = self._execute(warp, issue, ops)
         self.instructions += 1
+        if (
+            self._step_interval
+            and self.instructions % self._step_interval == 0
+        ):
+            self.tracer.sim_instant(
+                "warp-step",
+                issue,
+                track=warp.uid,
+                sm=warp.sm_id,
+                block=warp.block.bid,
+                warp=warp.warp_id,
+            )
         if completion <= issue:
             completion = issue + 1
         self.end_cycle = max(self.end_cycle, completion)
@@ -354,6 +377,8 @@ class KernelRun:
         for tid, value in results.items():
             lane = tid - warp.warp_id * self.config.threads_per_warp
             warp.pending[lane] = value
+        if stall:
+            self.pipeline.stats.add("sched.stall_cycles", stall)
         return completion + stall
 
     # ------------------------------------------------------------------
@@ -363,12 +388,14 @@ class KernelRun:
         warp.at_barrier = True
         block = warp.block
         block.barrier_arrivals += 1
+        self.pipeline.stats.add("sched.barrier.arrivals")
         if block.barrier_arrivals >= block.live_warps:
             self._release_barrier(block, now)
 
     def _release_barrier(self, block: _Block, now: int) -> None:
         block.barrier_arrivals = 0
         block.barrier_epoch += 1
+        self.pipeline.stats.add("sched.barrier.releases")
         participants = [w.uid for w in block.warps if w.live]
         self.pipeline.visibility.barrier_drain(block.sm_id, participants)
         if self.pipeline.detection_on:
@@ -450,6 +477,9 @@ class KernelRun:
             events_processed=events_processed,
             cycle=self.events.now,
             trace=self.trace.render(),
+            span_stack=(
+                self.tracer.active_stack() if self.tracer is not None else []
+            ),
         )
 
     def _watcher(self, guard: Watchdog):
@@ -481,6 +511,7 @@ class KernelRun:
         processed = self.events.run(
             max_events=budget, watcher=watcher, watch_interval=watch_interval
         )
+        self.events_processed = processed
         if not self.events.empty:
             report = self.hang_report(processed)
             raise EventBudgetExceeded(

@@ -291,8 +291,16 @@ class CampaignRunner(Runner):
         verbose: bool = True,
         store: Optional[RunStore] = None,
         preload: bool = True,
+        telemetry=None,
     ):
-        super().__init__(verbose=verbose, store=store, preload=preload)
+        # Telemetry note: kernel-level spans only exist for in-process
+        # simulation; isolated workers run in their own interpreter, so
+        # this runner's traces stop at the unit span (which still times
+        # the worker round-trip).
+        super().__init__(
+            verbose=verbose, store=store, preload=preload,
+            telemetry=telemetry,
+        )
         self.executor = executor
         self.failures: List[RunFailure] = []
         #: units a parallel prefetch already failed permanently; keyed by

@@ -32,6 +32,7 @@ Parallelism and caching (see docs/architecture.md, "Parallel campaigns"):
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
 import time
@@ -209,7 +210,41 @@ def _build_parser() -> argparse.ArgumentParser:
         help="do not read or write the result cache even if --cache-dir "
         "is given",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a Chrome trace_event JSON (load in Perfetto / "
+        "chrome://tracing) of the campaign to PATH, plus a compact "
+        "JSONL sibling",
+    )
+    parser.add_argument(
+        "--trace-filter",
+        metavar="SPEC",
+        help="trace filter, e.g. 'level=info,cat=exp+engine,steps=64' "
+        "(see docs/architecture.md §8)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the metrics registry as Prometheus text to PATH "
+        "(and JSON to PATH.json)",
+    )
     return parser
+
+
+def _build_telemetry(args):
+    """A Telemetry bundle when any telemetry output was requested."""
+    if not (args.trace or args.metrics_out):
+        return None
+    from repro.telemetry import Telemetry, TraceConfig
+
+    if args.trace_filter:
+        config = TraceConfig.parse_filter(args.trace_filter)
+    else:
+        config = TraceConfig()
+    if not args.trace:
+        config = dataclasses.replace(config, enabled=False)
+    return Telemetry(config)
 
 
 def _build_cache(args):
@@ -220,7 +255,7 @@ def _build_cache(args):
     return ResultCache(args.cache_dir)
 
 
-def _build_runner(args, cache=None) -> Runner:
+def _build_runner(args, cache=None, telemetry=None) -> Runner:
     store = None
     if args.store:
         from repro.experiments.store import RunStore
@@ -236,7 +271,7 @@ def _build_runner(args, cache=None) -> Runner:
     if not isolate:
         return Runner(
             verbose=verbose, store=store, preload=args.resume,
-            result_cache=cache,
+            result_cache=cache, telemetry=telemetry,
         )
     from repro.experiments.campaign import CampaignExecutor, CampaignRunner
 
@@ -247,14 +282,31 @@ def _build_runner(args, cache=None) -> Runner:
         verbose=verbose,
     )
     runner = CampaignRunner(
-        executor, verbose=verbose, store=store, preload=args.resume
+        executor, verbose=verbose, store=store, preload=args.resume,
+        telemetry=telemetry,
     )
     runner.result_cache = cache
     return runner
 
 
+def _profile_section(runner, telemetry, elapsed_seconds):
+    """The manifest's campaign-profiling block (None without telemetry)."""
+    if telemetry is None:
+        return None
+    from repro.telemetry import shard_utilization, source_latencies
+
+    section = {"phases": telemetry.profiler.as_dict()}
+    outcome = getattr(runner, "last_parallel_outcome", None)
+    if outcome is not None:
+        section["shards"] = shard_utilization(
+            outcome.outcomes, outcome.elapsed_seconds
+        )
+        section["unit_sources"] = source_latencies(outcome.outcomes)
+    return section
+
+
 def _write_manifest(
-    path, wanted, exhibit_errors, runner, elapsed_seconds
+    path, wanted, exhibit_errors, runner, elapsed_seconds, telemetry=None
 ) -> None:
     from repro.experiments.store import SCHEMA_VERSION, atomic_write_json
 
@@ -293,12 +345,72 @@ def _write_manifest(
                 if runner.result_cache is not None
                 else None
             ),
+            "profile": _profile_section(runner, telemetry, elapsed_seconds),
             "elapsed_seconds": round(elapsed_seconds, 3),
         },
     )
 
 
+def report_main(argv) -> int:
+    """``scord-experiments report``: render a telemetry text dashboard."""
+    parser = argparse.ArgumentParser(
+        prog="scord-experiments report",
+        description="Render a text dashboard from telemetry artifacts "
+        "(any subset of a Chrome trace, a metrics JSON, and a campaign "
+        "manifest).",
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help="Chrome trace JSON written by --trace",
+    )
+    parser.add_argument(
+        "--metrics", metavar="PATH",
+        help="metrics JSON written next to --metrics-out (PATH.json)",
+    )
+    parser.add_argument(
+        "--manifest", metavar="PATH",
+        help="campaign manifest written by --manifest",
+    )
+    parser.add_argument(
+        "--top", type=int, default=20, metavar="N",
+        help="counters shown in the top-counters table (default 20)",
+    )
+    args = parser.parse_args(argv)
+    if not (args.trace or args.metrics or args.manifest):
+        parser.error("nothing to report: give --trace, --metrics, "
+                     "or --manifest")
+    import json
+
+    from repro.telemetry import render_dashboard
+
+    def load(path):
+        if not path:
+            return None
+        with open(path, "r") as handle:
+            return json.load(handle)
+
+    try:
+        print(
+            render_dashboard(
+                trace=load(args.trace),
+                metrics=load(args.metrics),
+                manifest=load(args.manifest),
+                top=args.top,
+            )
+        )
+    except BrokenPipeError:
+        # `report ... | head` closes stdout early; that is not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    return 0
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "report":
+        return report_main(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
 
@@ -314,22 +426,46 @@ def main(argv=None) -> int:
         parser.error("--jobs must be >= 0 (0 = one per CPU)")
 
     cache = _build_cache(args)
-    runner = _build_runner(args, cache=cache)
+    try:
+        telemetry = _build_telemetry(args)
+    except ValueError as error:
+        parser.error(f"--trace-filter: {error}")
+    runner = _build_runner(args, cache=cache, telemetry=telemetry)
     runners = _exhibit_runners()
     started = time.time()
+    campaign_span = None
+    if telemetry is not None:
+        campaign_span = telemetry.tracer.span(
+            "campaign", cat="exp", exhibits=wanted, jobs=args.jobs
+        )
+        campaign_span.__enter__()
     plannable = [name for name in wanted if name in RUNNER_EXHIBITS]
     if args.jobs != 1 and plannable:
         from repro.experiments.parallel import prefetch_exhibits
 
         jobs = args.jobs or (os.cpu_count() or 1)
-        prefetch_exhibits(
-            runner, runners, plannable, jobs=jobs, cache=cache,
-            verbose=not args.quiet,
-        )
+        if telemetry is not None:
+            with telemetry.tracer.span("parallel-prefetch", cat="exp"), \
+                    telemetry.profiler.phase("exp.prefetch"):
+                prefetch_exhibits(
+                    runner, runners, plannable, jobs=jobs, cache=cache,
+                    verbose=not args.quiet,
+                )
+        else:
+            prefetch_exhibits(
+                runner, runners, plannable, jobs=jobs, cache=cache,
+                verbose=not args.quiet,
+            )
     exhibit_errors = {}
     for name in wanted:
         try:
-            print(runners[name](runner))
+            if telemetry is not None:
+                with telemetry.tracer.span(f"exhibit:{name}", cat="exp"), \
+                        telemetry.profiler.phase(f"exp.render.{name}"):
+                    text = runners[name](runner)
+            else:
+                text = runners[name](runner)
+            print(text)
         except ReproError as err:
             # One exhibit failing must not abort the campaign: report a
             # single structured line and keep rendering the rest.
@@ -343,10 +479,18 @@ def main(argv=None) -> int:
     if args.dump:
         runner.dump_json(args.dump)
         print(f"[raw records written to {args.dump}]", file=sys.stderr)
+    if campaign_span is not None:
+        campaign_span.__exit__(None, None, None)
     elapsed = time.time() - started
     if args.manifest:
-        _write_manifest(args.manifest, wanted, exhibit_errors, runner, elapsed)
+        _write_manifest(
+            args.manifest, wanted, exhibit_errors, runner, elapsed,
+            telemetry=telemetry,
+        )
         print(f"[manifest written to {args.manifest}]", file=sys.stderr)
+    if telemetry is not None:
+        for written in telemetry.export(args.trace, args.metrics_out):
+            print(f"[telemetry written to {written}]", file=sys.stderr)
     failed_runs = getattr(runner, "failures", [])
     cached = f", {runner.cached_runs} cached" if runner.cached_runs else ""
     print(

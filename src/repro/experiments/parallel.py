@@ -286,6 +286,7 @@ class ParallelCampaignExecutor:
         store=None,
         verbose: bool = False,
         progress_stream=None,
+        telemetry=None,
     ):
         if jobs < 0:
             raise ConfigError("jobs must be >= 0 (0 = one per CPU)")
@@ -295,6 +296,9 @@ class ParallelCampaignExecutor:
         self.store = store
         self.verbose = verbose
         self.progress_stream = progress_stream or sys.stderr
+        #: optional :class:`repro.telemetry.Telemetry` — unit spans land
+        #: on each dispatcher thread's own trace track
+        self.telemetry = telemetry
         self._store_lock = threading.Lock()
         self._progress_lock = threading.Lock()
         self._done = 0
@@ -342,6 +346,24 @@ class ParallelCampaignExecutor:
 
     # ------------------------------------------------------------------
     def _run_one(self, shard_id: int, spec: RunSpec) -> UnitOutcome:
+        if self.telemetry is None:
+            return self._run_one_inner(shard_id, spec)
+        with self.telemetry.tracer.span(
+            f"unit:{spec.describe()}", cat="exp", shard=shard_id,
+        ):
+            outcome = self._run_one_inner(shard_id, spec)
+        metrics = self.telemetry.metrics
+        source = "failed" if outcome.failure is not None else outcome.source
+        metrics.counter("exp.shard.units", shard=str(shard_id)).inc()
+        metrics.counter(
+            "exp.shard.busy_seconds", shard=str(shard_id)
+        ).inc(outcome.seconds)
+        metrics.histogram(
+            "exp.unit.seconds", source=source
+        ).observe(outcome.seconds)
+        return outcome
+
+    def _run_one_inner(self, shard_id: int, spec: RunSpec) -> UnitOutcome:
         started = time.time()
         if self.cache is not None:
             record = self.cache.get_spec(spec)
@@ -510,10 +532,14 @@ def prefetch_exhibits(
             cache=cache,
             store=store,
             verbose=verbose,
+            telemetry=runner.telemetry,
         )
         outcome = parallel.run_units(pending)
     finally:
         executor.store_path = worker_store_path
+    # The manifest's profile section reports per-shard utilization and
+    # cache hit/miss latency from the most recent parallel phase.
+    runner.last_parallel_outcome = outcome
     for unit in outcome.outcomes:
         if unit.record is not None:
             runner._cache[unit.spec.key()] = unit.record

@@ -86,10 +86,14 @@ class Runner:
         preload: bool = True,
         guard_factory=None,
         result_cache=None,
+        telemetry=None,
     ):
         self._cache: Dict[Tuple, RunRecord] = {}
         self.verbose = verbose
         self._store = store
+        #: optional :class:`repro.telemetry.Telemetry` bundle — unit
+        #: spans, per-source latency histograms, and campaign totals
+        self.telemetry = telemetry
         #: simulations actually executed by this process (cache misses)
         self.fresh_runs = 0
         #: records recovered from the store rather than simulated
@@ -131,6 +135,7 @@ class Runner:
             return cached
 
         if self.result_cache is not None:
+            started = time.time()
             hit = self.result_cache.get(
                 app_cls.name, detector, memory, races, seed
             )
@@ -138,6 +143,10 @@ class Runner:
                 self.cached_runs += 1
                 self._cache[key] = hit
                 self._persist(hit)
+                self._observe_unit(
+                    app_cls.name, detector, memory,
+                    "cache", time.time() - started, hit,
+                )
                 return hit
 
         if self.verbose:
@@ -149,13 +158,43 @@ class Runner:
                 file=sys.stderr,
                 flush=True,
             )
-        record = self._simulate(app_cls, detector, memory, races, seed)
+        started = time.time()
+        if self.telemetry is not None:
+            with self.telemetry.tracer.span(
+                f"unit:{app_cls.name}/{detector}/{memory}",
+                cat="exp",
+                races=sorted(races),
+                seed=seed,
+            ):
+                record = self._simulate(app_cls, detector, memory, races, seed)
+        else:
+            record = self._simulate(app_cls, detector, memory, races, seed)
         self.fresh_runs += 1
         self._cache[key] = record
         self._persist(record)
         if self.result_cache is not None:
             self.result_cache.put(record)
+        self._observe_unit(
+            app_cls.name, detector, memory,
+            "run", time.time() - started, record,
+        )
         return record
+
+    def _observe_unit(
+        self, app: str, detector: str, memory: str,
+        source: str, seconds: float, record: RunRecord,
+    ) -> None:
+        """Fold one completed unit into the campaign-level metrics."""
+        if self.telemetry is None:
+            return
+        metrics = self.telemetry.metrics
+        metrics.counter("exp.units.total").inc()
+        metrics.counter(f"exp.units.{source}").inc()
+        metrics.histogram("exp.unit.seconds", source=source).observe(seconds)
+        metrics.counter("exp.sim.cycles").inc(record.cycles)
+        metrics.counter("exp.sim.dram.data").inc(record.dram_data)
+        metrics.counter("exp.sim.dram.metadata").inc(record.dram_metadata)
+        metrics.counter("exp.sim.races.unique").inc(record.unique_races)
 
     # -- overridable by the campaign layer -----------------------------
     def _simulate(
@@ -170,11 +209,16 @@ class Runner:
         started = time.time()
         app = app_cls(races=races, seed=seed)
         guard = self.guard_factory() if self.guard_factory else None
+        # With tracing on, also sample the timing fabric so the trace
+        # carries utilization counter tracks alongside the kernel spans.
+        tracing = self.telemetry is not None and self.telemetry.enabled
         gpu = run_app(
             app,
             detector_config=DETECTORS[detector],
             gpu_config=gpu_config_for(memory),
             guard=guard,
+            telemetry=self.telemetry,
+            sample_interval=2000 if tracing else 0,
         )
         try:
             verified = app.verify(gpu)

@@ -96,11 +96,16 @@ def run_app(
     gpu_config: Optional[GPUConfig] = None,
     capacity_bytes: int = 256 * 1024,
     guard=None,
+    telemetry=None,
+    sample_interval: int = 0,
 ) -> GPU:
     """Run one application configuration on a fresh GPU.
 
     *guard* is an optional :class:`repro.common.guard.Watchdog` enforcing
     a wall-clock deadline / event budget across the app's launches.
+    *telemetry* is an optional :class:`repro.telemetry.Telemetry` bundle;
+    when given, launches are traced as kernel spans and the GPU's stats
+    feed the metrics registry.
     """
     config = gpu_config if gpu_config is not None else GPUConfig.scaled_default()
     dconf = detector_config if detector_config is not None else DetectorConfig.scord()
@@ -109,6 +114,8 @@ def run_app(
         detector_config=dconf,
         capacity_bytes=capacity_bytes,
         guard=guard,
+        telemetry=telemetry,
+        sample_interval=sample_interval,
     )
     app.run(gpu)
     return gpu

@@ -151,11 +151,18 @@ def run_micro(
     micro: Micro,
     detector_config: Optional[DetectorConfig] = None,
     gpu_config: Optional[GPUConfig] = None,
+    telemetry=None,
+    sample_interval: int = 0,
 ) -> GPU:
     """Run one microbenchmark on a fresh GPU; returns it for inspection."""
     config = gpu_config if gpu_config is not None else GPUConfig.scaled_default()
     dconf = detector_config if detector_config is not None else DetectorConfig.scord()
-    gpu = GPU(config=config, detector_config=dconf)
+    gpu = GPU(
+        config=config,
+        detector_config=dconf,
+        telemetry=telemetry,
+        sample_interval=sample_interval,
+    )
     mem = MicroMem(
         data=gpu.alloc(8, "data"),
         flag=gpu.alloc(1, "flag"),

@@ -487,6 +487,42 @@ class ScoRDDetector(BaseDetector):
     def finalize(self) -> None:
         pass
 
+    def telemetry_snapshot(self) -> dict:
+        """Gauges over the hardware structures (metrics registry hook).
+
+        Exposes what the paper's evaluation keeps projecting: metadata
+        residency/occupancy, metadata-cache effectiveness (tag hit
+        rate), and the lock tables' Bloom-summary fill — all as
+        ``scord.*`` metrics.
+        """
+        out = super().telemetry_snapshot()
+        md = self.metadata
+        out["scord.md.entries"] = float(md.num_entries)
+        out["scord.md.resident_entries"] = float(md.resident_entries)
+        if md.num_entries:
+            out["scord.md.occupancy"] = round(
+                md.resident_entries / md.num_entries, 6
+            )
+        out["scord.md.lookups"] = float(md.lookups)
+        out["scord.md.tag_misses"] = float(md.tag_misses)
+        if md.lookups:
+            out["scord.md.tag_hit_rate"] = round(
+                1.0 - md.tag_misses / md.lookups, 6
+            )
+        tables = list(self._lock_tables.values())
+        out["scord.locktable.tables"] = float(len(tables))
+        if tables:
+            held = sum(t.held_count() for t in tables)
+            pending = sum(t.pending_count() for t in tables)
+            bits = self.config.bloom_bits
+            fill = sum(
+                bin(t.active_bloom()).count("1") / bits for t in tables
+            ) / len(tables)
+            out["scord.locktable.held"] = float(held)
+            out["scord.locktable.pending"] = float(pending)
+            out["scord.bloom.fill"] = round(fill, 6)
+        return out
+
     # Introspection helpers (tests/experiments).
     @property
     def md_cache_skips(self) -> int:

@@ -87,6 +87,17 @@ class BaseDetector:
     def finalize(self) -> None:
         """Kernel completed."""
 
+    def telemetry_snapshot(self) -> dict:
+        """Detector gauges for the telemetry metrics registry.
+
+        Subclasses extend this with hardware-structure occupancy; the
+        base contributes what every detector has — the race report.
+        """
+        return {
+            "scord.races.unique": float(self.report.unique_count),
+            "scord.races.occurrences": float(len(self.report)),
+        }
+
 
 class NullDetector(BaseDetector):
     """Race detection turned off (the paper's production-run mode)."""

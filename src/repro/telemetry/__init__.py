@@ -1,0 +1,126 @@
+"""Unified telemetry: tracing, metrics, and profiling for the whole stack.
+
+One :class:`Telemetry` object bundles the three observability surfaces
+and is threaded (optionally — everything accepts ``telemetry=None``)
+through the simulator, the detector, and the experiment harness:
+
+* :class:`~repro.telemetry.tracing.Tracer` — hierarchical spans
+  (``campaign → exhibit → unit → kernel → warp-step``) exported as
+  Chrome ``trace_event`` JSON (Perfetto-loadable) and compact JSONL;
+* :class:`~repro.telemetry.metrics.MetricsRegistry` — named
+  Counter/Gauge/Histogram instruments plus pull-collectors over the
+  legacy :class:`~repro.common.stats.CounterBag`\\ s, exported as JSON
+  and Prometheus text format;
+* :class:`~repro.telemetry.profile.PhaseProfiler` — per-phase wall time
+  and ops/sec, embedded in the campaign manifest.
+
+Quick start::
+
+    from repro import GPU
+    from repro.telemetry import Telemetry, TraceConfig
+
+    telemetry = Telemetry(TraceConfig(warp_step_interval=64))
+    gpu = GPU(telemetry=telemetry, sample_interval=200)
+    gpu.launch(kernel, grid=8, block_dim=32, args=(data,))
+    telemetry.export(trace_path="trace.json", metrics_path="metrics.prom")
+
+On the command line, ``scord-experiments table6 --trace trace.json
+--metrics-out metrics.prom`` instruments a whole campaign, and
+``scord-experiments report --trace trace.json --metrics
+metrics.prom.json`` renders the text dashboard.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    canonical_counter_name,
+    validate_prometheus,
+)
+from repro.telemetry.profile import (
+    PhaseProfiler,
+    shard_utilization,
+    source_latencies,
+)
+from repro.telemetry.report import render_dashboard
+from repro.telemetry.tracing import (
+    NULL_TRACER,
+    SIM_PID,
+    WALL_PID,
+    TraceConfig,
+    Tracer,
+    validate_span_tree,
+)
+
+__all__ = [
+    "Telemetry",
+    "Tracer",
+    "TraceConfig",
+    "MetricsRegistry",
+    "PhaseProfiler",
+    "NULL_TRACER",
+    "WALL_PID",
+    "SIM_PID",
+    "canonical_counter_name",
+    "validate_prometheus",
+    "validate_span_tree",
+    "shard_utilization",
+    "source_latencies",
+    "render_dashboard",
+]
+
+
+class Telemetry:
+    """The bundle every layer receives: tracer + metrics + profiler."""
+
+    def __init__(self, trace: Optional[TraceConfig] = None):
+        config = trace if trace is not None else TraceConfig()
+        self.tracer: Tracer = Tracer(config) if config.enabled else NULL_TRACER
+        self.metrics = MetricsRegistry()
+        self.profiler = PhaseProfiler()
+        self.metrics.register_collector(self.profiler.collect_metrics)
+
+    @property
+    def enabled(self) -> bool:
+        """True when the tracer records (metrics always accumulate)."""
+        return self.tracer.enabled
+
+    @staticmethod
+    def disabled() -> "Telemetry":
+        """A telemetry bundle with tracing off — near-zero overhead.
+
+        Metrics instruments and collectors still work (they are pull
+        based and cost nothing until exported); only event recording is
+        disabled.
+        """
+        return Telemetry(TraceConfig(enabled=False))
+
+    # ------------------------------------------------------------------
+    def export(
+        self,
+        trace_path: Optional[str] = None,
+        metrics_path: Optional[str] = None,
+    ) -> list:
+        """Write the run's artifacts; returns the paths written.
+
+        *trace_path* receives the Chrome trace JSON plus a sibling
+        ``.jsonl`` stream; *metrics_path* receives the Prometheus text
+        exposition plus a sibling ``.json`` document.
+        """
+        written = []
+        if trace_path:
+            self.tracer.write_chrome(trace_path)
+            written.append(os.fspath(trace_path))
+            jsonl = os.path.splitext(os.fspath(trace_path))[0] + ".jsonl"
+            self.tracer.write_jsonl(jsonl)
+            written.append(jsonl)
+        if metrics_path:
+            self.metrics.write_prometheus(metrics_path)
+            written.append(os.fspath(metrics_path))
+            as_json = os.fspath(metrics_path) + ".json"
+            self.metrics.write_json(as_json)
+            written.append(as_json)
+        return written

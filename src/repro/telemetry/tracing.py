@@ -1,0 +1,485 @@
+"""Structured event tracing: hierarchical spans and typed events.
+
+The trace layer records what the stack *did* — a campaign opens a span,
+each exhibit opens a child span, each simulation unit a child of that,
+each kernel launch a child again, down to (sampled) warp-step instants —
+and exports two artifacts:
+
+* **Chrome ``trace_event`` JSON** (:meth:`Tracer.chrome` /
+  :meth:`Tracer.write_chrome`): loads directly in ``chrome://tracing``
+  or `Perfetto <https://ui.perfetto.dev>`_.  Wall-clock spans live under
+  the ``wall-clock`` process; simulator-side events (kernel spans in
+  cycles, warp-step samples, fabric-utilization counter tracks) live
+  under the ``simulated-cycles`` process so the two timelines never get
+  conflated.
+* A **compact JSONL stream** (:meth:`Tracer.write_jsonl`): one event per
+  line, grep/``jq``-friendly, in the same record shape.
+
+Cost model: a disabled tracer (:data:`NULL_TRACER`, or
+``TraceConfig(enabled=False)``) is a handful of no-op methods — call
+sites guard with ``tracer.enabled`` or hold ``None`` — so tier-1 runs
+pay ~zero for the instrumentation.  Severity and category filters drop
+events at *record* time; warp-step instants are sampled (every *N*-th
+issue), never unconditional.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import json
+import threading
+import time
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+#: severity ladder for typed events (spans default to "info")
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warn": 30, "error": 40}
+
+#: Chrome trace process ids for the two timelines
+WALL_PID = 1
+SIM_PID = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceConfig:
+    """What the tracer records.
+
+    ``warp_step_interval`` enables the deepest layer of the hierarchy:
+    every *N*-th warp issue emits a ``warp-step`` instant on the
+    simulated timeline (0 disables them — they are high-volume).
+    """
+
+    enabled: bool = True
+    #: drop events below this severity ("debug" records everything)
+    min_level: str = "debug"
+    #: record only these span/event categories (None = all)
+    categories: Optional[frozenset] = None
+    #: sample every Nth warp-step as a sim-timeline instant (0 = off)
+    warp_step_interval: int = 0
+    #: hard cap on retained events (overflow counted in Tracer.dropped)
+    max_events: int = 1_000_000
+
+    @staticmethod
+    def parse_filter(spec: Optional[str]) -> "TraceConfig":
+        """Build a config from a ``--trace-filter`` expression.
+
+        The grammar is ``key=value[,key=value...]`` with keys:
+
+        * ``level`` — minimum severity (debug/info/warn/error);
+        * ``cat``   — ``+``-separated category allowlist (e.g.
+          ``cat=exp+engine``);
+        * ``steps`` — warp-step sampling interval (integer);
+        * ``max``   — event cap.
+
+        >>> TraceConfig.parse_filter("level=info,cat=exp+engine,steps=64")
+        ... # doctest: +ELLIPSIS
+        TraceConfig(enabled=True, min_level='info', ...)
+        """
+        if not spec:
+            return TraceConfig()
+        kwargs: dict = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(
+                    f"bad --trace-filter clause {part!r} (want key=value)"
+                )
+            key, value = part.split("=", 1)
+            key, value = key.strip(), value.strip()
+            if key == "level":
+                if value not in LEVELS:
+                    raise ValueError(
+                        f"unknown level {value!r}; want one of "
+                        f"{sorted(LEVELS)}"
+                    )
+                kwargs["min_level"] = value
+            elif key == "cat":
+                kwargs["categories"] = frozenset(
+                    c for c in value.split("+") if c
+                )
+            elif key == "steps":
+                kwargs["warp_step_interval"] = int(value)
+            elif key == "max":
+                kwargs["max_events"] = int(value)
+            else:
+                raise ValueError(f"unknown --trace-filter key {key!r}")
+        return TraceConfig(**kwargs)
+
+
+class _ThreadState(threading.local):
+    """Per-thread open-span stack (spans never cross threads)."""
+
+    def __init__(self):
+        self.stack: List[Tuple[str, str, float, dict]] = []
+
+
+class Tracer:
+    """Records spans and events; exports Chrome trace JSON and JSONL.
+
+    Thread-safe: the parallel campaign executor opens unit spans from
+    several dispatcher threads at once; each thread keeps its own span
+    stack and shows up as its own ``tid`` track in the trace.
+    """
+
+    def __init__(self, config: Optional[TraceConfig] = None):
+        self.config = config if config is not None else TraceConfig()
+        self.enabled = self.config.enabled
+        self._min_level = LEVELS.get(self.config.min_level, 0)
+        self._events: List[dict] = []
+        self._lock = threading.Lock()
+        self._state = _ThreadState()
+        self._tids: Dict[int, int] = {}
+        self._counter_sources: List[Callable[[], Iterable[tuple]]] = []
+        self._t0 = time.perf_counter()
+        self._next_sim_track = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Recording primitives
+    # ------------------------------------------------------------------
+    def _now_us(self) -> float:
+        return (time.perf_counter() - self._t0) * 1e6
+
+    def _tid(self) -> int:
+        ident = threading.get_ident()
+        tid = self._tids.get(ident)
+        if tid is None:
+            with self._lock:
+                tid = self._tids.setdefault(ident, len(self._tids))
+        return tid
+
+    def _want(self, level: str, cat: str) -> bool:
+        if not self.enabled:
+            return False
+        if LEVELS.get(level, 0) < self._min_level:
+            return False
+        categories = self.config.categories
+        if categories is not None and cat not in categories:
+            return False
+        return True
+
+    def _record(self, event: dict) -> None:
+        with self._lock:
+            if len(self._events) >= self.config.max_events:
+                self.dropped += 1
+                return
+            self._events.append(event)
+
+    # ------------------------------------------------------------------
+    # Wall-clock spans and events
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def span(self, name: str, cat: str = "exp", level: str = "info", **args):
+        """Open a wall-clock span; closes (and records) on exit."""
+        if not self._want(level, cat):
+            yield None
+            return
+        start = self._now_us()
+        self._state.stack.append((name, cat, start, args))
+        try:
+            yield self
+        finally:
+            self._state.stack.pop()
+            self._record(
+                {
+                    "ph": "X",
+                    "pid": WALL_PID,
+                    "tid": self._tid(),
+                    "name": name,
+                    "cat": cat,
+                    "ts": round(start, 1),
+                    "dur": round(self._now_us() - start, 1),
+                    "args": args,
+                }
+            )
+
+    def event(
+        self, name: str, cat: str = "exp", level: str = "info", **args
+    ) -> None:
+        """Record a typed instant event on the wall-clock timeline."""
+        if not self._want(level, cat):
+            return
+        self._record(
+            {
+                "ph": "i",
+                "s": "t",
+                "pid": WALL_PID,
+                "tid": self._tid(),
+                "name": name,
+                "cat": cat,
+                "ts": round(self._now_us(), 1),
+                "args": dict(args, level=level),
+            }
+        )
+
+    def active_stack(self) -> List[str]:
+        """The current thread's open spans, outermost first.
+
+        This is what hang diagnostics dump: if a kernel wedges, the
+        stack reads e.g. ``['campaign', 'exhibit:table6',
+        'unit:UTS/scord', 'kernel:uts_expand']``.
+        """
+        return [name for name, _cat, _start, _args in self._state.stack]
+
+    # ------------------------------------------------------------------
+    # Simulated-cycles timeline
+    # ------------------------------------------------------------------
+    def alloc_sim_track(self) -> int:
+        """Reserve a fresh track (tid) on the simulated timeline.
+
+        Every GPU instance takes one at construction: each simulation's
+        cycle clock restarts at 0, so kernels from consecutive runs of a
+        campaign would otherwise land on one track and falsely overlap.
+        """
+        with self._lock:
+            track = self._next_sim_track
+            self._next_sim_track += 1
+        return track
+
+    def sim_span(
+        self,
+        name: str,
+        start_cycle: int,
+        end_cycle: int,
+        track: int = 0,
+        cat: str = "sim",
+        level: str = "info",
+        **args,
+    ) -> None:
+        """A completed span on the simulated timeline (ts in cycles)."""
+        if not self._want(level, cat):
+            return
+        self._record(
+            {
+                "ph": "X",
+                "pid": SIM_PID,
+                "tid": track,
+                "name": name,
+                "cat": cat,
+                "ts": start_cycle,
+                "dur": max(0, end_cycle - start_cycle),
+                "args": args,
+            }
+        )
+
+    def sim_instant(
+        self,
+        name: str,
+        cycle: int,
+        track: int = 0,
+        cat: str = "sim",
+        level: str = "debug",
+        **args,
+    ) -> None:
+        """An instant on the simulated timeline (e.g. a warp-step)."""
+        if not self._want(level, cat):
+            return
+        self._record(
+            {
+                "ph": "i",
+                "s": "t",
+                "pid": SIM_PID,
+                "tid": track,
+                "name": name,
+                "cat": cat,
+                "ts": cycle,
+                "args": args,
+            }
+        )
+
+    def counter(
+        self, name: str, cycle: int, values: Dict[str, float],
+        cat: str = "sim",
+    ) -> None:
+        """A counter-track sample on the simulated timeline."""
+        if not self.enabled:
+            return
+        self._record(
+            {
+                "ph": "C",
+                "pid": SIM_PID,
+                "tid": 0,
+                "name": name,
+                "cat": cat,
+                "ts": cycle,
+                "args": {k: round(float(v), 4) for k, v in values.items()},
+            }
+        )
+
+    def add_counter_source(
+        self, source: Callable[[], Iterable[tuple]]
+    ) -> None:
+        """Register a late-bound counter series provider.
+
+        *source* is called at export time and yields ``(name, cycle,
+        value)`` triples — how the fabric-utilization sampler's series
+        become Perfetto counter tracks without paying anything during
+        the run.
+        """
+        if self.enabled:
+            self._counter_sources.append(source)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def events(self) -> List[dict]:
+        """Snapshot of every recorded event (counter sources included)."""
+        with self._lock:
+            events = list(self._events)
+        for source in self._counter_sources:
+            try:
+                series = list(source())
+            except Exception:  # a broken source must not kill the export
+                continue
+            for name, cycle, value in series:
+                events.append(
+                    {
+                        "ph": "C",
+                        "pid": SIM_PID,
+                        "tid": 0,
+                        "name": name,
+                        "cat": "sim",
+                        "ts": cycle,
+                        "args": {"value": round(float(value), 4)},
+                    }
+                )
+        # Open spans (a crash mid-campaign) still export, as begin-only
+        # events, so the trace shows where execution was.
+        for name, cat, start, args in list(self._state.stack):
+            events.append(
+                {
+                    "ph": "B",
+                    "pid": WALL_PID,
+                    "tid": self._tid(),
+                    "name": name,
+                    "cat": cat,
+                    "ts": round(start, 1),
+                    "args": args,
+                }
+            )
+        return events
+
+    def chrome(self) -> dict:
+        """The full Chrome ``trace_event`` document."""
+        meta = [
+            {
+                "ph": "M",
+                "pid": WALL_PID,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": "wall-clock"},
+            },
+            {
+                "ph": "M",
+                "pid": SIM_PID,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": "simulated-cycles"},
+            },
+        ]
+        return {
+            "traceEvents": meta + self.events(),
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "generator": "repro.telemetry",
+                "dropped_events": self.dropped,
+            },
+        }
+
+    def write_chrome(self, path) -> None:
+        """Write the Chrome trace JSON (atomic enough for our purposes)."""
+        with open(path, "w") as handle:
+            json.dump(self.chrome(), handle, separators=(",", ":"))
+
+    def write_jsonl(self, path) -> None:
+        """Write the compact one-event-per-line stream."""
+        with open(path, "w") as handle:
+            for event in self.events():
+                handle.write(json.dumps(event, separators=(",", ":")))
+                handle.write("\n")
+
+
+class _NullTracer(Tracer):
+    """The disabled tracer: every operation is a no-op.
+
+    A dedicated subclass (rather than ``Tracer(enabled=False)``) keeps
+    the disabled hot path to a single attribute check at call sites and
+    makes the zero-cost contract explicit and testable.
+    """
+
+    def __init__(self):
+        super().__init__(TraceConfig(enabled=False))
+
+    @contextlib.contextmanager
+    def span(self, name, cat="exp", level="info", **args):  # noqa: D102
+        yield None
+
+    def event(self, *args, **kwargs):
+        pass
+
+    def alloc_sim_track(self):
+        return 0
+
+    def sim_span(self, *args, **kwargs):
+        pass
+
+    def sim_instant(self, *args, **kwargs):
+        pass
+
+    def counter(self, *args, **kwargs):
+        pass
+
+    def add_counter_source(self, source):
+        pass
+
+    def active_stack(self):
+        return []
+
+
+#: shared no-op tracer for "telemetry off" paths
+NULL_TRACER = _NullTracer()
+
+
+def validate_span_tree(events: Iterable[dict]) -> List[str]:
+    """Check span well-formedness; returns a list of problems (empty = ok).
+
+    Rules checked per ``(pid, tid)`` track:
+
+    * every ``B`` has a matching ``E`` (complete ``X`` events are
+      closed by construction);
+    * ``X`` spans nest properly — two spans on one track either disjoint
+      or one containing the other, never partially overlapping.
+    """
+    problems: List[str] = []
+    by_track: Dict[tuple, List[dict]] = {}
+    for event in events:
+        if event.get("ph") in ("X", "B", "E"):
+            key = (event.get("pid"), event.get("tid"))
+            by_track.setdefault(key, []).append(event)
+    for key, track in sorted(by_track.items()):
+        open_begins = [e for e in track if e["ph"] == "B"]
+        ends = [e for e in track if e["ph"] == "E"]
+        if len(open_begins) != len(ends):
+            problems.append(
+                f"track {key}: {len(open_begins)} B event(s) vs "
+                f"{len(ends)} E event(s)"
+            )
+        spans = sorted(
+            ((e["ts"], e["ts"] + e.get("dur", 0), e["name"])
+             for e in track if e["ph"] == "X"),
+            key=lambda item: (item[0], -item[1]),
+        )
+        stack: List[Tuple[float, float, str]] = []
+        for start, end, name in spans:
+            while stack and start >= stack[-1][1]:
+                stack.pop()
+            if stack and end > stack[-1][1]:
+                problems.append(
+                    f"track {key}: span {name!r} [{start}, {end}] "
+                    f"partially overlaps {stack[-1][2]!r} "
+                    f"[{stack[-1][0]}, {stack[-1][1]}]"
+                )
+            stack.append((start, end, name))
+    return problems

@@ -79,6 +79,24 @@ class TimelineSampler:
             )
         return series
 
+    def counter_events(self):
+        """Flatten the timelines into ``(metric, cycle, value)`` triples.
+
+        This is the bridge into the trace layer: registered as a counter
+        source on a :class:`~repro.telemetry.tracing.Tracer`, each series
+        becomes a Chrome counter track (``ph: "C"``) on the
+        simulated-cycles timeline, so NoC/DRAM/L2 utilization renders
+        alongside the kernel spans in Perfetto.
+        """
+        series = self.utilization_series()
+        events = []
+        for name in ("noc", "dram", "l2"):
+            for sample, value in zip(self.samples[1:], series[name]):
+                events.append(
+                    (f"timing.{name}.utilization", sample.time, value)
+                )
+        return events
+
     def render(self, width: int = 60) -> str:
         """ASCII sparkline timeline of fabric utilization."""
         series = self.utilization_series()

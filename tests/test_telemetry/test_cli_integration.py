@@ -1,0 +1,144 @@
+"""End-to-end: ``--trace``/``--metrics-out`` through the CLI, a traced
+Runner campaign, and the ``report`` subcommand over the artifacts.
+
+The CLI fixture uses the static ``table2`` exhibit (fast, no
+simulations) to exercise the flag plumbing and exporters; full
+unit/kernel span depth is asserted at the Runner layer on the cheapest
+app.  The CI telemetry-smoke job covers the combined case on ``fig8``.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.experiments.runner import Runner
+from repro.scor.apps.registry import app_by_name
+from repro.telemetry import (
+    Telemetry,
+    TraceConfig,
+    validate_prometheus,
+    validate_span_tree,
+)
+
+
+@pytest.fixture(scope="module")
+def traced_artifacts(tmp_path_factory):
+    """One traced table2 run shared by every assertion below."""
+    out = tmp_path_factory.mktemp("telemetry")
+    code = main([
+        "table2", "--quiet",
+        "--trace", str(out / "trace.json"),
+        "--trace-filter", "steps=256",
+        "--metrics-out", str(out / "metrics.prom"),
+        "--manifest", str(out / "manifest.json"),
+    ])
+    assert code == 0
+    return out
+
+
+class TestTracedCli:
+    def test_trace_has_campaign_and_exhibit_spans(self, traced_artifacts):
+        doc = json.loads((traced_artifacts / "trace.json").read_text())
+        events = doc["traceEvents"]
+        assert validate_span_tree(events) == []
+        spans = [e["name"] for e in events if e["ph"] == "X"]
+        assert any(s == "campaign" for s in spans)
+        assert any(s.startswith("exhibit:") for s in spans)
+
+    def test_jsonl_sibling_written(self, traced_artifacts):
+        lines = (traced_artifacts / "trace.jsonl").read_text().splitlines()
+        assert lines
+        json.loads(lines[0])
+
+    def test_prometheus_is_valid(self, traced_artifacts):
+        text = (traced_artifacts / "metrics.prom").read_text()
+        assert validate_prometheus(text) == []
+        assert "repro_profile_" in text  # phase gauges always present
+
+    def test_metrics_json_sibling(self, traced_artifacts):
+        doc = json.loads(
+            (traced_artifacts / "metrics.prom.json").read_text()
+        )
+        assert doc["schema"] == 1
+
+    def test_manifest_embeds_the_profile(self, traced_artifacts):
+        doc = json.loads((traced_artifacts / "manifest.json").read_text())
+        assert doc["ok"]
+        assert doc["profile"]["phases"]
+
+    def test_report_renders_a_dashboard(self, traced_artifacts, capsys):
+        code = main([
+            "report",
+            "--trace", str(traced_artifacts / "trace.json"),
+            "--metrics", str(traced_artifacts / "metrics.prom.json"),
+            "--manifest", str(traced_artifacts / "manifest.json"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "telemetry report" in out
+        assert "top" in out and "counters" in out
+        assert "phase breakdown" in out
+
+
+class TestTracedRunner:
+    @pytest.fixture(scope="class")
+    def traced_run(self):
+        telemetry = Telemetry(TraceConfig(warp_step_interval=256))
+        runner = Runner(verbose=False, telemetry=telemetry)
+        record = runner.run(app_by_name("1DC"), detector="scord")
+        return telemetry, record
+
+    def test_unit_and_kernel_spans(self, traced_run):
+        telemetry, _record = traced_run
+        events = telemetry.tracer.events()
+        assert validate_span_tree(events) == []
+        spans = [e["name"] for e in events if e["ph"] == "X"]
+        assert any(s.startswith("unit:1DC/scord") for s in spans)
+        assert any(s.startswith("kernel:") for s in spans)
+
+    def test_counter_tracks_sampled(self, traced_run):
+        """Tracing auto-enables the timing sampler: the trace carries
+        fabric-utilization counter tracks alongside the spans."""
+        telemetry, _record = traced_run
+        counters = {
+            e["name"] for e in telemetry.tracer.events()
+            if e["ph"] == "C"
+        }
+        assert any("utilization" in name for name in counters), counters
+
+    def test_metric_layers_complete(self, traced_run):
+        telemetry, record = traced_run
+        snap = telemetry.metrics.snapshot()
+        layers = {name.split(".", 1)[0] for name in snap}
+        assert {"engine", "mem", "scord", "exp", "profile"} <= layers
+        assert snap["exp.units.total"] == 1
+        assert snap["exp.sim.cycles"] == record.cycles
+
+    def test_export_writes_all_artifacts(self, traced_run, tmp_path):
+        telemetry, _record = traced_run
+        written = telemetry.export(
+            str(tmp_path / "trace.json"), str(tmp_path / "metrics.prom")
+        )
+        assert len(written) == 4
+        for path in written:
+            assert (tmp_path / path.split("/")[-1]).exists()
+
+
+class TestReportErrors:
+    def test_report_with_no_inputs_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["report"])
+
+    def test_untraced_run_writes_no_trace(self, tmp_path, capsys):
+        manifest = tmp_path / "manifest.json"
+        assert main(["table2", "--quiet", "--manifest", str(manifest)]) == 0
+        assert not (tmp_path / "trace.json").exists()
+
+    def test_bad_trace_filter_rejected(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "table2", "--quiet",
+                "--trace", str(tmp_path / "t.json"),
+                "--trace-filter", "volume=11",
+            ])

@@ -1,0 +1,113 @@
+"""Exporter stability: golden files for the Chrome and Prometheus formats.
+
+The goldens are built from *synthetic* telemetry (fixed sim-cycle spans
+and metric values) so they are byte-stable across machines — no wall
+clock, no scheduler jitter.  Regenerate after an intentional format
+change with::
+
+    PYTHONPATH=src python tests/test_telemetry/test_golden.py
+"""
+
+import json
+import os
+
+from repro.scor.micro.base import run_micro
+from repro.scor.micro.registry import racey_micros
+from repro.telemetry import SIM_PID, Telemetry, TraceConfig
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import Tracer
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+def synthetic_tracer() -> Tracer:
+    """Sim-timeline-only events: cycle timestamps, no wall clock."""
+    tracer = Tracer(TraceConfig())
+    tracer.sim_span("kernel:init", 0, 1200, track=0, cat="engine",
+                    instructions=96)
+    tracer.sim_span("kernel:compute", 1200, 5400, track=0, cat="engine",
+                    instructions=4100)
+    tracer.sim_instant("warp-step", 2048, track=3, sm=1, block=0, warp=3)
+    tracer.counter("timing.noc.utilization", 2000, {"value": 0.25})
+    tracer.counter("timing.noc.utilization", 4000, {"value": 0.75})
+    return tracer
+
+
+def synthetic_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("exp.units.total").inc(52)
+    registry.counter("exp.units.run").inc(40)
+    registry.counter("exp.units.cache").inc(12)
+    registry.gauge("engine.gpu.cycles").set(123456)
+    registry.gauge("scord.bloom.fill").set(0.015625)
+    hist = registry.histogram("exp.unit.seconds", source="run")
+    for value in (0.02, 0.4, 0.4, 7.5):
+        hist.observe(value)
+    registry.counter("exp.shard.units", shard="0").inc(26)
+    registry.counter("exp.shard.units", shard="1").inc(26)
+    return registry
+
+
+def _golden(name, actual_text):
+    path = os.path.join(GOLDEN_DIR, name)
+    with open(path) as handle:
+        assert handle.read() == actual_text, (
+            f"{name} drifted from the golden copy; if the format change "
+            f"is intentional, regenerate with "
+            f"'PYTHONPATH=src python {__file__}'"
+        )
+
+
+class TestGoldenExports:
+    def test_chrome_trace_golden(self):
+        doc = synthetic_tracer().chrome()
+        _golden("trace.json", json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    def test_prometheus_golden(self):
+        _golden("metrics.prom", synthetic_registry().to_prometheus())
+
+    def test_metrics_json_golden(self):
+        doc = synthetic_registry().to_json()
+        _golden(
+            "metrics.json", json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+
+
+class TestSimDeterminism:
+    def test_sim_timeline_is_run_to_run_identical(self):
+        """Two traced runs of one micro emit identical simulated-cycles
+        events — the property that makes sim-side traces diffable."""
+
+        def sim_events():
+            telemetry = Telemetry(TraceConfig(warp_step_interval=16))
+            run_micro(
+                racey_micros()[0], telemetry=telemetry, sample_interval=500
+            )
+            return [
+                event for event in telemetry.tracer.events()
+                if event.get("pid") == SIM_PID or event.get("ph") == "C"
+            ]
+
+        first = sim_events()
+        second = sim_events()
+        assert first, "expected simulated-timeline events"
+        assert first == second
+
+
+def regenerate():
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    with open(os.path.join(GOLDEN_DIR, "trace.json"), "w") as handle:
+        json.dump(synthetic_tracer().chrome(), handle, indent=2,
+                  sort_keys=True)
+        handle.write("\n")
+    with open(os.path.join(GOLDEN_DIR, "metrics.prom"), "w") as handle:
+        handle.write(synthetic_registry().to_prometheus())
+    with open(os.path.join(GOLDEN_DIR, "metrics.json"), "w") as handle:
+        json.dump(synthetic_registry().to_json(), handle, indent=2,
+                  sort_keys=True)
+        handle.write("\n")
+    print(f"regenerated goldens in {GOLDEN_DIR}")
+
+
+if __name__ == "__main__":
+    regenerate()

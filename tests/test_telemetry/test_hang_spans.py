@@ -1,0 +1,71 @@
+"""Hang diagnostics carry the active telemetry span stack."""
+
+import pytest
+
+from repro.arch.config import GPUConfig
+from repro.arch.detector_config import DetectorConfig
+from repro.common.errors import EventBudgetExceeded
+from repro.common.guard import GuardConfig, HangReport, Watchdog
+from repro.engine.gpu import GPU
+from repro.telemetry import Telemetry, TraceConfig
+
+
+def spin_forever(ctx, flag):
+    while True:
+        value = yield ctx.ld(flag, 0, volatile=True)
+        if value == 1:  # never happens
+            break
+
+
+def traced_gpu(telemetry, guard=None):
+    return GPU(
+        config=GPUConfig.scaled_default(),
+        detector_config=DetectorConfig.none(),
+        guard=guard,
+        telemetry=telemetry,
+    )
+
+
+class TestHangSpanStack:
+    def test_budget_hang_dumps_span_stack(self):
+        telemetry = Telemetry(TraceConfig())
+        guard = Watchdog(GuardConfig(event_budget=2_000))
+        gpu = traced_gpu(telemetry, guard=guard)
+        flag = gpu.alloc(1, "flag")
+        with telemetry.tracer.span("unit:spin-test", cat="exp"):
+            with pytest.raises(EventBudgetExceeded) as excinfo:
+                gpu.launch(spin_forever, grid=1, block_dim=8, args=(flag,))
+        diag = excinfo.value.diagnostics
+        assert diag is not None
+        assert "active telemetry spans" in diag
+        # Outermost-first: the user's unit span, then the kernel span
+        # the engine opened around the wedged launch.
+        assert "unit:spin-test > kernel:spin_forever" in diag
+
+    def test_untraced_hang_omits_the_span_line(self):
+        guard = Watchdog(GuardConfig(event_budget=2_000))
+        gpu = GPU(
+            config=GPUConfig.scaled_default(),
+            detector_config=DetectorConfig.none(),
+            guard=guard,
+        )
+        flag = gpu.alloc(1, "flag")
+        with pytest.raises(EventBudgetExceeded) as excinfo:
+            gpu.launch(spin_forever, grid=1, block_dim=8, args=(flag,))
+        assert "active telemetry spans" not in excinfo.value.diagnostics
+
+    def test_hang_report_renders_stack(self):
+        report = HangReport(
+            live_warps=[],
+            queued_blocks=0,
+            blocks_done=0,
+            grid=1,
+            events_processed=10,
+            cycle=100,
+            span_stack=["campaign", "unit:UTS/scord", "kernel:uts_expand"],
+        )
+        text = report.render()
+        assert (
+            "active telemetry spans: campaign > unit:UTS/scord "
+            "> kernel:uts_expand" in text
+        )

@@ -1,0 +1,143 @@
+"""Metrics registry: instruments, naming, collectors, exporters."""
+
+import pytest
+
+from repro.common.stats import CounterBag
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    canonical_counter_name,
+    validate_prometheus,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("exp.units.total").inc()
+        registry.counter("exp.units.total").inc(4)
+        assert registry.value("exp.units.total") == 5
+
+    def test_gauge_overwrites(self):
+        registry = MetricsRegistry()
+        registry.gauge("engine.gpu.cycles").set(10)
+        registry.gauge("engine.gpu.cycles").set(3)
+        assert registry.value("engine.gpu.cycles") == 3
+
+    def test_histogram_aggregates(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("exp.unit.seconds")
+        for v in (0.5, 1.5, 2.0):
+            hist.observe(v)
+        snap = registry.snapshot()
+        assert snap["exp.unit.seconds.count"] == 3
+        assert snap["exp.unit.seconds.sum"] == pytest.approx(4.0)
+        assert snap["exp.unit.seconds.mean"] == pytest.approx(4.0 / 3)
+
+    def test_labels_are_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("exp.shard.units", shard="0").inc(2)
+        registry.counter("exp.shard.units", shard="1").inc(5)
+        assert registry.counter("exp.shard.units", shard="0").value == 2
+        snap = registry.snapshot()
+        assert snap['exp.shard.units{shard="0"}'] == 2
+        assert snap['exp.shard.units{shard="1"}'] == 5
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x.y")
+        with pytest.raises(ValueError):
+            registry.gauge("x.y")
+
+
+class TestCanonicalNames:
+    @pytest.mark.parametrize(
+        "legacy,canonical",
+        [
+            ("l1.hits", "mem.l1.hits"),
+            ("l2.misses", "mem.l2.misses"),
+            ("dram.reads", "timing.dram.reads"),
+            ("detector.lookups", "scord.detector.lookups"),
+            ("sched.warp_issues", "engine.sched.warp_issues"),
+            ("launches", "engine.launches"),
+        ],
+    )
+    def test_mapping(self, legacy, canonical):
+        assert canonical_counter_name(legacy) == canonical
+
+    def test_value_falls_back_through_alias(self):
+        """Legacy CounterBag names keep resolving after canonicalization."""
+        registry = MetricsRegistry()
+        bag = CounterBag()
+        bag.add("l1.hits", 7)
+        registry.bind_bag(bag)
+        # Both the canonical name and the legacy shim find the series.
+        assert registry.value("mem.l1.hits") == 7
+        assert registry.value("l1.hits") == 7
+
+
+class TestCollectors:
+    def test_bind_bag_reads_at_export_time(self):
+        registry = MetricsRegistry()
+        bag = CounterBag()
+        registry.bind_bag(bag)
+        bag.add("sched.stall_cycles", 9)  # after binding
+        assert registry.value("engine.sched.stall_cycles") == 9
+
+    def test_keyed_collector_replaces_previous(self):
+        """N GPUs in one campaign must not stack N dead collectors."""
+        registry = MetricsRegistry()
+        registry.register_collector(lambda: {"engine.gpu.cycles": 1.0},
+                                    key="engine.gpu")
+        registry.register_collector(lambda: {"engine.gpu.cycles": 2.0},
+                                    key="engine.gpu")
+        cycles = [
+            (name, value) for name, _kind, value in registry.samples()
+            if name == "engine.gpu.cycles"
+        ]
+        assert cycles == [("engine.gpu.cycles", 2.0)]
+
+    def test_unkeyed_collectors_accumulate(self):
+        registry = MetricsRegistry()
+        registry.register_collector(lambda: {"a.one": 1.0})
+        registry.register_collector(lambda: {"a.two": 2.0})
+        names = {name for name, _kind, _value in registry.samples()}
+        assert {"a.one", "a.two"} <= names
+
+    def test_dead_collector_does_not_kill_export(self):
+        registry = MetricsRegistry()
+        registry.register_collector(lambda: 1 / 0)
+        registry.counter("exp.units.total").inc()
+        assert registry.value("exp.units.total") == 1
+        assert "repro_exp_units_total" in registry.to_prometheus()
+
+
+class TestExporters:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("exp.units.total").inc(3)
+        registry.gauge("engine.gpu.cycles").set(1000)
+        registry.histogram("exp.unit.seconds", source="run").observe(0.5)
+        return registry
+
+    def test_prometheus_is_valid_and_prefixed(self):
+        text = self._populated().to_prometheus()
+        assert validate_prometheus(text) == []
+        assert "repro_exp_units_total 3" in text
+        assert "# TYPE repro_exp_units_total counter" in text
+        assert 'source="run"' in text
+
+    def test_histogram_exports_buckets_and_sum(self):
+        text = self._populated().to_prometheus()
+        assert "repro_exp_unit_seconds_bucket" in text
+        assert 'le="+Inf"' in text
+        assert "repro_exp_unit_seconds_sum" in text
+        assert "repro_exp_unit_seconds_count" in text
+
+    def test_json_schema(self):
+        doc = self._populated().to_json()
+        assert doc["schema"] == 1
+        assert "exp.units.total" in doc["metrics"]
+
+    def test_validate_prometheus_catches_garbage(self):
+        assert validate_prometheus("this is not prometheus{") != []
+        assert validate_prometheus("repro_ok 1\n") == []

@@ -1,0 +1,90 @@
+"""Phase profiler and campaign-level utilization summaries."""
+
+import pytest
+
+from repro.telemetry.profile import (
+    PhaseProfiler,
+    shard_utilization,
+    source_latencies,
+)
+
+
+class TestPhaseProfiler:
+    def test_phases_accumulate_seconds_and_calls(self):
+        profiler = PhaseProfiler()
+        for _ in range(3):
+            with profiler.phase("engine.launch"):
+                pass
+        out = profiler.as_dict()
+        assert out["engine.launch"]["calls"] == 3
+        assert out["engine.launch"]["seconds"] >= 0
+
+    def test_ops_per_sec(self):
+        profiler = PhaseProfiler()
+        profiler.add("engine.launch", seconds=2.0, ops=500)
+        out = profiler.as_dict()["engine.launch"]
+        assert out["ops"] == 500
+        assert out["ops_per_sec"] == pytest.approx(250.0)
+
+    def test_phase_handle_feeds_ops(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("engine.launch") as handle:
+            handle.add_ops(500)
+        assert profiler.as_dict()["engine.launch"]["ops"] == 500
+
+    def test_collect_metrics_names(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("exp.prefetch"):
+            pass
+        collected = profiler.collect_metrics()
+        assert "profile.exp.prefetch.seconds" in collected
+        assert collected["profile.exp.prefetch.calls"] == 1.0
+
+    def test_render_sorted_by_cost(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("a"):
+            pass
+        text = profiler.render()
+        assert "a" in text
+
+
+class _Outcome:
+    def __init__(self, shard, seconds, source, failure=None):
+        self.shard = shard
+        self.seconds = seconds
+        self.source = source
+        self.failure = failure
+
+
+class TestCampaignSummaries:
+    def test_shard_utilization(self):
+        outcomes = [
+            _Outcome(0, 2.0, "run"),
+            _Outcome(0, 1.0, "run"),
+            _Outcome(1, 3.0, "cache"),
+        ]
+        out = shard_utilization(outcomes, elapsed_seconds=4.0)
+        assert out["0"]["units"] == 2
+        assert out["0"]["busy_seconds"] == pytest.approx(3.0)
+        assert out["0"]["utilization"] == pytest.approx(0.75)
+        assert out["1"]["utilization"] == pytest.approx(0.75)
+
+    def test_source_latencies(self):
+        outcomes = [
+            _Outcome(0, 2.0, "run"),
+            _Outcome(0, 4.0, "run"),
+            _Outcome(1, 0.1, "cache"),
+        ]
+        out = source_latencies(outcomes)
+        assert out["run"]["units"] == 2
+        assert out["run"]["mean_seconds"] == pytest.approx(3.0)
+        assert out["cache"]["units"] == 1
+
+    def test_source_latencies_failed_bucket(self):
+        outcomes = [
+            _Outcome(0, 1.0, "run", failure="boom"),
+            _Outcome(0, 2.0, "run"),
+        ]
+        out = source_latencies(outcomes)
+        assert out["failed"]["units"] == 1
+        assert out["run"]["units"] == 1

@@ -1,0 +1,213 @@
+"""Tracer semantics: spans, filters, exports, well-formedness."""
+
+import json
+import threading
+
+import pytest
+
+from repro.telemetry.tracing import (
+    NULL_TRACER,
+    SIM_PID,
+    WALL_PID,
+    TraceConfig,
+    Tracer,
+    validate_span_tree,
+)
+
+
+class TestSpans:
+    def test_nested_spans_record_complete_events(self):
+        tracer = Tracer()
+        with tracer.span("outer", cat="exp"):
+            with tracer.span("inner", cat="exp", detail=7):
+                pass
+        events = tracer.events()
+        names = [e["name"] for e in events if e["ph"] == "X"]
+        assert names == ["inner", "outer"]  # closed inner-first
+        inner = next(e for e in events if e["name"] == "inner")
+        assert inner["pid"] == WALL_PID
+        assert inner["args"] == {"detail": 7}
+
+    def test_active_stack_outermost_first(self):
+        tracer = Tracer()
+        with tracer.span("campaign"):
+            with tracer.span("unit:MM/scord"):
+                assert tracer.active_stack() == ["campaign", "unit:MM/scord"]
+        assert tracer.active_stack() == []
+
+    def test_open_spans_export_as_begin_events(self):
+        tracer = Tracer()
+        ctx = tracer.span("campaign")
+        ctx.__enter__()
+        try:
+            begins = [e for e in tracer.events() if e["ph"] == "B"]
+            assert [e["name"] for e in begins] == ["campaign"]
+        finally:
+            ctx.__exit__(None, None, None)
+
+    def test_spans_nest_well_formed(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        assert validate_span_tree(tracer.events()) == []
+
+    def test_threads_get_separate_tracks(self):
+        tracer = Tracer()
+        # A barrier keeps all three workers alive at once so the
+        # interpreter cannot recycle thread idents between them.
+        barrier = threading.Barrier(3)
+
+        def work():
+            barrier.wait()
+            with tracer.span("worker"):
+                pass
+
+        threads = [threading.Thread(target=work) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        with tracer.span("main"):
+            pass
+        tids = {e["tid"] for e in tracer.events() if e["ph"] == "X"}
+        assert len(tids) == 4
+
+
+class TestSimTimeline:
+    def test_sim_span_and_instant_land_on_sim_pid(self):
+        tracer = Tracer()
+        tracer.sim_span("kernel:k", 100, 400, instructions=12)
+        tracer.sim_instant("warp-step", 120, track=3)
+        spans = [e for e in tracer.events() if e["ph"] == "X"]
+        instants = [e for e in tracer.events() if e["ph"] == "i"]
+        assert spans[0]["pid"] == SIM_PID
+        assert spans[0]["ts"] == 100 and spans[0]["dur"] == 300
+        assert instants[0]["tid"] == 3
+
+    def test_counter_sources_materialize_at_export(self):
+        tracer = Tracer()
+        calls = []
+
+        def source():
+            calls.append(1)
+            return [("timing.noc.utilization", 100, 0.25)]
+
+        tracer.add_counter_source(source)
+        assert calls == []  # nothing paid during the run
+        counters = [e for e in tracer.events() if e["ph"] == "C"]
+        assert counters[0]["name"] == "timing.noc.utilization"
+        assert counters[0]["args"] == {"value": 0.25}
+
+    def test_broken_counter_source_does_not_kill_export(self):
+        tracer = Tracer()
+        tracer.add_counter_source(lambda: (_ for _ in ()).throw(RuntimeError))
+        with tracer.span("ok"):
+            pass
+        assert [e["name"] for e in tracer.events() if e["ph"] == "X"] == ["ok"]
+
+
+class TestFilters:
+    def test_min_level_drops_debug(self):
+        tracer = Tracer(TraceConfig(min_level="info"))
+        tracer.sim_instant("warp-step", 5)  # level defaults to debug
+        tracer.event("launched", level="info")
+        names = [e["name"] for e in tracer.events()]
+        assert names == ["launched"]
+
+    def test_category_allowlist(self):
+        tracer = Tracer(TraceConfig(categories=frozenset({"exp"})))
+        with tracer.span("kept", cat="exp"):
+            pass
+        with tracer.span("dropped", cat="engine"):
+            pass
+        names = [e["name"] for e in tracer.events() if e["ph"] == "X"]
+        assert names == ["kept"]
+
+    def test_max_events_counts_drops(self):
+        tracer = Tracer(TraceConfig(max_events=2))
+        for i in range(5):
+            tracer.event(f"e{i}")
+        assert len(tracer.events()) == 2
+        assert tracer.dropped == 3
+        assert tracer.chrome()["otherData"]["dropped_events"] == 3
+
+
+class TestParseFilter:
+    def test_full_expression(self):
+        config = TraceConfig.parse_filter("level=info,cat=exp+engine,steps=64,max=100")
+        assert config.min_level == "info"
+        assert config.categories == frozenset({"exp", "engine"})
+        assert config.warp_step_interval == 64
+        assert config.max_events == 100
+
+    def test_empty_spec_is_default(self):
+        assert TraceConfig.parse_filter(None) == TraceConfig()
+        assert TraceConfig.parse_filter("") == TraceConfig()
+
+    @pytest.mark.parametrize("spec", ["bogus", "level=loud", "nope=1"])
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            TraceConfig.parse_filter(spec)
+
+
+class TestExport:
+    def test_chrome_document_shape(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("campaign"):
+            tracer.sim_span("kernel:k", 0, 10)
+        path = tmp_path / "trace.json"
+        tracer.write_chrome(path)
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        metas = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {m["args"]["name"] for m in metas} == {
+            "wall-clock", "simulated-cycles",
+        }
+
+    def test_jsonl_one_event_per_line(self, tmp_path):
+        tracer = Tracer()
+        tracer.event("a")
+        tracer.event("b")
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["name"] for line in lines] == ["a", "b"]
+
+
+class TestNullTracer:
+    def test_everything_is_a_noop(self):
+        with NULL_TRACER.span("x"):
+            NULL_TRACER.event("e")
+            NULL_TRACER.sim_span("k", 0, 5)
+            NULL_TRACER.sim_instant("w", 1)
+            NULL_TRACER.counter("c", 1, {"v": 1})
+            NULL_TRACER.add_counter_source(lambda: [("n", 0, 1)])
+        assert NULL_TRACER.events() == []
+        assert NULL_TRACER.active_stack() == []
+        assert not NULL_TRACER.enabled
+
+
+class TestValidateSpanTree:
+    def test_detects_partial_overlap(self):
+        events = [
+            {"ph": "X", "pid": 2, "tid": 0, "name": "a", "ts": 0, "dur": 10},
+            {"ph": "X", "pid": 2, "tid": 0, "name": "b", "ts": 5, "dur": 10},
+        ]
+        problems = validate_span_tree(events)
+        assert problems and "partially overlaps" in problems[0]
+
+    def test_detects_unbalanced_begin(self):
+        events = [{"ph": "B", "pid": 1, "tid": 0, "name": "a", "ts": 0}]
+        problems = validate_span_tree(events)
+        assert problems and "1 B event(s) vs 0 E event(s)" in problems[0]
+
+    def test_disjoint_and_contained_ok(self):
+        events = [
+            {"ph": "X", "pid": 2, "tid": 0, "name": "a", "ts": 0, "dur": 10},
+            {"ph": "X", "pid": 2, "tid": 0, "name": "b", "ts": 2, "dur": 3},
+            {"ph": "X", "pid": 2, "tid": 0, "name": "c", "ts": 20, "dur": 5},
+        ]
+        assert validate_span_tree(events) == []
