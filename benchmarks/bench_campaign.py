@@ -153,8 +153,18 @@ def main(argv=None) -> int:
     work_dir = args.work_dir or tempfile.mkdtemp(prefix="bench_campaign.")
     log = lambda msg: print(msg, file=sys.stderr, flush=True)
 
+    # More shards than CPUs cannot speed up CPU-bound simulation — the
+    # dispatcher threads just time-slice one core and the "speedup"
+    # reads as a misleading <1x.  Clamp and say so instead.
+    cpus = os.cpu_count() or 1
+    jobs = min(args.jobs, cpus)
+    cpu_bound = jobs < args.jobs
+    if cpu_bound:
+        log(f"[bench] clamping --jobs {args.jobs} to {jobs} "
+            f"(host has {cpus} CPU(s); campaign is CPU-bound)")
+
     log(f"[bench] campaign={args.campaign} units={len(units)} "
-        f"jobs={args.jobs} cpus={os.cpu_count()}")
+        f"jobs={jobs} cpus={cpus}")
 
     log("[bench] phase 1/3: serial cold (jobs=1)")
     serial = run_phase(
@@ -163,17 +173,17 @@ def main(argv=None) -> int:
     )
     log(f"[bench]   {serial['seconds']}s, {serial['failed']} failed")
 
-    log(f"[bench] phase 2/3: parallel cold (jobs={args.jobs})")
+    log(f"[bench] phase 2/3: parallel cold (jobs={jobs})")
     warm_cache = ResultCache(os.path.join(work_dir, "parallel"))
     cold = run_phase(
-        units, jobs=args.jobs, cache=warm_cache,
+        units, jobs=jobs, cache=warm_cache,
         timeout=args.timeout, verbose=verbose,
     )
     log(f"[bench]   {cold['seconds']}s, {cold['failed']} failed")
 
-    log(f"[bench] phase 3/3: parallel warm (jobs={args.jobs}, cache hits)")
+    log(f"[bench] phase 3/3: parallel warm (jobs={jobs}, cache hits)")
     warm = run_phase(
-        units, jobs=args.jobs, cache=warm_cache,
+        units, jobs=jobs, cache=warm_cache,
         timeout=args.timeout, verbose=verbose,
     )
     log(f"[bench]   {warm['seconds']}s, "
@@ -202,8 +212,10 @@ def main(argv=None) -> int:
         "schema": BENCH_SCHEMA,
         "campaign": args.campaign,
         "units": len(units),
-        "jobs": args.jobs,
-        "cpus": os.cpu_count(),
+        "jobs": jobs,
+        "jobs_requested": args.jobs,
+        "cpus": cpus,
+        "cpu_bound": cpu_bound,
         "deterministic": deterministic,
         "phases": {
             name: {k: v for k, v in phase.items() if k != "outcome"}
@@ -221,9 +233,9 @@ def main(argv=None) -> int:
         "telemetry": telemetry,
     }
     atomic_write_json(args.out, payload)
+    bound = " (CPU-bound: jobs clamped to CPU count)" if cpu_bound else ""
     log(f"[bench] wrote {args.out}: parallel x{payload['parallel_speedup']}"
-        f" (1 if CPU-bound on {os.cpu_count()} CPU(s)), "
-        f"warm x{payload['warm_speedup']}")
+        f"{bound}, warm x{payload['warm_speedup']}")
     if not deterministic:
         log("[bench] ERROR: phases disagreed record-for-record")
         return 1

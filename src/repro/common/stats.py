@@ -27,6 +27,18 @@ class CounterBag:
     def add(self, name: str, amount: int = 1) -> None:
         self._counts[name] = self._counts.get(name, 0) + amount
 
+    def counters(self) -> Dict[str, int]:
+        """The live internal counter dict, for hot-path callers.
+
+        The memory system and the detector bump counters on every access;
+        going through :meth:`add` costs a method call per bump.  Hot
+        callers may hold this dict and do
+        ``c[key] = c.get(key, 0) + n`` directly — the dict's identity is
+        stable for the bag's lifetime.  Everyone else should use
+        :meth:`add`.
+        """
+        return self._counts
+
     def __getitem__(self, name: str) -> int:
         return self._counts.get(name, 0)
 

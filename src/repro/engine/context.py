@@ -45,7 +45,7 @@ from repro.isa.ops import (
     St,
 )
 from repro.isa.scopes import Scope
-from repro.mem.allocator import DeviceArray
+from repro.mem.allocator import WORD_BYTES, DeviceArray
 
 Target = Union[DeviceArray, int]
 
@@ -63,7 +63,8 @@ def _resolve(target: Target, index: Optional[int]) -> int:
 class ThreadCtx:
     """Identity and operation constructors for one device thread."""
 
-    __slots__ = ("tid", "bid", "ntid", "nbid", "warp_size")
+    __slots__ = ("tid", "bid", "ntid", "nbid", "warp_size", "_ld", "_st", "_rmw", "_compute",
+                 "_fence_device", "_fence_block")
 
     def __init__(self, tid: int, bid: int, ntid: int, nbid: int, warp_size: int):
         #: thread index within the block (``threadIdx.x``)
@@ -76,6 +77,18 @@ class ThreadCtx:
         self.nbid = nbid
         #: hardware warp width
         self.warp_size = warp_size
+        # Scratch op records, one per hot kind: a thread has at most one
+        # op outstanding (it is suspended at the yield until the engine
+        # consumed the op and resumed it), and every consumer copies the
+        # fields out before the thread runs again, so the constructors
+        # below can recycle one instance instead of allocating per
+        # executed instruction.  All fields are reassigned on every use.
+        self._ld = Ld(0)
+        self._st = St(0, 0)
+        self._rmw = AtomicRMW(0, AtomicOp.ADD, 0)
+        self._compute = Compute(0)
+        self._fence_device = Fence(Scope.DEVICE)
+        self._fence_block = Fence(Scope.BLOCK)
 
     @property
     def gtid(self) -> int:
@@ -101,7 +114,20 @@ class ThreadCtx:
     # Global memory
     # ------------------------------------------------------------------
     def ld(self, target: Target, index: Optional[int] = None, volatile: bool = False) -> Ld:
-        return Ld(_resolve(target, index), strong=volatile)
+        # _resolve hand-inlined on the common array-target path (one op
+        # construction per executed instruction).
+        # In-bounds array targets take the no-call path; anything else
+        # (raw addresses, missing/out-of-range indices) falls back to
+        # _resolve for the full checks.
+        if target.__class__ is DeviceArray and index is not None \
+                and 0 <= index < target.length:
+            addr = target.base + index * WORD_BYTES
+        else:
+            addr = _resolve(target, index)
+        op = self._ld
+        op.addr = addr
+        op.strong = volatile
+        return op
 
     def st(
         self,
@@ -110,7 +136,16 @@ class ThreadCtx:
         value: int,
         volatile: bool = False,
     ) -> St:
-        return St(_resolve(target, index), value, strong=volatile)
+        if target.__class__ is DeviceArray and index is not None \
+                and 0 <= index < target.length:
+            addr = target.base + index * WORD_BYTES
+        else:
+            addr = _resolve(target, index)
+        op = self._st
+        op.addr = addr
+        op.value = value
+        op.strong = volatile
+        return op
 
     # ------------------------------------------------------------------
     # Atomics
@@ -122,7 +157,18 @@ class ThreadCtx:
         value: int,
         scope: Scope = Scope.DEVICE,
     ) -> AtomicRMW:
-        return AtomicRMW(_resolve(target, index), AtomicOp.ADD, value, scope)
+        if target.__class__ is DeviceArray and index is not None \
+                and 0 <= index < target.length:
+            addr = target.base + index * WORD_BYTES
+        else:
+            addr = _resolve(target, index)
+        op = self._rmw
+        op.addr = addr
+        op.op = AtomicOp.ADD
+        op.operand = value
+        op.scope = scope
+        op.compare = None
+        return op
 
     def atomic_sub(
         self,
@@ -131,7 +177,18 @@ class ThreadCtx:
         value: int,
         scope: Scope = Scope.DEVICE,
     ) -> AtomicRMW:
-        return AtomicRMW(_resolve(target, index), AtomicOp.SUB, value, scope)
+        if target.__class__ is DeviceArray and index is not None \
+                and 0 <= index < target.length:
+            addr = target.base + index * WORD_BYTES
+        else:
+            addr = _resolve(target, index)
+        op = self._rmw
+        op.addr = addr
+        op.op = AtomicOp.SUB
+        op.operand = value
+        op.scope = scope
+        op.compare = None
+        return op
 
     def atomic_exch(
         self,
@@ -140,7 +197,18 @@ class ThreadCtx:
         value: int,
         scope: Scope = Scope.DEVICE,
     ) -> AtomicRMW:
-        return AtomicRMW(_resolve(target, index), AtomicOp.EXCH, value, scope)
+        if target.__class__ is DeviceArray and index is not None \
+                and 0 <= index < target.length:
+            addr = target.base + index * WORD_BYTES
+        else:
+            addr = _resolve(target, index)
+        op = self._rmw
+        op.addr = addr
+        op.op = AtomicOp.EXCH
+        op.operand = value
+        op.scope = scope
+        op.compare = None
+        return op
 
     def atomic_cas(
         self,
@@ -150,9 +218,18 @@ class ThreadCtx:
         value: int,
         scope: Scope = Scope.DEVICE,
     ) -> AtomicRMW:
-        return AtomicRMW(
-            _resolve(target, index), AtomicOp.CAS, value, scope, compare=compare
-        )
+        if target.__class__ is DeviceArray and index is not None \
+                and 0 <= index < target.length:
+            addr = target.base + index * WORD_BYTES
+        else:
+            addr = _resolve(target, index)
+        op = self._rmw
+        op.addr = addr
+        op.op = AtomicOp.CAS
+        op.operand = value
+        op.scope = scope
+        op.compare = compare
+        return op
 
     def atomic_min(
         self,
@@ -161,7 +238,18 @@ class ThreadCtx:
         value: int,
         scope: Scope = Scope.DEVICE,
     ) -> AtomicRMW:
-        return AtomicRMW(_resolve(target, index), AtomicOp.MIN, value, scope)
+        if target.__class__ is DeviceArray and index is not None \
+                and 0 <= index < target.length:
+            addr = target.base + index * WORD_BYTES
+        else:
+            addr = _resolve(target, index)
+        op = self._rmw
+        op.addr = addr
+        op.op = AtomicOp.MIN
+        op.operand = value
+        op.scope = scope
+        op.compare = None
+        return op
 
     def atomic_max(
         self,
@@ -170,7 +258,18 @@ class ThreadCtx:
         value: int,
         scope: Scope = Scope.DEVICE,
     ) -> AtomicRMW:
-        return AtomicRMW(_resolve(target, index), AtomicOp.MAX, value, scope)
+        if target.__class__ is DeviceArray and index is not None \
+                and 0 <= index < target.length:
+            addr = target.base + index * WORD_BYTES
+        else:
+            addr = _resolve(target, index)
+        op = self._rmw
+        op.addr = addr
+        op.op = AtomicOp.MAX
+        op.operand = value
+        op.scope = scope
+        op.compare = None
+        return op
 
     def atomic_or(
         self,
@@ -179,7 +278,18 @@ class ThreadCtx:
         value: int,
         scope: Scope = Scope.DEVICE,
     ) -> AtomicRMW:
-        return AtomicRMW(_resolve(target, index), AtomicOp.OR, value, scope)
+        if target.__class__ is DeviceArray and index is not None \
+                and 0 <= index < target.length:
+            addr = target.base + index * WORD_BYTES
+        else:
+            addr = _resolve(target, index)
+        op = self._rmw
+        op.addr = addr
+        op.op = AtomicOp.OR
+        op.operand = value
+        op.scope = scope
+        op.compare = None
+        return op
 
     # ------------------------------------------------------------------
     # Synchronization
@@ -200,11 +310,13 @@ class ThreadCtx:
 
     def fence(self, scope: Scope = Scope.DEVICE) -> Fence:
         """``__threadfence()`` (device scope by default)."""
+        if scope is Scope.DEVICE:
+            return self._fence_device
         return Fence(scope)
 
     def fence_block(self) -> Fence:
         """``__threadfence_block()``."""
-        return Fence(Scope.BLOCK)
+        return self._fence_block
 
     def barrier(self) -> Barrier:
         """``__syncthreads()``."""
@@ -220,4 +332,8 @@ class ThreadCtx:
         return ShSt(offset, value)
 
     def compute(self, cycles: int) -> Compute:
-        return Compute(cycles)
+        if cycles < 0:
+            raise ValueError("compute cycles must be non-negative")
+        op = self._compute
+        op.cycles = cycles
+        return op

@@ -42,9 +42,54 @@ from repro.isa.ops import (
     ShSt,
     St,
 )
+from functools import partial
+from heapq import heappush
+
 from repro.timing.resource import EventQueue, QueuedResource
 
 _BARRIER_RELEASE_COST = 8
+
+# Issue-loop dispatch: one dict probe on the concrete op class instead of a
+# cascade of isinstance calls.  Kernels overwhelmingly yield these exact
+# classes; subclasses fall back to the isinstance chain once and are then
+# memoized under their own class.
+_LD, _ST, _ATOMIC, _ACQ, _REL, _FENCE, _SHLD, _SHST, _COMPUTE = range(9)
+_OP_KIND: Dict[type, int] = {
+    Ld: _LD,
+    St: _ST,
+    AtomicRMW: _ATOMIC,
+    AcquireLd: _ACQ,
+    ReleaseSt: _REL,
+    Fence: _FENCE,
+    ShLd: _SHLD,
+    ShSt: _SHST,
+    Compute: _COMPUTE,
+}
+_OP_KIND_CHAIN = (
+    (Ld, _LD),
+    (St, _ST),
+    (AtomicRMW, _ATOMIC),
+    (AcquireLd, _ACQ),
+    (ReleaseSt, _REL),
+    (Fence, _FENCE),
+    (ShLd, _SHLD),
+    (ShSt, _SHST),
+    (Compute, _COMPUTE),
+)
+
+
+def _op_kind_slow(op: Op) -> int:
+    """Resolve an op subclass via isinstance, memoizing its class."""
+    for cls, kind in _OP_KIND_CHAIN:
+        if isinstance(op, cls):
+            _OP_KIND[op.__class__] = kind
+            return kind
+    raise KernelError(f"unexpected op {op!r}")
+
+
+# Trace labels for atomics, interned per AtomicOp (an f-string per atomic
+# issue costs more than the trace append itself).
+_ATOMIC_TRACE_LABELS: Dict[object, str] = {}
 
 
 def _pc_of(gen) -> Tuple[str, int]:
@@ -56,12 +101,19 @@ def _pc_of(gen) -> Tuple[str, int]:
     delegation chain.
     """
     g = gen
-    while True:
-        sub = getattr(g, "gi_yieldfrom", None)
-        if sub is not None and getattr(sub, "gi_frame", None) is not None:
-            g = sub
-            continue
-        break
+    sub = g.gi_yieldfrom
+    while sub is not None:
+        # Delegation targets may be arbitrary iterators (no generator
+        # attributes) — stop at the innermost *generator* frame.
+        try:
+            frame = sub.gi_frame
+            deeper = sub.gi_yieldfrom
+        except AttributeError:
+            break
+        if frame is None:
+            break
+        g = sub
+        sub = deeper
     frame = g.gi_frame
     return (g.gi_code.co_name, frame.f_lineno if frame is not None else -1)
 
@@ -77,6 +129,7 @@ class _Warp:
         "parked",
         "at_barrier",
         "live",
+        "callback",
     )
 
     def __init__(self, uid: int, warp_id: int, block: "_Block", sm_id: int):
@@ -90,6 +143,9 @@ class _Warp:
         self.parked: List[bool] = []
         self.at_barrier = False
         self.live = True
+        # The warp's event-queue callback, created once at placement and
+        # reused for every reschedule (one closure per warp, not per step).
+        self.callback = None
 
 
 class _Block:
@@ -149,6 +205,8 @@ class KernelRun:
         self.events.now = start_cycle
         self.start_cycle = start_cycle
         self.warp_uid_base = warp_uid_base
+        self._tpw = config.threads_per_warp
+        self._c = pipeline.stats.counters()
         self.warps_per_block = math.ceil(block_dim / config.threads_per_warp)
         if self.warps_per_block > config.max_warps_per_sm:
             raise KernelError("one block exceeds the SM's warp capacity")
@@ -205,10 +263,11 @@ class KernelRun:
                 warp.threads.append(gen)
                 warp.pending.append(None)
                 warp.parked.append(False)
+            warp.callback = self._stepper(warp)
             block.warps.append(warp)
             block.live_warps += 1
         for warp in block.warps:
-            self.events.schedule(now, self._stepper(warp))
+            self.events.schedule(now, warp.callback)
 
     def _fill_sms(self, now: int) -> None:
         progress = True
@@ -225,47 +284,134 @@ class KernelRun:
     # Warp stepping
     # ------------------------------------------------------------------
     def _stepper(self, warp: _Warp):
-        def callback(now: int) -> None:
-            self._step_warp(warp, now)
-
-        return callback
+        # functools.partial dispatches at C level — no intermediate Python
+        # frame per event, and the event queue fires one of these per step.
+        return partial(self._step_warp, warp)
 
     def _step_warp(self, warp: _Warp, now: int) -> None:
+        # The whole issue path — lockstep send, op classification, timing
+        # execution (the former _execute) and completion scheduling — runs
+        # as one flat body: this is the engine's innermost loop, and every
+        # helper call or re-iteration here is paid once per warp-step.
         if not warp.live or warp.at_barrier:
             return
-        if self.pipeline.sampler is not None:
-            self.pipeline.sampler.maybe_sample(now)
-        ops: List[Tuple[int, Op, Tuple[str, int]]] = []
+        sampler = self.pipeline.sampler
+        if sampler is not None:
+            sampler.maybe_sample(now)
         live_threads = 0
         parked_threads = 0
-        for lane, gen in enumerate(warp.threads):
+        threads = warp.threads
+        parked = warp.parked
+        pending = warp.pending
+        tid_base = warp.warp_id * self._tpw
+        op_kind = _OP_KIND
+        # Lazily-created per-kind batches: a typical step issues one or two
+        # op kinds, so the other lists would be allocated only to be empty.
+        fences = loads = stores = atomics = acquires = releases = None
+        sh_events = None
+        results: Dict[int, int] = {}
+        scratchpad = warp.block.scratchpad
+        max_extra = 0  # compute/scratchpad contribution beyond the issue cycle
+        sp_lat = -1
+        for lane, gen in enumerate(threads):
             if gen is None:
                 continue
-            if warp.parked[lane]:
+            if parked[lane]:
                 # Suspended at __syncthreads(), waiting for warp
                 # reconvergence (divergent lanes may still be executing).
                 live_threads += 1
                 parked_threads += 1
                 continue
-            value = warp.pending[lane]
-            warp.pending[lane] = None
+            value = pending[lane]
+            pending[lane] = None
             try:
                 op = gen.send(value)
             except StopIteration:
-                warp.threads[lane] = None
+                threads[lane] = None
                 continue
             live_threads += 1
-            if not isinstance(op, Op):
-                raise KernelError(
-                    f"kernel yielded {op!r}; kernels must yield repro.isa ops"
+            try:
+                kind = op_kind[op.__class__]
+            except KeyError:
+                # Barriers, op subclasses, and non-op values all land here.
+                if isinstance(op, Barrier):
+                    parked[lane] = True
+                    parked_threads += 1
+                    continue
+                if not isinstance(op, Op):
+                    raise KernelError(
+                        f"kernel yielded {op!r}; kernels must yield repro.isa ops"
+                    )
+                kind = _op_kind_slow(op)
+            # _pc_of, fast path inlined: kernels without `yield from`
+            # delegation resolve in two attribute reads.
+            sub = gen.gi_yieldfrom
+            if sub is None:
+                frame = gen.gi_frame
+                pc = (
+                    gen.gi_code.co_name,
+                    frame.f_lineno if frame is not None else -1,
                 )
-            if isinstance(op, Barrier):
-                warp.parked[lane] = True
-                parked_threads += 1
-                continue
-            pc = _pc_of(gen)
-            tid = warp.warp_id * self.config.threads_per_warp + lane
-            ops.append((tid, op, pc))
+            else:
+                pc = _pc_of(gen)
+            tid = tid_base + lane
+            if kind == _LD:
+                if loads is None:
+                    loads = [(tid, op, pc)]
+                else:
+                    loads.append((tid, op, pc))
+            elif kind == _ST:
+                if stores is None:
+                    stores = [(tid, op, pc)]
+                else:
+                    stores.append((tid, op, pc))
+            elif kind == _ATOMIC:
+                if atomics is None:
+                    atomics = [(tid, op, pc)]
+                else:
+                    atomics.append((tid, op, pc))
+            elif kind == _COMPUTE:
+                if op.cycles > max_extra:
+                    max_extra = op.cycles
+            elif kind == _SHLD:
+                # Functional scratchpad effects apply in lane order here;
+                # their timing/shmem-check side runs after the issue slot
+                # is known (kernels cannot observe the scratchpad between
+                # lockstep lanes, so the split is unobservable).
+                results[tid] = scratchpad[op.offset]
+                if sp_lat < 0:
+                    sp_lat = self.config.scratchpad_latency
+                if sp_lat > max_extra:
+                    max_extra = sp_lat
+                if sh_events is None:
+                    sh_events = [(tid, op.offset, False, pc)]
+                else:
+                    sh_events.append((tid, op.offset, False, pc))
+            elif kind == _SHST:
+                scratchpad[op.offset] = op.value
+                if sp_lat < 0:
+                    sp_lat = self.config.scratchpad_latency
+                if sp_lat > max_extra:
+                    max_extra = sp_lat
+                if sh_events is None:
+                    sh_events = [(tid, op.offset, True, pc)]
+                else:
+                    sh_events.append((tid, op.offset, True, pc))
+            elif kind == _FENCE:
+                if fences is None:
+                    fences = [(tid, op, pc)]
+                else:
+                    fences.append((tid, op, pc))
+            elif kind == _ACQ:
+                if acquires is None:
+                    acquires = [(tid, op, pc)]
+                else:
+                    acquires.append((tid, op, pc))
+            else:  # _REL
+                if releases is None:
+                    releases = [(tid, op, pc)]
+                else:
+                    releases.append((tid, op, pc))
 
         if live_threads == 0:
             self._finish_warp(warp, now)
@@ -276,9 +422,87 @@ class KernelRun:
             self._arrive_barrier(warp, now)
             return
 
-        sm = self.sms[warp.sm_id]
-        issue = sm.issue.reserve(now, 1, 0)
-        completion = self._execute(warp, issue, ops)
+        # sm.issue.reserve(now, 1, 0), hand-inlined (one issue per step).
+        issue_port = self.sms[warp.sm_id].issue
+        next_free = issue_port.next_free
+        issue = now if now > next_free else next_free
+        issue_port.next_free = issue + 1
+        issue_port.busy_cycles += 1
+        issue_port.requests += 1
+
+        # --- the former _execute, with `now` = issue --------------------
+        trace_append = self.trace._ring.append
+        pipeline = self.pipeline
+        completion = issue + max_extra
+        shmem = pipeline.shmem
+        if shmem is not None and sh_events is not None:
+            block = warp.block
+            for tid, offset, is_write, pc in sh_events:
+                shmem.on_access(
+                    block.bid, block.barrier_epoch, tid,
+                    offset, is_write, issue, pc,
+                )
+        stall = 0
+        # Fences first: within one issue they order the warp's prior writes.
+        if fences is not None:
+            done, s = pipeline.exec_fences(issue, warp, fences)
+            if done > completion:
+                completion = done
+            if s > stall:
+                stall = s
+        if stores is not None:
+            for tid, op, pc in stores:
+                trace_append((issue, tid, "St", op.addr, pc))
+            done, s = pipeline.exec_stores(issue, warp, stores)
+            if done > completion:
+                completion = done
+            if s > stall:
+                stall = s
+        if atomics is not None:
+            labels = _ATOMIC_TRACE_LABELS
+            for tid, op, pc in atomics:
+                label = labels.get(op.op)
+                if label is None:
+                    label = f"Atomic{op.op.value}"
+                    labels[op.op] = label
+                trace_append((issue, tid, label, op.addr, pc))
+            done, s = pipeline.exec_atomics(issue, warp, atomics, results)
+            if done > completion:
+                completion = done
+            if s > stall:
+                stall = s
+        if acquires is not None or releases is not None:
+            for tid, op, pc in acquires or ():
+                trace_append((issue, tid, "AcquireLd", op.addr, pc))
+            for tid, op, pc in releases or ():
+                trace_append((issue, tid, "ReleaseSt", op.addr, pc))
+            done, s = pipeline.exec_sync_accesses(
+                issue, warp, acquires or (), releases or (), results
+            )
+            if done > completion:
+                completion = done
+            if s > stall:
+                stall = s
+        if loads is not None:
+            for tid, op, pc in loads:
+                trace_append((issue, tid, "Ld", op.addr, pc))
+            done, s = pipeline.exec_loads(issue, warp, loads, results)
+            if done > completion:
+                completion = done
+            if s > stall:
+                stall = s
+
+        if results:
+            for tid, value in results.items():
+                pending[tid - tid_base] = value
+        if stall:
+            c = self._c
+            try:
+                c["sched.stall_cycles"] += stall
+            except KeyError:
+                c["sched.stall_cycles"] = stall
+            completion += stall
+
         self.instructions += 1
         if (
             self._step_interval
@@ -294,92 +518,13 @@ class KernelRun:
             )
         if completion <= issue:
             completion = issue + 1
-        self.end_cycle = max(self.end_cycle, completion)
-        self.events.schedule(completion, self._stepper(warp))
-
-    def _execute(
-        self, warp: _Warp, now: int, ops: List[Tuple[int, Op, Tuple[str, int]]]
-    ) -> int:
-        fences = []
-        loads = []
-        stores = []
-        atomics = []
-        acquires = []
-        releases = []
-        completion = now
-        results: Dict[int, int] = {}
-        scratchpad = warp.block.scratchpad
-        trace = self.trace
-        for tid, op, pc in ops:
-            if isinstance(op, Ld):
-                loads.append((tid, op, pc))
-                trace.record(now, tid, "Ld", op.addr, pc)
-            elif isinstance(op, St):
-                stores.append((tid, op, pc))
-                trace.record(now, tid, "St", op.addr, pc)
-            elif isinstance(op, AtomicRMW):
-                atomics.append((tid, op, pc))
-                trace.record(now, tid, f"Atomic{op.op.value}", op.addr, pc)
-            elif isinstance(op, AcquireLd):
-                acquires.append((tid, op, pc))
-                trace.record(now, tid, "AcquireLd", op.addr, pc)
-            elif isinstance(op, ReleaseSt):
-                releases.append((tid, op, pc))
-                trace.record(now, tid, "ReleaseSt", op.addr, pc)
-            elif isinstance(op, Fence):
-                fences.append((tid, op, pc))
-            elif isinstance(op, ShLd):
-                results[tid] = scratchpad[op.offset]
-                completion = max(completion, now + self.config.scratchpad_latency)
-                if self.pipeline.shmem is not None:
-                    self.pipeline.shmem.on_access(
-                        warp.block.bid, warp.block.barrier_epoch, tid,
-                        op.offset, False, now, pc,
-                    )
-            elif isinstance(op, ShSt):
-                scratchpad[op.offset] = op.value
-                completion = max(completion, now + self.config.scratchpad_latency)
-                if self.pipeline.shmem is not None:
-                    self.pipeline.shmem.on_access(
-                        warp.block.bid, warp.block.barrier_epoch, tid,
-                        op.offset, True, now, pc,
-                    )
-            elif isinstance(op, Compute):
-                completion = max(completion, now + op.cycles)
-            else:  # pragma: no cover - Barrier handled by caller
-                raise KernelError(f"unexpected op {op!r}")
-
-        stall = 0
-        # Fences first: within one issue they order the warp's prior writes.
-        if fences:
-            done, s = self.pipeline.exec_fences(now, warp, fences)
-            completion = max(completion, done)
-            stall = max(stall, s)
-        if stores:
-            done, s = self.pipeline.exec_stores(now, warp, stores)
-            completion = max(completion, done)
-            stall = max(stall, s)
-        if atomics:
-            done, s = self.pipeline.exec_atomics(now, warp, atomics, results)
-            completion = max(completion, done)
-            stall = max(stall, s)
-        if acquires or releases:
-            done, s = self.pipeline.exec_sync_accesses(
-                now, warp, acquires, releases, results
-            )
-            completion = max(completion, done)
-            stall = max(stall, s)
-        if loads:
-            done, s = self.pipeline.exec_loads(now, warp, loads, results)
-            completion = max(completion, done)
-            stall = max(stall, s)
-
-        for tid, value in results.items():
-            lane = tid - warp.warp_id * self.config.threads_per_warp
-            warp.pending[lane] = value
-        if stall:
-            self.pipeline.stats.add("sched.stall_cycles", stall)
-        return completion + stall
+        if completion > self.end_cycle:
+            self.end_cycle = completion
+        # events.schedule, hand-inlined (completion >= issue >= now, so the
+        # clamp in EventQueue.schedule can never fire here).
+        events = self.events
+        events._seq += 1
+        heappush(events._heap, (completion, events._seq, warp.callback))
 
     # ------------------------------------------------------------------
     # Barriers and teardown
@@ -388,7 +533,11 @@ class KernelRun:
         warp.at_barrier = True
         block = warp.block
         block.barrier_arrivals += 1
-        self.pipeline.stats.add("sched.barrier.arrivals")
+        c = self._c
+        try:
+            c["sched.barrier.arrivals"] += 1
+        except KeyError:
+            c["sched.barrier.arrivals"] = 1
         if block.barrier_arrivals >= block.live_warps:
             self._release_barrier(block, now)
 
@@ -405,7 +554,7 @@ class KernelRun:
                 warp.at_barrier = False
                 warp.parked = [False] * len(warp.parked)
                 self.events.schedule(
-                    now + _BARRIER_RELEASE_COST, self._stepper(warp)
+                    now + _BARRIER_RELEASE_COST, warp.callback
                 )
 
     def _finish_warp(self, warp: _Warp, now: int) -> None:

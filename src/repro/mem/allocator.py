@@ -73,6 +73,9 @@ class DeviceAllocator:
         self._arrays: List[DeviceArray] = []
         self._bases: List[int] = []
         self._by_name: Dict[str, DeviceArray] = {}
+        # addr -> owning array memo for owner_of (the detector asks once
+        # per access); invalidated whenever the allocation map changes.
+        self._owner_memo: Dict[int, Optional[DeviceArray]] = {}
 
     def alloc(self, length: int, name: Optional[str] = None) -> DeviceArray:
         """Allocate *length* words, returning a :class:`DeviceArray`.
@@ -101,6 +104,7 @@ class DeviceAllocator:
         self._arrays.append(array)
         self._bases.append(base)
         self._by_name[name] = array
+        self._owner_memo.clear()
         return array
 
     def reset(self) -> None:
@@ -109,6 +113,7 @@ class DeviceAllocator:
         self._arrays.clear()
         self._bases.clear()
         self._by_name.clear()
+        self._owner_memo.clear()
 
     @property
     def used_bytes(self) -> int:
@@ -130,8 +135,16 @@ class DeviceAllocator:
         The bump allocator hands out monotonically increasing bases, so a
         binary search over the allocation order suffices.
         """
+        memo = self._owner_memo
+        try:
+            return memo[addr]
+        except KeyError:
+            pass
         index = bisect.bisect_right(self._bases, addr) - 1
         if index < 0:
-            return None
-        array = self._arrays[index]
-        return array if addr < array.end else None
+            owner = None
+        else:
+            array = self._arrays[index]
+            owner = array if addr < array.end else None
+        memo[addr] = owner
+        return owner

@@ -26,6 +26,13 @@ class CacheResult:
     writeback_class: str = ""  # traffic class of the victim line
 
 
+# Shared result instances for the two allocation-free outcomes (a hit, and
+# a miss that fills without evicting).  Callers only read the fields, so one
+# immutable-by-convention instance each saves an allocation per access.
+_HIT = CacheResult(hit=True)
+_MISS = CacheResult(hit=False)
+
+
 class SetAssocCache:
     """LRU set-associative cache of line tags.
 
@@ -50,6 +57,22 @@ class SetAssocCache:
         # by recency (last = MRU).
         self._sets: Dict[int, "OrderedDict[int, list]"] = {}
         self.stats = stats if stats is not None else CounterBag()
+        self._c = self.stats.counters()
+        # Counter names interned per traffic class: building
+        # f"{name}.hit.{class}" on every access costs more than the
+        # counter bump itself.
+        self._stat_keys: Dict[str, tuple] = {}
+
+    def _keys_for(self, traffic_class: str) -> tuple:
+        keys = self._stat_keys.get(traffic_class)
+        if keys is None:
+            keys = (
+                f"{self.name}.hit.{traffic_class}",
+                f"{self.name}.miss.{traffic_class}",
+                f"{self.name}.writeback.{traffic_class}",
+            )
+            self._stat_keys[traffic_class] = keys
+        return keys
 
     def line_addr(self, addr: int) -> int:
         return addr - (addr % self.line_size)
@@ -70,30 +93,54 @@ class SetAssocCache:
         allocate: bool = True,
     ) -> CacheResult:
         """Access the line containing *addr*; fill on miss if *allocate*."""
-        line = self.line_addr(addr)
-        cache_set = self._set_of(line)
+        line = addr - (addr % self.line_size)
+        # _set_of, hand-inlined (one cache access per memory transaction).
+        index = (line // self.line_size) % self.num_sets
+        cache_set = self._sets.get(index)
+        if cache_set is None:
+            cache_set = OrderedDict()
+            self._sets[index] = cache_set
         entry = cache_set.get(line)
+        keys = self._stat_keys.get(traffic_class)
+        if keys is None:
+            keys = self._keys_for(traffic_class)
+        c = self._c
         if entry is not None:
             cache_set.move_to_end(line)
             if is_write:
                 entry[0] = True
-            self.stats.add(f"{self.name}.hit.{traffic_class}")
-            return CacheResult(hit=True)
+            key = keys[0]
+            try:
+                c[key] += 1
+            except KeyError:
+                c[key] = 1
+            return _HIT
 
-        self.stats.add(f"{self.name}.miss.{traffic_class}")
+        key = keys[1]
+        try:
+            c[key] += 1
+        except KeyError:
+            c[key] = 1
         if not allocate:
-            return CacheResult(hit=False)
+            return _MISS
 
-        result = CacheResult(hit=False)
         if len(cache_set) >= self.assoc:
             victim_line, (victim_dirty, victim_class) = cache_set.popitem(last=False)
-            result.evicted_line = victim_line
-            result.evicted_dirty = victim_dirty
-            result.writeback_class = victim_class
             if victim_dirty:
-                self.stats.add(f"{self.name}.writeback.{victim_class}")
+                wb_key = self._keys_for(victim_class)[2]
+                try:
+                    c[wb_key] += 1
+                except KeyError:
+                    c[wb_key] = 1
+            cache_set[line] = [is_write, traffic_class]
+            return CacheResult(
+                hit=False,
+                evicted_line=victim_line,
+                evicted_dirty=victim_dirty,
+                writeback_class=victim_class,
+            )
         cache_set[line] = [is_write, traffic_class]
-        return result
+        return _MISS
 
     def contains(self, addr: int) -> bool:
         line = self.line_addr(addr)
@@ -103,6 +150,12 @@ class SetAssocCache:
         """Drop the line containing *addr* without writeback (write-evict)."""
         line = self.line_addr(addr)
         self._set_of(line).pop(line, None)
+
+    def invalidate_line(self, line: int) -> None:
+        """Like :meth:`invalidate` for an already line-aligned address."""
+        cache_set = self._sets.get((line // self.line_size) % self.num_sets)
+        if cache_set is not None:
+            cache_set.pop(line, None)
 
     def flush(self) -> int:
         """Invalidate everything; return the number of dirty lines dropped."""

@@ -82,6 +82,10 @@ class VisibilityModel:
         # warp_uid -> OrderedDict[addr, value]; warp_uid -> sm_id.
         self._wb: Dict[int, "OrderedDict[int, int]"] = {}
         self._wb_sm: Dict[int, int] = {}
+        # Hot-path hoists: the backing store's word dict is cleared in
+        # place (never replaced), so caching the reference is safe.
+        self._words = backing._words
+        self._cap = backing.capacity_bytes
 
     # ------------------------------------------------------------------
     # Internal helpers
@@ -95,8 +99,13 @@ class VisibilityModel:
 
     def _invalidate_l1(self, sm_id: int, addr: int) -> None:
         sm = self._sms[sm_id]
-        line = sm.l1.line_addr(addr)
-        sm.l1.invalidate(addr)
+        line = addr - (addr % self.line_size)
+        # l1.invalidate_line, hand-inlined (stores/atomics call this once
+        # per lane).
+        l1 = sm.l1
+        cache_set = l1._sets.get((line // l1.line_size) % l1.num_sets)
+        if cache_set is not None:
+            cache_set.pop(line, None)
         sm.l1_data.pop(line, None)
 
     def _buffer_of(self, warp_uid: int, sm_id: int) -> "OrderedDict[int, int]":
@@ -128,15 +137,33 @@ class VisibilityModel:
         if buf is not None and addr in buf:
             return buf[addr], SERVED_WB
 
+        sm = self._sms[sm_id]
+        local = sm.local
         if strong:
             # Volatile: bypass the L1 and read the SM view (which falls
             # through to the device-coherent backing store).
-            return self._sm_view(sm_id, addr), SERVED_STRONG
+            entry = local.get(addr)
+            if entry is not None:
+                return entry[0], SERVED_STRONG
+            return self.backing.read_word(addr), SERVED_STRONG
 
-        sm = self._sms[sm_id]
-        line = sm.l1.line_addr(addr)
-        result = sm.l1.access(addr, is_write=False, traffic_class="data")
-        if result.hit:
+        line = addr - (addr % self.line_size)
+        # sm.l1.access hit path, hand-inlined (the tag probe + LRU touch +
+        # hit counter); a probe miss falls through to the full access(),
+        # which then deterministically takes its miss path.
+        l1 = sm.l1
+        cache_set = l1._sets.get((line // l1.line_size) % l1.num_sets)
+        if cache_set is not None and line in cache_set:
+            cache_set.move_to_end(line)
+            keys = l1._stat_keys.get("data")
+            if keys is None:
+                keys = l1._keys_for("data")
+            c = l1._c
+            key = keys[0]
+            try:
+                c[key] += 1
+            except KeyError:
+                c[key] = 1
             snapshot = sm.l1_data.get(line)
             if snapshot is not None and addr in snapshot:
                 return snapshot[addr], SERVED_L1
@@ -145,13 +172,25 @@ class VisibilityModel:
             value = self._sm_view(sm_id, addr)
             sm.l1_data.setdefault(line, {})[addr] = value
             return value, SERVED_L1
+        result = sm.l1.access(addr, False, "data")
 
         if result.evicted_line is not None:
             sm.l1_data.pop(result.evicted_line, None)
-        snapshot = {
-            word_addr: self._sm_view(sm_id, word_addr)
-            for word_addr in range(line, line + self.line_size, 4)
-        }
+        if 0 <= line and line + self.line_size <= self.backing.capacity_bytes:
+            # Whole line in bounds: read the backing words directly (the
+            # stored values are already int32-normalized).
+            words = self.backing._words
+            snapshot = {}
+            for word_addr in range(line, line + self.line_size, 4):
+                entry = local.get(word_addr)
+                snapshot[word_addr] = (
+                    entry[0] if entry is not None else words.get(word_addr, 0)
+                )
+        else:
+            snapshot = {
+                word_addr: self._sm_view(sm_id, word_addr)
+                for word_addr in range(line, line + self.line_size, 4)
+            }
         sm.l1_data[line] = snapshot
         return snapshot[addr], SERVED_FILL
 
@@ -182,13 +221,24 @@ class VisibilityModel:
             self._invalidate_l1(sm_id, addr)
             return None
 
-        buf = self._buffer_of(warp_uid, sm_id)
+        buf = self._wb.get(warp_uid)
+        if buf is None:
+            buf = OrderedDict()
+            self._wb[warp_uid] = buf
+        self._wb_sm[warp_uid] = sm_id
         buf[addr] = value
         buf.move_to_end(addr)
         # Global stores are write-evict: the SM must not keep serving the
         # pre-store line to other warps once the store drains, and the
         # storing warp itself is covered by buffer forwarding.
-        self._invalidate_l1(sm_id, addr)
+        # (_invalidate_l1, hand-inlined.)
+        sm = self._sms[sm_id]
+        line = addr - (addr % self.line_size)
+        l1 = sm.l1
+        cache_set = l1._sets.get((line // l1.line_size) % l1.num_sets)
+        if cache_set is not None:
+            cache_set.pop(line, None)
+        sm.l1_data.pop(line, None)
         if len(buf) > self.write_buffer_capacity:
             # A real write buffer eventually drains to L2; evict the oldest
             # entry to the backing store.  The drained address is returned
@@ -229,15 +279,53 @@ class VisibilityModel:
 
         sm = self._sms[sm_id]
         if device_scope:
-            old, new = apply_atomic(op, self.backing.read_word(addr), operand, compare)
-            self.backing.write_word(addr, new)
+            # backing.read_word/write_word + apply_atomic, hand-inlined
+            # (the bounds-checked slow path keeps the exact errors).
+            if addr % 4 == 0 and 0 <= addr < self._cap:
+                cur = self._words.get(addr, 0)
+            else:
+                cur = self.backing.read_word(addr)
+            if op is AtomicOp.CAS:
+                new = operand if cur == compare else cur
+            elif op is AtomicOp.ADD:
+                new = cur + operand
+            else:
+                _, new = apply_atomic(op, cur, operand, compare)
+            old = cur
+            new &= 0xFFFFFFFF
+            if new & 0x80000000:
+                new -= 0x100000000
+            if addr % 4 == 0 and 0 <= addr < self._cap:
+                self._words[addr] = new
+            else:
+                self.backing.write_word(addr, new)
             # Keep the SM self-consistent: refresh any local shadow.
             if addr in sm.local:
                 sm.local[addr][0] = new
         else:
-            old, new = apply_atomic(op, self._sm_view(sm_id, addr), operand, compare)
+            local_entry = sm.local.get(addr)
+            if local_entry is not None:
+                cur = local_entry[0]
+            else:
+                cur = self.backing.read_word(addr)
+            if op is AtomicOp.CAS:
+                new = operand if cur == compare else cur
+            elif op is AtomicOp.ADD:
+                new = cur + operand
+            else:
+                _, new = apply_atomic(op, cur, operand, compare)
+            old = cur
+            new &= 0xFFFFFFFF
+            if new & 0x80000000:
+                new -= 0x100000000
             sm.local[addr] = [new, warp_uid]
-        self._invalidate_l1(sm_id, addr)
+        # _invalidate_l1, hand-inlined (sm already resolved).
+        line = addr - (addr % self.line_size)
+        l1 = sm.l1
+        cache_set = l1._sets.get((line // l1.line_size) % l1.num_sets)
+        if cache_set is not None:
+            cache_set.pop(line, None)
+        sm.l1_data.pop(line, None)
         return old
 
     # ------------------------------------------------------------------

@@ -15,16 +15,34 @@ from __future__ import annotations
 
 from repro.common.rng import hash_u64
 
+# Both hashes are pure functions of small domains (lock variables are few;
+# (hash6, scope) pairs are at most 2**7), so memoizing them is
+# behavior-identical and removes a hash_u64 round per spinning CAS.
+_LOCK_HASH_MEMO: dict = {}
+_BLOOM_BIT_MEMO: dict = {}
+
 
 def lock_hash(addr: int, hash_bits: int = 6) -> int:
     """The lock table's hash of a lock variable's address."""
-    return hash_u64(addr // 4) & ((1 << hash_bits) - 1)
+    key = (addr, hash_bits)
+    try:
+        return _LOCK_HASH_MEMO[key]
+    except KeyError:
+        value = hash_u64(addr // 4) & ((1 << hash_bits) - 1)
+        _LOCK_HASH_MEMO[key] = value
+        return value
 
 
 def bloom_bit(lock_hash6: int, scope_bit: int, bloom_bits: int = 16) -> int:
     """Bloom filter bit mask for one (lock hash, scope) pair."""
-    key = (lock_hash6 << 1) | (scope_bit & 1)
-    return 1 << (hash_u64(key) % bloom_bits)
+    memo_key = (lock_hash6, scope_bit, bloom_bits)
+    try:
+        return _BLOOM_BIT_MEMO[memo_key]
+    except KeyError:
+        key = (lock_hash6 << 1) | (scope_bit & 1)
+        value = 1 << (hash_u64(key) % bloom_bits)
+        _BLOOM_BIT_MEMO[memo_key] = value
+        return value
 
 
 def bloom_intersect(a: int, b: int) -> int:

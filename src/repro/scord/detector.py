@@ -26,7 +26,7 @@ can be disabled independently to reproduce the Fig. 10 breakdown.
 
 from __future__ import annotations
 
-import dataclasses
+from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
 from repro.arch.detector_config import DetectorConfig, DetectorMode
@@ -38,7 +38,7 @@ from repro.isa.scopes import Scope
 from repro.scord.fencefile import FenceFile
 from repro.scord.interface import Access, AccessKind, BaseDetector
 from repro.scord.locktable import LockTable
-from repro.scord.metadata import METADATA_LAYOUT, MetadataStore
+from repro.scord.metadata import INIT_WORD, MetadataStore
 from repro.scord.races import RaceRecord, RaceReport, RaceScopeClass, RaceType
 from repro.timing.resource import QueuedResource
 
@@ -127,13 +127,40 @@ class ScoRDDetector(BaseDetector):
         self.config = config
         self.metadata = MetadataStore(config, device_capacity_bytes)
         self.fence_file = FenceFile(config.fence_id_bits)
+        # Direct view of the fence file's (block, warp) -> counters dict for
+        # the per-access checks; refreshed when the fence file is replaced.
+        self._ff_entries = self.fence_file._entries
         self._lock_tables: Dict[Tuple[int, int], LockTable] = {}
         self._barriers: Dict[int, WrappingCounter] = {}
         self._port = QueuedResource("detector")
         self._fabric = None
         self._stats = CounterBag()
+        self._c = self._stats.counters()
+        self._md_region_base = self.metadata.region_base
+        # Metadata-store hoists for the inlined lookup/store (the dict is
+        # cleared in place by metadata.reset(), so its identity is stable).
+        self._md_entries = self.metadata._entries
+        self._md_gran = self.metadata.granularity
+        self._md_cached = self.metadata.cached
+        self._md_ratio = self.metadata.cache_ratio
+        self._md_n = self.metadata.num_entries
+        self._md_tagmask = self.metadata._tag_mask
         self._block_id_mask = (1 << config.block_id_bits) - 1
         self._warp_id_mask = (1 << config.warp_id_bits) - 1
+        self._lane_mask = (1 << config.lane_id_bits) - 1
+        # Hot-path config hoists (attribute walks cost on every access).
+        self._acqrel = config.acquire_release_extension
+        self._ignore_atomic_scopes = config.ignore_atomic_scopes
+        self._its = config.its_support
+        self._checks_per_cycle = config.detector_checks_per_cycle
+        self._service_cycles = config.detector_service_cycles
+        self._model_md = config.model_md
+        self._model_lhd = config.model_lhd
+        # One-entry (block, warp) -> LockTable memo: consecutive lanes of a
+        # coalesced warp access hit the same table.
+        self._lt_bid = -1
+        self._lt_wid = -1
+        self._lt_table: Optional[LockTable] = None
         # The detector sustains `detector_checks_per_cycle`; its input
         # buffer absorbs this many cycles of backlog before the L1-hit
         # path must stall.
@@ -144,7 +171,8 @@ class ScoRDDetector(BaseDetector):
         self._check_counter = 0
         # Metadata entries are read-modify-written once per (cycle, entry),
         # not once per lane: a coalesced warp access covers one entry.
-        self._last_md_access = (-1, -1)
+        self._last_md_now = -1
+        self._last_md_index = -1
         if config.model_noc:
             self.noc_packet_overhead = config.packet_overhead_bytes
 
@@ -154,8 +182,25 @@ class ScoRDDetector(BaseDetector):
     def attach(self, fabric, stats: CounterBag) -> None:
         self._fabric = fabric
         self._stats = stats
+        self._c = stats.counters()
+        # Hot-path hoists for the inlined metadata-traffic model: the
+        # detector sits at the L2, so its read-modify-write goes straight
+        # to a bank + the L2 tags (fabric.access_l2, hand-inlined below).
+        self._l2_banks = fabric.l2_banks
+        self._l2_linesz = fabric._line
+        self._l2_nbanks = fabric._nbanks
+        self._l2_hit_lat = fabric._l2_hit_lat
+        self._l2 = fabric.l2
+        self._l2_sets = fabric.l2._sets
+        self._l2_assoc = fabric.l2.assoc
+        self._l2_nsets = fabric.l2.num_sets
+        self._l2_c = fabric.l2._c
+        self._l2_md_keys = fabric.l2._keys_for("metadata")
+        self._dram_access = fabric.dram.access
 
     def _lock_table(self, block_id: int, warp_id: int) -> LockTable:
+        if block_id == self._lt_bid and warp_id == self._lt_wid:
+            return self._lt_table
         key = (block_id, warp_id)
         table = self._lock_tables.get(key)
         if table is None:
@@ -165,6 +210,9 @@ class ScoRDDetector(BaseDetector):
                 self.config.bloom_bits,
             )
             self._lock_tables[key] = table
+        self._lt_bid = block_id
+        self._lt_wid = warp_id
+        self._lt_table = table
         return table
 
     def _barrier_counter(self, block_id: int) -> WrappingCounter:
@@ -194,286 +242,411 @@ class ScoRDDetector(BaseDetector):
     # The access pipeline
     # ------------------------------------------------------------------
     def on_access(self, now: int, access: Access) -> int:
-        self._stats.add("detector.checks")
-        if access.sync_op is not None and self.config.acquire_release_extension:
+        # One flat body per global-memory access: the former _check,
+        # _updated_word, metadata.lookup4 and _timing helpers are all
+        # hand-inlined here so the field extractions and fence/barrier
+        # probes are shared instead of recomputed per helper.  The
+        # differential-equivalence tier pins bit-identity with the
+        # multi-method original.
+        c = self._c
+        try:
+            c["detector.checks"] += 1
+        except KeyError:
+            c["detector.checks"] = 1
+        if access.sync_op is not None and self._acqrel:
             # §VI extension: explicit acquire/release are synchronization
             # accesses — they behave like scoped atomics for the checks
             # (two device-scope sync accesses on one variable do not race;
             # a block-scope one seen from another block does).  A release
             # additionally ordered the warp's prior writes, which the
-            # engine reported through on_fence.
-            access = dataclasses.replace(access, kind=AccessKind.ATOMIC)
-        if self.config.ignore_atomic_scopes and access.scope is Scope.BLOCK:
+            # engine reported through on_fence.  (The Access is ours to
+            # mutate: the pipeline builds a fresh one per lane.)
+            access.kind = AccessKind.ATOMIC
+        if self._ignore_atomic_scopes and access.scope is Scope.BLOCK:
             # Barracuda/CURD-like comparator: atomic scopes are ignored, so
             # a block-scope atomic is (incorrectly) treated as device-wide.
-            access = dataclasses.replace(access, scope=Scope.DEVICE)
-        hw_block = access.block_id & self._block_id_mask
-        hw_warp = access.warp_id & self._warp_id_mask
-        bloom = self._lock_table(access.block_id, access.warp_id).active_bloom()
+            access.scope = Scope.DEVICE
+        # Field hoists (slot reads repeat below; the mutations above are
+        # done, so the locals are stable).
+        a_bid = access.block_id
+        a_wid = access.warp_id
+        a_addr = access.addr
+        a_lane = access.lane_id
+        a_strong = access.strong
+        a_scope = access.scope
+        a_atomic = access.atomic_op
+        hw_block = a_bid & self._block_id_mask
+        hw_warp = a_wid & self._warp_id_mask
+        # _lock_table + the cached bloom summary, hand-inlined.
+        if a_bid == self._lt_bid and a_wid == self._lt_wid:
+            table = self._lt_table
+        else:
+            key = (a_bid, a_wid)
+            table = self._lock_tables.get(key)
+            if table is None:
+                table = LockTable(
+                    self.config.lock_table_entries,
+                    self.config.lock_hash_bits,
+                    self.config.bloom_bits,
+                )
+                self._lock_tables[key] = table
+            self._lt_bid = a_bid
+            self._lt_wid = a_wid
+            self._lt_table = table
+        bloom = table._bloom
+        if bloom is None:
+            bloom = table.active_bloom()
 
-        lookup = self.metadata.lookup(access.addr)
-        if lookup.tag_ok:
-            races = self._check(lookup.word, access, hw_block, hw_warp, bloom, now)
-            for race in races:
-                self.report.add(race)
-                self._stats.add("detector.races")
+        # --- metadata.lookup4, hand-inlined --------------------------------
+        md = self.metadata
+        md.lookups += 1
+        granule = a_addr // self._md_gran
+        if self._md_cached:
+            index = (granule // self._md_ratio) % self._md_n
+            tag = (granule % self._md_ratio) & self._md_tagmask
+            try:
+                word = self._md_entries[index]
+            except KeyError:
+                word = INIT_WORD
+                tag_ok = True
+            else:
+                if ((word >> 54) & 0xF) != tag:
+                    md.tag_misses += 1
+                    word = INIT_WORD
+                    tag_ok = False
+                else:
+                    tag_ok = True
+        else:
+            index = granule % self._md_n
+            tag = 0
+            try:
+                word = self._md_entries[index]
+            except KeyError:
+                word = INIT_WORD
+            tag_ok = True
+
+        kind = access.kind
+        update = True
+        if tag_ok:
+            # --- Checks (Tables III and IV; the former _check) -------------
+            md_block = (word >> 47) & 0x7F
+            md_warp = (word >> 42) & 0x1F
+            md_modified = (word >> 21) & 1
+            md_blkshared = (word >> 20) & 1
+            md_devshared = (word >> 19) & 1
+            # _barrier_counter inlined: a missing counter reads as 0, and
+            # creating it lazily on a read would store the same 0.  (The
+            # probe is pure, so hoisting it ahead of the Table III
+            # conditions changes nothing; the update path below reuses it.)
+            bc = self._barriers.get(a_bid)
+            barrier_now = bc.value if bc is not None else 0
+            race_type = None
+            if md_modified and md_blkshared and md_devshared:
+                # (a) first access since (re-)initialization.
+                try:
+                    c["detector.prelim.init"] += 1
+                except KeyError:
+                    c["detector.prelim.init"] = 1
+            elif (
+                md_warp == hw_warp
+                and md_block == hw_block
+                and not md_blkshared
+                and not md_devshared
+                and (not self._its or ((word >> 58) & 0x1F) == a_lane)
+            ):
+                # (b) program order: the same warp performed every access so
+                # far.  With the ITS extension (§VI), lanes of a diverged
+                # warp are independent threads, so program order is
+                # lane-granular.
+                try:
+                    c["detector.prelim.program_order"] += 1
+                except KeyError:
+                    c["detector.prelim.program_order"] = 1
+            elif (
+                md_block == hw_block
+                and ((word >> 22) & 0xFF) != barrier_now
+                and not md_devshared
+            ):
+                # (c) a barrier separates the accesses (same block, not
+                # shared wider).
+                try:
+                    c["detector.prelim.barrier"] += 1
+                except KeyError:
+                    c["detector.prelim.barrier"] = 1
+            else:
+                md_bloom = word & 0xFFFF
+                if kind is not AccessKind.ATOMIC and (md_bloom or bloom):
+                    # Lockset check (Table IV e/f): triggered when either
+                    # bloom filter is non-empty; applies to plain
+                    # loads/stores (atomics are the lock-manipulation
+                    # operations).
+                    if kind is AccessKind.LOAD:
+                        if md_modified and (md_bloom & bloom) == 0:
+                            race_type = RaceType.LOCK
+                    elif (md_bloom & bloom) == 0:
+                        race_type = RaceType.LOCK
+                else:
+                    # Happens-before checks (Table IV a-d).
+                    md_isatom = (word >> 18) & 1
+                    md_scope = (word >> 17) & 1
+                    hb_done = False
+                    is_write = True
+                    if kind is AccessKind.ATOMIC:
+                        if md_isatom:
+                            # (d) both accesses atomic: a block-scope atomic
+                            # from a different block cannot synchronize with
+                            # this one.
+                            if md_scope == _SCOPE_BLOCK_BIT and md_block != hw_block:
+                                race_type = RaceType.SCOPED_ATOMIC
+                            hb_done = True
+                        # else: previous access was a plain load/store; the
+                        # atomic behaves like a (strong) store for the fence
+                        # checks below.
+                    elif md_isatom and md_scope == _SCOPE_BLOCK_BIT and md_block != hw_block:
+                        # Plain load/store after an atomic: a block-scope
+                        # atomic from a different block leaves this access
+                        # unsynchronized (cond. d).
+                        race_type = RaceType.SCOPED_ATOMIC
+                        hb_done = True
+                    else:
+                        is_write = kind is not AccessKind.LOAD
+                    if not hb_done and (is_write or md_modified):
+                        # Table IV (a)-(c): fence sufficiency and strong
+                        # accesses.  (Load after load: no conflict.)
+                        # fence_file.ids, hand-inlined (absent entries read
+                        # as (0, 0), the same values a lazily-created
+                        # counter pair would hold).
+                        ff_entry = self._ff_entries.get((md_block, md_warp))
+                        if ff_entry is not None:
+                            prev_blk_fence = ff_entry[0].value
+                            prev_dev_fence = ff_entry[1].value
+                        else:
+                            prev_blk_fence = prev_dev_fence = 0
+                        md_strong = (word >> 16) & 1
+                        if md_block == hw_block:
+                            if md_warp == hw_warp and (
+                                not self._its
+                                or ((word >> 58) & 0x1F) == a_lane
+                            ):
+                                # Same warp; shared flags forced us past the
+                                # program-order fast path, but the last
+                                # access is still program-ordered (same
+                                # lane, under ITS).
+                                pass
+                            elif (
+                                ((word >> 30) & 0x3F) == prev_blk_fence
+                                and ((word >> 36) & 0x3F) == prev_dev_fence
+                            ):
+                                # (a) block-scope conflict: any fence by the
+                                # previous accessor orders it.
+                                race_type = RaceType.MISSING_BLOCK_FENCE
+                            elif not md_strong or not a_strong:
+                                # (c) fences only order strong operations.
+                                race_type = RaceType.NOT_STRONG
+                        elif ((word >> 36) & 0x3F) == prev_dev_fence:
+                            # (b) device-scope conflict: only a device-scope
+                            # fence helps.  If a block-scope fence was
+                            # executed instead, this is precisely a scoped
+                            # race due to an insufficiently-scoped fence.
+                            if ((word >> 30) & 0x3F) != prev_blk_fence:
+                                race_type = RaceType.SCOPED_FENCE
+                            else:
+                                race_type = RaceType.MISSING_DEVICE_FENCE
+                        elif not md_strong or not a_strong:
+                            race_type = RaceType.NOT_STRONG
+            if race_type is not None:
+                self.report.add(
+                    RaceRecord(
+                        race_type=race_type,
+                        scope_class=(
+                            RaceScopeClass.BLOCK
+                            if md_block == hw_block
+                            else RaceScopeClass.DEVICE
+                        ),
+                        addr=a_addr,
+                        pc=access.pc,
+                        cycle=now,
+                        block_id=a_bid,
+                        warp_id=a_wid,
+                        prev_block_id=md_block,
+                        prev_warp_id=md_warp,
+                        array_name=access.array_name,
+                    )
+                )
+                try:
+                    c["detector.races"] += 1
+                except KeyError:
+                    c["detector.races"] = 1
         else:
             # Software-cache tag mismatch: the slot holds a *neighbouring*
             # granule's metadata.  No check is possible — a race here can
             # be missed (the Table VI false-negative mechanism).
-            self._stats.add("detector.md_cache_skips")
-            if access.kind is AccessKind.LOAD:
+            try:
+                c["detector.md_cache_skips"] += 1
+            except KeyError:
+                c["detector.md_cache_skips"] = 1
+            if kind is AccessKind.LOAD:
                 # Loads do not take ownership of an aliased entry: a read
                 # scan over a 16-word group would otherwise re-tag the
                 # entry on its first word and blind every later check.
                 # Writes are what races are made of, so the last-writer
                 # information is the part worth keeping.
-                return self._timing(now, access)
+                update = False
 
-        new_word = self._updated_word(
-            lookup.word, lookup.tag, access, hw_block, hw_warp, bloom
-        )
-        self.metadata.store(lookup.index, new_word)
-
-        # Lock inference happens at the SM as part of executing the atomic;
-        # it is ordered after this access's own bloom was formed.
-        if access.kind is AccessKind.ATOMIC and access.atomic_op is not None:
-            table = self._lock_table(access.block_id, access.warp_id)
-            if access.atomic_op is AtomicOp.CAS:
-                table.on_cas(access.addr, access.scope)
-            elif access.atomic_op is AtomicOp.EXCH:
-                table.on_exch(access.addr, access.scope)
-
-        return self._timing(now, access)
-
-    # ------------------------------------------------------------------
-    # Checks (Tables III and IV)
-    # ------------------------------------------------------------------
-    def _check(
-        self,
-        word: int,
-        access: Access,
-        hw_block: int,
-        hw_warp: int,
-        bloom: int,
-        now: int,
-    ):
-        md = _Md.unpack(word)
-
-        # --- Preliminary checks (Table III) ---------------------------
-        # (a) first access since (re-)initialization.
-        if md.modified and md.blkshared and md.devshared:
-            self._stats.add("detector.prelim.init")
-            return []
-        # (b) program order: the same warp performed every access so far.
-        # With the ITS extension (§VI), lanes of a diverged warp are
-        # independent threads, so program order is lane-granular.
-        if (
-            md.warp == hw_warp
-            and md.block == hw_block
-            and not md.blkshared
-            and not md.devshared
-            and (not self.config.its_support or md.lane == access.lane_id)
-        ):
-            self._stats.add("detector.prelim.program_order")
-            return []
-        # (c) a barrier separates the accesses (same block, not shared wider).
-        barrier_now = self._barrier_counter(access.block_id).value
-        if (
-            md.block == hw_block
-            and md.barrier != barrier_now
-            and not md.devshared
-        ):
-            self._stats.add("detector.prelim.barrier")
-            return []
-
-        scope_class = (
-            RaceScopeClass.BLOCK if md.block == hw_block else RaceScopeClass.DEVICE
-        )
-
-        def race(race_type: RaceType) -> RaceRecord:
-            return RaceRecord(
-                race_type=race_type,
-                scope_class=scope_class,
-                addr=access.addr,
-                pc=access.pc,
-                cycle=now,
-                block_id=access.block_id,
-                warp_id=access.warp_id,
-                prev_block_id=md.block,
-                prev_warp_id=md.warp,
-                array_name=access.array_name,
+        if update:
+            # --- Metadata update (always happens, §IV-A; the former
+            # _updated_word, sharing the extractions above) ----------------
+            if not tag_ok:
+                # Tag miss overwrites with INIT_WORD-derived fields (the
+                # lookup already substituted INIT_WORD for `word`).
+                md_block = (word >> 47) & 0x7F
+                md_warp = (word >> 42) & 0x1F
+                md_modified = (word >> 21) & 1
+                md_blkshared = (word >> 20) & 1
+                md_devshared = (word >> 19) & 1
+                bc = self._barriers.get(a_bid)
+                barrier_now = bc.value if bc is not None else 0
+            is_write = kind is not AccessKind.LOAD
+            # `modified` records whether the LAST access was a write.  This
+            # is what makes the no-false-positive claim hold: after "store,
+            # fence, load-by-warp-A", a load by warp B conflicts with
+            # nothing (loads don't race with loads), so the entry must not
+            # still advertise the old store.
+            blkshared = md_blkshared
+            devshared = md_devshared
+            if md_modified and blkshared and devshared:
+                # was-init: leave the initialized state behind.
+                blkshared = 0
+                devshared = 0
+                strong = 1 if a_strong else 0
+            else:
+                if not is_write:
+                    if md_block != hw_block:
+                        devshared = 1
+                    elif md_warp != hw_warp:
+                        blkshared = 1
+                # The Strong bit survives only while *every* access is
+                # strong.
+                strong = (word >> 16) & 1 if a_strong else 0
+            ff_entry = self._ff_entries.get((hw_block, hw_warp))
+            if ff_entry is not None:
+                blk_fence = ff_entry[0].value
+                dev_fence = ff_entry[1].value
+            else:
+                blk_fence = dev_fence = 0
+            if kind is AccessKind.ATOMIC:
+                isatom = 1
+                scope_bit = (
+                    _SCOPE_DEVICE_BIT
+                    if a_scope is not Scope.BLOCK
+                    else _SCOPE_BLOCK_BIT
+                )
+            else:
+                isatom = 0
+                scope_bit = 0
+            self._md_entries[index] = (
+                ((a_lane & self._lane_mask & 0x1F) << 58)
+                | ((tag & 0xF) << 54)
+                | ((hw_block & 0x7F) << 47)
+                | ((hw_warp & 0x1F) << 42)
+                | ((dev_fence & 0x3F) << 36)
+                | ((blk_fence & 0x3F) << 30)
+                | ((barrier_now & 0xFF) << 22)
+                | ((1 if is_write else 0) << 21)
+                | (blkshared << 20)
+                | (devshared << 19)
+                | (isatom << 18)
+                | (scope_bit << 17)
+                | (strong << 16)
+                | (bloom & 0xFFFF)
             )
+            # Lock inference happens at the SM as part of executing the
+            # atomic; it is ordered after this access's own bloom was
+            # formed.  (Tag-miss loads skipped above never carry an
+            # atomic_op, so gating this on `update` changes nothing.)
+            if kind is AccessKind.ATOMIC and a_atomic is not None:
+                if a_atomic is AtomicOp.CAS:
+                    table.on_cas(a_addr, a_scope)
+                elif a_atomic is AtomicOp.EXCH:
+                    table.on_exch(a_addr, a_scope)
 
-        # --- Lockset check (Table IV e/f) ------------------------------
-        # Triggered when either bloom filter is non-empty; applies to plain
-        # loads/stores (atomics are the lock-manipulation operations).
-        if access.kind is not AccessKind.ATOMIC and (md.bloom or bloom):
-            if access.kind is AccessKind.LOAD:
-                if md.modified and (md.bloom & bloom) == 0:
-                    return [race(RaceType.LOCK)]
-                return []
-            if (md.bloom & bloom) == 0:
-                return [race(RaceType.LOCK)]
-            return []
-
-        # --- Happens-before checks (Table IV a-d) ----------------------
-        if access.kind is AccessKind.ATOMIC:
-            if md.isatom:
-                # (d) both accesses atomic: a block-scope atomic from a
-                # different block cannot synchronize with this one.
-                if md.scope == _SCOPE_BLOCK_BIT and md.block != hw_block:
-                    return [race(RaceType.SCOPED_ATOMIC)]
-                return []
-            # Previous access was a plain load/store: the atomic behaves
-            # like a (strong) store for the fence checks below.
-            return self._fence_checks(md, access, hw_block, hw_warp, race, True)
-
-        # Plain load/store after an atomic: a block-scope atomic from a
-        # different block leaves this access unsynchronized (condition d).
-        if md.isatom and md.scope == _SCOPE_BLOCK_BIT and md.block != hw_block:
-            return [race(RaceType.SCOPED_ATOMIC)]
-
-        return self._fence_checks(
-            md, access, hw_block, hw_warp, race, access.kind is not AccessKind.LOAD
-        )
-
-    def _fence_checks(self, md, access, hw_block, hw_warp, race, is_write):
-        """Table IV (a)-(c): fence sufficiency and strong-access checks."""
-        if not is_write and not md.modified:
-            # Load after load: no conflict.
-            return []
-
-        prev_blk_fence, prev_dev_fence = self.fence_file.ids(md.block, md.warp)
-        if md.block == hw_block:
-            if md.warp == hw_warp:
-                if (
-                    not self.config.its_support
-                    or md.lane == access.lane_id
-                ):
-                    # Same warp; shared flags forced us past the program-
-                    # order fast path, but the last access is still
-                    # program-ordered (same lane, under ITS).
-                    return []
-                # ITS: different lanes of a diverged warp are concurrent
-                # threads; fall through to the fence checks below.
-            # (a) block-scope conflict: any fence by the previous accessor
-            # (block or device scope) orders it.
-            if md.blkfence == prev_blk_fence and md.devfence == prev_dev_fence:
-                return [race(RaceType.MISSING_BLOCK_FENCE)]
-            # (c) fences only order strong operations.
-            if not md.strong or not access.strong:
-                return [race(RaceType.NOT_STRONG)]
-            return []
-
-        # (b) device-scope conflict: only a device-scope fence helps.  If a
-        # block-scope fence was executed instead, this is precisely a scoped
-        # race due to an insufficiently-scoped fence.
-        if md.devfence == prev_dev_fence:
-            if md.blkfence != prev_blk_fence:
-                return [race(RaceType.SCOPED_FENCE)]
-            return [race(RaceType.MISSING_DEVICE_FENCE)]
-        if not md.strong or not access.strong:
-            return [race(RaceType.NOT_STRONG)]
-        return []
-
-    # ------------------------------------------------------------------
-    # Metadata update (always happens, §IV-A)
-    # ------------------------------------------------------------------
-    def _updated_word(
-        self,
-        old_word: int,
-        tag: int,
-        access: Access,
-        hw_block: int,
-        hw_warp: int,
-        bloom: int,
-    ) -> int:
-        md = _Md.unpack(old_word)
-        is_atomic = access.kind is AccessKind.ATOMIC
-        is_write = access.kind is not AccessKind.LOAD
-        was_init = bool(md.modified and md.blkshared and md.devshared)
-
-        # `modified` records whether the LAST access was a write.  This is
-        # what makes the no-false-positive claim hold: after "store, fence,
-        # load-by-warp-A", a load by warp B conflicts with nothing (loads
-        # don't race with loads), so the entry must not still advertise the
-        # old store.  The write-vs-write and write-vs-read conflicts were
-        # already checked when the intervening accesses executed.
-        if was_init:
-            modified = 1 if is_write else 0
-            blkshared = 0
-            devshared = 0
-            strong = 1 if access.strong else 0
-        else:
-            modified = 1 if is_write else 0
-            blkshared = md.blkshared
-            devshared = md.devshared
-            if access.kind is AccessKind.LOAD:
-                if md.block != hw_block:
-                    devshared = 1
-                elif md.warp != hw_warp:
-                    blkshared = 1
-            # The Strong bit survives only while *every* access is strong.
-            strong = md.strong if access.strong else 0
-
-        blk_fence, dev_fence = self.fence_file.ids(hw_block, hw_warp)
-        new = _Md(
-            lane=access.lane_id & ((1 << self.config.lane_id_bits) - 1),
-            tag=tag,
-            block=hw_block,
-            warp=hw_warp,
-            devfence=dev_fence,
-            blkfence=blk_fence,
-            barrier=self._barrier_counter(access.block_id).value,
-            modified=modified,
-            blkshared=blkshared,
-            devshared=devshared,
-            isatom=1 if is_atomic else 0,
-            scope=(
-                (_SCOPE_DEVICE_BIT if access.scope is not Scope.BLOCK else _SCOPE_BLOCK_BIT)
-                if is_atomic
-                else 0
-            ),
-            strong=strong,
-            bloom=bloom,
-        )
-        return new.pack()
-
-    # ------------------------------------------------------------------
-    # Timing
-    # ------------------------------------------------------------------
-    def _timing(self, now: int, access: Access) -> int:
-        """Reserve detector-side resources; return warp stall cycles."""
+        # --- Timing (the former _timing helper, hand-inlined) -----------
         if self._fabric is None:
             return 0
-
-        # The detection logic is pipelined: latency `detector_service_cycles`
-        # per check, sustained throughput `detector_checks_per_cycle`.
         self._check_counter += 1
-        occupancy = 1 if self._check_counter % self.config.detector_checks_per_cycle == 0 else 0
-        serviced = self._port.reserve(
-            now, occupancy, self.config.detector_service_cycles
-        )
+        occupancy = 1 if self._check_counter % self._checks_per_cycle == 0 else 0
+        port = self._port
+        next_free = port.next_free
+        start = now if now > next_free else next_free
+        port.next_free = start + occupancy
+        port.busy_cycles += occupancy
+        port.requests += 1
+        serviced = start + self._service_cycles
 
-        if self.config.model_md:
+        if self._model_md:
             # Metadata read-modify-write at the L2 side: contends for L2
             # capacity/banks and DRAM bandwidth, off the warp's critical
-            # path ("execution can continue while race detection lags").
-            # A coalesced warp access covers one entry; only the first lane
-            # of the (cycle, entry) pair generates traffic.
-            entry_index = self.metadata.map_addr(access.addr)[0]
-            if (now, entry_index) != self._last_md_access:
-                self._last_md_access = (now, entry_index)
-                entry_addr = self.metadata.entry_addr(entry_index)
-                self._fabric.l2_side_access(serviced, entry_addr, True, "metadata")
-                self._stats.add("detector.md_accesses")
+            # path.  A coalesced warp access covers one entry; only the
+            # first lane of the (cycle, entry) pair generates traffic.
+            if now != self._last_md_now or index != self._last_md_index:
+                self._last_md_now = now
+                self._last_md_index = index
+                md_addr = self._md_region_base + index * 8
+                line = md_addr - (md_addr % self._l2_linesz)
+                bank = self._l2_banks[(line // self._l2_linesz) % self._l2_nbanks]
+                next_free = bank.next_free
+                bank_start = serviced if serviced > next_free else next_free
+                bank.next_free = bank_start + 2  # _L2_BANK_OCCUPANCY
+                bank.busy_cycles += 2
+                bank.requests += 1
+                answered = bank_start + self._l2_hit_lat
+                set_index = (line // self._l2_linesz) % self._l2_nsets
+                cache_set = self._l2_sets.get(set_index)
+                if cache_set is None:
+                    cache_set = OrderedDict()
+                    self._l2_sets[set_index] = cache_set
+                entry = cache_set.get(line)
+                l2c = self._l2_c
+                if entry is not None:
+                    cache_set.move_to_end(line)
+                    entry[0] = True
+                    hit_key = self._l2_md_keys[0]
+                    try:
+                        l2c[hit_key] += 1
+                    except KeyError:
+                        l2c[hit_key] = 1
+                else:
+                    miss_key = self._l2_md_keys[1]
+                    try:
+                        l2c[miss_key] += 1
+                    except KeyError:
+                        l2c[miss_key] = 1
+                    if len(cache_set) >= self._l2_assoc:
+                        victim_line, (victim_dirty, victim_class) = cache_set.popitem(
+                            last=False
+                        )
+                        if victim_dirty:
+                            wb_key = self._l2._keys_for(victim_class)[2]
+                            try:
+                                l2c[wb_key] += 1
+                            except KeyError:
+                                l2c[wb_key] = 1
+                            self._dram_access(answered, victim_line, victim_class)
+                    cache_set[line] = [True, "metadata"]
+                    self._dram_access(answered, md_addr, "metadata")
+                try:
+                    c["detector.md_accesses"] += 1
+                except KeyError:
+                    c["detector.md_accesses"] = 1
 
-        if access.l1_hit and self.config.model_lhd:
-            backlog = self._port.backlog(now)
+        if access.l1_hit and self._model_lhd:
+            backlog = port.next_free - now
             if backlog > self._buffer_cycles:
                 stall = backlog - self._buffer_cycles
-                self._stats.add("detector.lhd_stall_cycles", stall)
+                try:
+                    c["detector.lhd_stall_cycles"] += stall
+                except KeyError:
+                    c["detector.lhd_stall_cycles"] = stall
                 return stall
         return 0
 
@@ -481,7 +654,11 @@ class ScoRDDetector(BaseDetector):
     def on_kernel_boundary(self) -> None:
         self.metadata.reset()
         self.fence_file = FenceFile(self.config.fence_id_bits)
+        self._ff_entries = self.fence_file._entries
         self._lock_tables.clear()
+        self._lt_bid = -1
+        self._lt_wid = -1
+        self._lt_table = None
         self._barriers.clear()
 
     def finalize(self) -> None:

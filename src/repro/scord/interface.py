@@ -8,7 +8,6 @@ and costs nothing.
 
 from __future__ import annotations
 
-import dataclasses
 import enum
 from typing import Optional, Tuple
 
@@ -23,7 +22,6 @@ class AccessKind(enum.Enum):
     ATOMIC = "atom"
 
 
-@dataclasses.dataclass
 class Access:
     """One global-memory access as seen by the race detector.
 
@@ -32,25 +30,56 @@ class Access:
     ``l1_hit`` drives the LHD timing path: on an L1 hit the core would not
     otherwise wait for the memory system, so a full detector buffer stalls
     it (§IV, Fig. 10).
+
+    A hand-written ``__slots__`` record rather than a dataclass: one is
+    allocated per lane per global-memory access, the hottest allocation
+    in the simulator.
     """
 
-    kind: AccessKind
-    addr: int
-    strong: bool
-    block_id: int
-    warp_id: int
-    sm_id: int
-    pc: Tuple[str, int]
-    scope: Scope = Scope.DEVICE  # meaningful for atomics/sync accesses
-    atomic_op: Optional[AtomicOp] = None
-    l1_hit: bool = False
-    array_name: Optional[str] = None
-    # "acquire" / "release" for PTX 6.0 sync accesses (§VI extension);
-    # a detector without the extension sees them as plain strong ld/st.
-    sync_op: Optional[str] = None
-    # Lane within the warp (for the §VI ITS extension's thread-granular
-    # program-order check; ignored unless its_support is enabled).
-    lane_id: int = 0
+    __slots__ = (
+        "kind", "addr", "strong", "block_id", "warp_id", "sm_id", "pc",
+        "scope", "atomic_op", "l1_hit", "array_name", "sync_op", "lane_id",
+    )
+
+    def __init__(
+        self,
+        kind: AccessKind,
+        addr: int,
+        strong: bool,
+        block_id: int,
+        warp_id: int,
+        sm_id: int,
+        pc: Tuple[str, int],
+        scope: Scope = Scope.DEVICE,  # meaningful for atomics/sync accesses
+        atomic_op: Optional[AtomicOp] = None,
+        l1_hit: bool = False,
+        array_name: Optional[str] = None,
+        # "acquire" / "release" for PTX 6.0 sync accesses (§VI extension);
+        # a detector without the extension sees them as plain strong ld/st.
+        sync_op: Optional[str] = None,
+        # Lane within the warp (for the §VI ITS extension's thread-granular
+        # program-order check; ignored unless its_support is enabled).
+        lane_id: int = 0,
+    ):
+        self.kind = kind
+        self.addr = addr
+        self.strong = strong
+        self.block_id = block_id
+        self.warp_id = warp_id
+        self.sm_id = sm_id
+        self.pc = pc
+        self.scope = scope
+        self.atomic_op = atomic_op
+        self.l1_hit = l1_hit
+        self.array_name = array_name
+        self.sync_op = sync_op
+        self.lane_id = lane_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Access({self.kind}, addr=0x{self.addr:x}, "
+            f"block={self.block_id}, warp={self.warp_id})"
+        )
 
 
 class BaseDetector:

@@ -41,6 +41,9 @@ class LockTable:
         self.hash_bits = hash_bits
         self.bloom_bits = bloom_bits
         self._entries: List[_LockEntry] = []
+        # The bloom summary accompanies *every* memory access but the table
+        # only changes on CAS/fence/EXCH events; cache it between changes.
+        self._bloom: Optional[int] = 0
 
     # ------------------------------------------------------------------
     def _find(self, hash6: int, scope_bit: int) -> Optional[_LockEntry]:
@@ -55,8 +58,10 @@ class LockTable:
         scope_bit = 0 if scope is Scope.BLOCK else 1
         if self._find(hash6, scope_bit) is not None:
             # A spinning CAS loop re-executes the same acquire; the entry is
-            # already pending or held.
+            # already pending or held — the table (and its bloom summary)
+            # is unchanged, so the cache stays valid.
             return
+        self._bloom = None
         entry = _LockEntry(hash6, scope_bit)
         if len(self._entries) >= self.capacity:
             # Reuse the oldest released (invalid) slot if one exists;
@@ -76,8 +81,9 @@ class LockTable:
             if not entry.valid:
                 continue
             entry_is_device = bool(entry.scope_bit)
-            if fence_is_device or not entry_is_device:
+            if (fence_is_device or not entry_is_device) and not entry.active:
                 entry.active = True
+                self._bloom = None
 
     def on_exch(self, addr: int, scope: Scope) -> None:
         """An atomicExch releases the matching lock (valid bit cleared)."""
@@ -86,14 +92,20 @@ class LockTable:
         entry = self._find(hash6, scope_bit)
         if entry is not None:
             entry.valid = False
+            self._bloom = None
 
     # ------------------------------------------------------------------
     def active_bloom(self) -> int:
         """Bloom summary of the locks this warp currently holds."""
-        bloom = 0
-        for entry in self._entries:
-            if entry.valid and entry.active:
-                bloom |= bloom_bit(entry.hash6, entry.scope_bit, self.bloom_bits)
+        bloom = self._bloom
+        if bloom is None:
+            bloom = 0
+            for entry in self._entries:
+                if entry.valid and entry.active:
+                    bloom |= bloom_bit(
+                        entry.hash6, entry.scope_bit, self.bloom_bits
+                    )
+            self._bloom = bloom
         return bloom
 
     def held_count(self) -> int:

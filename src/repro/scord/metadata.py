@@ -129,6 +129,32 @@ class MetadataStore:
         return self.region_base + index * METADATA_ENTRY_BYTES
 
     # ------------------------------------------------------------------
+    def lookup4(self, addr: int) -> Tuple[int, int, bool, int]:
+        """Hot-path lookup: ``(index, word, tag_ok, tag)`` as a plain tuple.
+
+        Same contract as :meth:`lookup` without materializing a
+        :class:`Lookup` — the detector calls this once per global-memory
+        access.  ``map_addr`` and the layout's tag field (bits 57-54) are
+        hand-inlined; unit tests pin the equivalence.
+        """
+        self.lookups += 1
+        granule = addr // self.granularity
+        if not self.cached:
+            index = granule % self.num_entries
+            word = self._entries.get(index)
+            if word is None:
+                return index, INIT_WORD, True, 0
+            return index, word, True, 0
+        index = (granule // self.cache_ratio) % self.num_entries
+        tag = (granule % self.cache_ratio) & self._tag_mask
+        word = self._entries.get(index)
+        if word is None:
+            return index, INIT_WORD, True, tag
+        if ((word >> 54) & 0xF) != tag:
+            self.tag_misses += 1
+            return index, INIT_WORD, False, tag
+        return index, word, True, tag
+
     def lookup(self, addr: int) -> Lookup:
         """Fetch the metadata entry covering *addr*.
 
@@ -137,15 +163,7 @@ class MetadataStore:
         are in the INIT state and match any tag (detection then takes the
         Table III condition-(a) fast path).
         """
-        self.lookups += 1
-        index, tag = self.map_addr(addr)
-        word = self._entries.get(index)
-        if word is None:
-            return Lookup(index, INIT_WORD, True, tag)
-        if self.cached and METADATA_LAYOUT.get(word, "tag") != tag:
-            self.tag_misses += 1
-            return Lookup(index, INIT_WORD, False, tag)
-        return Lookup(index, word, True, tag)
+        return Lookup(*self.lookup4(addr))
 
     def store(self, index: int, word: int) -> None:
         """Write back an updated (packed) entry."""

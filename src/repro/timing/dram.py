@@ -36,6 +36,26 @@ class DramModel:
             QueuedResource(f"dram.ch{i}") for i in range(channels)
         ]
         self._open_row: Dict[int, int] = {}
+        self._nch = channels
+        self._lb = line_bytes
+        self._rb = row_bytes
+        self._t_hit = timing.row_hit_latency
+        self._t_miss = timing.row_miss_latency
+        self._c = stats.counters()
+        # Counter names interned per traffic class (built per access, the
+        # f-strings cost more than the bumps).
+        self._keys: Dict[str, tuple] = {}
+
+    def _keys_for(self, traffic_class: str) -> tuple:
+        keys = self._keys.get(traffic_class)
+        if keys is None:
+            keys = (
+                f"dram.row_hit.{traffic_class}",
+                f"dram.row_miss.{traffic_class}",
+                f"dram.access.{traffic_class}",
+            )
+            self._keys[traffic_class] = keys
+        return keys
 
     @property
     def num_channels(self) -> int:
@@ -46,18 +66,36 @@ class DramModel:
 
     def access(self, now: int, addr: int, traffic_class: str) -> int:
         """Service one line-sized DRAM request; return its completion time."""
-        channel_index = self.channel_of(addr)
+        channel_index = (addr // self._lb) % self._nch
         channel = self._channels[channel_index]
-        row = addr // self.row_bytes
+        row = addr // self._rb
+        keys = self._keys.get(traffic_class)
+        if keys is None:
+            keys = self._keys_for(traffic_class)
+        c = self._c
         if self._open_row.get(channel_index) == row:
-            occupancy = self.timing.row_hit_latency
-            self.stats.add(f"dram.row_hit.{traffic_class}")
+            occupancy = self._t_hit
+            key = keys[0]
         else:
-            occupancy = self.timing.row_miss_latency
+            occupancy = self._t_miss
             self._open_row[channel_index] = row
-            self.stats.add(f"dram.row_miss.{traffic_class}")
-        self.stats.add(f"dram.access.{traffic_class}")
-        return channel.reserve(now, occupancy)
+            key = keys[1]
+        try:
+            c[key] += 1
+        except KeyError:
+            c[key] = 1
+        key = keys[2]
+        try:
+            c[key] += 1
+        except KeyError:
+            c[key] = 1
+        # QueuedResource.reserve, hand-inlined.
+        next_free = channel.next_free
+        start = now if now > next_free else next_free
+        channel.next_free = start + occupancy
+        channel.busy_cycles += occupancy
+        channel.requests += 1
+        return start + occupancy
 
     @property
     def total_busy_cycles(self) -> int:

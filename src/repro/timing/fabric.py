@@ -25,7 +25,7 @@ from repro.arch.config import GPUConfig
 from repro.common.stats import CounterBag
 from repro.mem.cache import SetAssocCache
 from repro.timing.dram import DramModel
-from repro.timing.resource import QueuedResource, ceil_div
+from repro.timing.resource import QueuedResource
 
 # Occupancy (not latency) of one request at an L2 bank; banks are pipelined.
 _L2_BANK_OCCUPANCY = 2
@@ -56,27 +56,57 @@ class TimingFabric:
             config.line_size_bytes,
             stats,
         )
+        # Hot-path hoists: these run once per NoC packet / L2 request.
+        self._bpc = config.noc_bytes_per_cycle
+        self._noc_lat = config.noc_base_latency
+        self._l2_hit_lat = config.l2_hit_latency
+        self._line = config.line_size_bytes
+        self._nbanks = len(self.l2_banks)
+        self._c = stats.counters()
 
     # ------------------------------------------------------------------
     # Component hops
     # ------------------------------------------------------------------
     def send_up(self, now: int, payload_bytes: int) -> int:
         """Reserve the SM→L2 link for one packet; return arrival time."""
-        service = ceil_div(payload_bytes, self.config.noc_bytes_per_cycle)
-        self.stats.add("noc.packets")
-        self.stats.add("noc.bytes", payload_bytes)
-        return self.noc_up.reserve(
-            now, service, service + self.config.noc_base_latency
-        )
+        # ceil_div + QueuedResource.reserve, hand-inlined (hot path).
+        service = -(-payload_bytes // self._bpc)
+        c = self._c
+        try:
+            c["noc.packets"] += 1
+        except KeyError:
+            c["noc.packets"] = 1
+        try:
+            c["noc.bytes"] += payload_bytes
+        except KeyError:
+            c["noc.bytes"] = payload_bytes
+        link = self.noc_up
+        next_free = link.next_free
+        start = now if now > next_free else next_free
+        link.next_free = start + service
+        link.busy_cycles += service
+        link.requests += 1
+        return start + service + self._noc_lat
 
     def send_down(self, now: int, payload_bytes: int) -> int:
         """Reserve the L2→SM link for one packet; return arrival time."""
-        service = ceil_div(payload_bytes, self.config.noc_bytes_per_cycle)
-        self.stats.add("noc.packets")
-        self.stats.add("noc.bytes", payload_bytes)
-        return self.noc_down.reserve(
-            now, service, service + self.config.noc_base_latency
-        )
+        service = -(-payload_bytes // self._bpc)
+        c = self._c
+        try:
+            c["noc.packets"] += 1
+        except KeyError:
+            c["noc.packets"] = 1
+        try:
+            c["noc.bytes"] += payload_bytes
+        except KeyError:
+            c["noc.bytes"] = payload_bytes
+        link = self.noc_down
+        next_free = link.next_free
+        start = now if now > next_free else next_free
+        link.next_free = start + service
+        link.busy_cycles += service
+        link.requests += 1
+        return start + service + self._noc_lat
 
     def _bank_of(self, addr: int) -> QueuedResource:
         line = addr // self.config.line_size_bytes
@@ -91,10 +121,14 @@ class TimingFabric:
         completion on a miss).  Dirty evictions reserve DRAM bandwidth but
         do not delay the requester (writebacks are off the critical path).
         """
-        bank = self._bank_of(addr)
-        answered = bank.reserve(
-            now, _L2_BANK_OCCUPANCY, self.config.l2_hit_latency
-        )
+        # _bank_of + reserve, hand-inlined.
+        bank = self.l2_banks[(addr // self._line) % self._nbanks]
+        next_free = bank.next_free
+        start = now if now > next_free else next_free
+        bank.next_free = start + _L2_BANK_OCCUPANCY
+        bank.busy_cycles += _L2_BANK_OCCUPANCY
+        bank.requests += 1
+        answered = start + self._l2_hit_lat
         result = self.l2.access(addr, is_write, traffic_class)
         if result.hit:
             return answered

@@ -74,8 +74,10 @@ class EventQueue:
         exception it raises aborts the run and propagates.
         """
         processed = 0
-        while self._heap:
-            time, _seq, callback = heapq.heappop(self._heap)
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            time, _seq, callback = pop(heap)
             self.now = time
             callback(time)
             processed += 1

@@ -1,0 +1,131 @@
+"""Hang diagnostics must survive the fast path.
+
+The engine short-circuits telemetry, warp-step sampling, and watchdog
+hooks when they are disabled — the common case, and the one the
+fast-path optimizations target.  These tests pin that the *diagnostic*
+machinery is not among what gets short-circuited: a kernel that
+deadlocks (or spins into its budget) with no telemetry, no sampler, and
+no watchdog attached must still produce the full
+:class:`~repro.common.guard.HangReport` — blocked warps with barrier
+state, queued-block accounting, and the last-N memory-op trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.detector_config import DetectorConfig
+from repro.common.errors import EventBudgetExceeded, WatchdogTimeout
+from repro.common.guard import GuardConfig, Watchdog
+from repro.engine.gpu import GPU
+
+
+def barrier_deadlock_kernel(ctx, data):
+    """One warp parks at a barrier; the other spins forever.
+
+    The parked warp can never be released (its partner neither arrives
+    nor exits — warp exit would count as arrival), so the launch wedges
+    with live barrier state: the shape of a real partial-participation
+    hang.
+    """
+    yield ctx.st(data, ctx.tid % 8, ctx.tid, volatile=True)
+    if ctx.tid < ctx.warp_size:
+        yield ctx.barrier()
+    else:
+        while True:
+            value = yield ctx.ld(data, 0, volatile=True)
+            if value == 42:  # never stored
+                break
+            yield ctx.compute(5)
+    yield ctx.ld(data, ctx.tid % 8)
+
+
+def spin_kernel(ctx, data):
+    """A spin loop whose partner never arrives (livelock)."""
+    while True:
+        value = yield ctx.ld(data, 0, volatile=True)
+        if value == 42:  # never stored
+            break
+        yield ctx.compute(5)
+
+
+def fast_path_gpu(**kwargs):
+    """A GPU with every optional subsystem off — the fast path."""
+    gpu = GPU(detector_config=DetectorConfig.none(), **kwargs)
+    assert gpu.telemetry is None
+    assert gpu.sampler is None
+    return gpu
+
+
+class TestDeadlockReport:
+    def test_barrier_hang_yields_full_hang_report(self):
+        gpu = fast_path_gpu(
+            guard=Watchdog(GuardConfig(event_budget=3000)),
+        )
+        data = gpu.alloc(8, "data")
+        with pytest.raises(EventBudgetExceeded) as excinfo:
+            gpu.launch(
+                barrier_deadlock_kernel, grid=1, block_dim=16, args=(data,)
+            )
+        err = excinfo.value
+        # The exception itself names the blockage...
+        assert "blocked at block barrier" in str(err)
+        # ...and carries the rendered HangReport with every section.
+        assert err.diagnostics is not None
+        assert "hang report:" in err.diagnostics
+        assert "blocked at block barrier (epoch 0, 1/2 warps arrived)" in (
+            err.diagnostics
+        )
+        assert "executing (spinning?)" in err.diagnostics
+        assert "memory op(s):" in err.diagnostics
+        # The op trace survived the fast path: the spinning warp's loads
+        # are in the last-N ring, attributed to the kernel's PC.
+        assert "barrier_deadlock_kernel" in err.diagnostics
+        assert " Ld " in err.diagnostics
+
+    def test_spin_budget_exhaustion_reports_spinning_warps(self):
+        gpu = fast_path_gpu(
+            guard=Watchdog(GuardConfig(event_budget=2000)),
+        )
+        data = gpu.alloc(8, "data")
+        with pytest.raises(EventBudgetExceeded) as excinfo:
+            gpu.launch(spin_kernel, grid=1, block_dim=32, args=(data,))
+        err = excinfo.value
+        assert "livelock" in str(err)
+        assert err.diagnostics is not None
+        assert "executing (spinning?)" in err.diagnostics
+        assert "spin_kernel" in err.diagnostics
+        # Loads on the spin path were traced.
+        assert " Ld " in err.diagnostics
+
+    def test_wallclock_watchdog_carries_diagnostics(self):
+        gpu = fast_path_gpu(
+            guard=Watchdog(
+                GuardConfig(deadline_seconds=0.0, check_interval=256)
+            ),
+        )
+        data = gpu.alloc(8, "data")
+        with pytest.raises(WatchdogTimeout) as excinfo:
+            gpu.launch(spin_kernel, grid=1, block_dim=32, args=(data,))
+        err = excinfo.value
+        assert err.diagnostics is not None
+        assert "hang report:" in err.diagnostics
+        assert "live warp(s)" in err.diagnostics
+
+    def test_hang_report_counts_queued_blocks(self):
+        """Blocks that never got an SM show up as queued, not lost."""
+        gpu = fast_path_gpu(
+            guard=Watchdog(GuardConfig(event_budget=20_000)),
+        )
+        config = gpu.config
+        # More blocks than the SMs can co-host, all wedged.
+        grid = config.num_sms * config.max_blocks_per_sm + 3
+        data = gpu.alloc(8, "data")
+        with pytest.raises(EventBudgetExceeded) as excinfo:
+            gpu.launch(
+                barrier_deadlock_kernel, grid=grid, block_dim=16,
+                args=(data,),
+            )
+        diagnostics = excinfo.value.diagnostics
+        assert "3 queued" in diagnostics
+        assert "0/%d blocks done" % grid in diagnostics

@@ -1,0 +1,1 @@
+"""Differential-equivalence tier: optimized engine vs. golden records."""

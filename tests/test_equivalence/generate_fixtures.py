@@ -1,0 +1,91 @@
+"""Golden-fixture generator for the differential-equivalence tier.
+
+Regenerate with::
+
+    PYTHONPATH=src python tests/test_equivalence/generate_fixtures.py            # everything
+    PYTHONPATH=src python tests/test_equivalence/generate_fixtures.py micros apps
+
+Only do this when a change *legitimately* alters the engine's observable
+stream (a timing-model change, a new counter, a detection fix) — never
+to make a hot-path optimization pass.  The whole point of the tier is
+that optimizations must reproduce the stream bit-for-bit; regenerating
+to paper over a diff defeats it.  The regenerated fixture diff then
+documents the drift in review.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+if __package__ in (None, ""):
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))))
+
+from tests.test_equivalence import harness
+
+GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "golden")
+
+
+def _write(name: str, units: dict) -> None:
+    payload = {"schema": harness.EQUIVALENCE_SCHEMA, "units": units}
+    path = os.path.join(GOLDEN_DIR, name + ".json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+    print(f"wrote {path} ({len(units)} unit(s))")
+
+
+def generate_micros() -> None:
+    units = {}
+    for name in harness.micro_units():
+        started = time.time()
+        units[name] = harness.capture_micro(name)
+        print(f"  micro {name}: {time.time() - started:.2f}s", flush=True)
+    _write("micros", units)
+
+
+def generate_apps() -> None:
+    units = {}
+    for app_name, detector, racy in harness.app_units():
+        key = harness.app_key(app_name, detector, racy)
+        started = time.time()
+        units[key] = harness.capture_app(app_name, detector, racy)
+        print(f"  app {key}: {time.time() - started:.2f}s", flush=True)
+    _write("apps", units)
+
+
+def generate_sweep() -> None:
+    units = {}
+    for app_name, seed in harness.sweep_units():
+        key = harness.sweep_key(app_name, seed)
+        started = time.time()
+        units[key] = harness.capture_sweep(app_name, seed)
+        print(f"  sweep {key}: {time.time() - started:.2f}s", flush=True)
+    _write("sweep", units)
+
+
+GROUPS = {
+    "micros": generate_micros,
+    "apps": generate_apps,
+    "sweep": generate_sweep,
+}
+
+
+def main(argv=None) -> int:
+    names = (argv if argv is not None else sys.argv[1:]) or list(GROUPS)
+    unknown = [n for n in names if n not in GROUPS]
+    if unknown:
+        print(f"unknown group(s) {unknown}; known: {sorted(GROUPS)}")
+        return 2
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for name in names:
+        print(f"[generate] {name}", flush=True)
+        GROUPS[name]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,175 @@
+"""Record capture for the differential-equivalence tier.
+
+The engine's *observable stream* for one unit of work is everything an
+experiment can read out of a finished simulation:
+
+* the end-to-end **cycle count** (``gpu.total_cycles``),
+* every **statistics counter** (per-class NoC packets/bytes, L1/L2
+  hits/misses/writebacks, per-class DRAM accesses, detector checks,
+  stall cycles, ...) — the full :class:`~repro.common.stats.CounterBag`
+  snapshot,
+* the **canonical race report**
+  (:func:`repro.scord.trace.race_report_json`),
+* for applications, the host-side **verification verdict**.
+
+A hot-path optimization is admissible only if this stream is
+*bit-identical* record-for-record to the golden fixtures committed under
+``golden/`` — which were generated with the pre-optimization engine.
+Any divergence (one extra NoC packet, one shifted cycle, one re-ordered
+race) fails the tier.
+
+Three unit shapes:
+
+``micro``
+    one of the 32 Table I microbenchmarks under full ScoRD;
+``app``
+    one ScoR application configuration: (app, detector, racy?) at the
+    app's default seed;
+``sweep``
+    one (app, seed) point of the 20-seed schedule sweep with the app's
+    representative planted race enabled — recorded as digests to keep
+    the fixture compact while still binding every bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.arch.detector_config import DetectorConfig
+from repro.scor.apps.base import run_app
+from repro.scor.apps.registry import ALL_APPS, app_by_name
+from repro.scor.micro.base import run_micro
+from repro.scor.micro.registry import ALL_MICROS
+from repro.scord.trace import race_report_json
+
+#: bump when the record shape changes (forces fixture regeneration)
+EQUIVALENCE_SCHEMA = 1
+
+#: detector labels exercised by the app matrix.  "scord" is the full
+#: detector, "base" the uncached-metadata baseline, "none" detection
+#: off — the fast path's telemetry/detector short-circuits must be
+#: bit-identical in *all three* modes.
+APP_DETECTORS = {
+    "scord": DetectorConfig.scord,
+    "base": DetectorConfig.base_no_cache,
+    "none": DetectorConfig.none,
+}
+
+#: one representative planted race per application (mirrors the tier-2
+#: schedule sweep's choice; sweeping all 26 flags would quadruple cost)
+RACY_FLAGS = {
+    "MM": "block_cas",
+    "RED": "block_fence",
+    "R110": "block_fence_border",
+    "GCOL": "block_steal",
+    "GCON": "block_label_min",
+    "1DC": "block_scope_out",
+    "UTS": "steal_local",
+}
+
+#: the tier-2 sweep's seed set, reused so the two tiers cover the same
+#: schedule neighbourhood
+SWEEP_SEEDS = tuple(range(1, 11)) + tuple(range(101, 111))
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _stats_json(gpu) -> str:
+    """Byte-stable JSON of the full counter bag."""
+    return json.dumps(gpu.stats.as_dict(), sort_keys=True)
+
+
+def _full_record(gpu) -> dict:
+    """The full observable stream of one finished simulation."""
+    dram_data, dram_metadata = gpu.dram_accesses()
+    return {
+        "cycles": gpu.total_cycles,
+        "dram_data": dram_data,
+        "dram_metadata": dram_metadata,
+        "noc_packets": gpu.stats["noc.packets"],
+        "noc_bytes": gpu.stats["noc.bytes"],
+        "unique_races": gpu.races.unique_count,
+        "race_occurrences": len(gpu.races),
+        "stats": gpu.stats.as_dict(),
+        "races": json.loads(race_report_json(gpu.races)),
+    }
+
+
+def _digest_record(gpu) -> dict:
+    """Compact form: every field is still binding, via digests."""
+    dram_data, dram_metadata = gpu.dram_accesses()
+    return {
+        "cycles": gpu.total_cycles,
+        "dram_data": dram_data,
+        "dram_metadata": dram_metadata,
+        "unique_races": gpu.races.unique_count,
+        "stats_sha256": _sha256(_stats_json(gpu)),
+        "races_sha256": _sha256(race_report_json(gpu.races)),
+    }
+
+
+# ----------------------------------------------------------------------
+# Unit capture
+# ----------------------------------------------------------------------
+def capture_micro(name: str) -> dict:
+    """Run one microbenchmark under full ScoRD; return its record."""
+    micro = next(m for m in ALL_MICROS if m.name == name)
+    gpu = run_micro(micro, detector_config=DetectorConfig.scord())
+    return _full_record(gpu)
+
+
+def capture_app(app_name: str, detector: str, racy: bool) -> dict:
+    """Run one application configuration; return its record."""
+    app_cls = app_by_name(app_name)
+    races = (RACY_FLAGS[app_name],) if racy else ()
+    app = app_cls(races=races)
+    gpu = run_app(app, detector_config=APP_DETECTORS[detector]())
+    record = _full_record(gpu)
+    try:
+        record["verified"] = bool(app.verify(gpu))
+    except Exception:
+        record["verified"] = False
+    return record
+
+
+def capture_sweep(app_name: str, seed: int) -> dict:
+    """Run one (app, seed) sweep point with its planted race enabled."""
+    app_cls = app_by_name(app_name)
+    app = app_cls(races=(RACY_FLAGS[app_name],), seed=seed)
+    gpu = run_app(app, detector_config=DetectorConfig.scord())
+    return _digest_record(gpu)
+
+
+# ----------------------------------------------------------------------
+# The unit matrices (fixture keys, in generation order)
+# ----------------------------------------------------------------------
+def micro_units():
+    return [micro.name for micro in ALL_MICROS]
+
+
+def app_units():
+    units = []
+    for app_cls in ALL_APPS:
+        for detector in ("scord", "base", "none"):
+            for racy in (False, True):
+                units.append((app_cls.name, detector, racy))
+    return units
+
+
+def sweep_units():
+    return [
+        (app_cls.name, seed)
+        for app_cls in ALL_APPS
+        for seed in SWEEP_SEEDS
+    ]
+
+
+def app_key(app_name: str, detector: str, racy: bool) -> str:
+    return f"{app_name}/{detector}/{'racy' if racy else 'race-free'}"
+
+
+def sweep_key(app_name: str, seed: int) -> str:
+    return f"{app_name}/seed{seed}"

@@ -1,0 +1,120 @@
+"""Differential-equivalence tier: optimized engine vs. golden records.
+
+Every unit re-runs one simulation with the *current* engine and asserts
+its observable stream — cycle counts, the full statistics counter bag,
+per-class NoC/DRAM traffic, and the canonical race report — is
+**bit-identical** to the golden record committed under ``golden/``,
+which was captured with the pre-optimization reference engine.
+
+Coverage: all 32 Table I microbenchmarks, all 7 ScoR applications under
+{scord, base, none} × {racy, race-free}, and the 20-seed schedule sweep
+(7 apps × 20 seeds).  Registered under its own ``equivalence`` marker
+(excluded from tier 1 via ``addopts``); run it with::
+
+    PYTHONPATH=src python -m pytest -q -m equivalence tests/test_equivalence
+
+On a legitimate stream change, regenerate via
+``tests/test_equivalence/generate_fixtures.py`` (see its docstring for
+when that is and is not acceptable).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from tests.test_equivalence import harness
+
+pytestmark = pytest.mark.equivalence
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+def _load(name: str) -> dict:
+    path = os.path.join(GOLDEN_DIR, name + ".json")
+    if not os.path.exists(path):
+        pytest.skip(
+            f"golden fixture {path} missing; generate with "
+            "tests/test_equivalence/generate_fixtures.py",
+            allow_module_level=True,
+        )
+    with open(path, "r") as handle:
+        payload = json.load(handle)
+    assert payload["schema"] == harness.EQUIVALENCE_SCHEMA, (
+        f"{path} has schema {payload['schema']}, harness expects "
+        f"{harness.EQUIVALENCE_SCHEMA}; regenerate the fixtures"
+    )
+    return payload["units"]
+
+
+_MICROS = _load("micros")
+_APPS = _load("apps")
+_SWEEP = _load("sweep")
+
+
+def _diff(unit: str, golden: dict, current: dict) -> str:
+    lines = [f"{unit}: observable stream diverged from the golden record"]
+    keys = sorted(set(golden) | set(current))
+    for key in keys:
+        want, got = golden.get(key), current.get(key)
+        if want == got:
+            continue
+        if key == "stats":
+            sub = sorted(set(want or {}) | set(got or {}))
+            for counter in sub:
+                w, g = (want or {}).get(counter), (got or {}).get(counter)
+                if w != g:
+                    lines.append(f"  stats[{counter}]: golden={w} current={g}")
+        else:
+            lines.append(f"  {key}: golden={want!r} current={got!r}")
+    lines.append(
+        "An optimization must be bit-identical; only regenerate fixtures "
+        "for a deliberate timing-model or detection change."
+    )
+    return "\n".join(lines)
+
+
+def test_fixture_matrix_is_complete():
+    """The committed fixtures cover the full unit matrix."""
+    assert sorted(_MICROS) == sorted(harness.micro_units())
+    assert sorted(_APPS) == sorted(
+        harness.app_key(*unit) for unit in harness.app_units()
+    )
+    assert sorted(_SWEEP) == sorted(
+        harness.sweep_key(*unit) for unit in harness.sweep_units()
+    )
+    assert len(_MICROS) == 32
+    assert len(_SWEEP) == 7 * 20
+
+
+@pytest.mark.parametrize("name", sorted(_MICROS))
+def test_micro_stream_bit_identical(name):
+    current = harness.capture_micro(name)
+    golden = _MICROS[name]
+    assert current == golden, _diff(f"micro {name}", golden, current)
+
+
+@pytest.mark.parametrize(
+    "unit", harness.app_units(),
+    ids=[harness.app_key(*unit) for unit in harness.app_units()],
+)
+def test_app_stream_bit_identical(unit):
+    app_name, detector, racy = unit
+    key = harness.app_key(app_name, detector, racy)
+    current = harness.capture_app(app_name, detector, racy)
+    golden = _APPS[key]
+    assert current == golden, _diff(f"app {key}", golden, current)
+
+
+@pytest.mark.parametrize(
+    "unit", harness.sweep_units(),
+    ids=[harness.sweep_key(*unit) for unit in harness.sweep_units()],
+)
+def test_sweep_stream_bit_identical(unit):
+    app_name, seed = unit
+    key = harness.sweep_key(app_name, seed)
+    current = harness.capture_sweep(app_name, seed)
+    golden = _SWEEP[key]
+    assert current == golden, _diff(f"sweep {key}", golden, current)

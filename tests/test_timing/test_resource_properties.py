@@ -1,0 +1,131 @@
+"""Property-based invariants for the event queue and queued resources.
+
+The fast-path work leans on these two structures for everything the
+engine schedules, so their contracts are pinned with hypothesis rather
+than examples:
+
+* :class:`EventQueue` — callbacks fire in **monotonically non-decreasing
+  time order**, ties break **FIFO by submission**, the clock never runs
+  backwards, and every scheduled event is either executed or still
+  queued (conservation) under arbitrary schedules, including callbacks
+  that schedule more events from inside the run.
+* :class:`QueuedResource` — completions respect FIFO queueing
+  (``next_free`` never decreases), a request never completes before
+  ``now + latency``, and total busy-cycle accounting equals the sum of
+  granted occupancies.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timing.resource import EventQueue, QueuedResource
+
+# Schedules: (time, payload) pairs with deliberately heavy tie collision.
+_times = st.integers(min_value=0, max_value=40)
+_schedule = st.lists(_times, min_size=0, max_size=60)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_schedule)
+def test_eventqueue_monotonic_and_fifo_on_ties(times):
+    queue = EventQueue()
+    fired = []
+    for index, time in enumerate(times):
+        queue.schedule(
+            time, (lambda i: lambda now: fired.append((now, i)))(index)
+        )
+    queue.run()
+    # Monotone in time; FIFO among equal times (seq order == submission).
+    assert [t for t, _ in fired] == sorted(t for t, _ in fired)
+    for t in set(times):
+        same_time = [i for fired_t, i in fired if fired_t == t]
+        assert same_time == sorted(same_time)
+    assert queue.empty
+
+
+@settings(max_examples=200, deadline=None)
+@given(_schedule, st.integers(min_value=1, max_value=30))
+def test_eventqueue_conservation_under_budget(times, budget):
+    """scheduled == executed + still-queued, for any max_events cut."""
+    queue = EventQueue()
+    executed = []
+    for time in times:
+        queue.schedule(time, executed.append)
+    processed = queue.run(max_events=budget)
+    assert processed == len(executed)
+    remaining = len(queue._heap)
+    assert len(executed) + remaining == len(times)
+    assert processed <= budget
+    if remaining:
+        # The cut is clean: nothing still queued is older than the clock.
+        assert min(entry[0] for entry in queue._heap) >= queue.now
+
+
+@settings(max_examples=150, deadline=None)
+@given(_schedule)
+def test_eventqueue_reentrant_scheduling_keeps_clock_monotone(times):
+    """Callbacks scheduling more work never drive the clock backwards."""
+    queue = EventQueue()
+    observed = []
+
+    def spawn(now):
+        observed.append(queue.now)
+        # Scheduling in the past must clamp to the current clock.
+        queue.schedule(now - 5, observed_child)
+
+    def observed_child(now):
+        observed.append(queue.now)
+
+    for time in times:
+        queue.schedule(time, spawn)
+    queue.run()
+    assert observed == sorted(observed)
+    assert queue.empty
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=50),   # arrival delta
+            st.integers(min_value=0, max_value=8),    # occupancy
+            st.integers(min_value=-1, max_value=12),  # latency (-1 = occ)
+        ),
+        min_size=0,
+        max_size=50,
+    )
+)
+def test_queued_resource_fifo_and_accounting(requests):
+    resource = QueuedResource("prop")
+    now = 0
+    prev_next_free = resource.next_free
+    total_occupancy = 0
+    for delta, occupancy, latency in requests:
+        now += delta
+        done = resource.reserve(now, occupancy, latency)
+        effective_latency = occupancy if latency < 0 else latency
+        start = done - effective_latency
+        # The grant starts at or after both the request and the queue head.
+        assert start >= now
+        assert start >= prev_next_free
+        # FIFO: the resource frees monotonically later.
+        assert resource.next_free >= prev_next_free
+        assert resource.next_free == start + occupancy
+        prev_next_free = resource.next_free
+        total_occupancy += occupancy
+    assert resource.busy_cycles == total_occupancy
+    assert resource.requests == len(requests)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=100),
+    st.integers(min_value=0, max_value=100),
+)
+def test_queued_resource_backlog_never_negative(next_free, now):
+    resource = QueuedResource("prop")
+    resource.next_free = next_free
+    backlog = resource.backlog(now)
+    assert backlog == max(0, next_free - now)
