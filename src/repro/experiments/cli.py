@@ -41,7 +41,8 @@ from repro.common.errors import ReproError, error_code
 from repro.experiments.runner import Runner
 
 EXHIBITS = ("table1", "table2", "table6", "table7", "table8",
-            "fig8", "fig9", "fig10", "fig11", "ablations", "litmus")
+            "fig8", "fig9", "fig10", "fig11", "ablations", "litmus",
+            "lint_table")
 
 #: exhibits whose simulations flow through the shared Runner — the ones a
 #: parallel prefetch can plan and shard.  The rest (micros, litmus,
@@ -112,6 +113,12 @@ def _litmus(runner: Runner) -> str:
     return "\n".join(lines)
 
 
+def _lint_table(runner: Runner) -> str:
+    from repro.experiments.lint_table import run_lint_table
+
+    return run_lint_table(runner).render()
+
+
 def _exhibit_runners():
     from repro.experiments.fig8 import run_fig8
     from repro.experiments.fig9 import run_fig9
@@ -130,6 +137,7 @@ def _exhibit_runners():
         "fig11": _figure(run_fig11),
         "ablations": _ablations,
         "litmus": _litmus,
+        "lint_table": _lint_table,
     }
 
 
@@ -229,6 +237,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the metrics registry as Prometheus text to PATH "
         "(and JSON to PATH.json)",
     )
+    parser.add_argument(
+        "--preflight-lint",
+        action="store_true",
+        help="statically lint the suite before the campaign, annotate "
+        "stderr with per-target verdicts, and record them in the "
+        "manifest (findings never block the campaign)",
+    )
     return parser
 
 
@@ -306,7 +321,8 @@ def _profile_section(runner, telemetry, elapsed_seconds):
 
 
 def _write_manifest(
-    path, wanted, exhibit_errors, runner, elapsed_seconds, telemetry=None
+    path, wanted, exhibit_errors, runner, elapsed_seconds, telemetry=None,
+    lint_section=None,
 ) -> None:
     from repro.experiments.store import SCHEMA_VERSION, atomic_write_json
 
@@ -323,9 +339,7 @@ def _write_manifest(
                 "error": str(err),
             }
     store = runner._store
-    atomic_write_json(
-        path,
-        {
+    payload = {
             "schema": SCHEMA_VERSION,
             "ok": not exhibit_errors and not failed_runs,
             "exhibits": exhibits,
@@ -347,8 +361,10 @@ def _write_manifest(
             ),
             "profile": _profile_section(runner, telemetry, elapsed_seconds),
             "elapsed_seconds": round(elapsed_seconds, 3),
-        },
-    )
+    }
+    if lint_section is not None:
+        payload["lint"] = lint_section
+    atomic_write_json(path, payload)
 
 
 def report_main(argv) -> int:
@@ -407,10 +423,217 @@ def report_main(argv) -> int:
     return 0
 
 
+def _lint_targets(names):
+    """Resolve CLI target names into (label, thunk) lint jobs."""
+    from repro.scolint import lint_app, lint_litmus, lint_micro
+    from repro.litmus.catalog import ALL_LITMUS_TESTS, litmus_by_name
+    from repro.scor.apps.registry import ALL_APPS, app_by_name
+    from repro.scor.micro.registry import ALL_MICROS, micro_by_name
+
+    def micro_jobs():
+        return [(f"micro:{m.name}", lambda m=m: lint_micro(m))
+                for m in ALL_MICROS]
+
+    def app_jobs():
+        jobs = []
+        for app_cls in ALL_APPS:
+            jobs.append((f"app:{app_cls.name}",
+                         lambda c=app_cls: lint_app(c)))
+            jobs.extend(
+                (f"app:{app_cls.name}+{flag.name}",
+                 lambda c=app_cls, f=flag.name: lint_app(c, races=(f,)))
+                for flag in app_cls.RACE_FLAGS
+            )
+        return jobs
+
+    def litmus_jobs():
+        return [(f"litmus:{t.name}", lambda t=t: lint_litmus(t))
+                for t in ALL_LITMUS_TESTS]
+
+    jobs = []
+    for name in names:
+        if name == "all":
+            jobs += micro_jobs() + app_jobs() + litmus_jobs()
+        elif name == "suite":
+            jobs += micro_jobs() + app_jobs()
+        elif name == "micros":
+            jobs += micro_jobs()
+        elif name == "apps":
+            jobs += app_jobs()
+        elif name == "litmus":
+            jobs += litmus_jobs()
+        else:
+            kind, _, rest = name.partition(":")
+            if kind == "micro":
+                micro = micro_by_name(rest)
+                jobs.append((f"micro:{micro.name}",
+                             lambda m=micro: lint_micro(m)))
+            elif kind == "app":
+                app_name, _, flag = rest.partition("+")
+                app_cls = app_by_name(app_name)
+                races = (flag,) if flag else ()
+                label = f"app:{app_cls.name}" + (f"+{flag}" if flag else "")
+                jobs.append((label,
+                             lambda c=app_cls, r=races: lint_app(c, races=r)))
+            elif kind == "litmus":
+                test = litmus_by_name(rest)
+                jobs.append((f"litmus:{test.name}",
+                             lambda t=test: lint_litmus(t)))
+            else:
+                raise KeyError(
+                    f"unknown lint target {name!r}: use all, suite, micros, "
+                    f"apps, litmus, micro:<name>, app:<NAME>[+flag], or "
+                    f"litmus:<name>"
+                )
+    return jobs
+
+
+def lint_main(argv) -> int:
+    """``scord-experiments lint``: static scope analysis, no simulation."""
+    parser = argparse.ArgumentParser(
+        prog="scord-experiments lint",
+        description="Statically lint kernels for scope misuse "
+        "(see docs/scolint.md for the rule catalog).",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        default=["suite"],
+        help="'suite' (default: 32 micros + 7 apps, race flags on and "
+        "off), 'all' (suite + litmus), 'micros', 'apps', 'litmus', or "
+        "individual micro:<name> / app:<NAME>[+flag] / litmus:<name>",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable JSON report instead of text",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH",
+        help="also write the report to PATH (atomic: temp file + rename)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="list clean targets individually in the text report",
+    )
+    parser.add_argument(
+        "--crossval", action="store_true",
+        help="cross-validate against the dynamic detector and print the "
+        "per-race-type precision/recall table (simulates the suite)",
+    )
+    parser.add_argument(
+        "--static-only", action="store_true",
+        help="with --crossval: skip the dynamic simulations",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write lint.* counters as Prometheus text to PATH "
+        "(and JSON to PATH.json)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.scolint import render_json, render_text
+    from repro.scolint.model import LintError
+
+    if args.crossval:
+        from repro.scolint.crossval import cross_validate
+
+        validation = cross_validate(dynamic=not args.static_only)
+        output = validation.render() + "\n"
+        if args.json:
+            import json
+
+            output = json.dumps(
+                validation.as_dict(), indent=2, sort_keys=True
+            ) + "\n"
+        print(output, end="")
+        if args.out:
+            from repro.experiments.store import atomic_write_text
+
+            atomic_write_text(args.out, output)
+            print(f"[lint report written to {args.out}]", file=sys.stderr)
+        errors = [
+            (c.target, c.static_error)
+            for c in validation.cases if c.static_error
+        ]
+        for target, error in errors:
+            print(f"[lint-error] {target}: {error}", file=sys.stderr)
+        return 1 if errors else 0
+
+    try:
+        jobs = _lint_targets(args.targets)
+    except KeyError as err:
+        parser.error(str(err.args[0]))
+
+    results, errors = [], []
+    for label, thunk in jobs:
+        try:
+            results.append(thunk())
+        except LintError as err:
+            errors.append((label, err))
+            print(f"[lint-error] {label}: {err.describe()}",
+                  file=sys.stderr, flush=True)
+    output = (render_json(results) if args.json
+              else render_text(results, verbose=args.verbose))
+    print(output, end="")
+    if args.out:
+        from repro.experiments.store import atomic_write_text
+
+        atomic_write_text(args.out, output)
+        print(f"[lint report written to {args.out}]", file=sys.stderr)
+    if args.metrics_out:
+        from repro.scolint import record_lint_metrics
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry.disabled()
+        record_lint_metrics(telemetry, results)
+        telemetry.metrics.counter("lint.errors").inc(len(errors))
+        for written in telemetry.export(None, args.metrics_out):
+            print(f"[telemetry written to {written}]", file=sys.stderr)
+    return 1 if errors else 0
+
+
+def _preflight_lint(telemetry=None):
+    """Campaign pre-flight: static lint verdicts for the suite.
+
+    Returns the manifest's ``lint`` section.  Lint findings never block
+    a campaign (racey configurations are the experiments' *subject*) —
+    the annotations tell the reader which verdicts to expect.
+    """
+    from repro.scolint import lint_suite
+    from repro.scolint.model import LintError
+
+    try:
+        results = lint_suite(litmus=False, telemetry=telemetry)
+    except LintError as err:
+        print(f"[preflight-lint failed: {err.describe()}]", file=sys.stderr)
+        return {"ok": False, "error": err.describe()}
+    dirty = [r for r in results if not r.clean]
+    print(
+        f"[preflight-lint: {len(results)} target(s), "
+        f"{len(dirty)} with static findings]",
+        file=sys.stderr,
+    )
+    for result in dirty:
+        rules = sorted({f.rule for f in result.findings})
+        print(f"[preflight-lint] {result.target}: {', '.join(rules)}",
+              file=sys.stderr)
+    return {
+        "ok": True,
+        "targets": len(results),
+        "clean": len(results) - len(dirty),
+        "verdicts": {
+            r.target: sorted({f.rule for f in r.findings})
+            for r in dirty
+        },
+    }
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "report":
         return report_main(argv[1:])
+    if argv and argv[0] == "lint":
+        return lint_main(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
 
@@ -439,6 +662,14 @@ def main(argv=None) -> int:
             "campaign", cat="exp", exhibits=wanted, jobs=args.jobs
         )
         campaign_span.__enter__()
+    lint_section = None
+    if args.preflight_lint:
+        if telemetry is not None:
+            with telemetry.tracer.span("preflight-lint", cat="exp"), \
+                    telemetry.profiler.phase("exp.preflight_lint"):
+                lint_section = _preflight_lint(telemetry=telemetry)
+        else:
+            lint_section = _preflight_lint()
     plannable = [name for name in wanted if name in RUNNER_EXHIBITS]
     if args.jobs != 1 and plannable:
         from repro.experiments.parallel import prefetch_exhibits
@@ -485,7 +716,7 @@ def main(argv=None) -> int:
     if args.manifest:
         _write_manifest(
             args.manifest, wanted, exhibit_errors, runner, elapsed,
-            telemetry=telemetry,
+            telemetry=telemetry, lint_section=lint_section,
         )
         print(f"[manifest written to {args.manifest}]", file=sys.stderr)
     if telemetry is not None:

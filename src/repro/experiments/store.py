@@ -200,8 +200,8 @@ def unit_digest(
     return hashlib.sha256(canonical_json(identity).encode("utf-8")).hexdigest()
 
 
-def atomic_write_json(path, payload) -> None:
-    """Write *payload* as JSON via temp file + rename (never torn)."""
+def atomic_write_text(path, text: str) -> None:
+    """Write *text* via temp file + rename (never torn)."""
     path = os.fspath(path)
     directory = os.path.dirname(os.path.abspath(path))
     fd, tmp = tempfile.mkstemp(
@@ -209,7 +209,7 @@ def atomic_write_json(path, payload) -> None:
     )
     try:
         with os.fdopen(fd, "w") as handle:
-            json.dump(payload, handle, indent=2)
+            handle.write(text)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)
@@ -219,6 +219,11 @@ def atomic_write_json(path, payload) -> None:
         except OSError:
             pass
         raise
+
+
+def atomic_write_json(path, payload) -> None:
+    """Write *payload* as JSON via temp file + rename (never torn)."""
+    atomic_write_text(path, json.dumps(payload, indent=2))
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,269 @@
+"""Static race rules over interpreted launch traces.
+
+The analysis mirrors the paper's taxonomy (Table IV) as decision rules
+over conflicting access pairs.  Two accesses conflict when they touch
+the same word, come from different warps of the same launch, and at
+least one writes.  The pairwise *span* is the scope synchronization
+must cover: ``BLOCK`` for two warps of one block, ``DEVICE`` across
+blocks.
+
+Per pair, in order:
+
+1. **SL-A1 (scoped-atomic)** — either access is an atomic whose scope
+   is narrower than the span.  Decided per access signature, without
+   clocks: a block-scoped atomic reachable from another CTA is broken
+   no matter how the schedule lands.
+2. Both accesses atomic at sufficient scope → race-free (atomics are
+   performed at the span's point of coherence).
+3. Otherwise every occurrence pair must be **ordered** (happens-before
+   through atomics/barriers/scoped ops — never timing) and, when the
+   earlier access is a plain write, **flushed**: the writer must fence
+   at span scope between the write and the point the reader
+   synchronized.  An ordered-but-unflushed pair is **SL-F1/SL-F2**
+   (missing fence at the span) or **SL-F3** when a narrower fence sat
+   in the window; an unordered pair is diagnosed through locksets —
+   disjoint or one-sided locking is **SL-L1**, a common lock whose
+   handoff never ordered the pair (broken release, missing or narrow
+   acquire/release fences) reports the fence rules, and no locking at
+   all falls back to the span's missing-fence rule.
+4. **SL-S1 (not-strong)** piggybacks on any unordered pair whose read
+   side is a polling signature: the same plain non-strong load executed
+   three or more times by one thread on a remotely-written word.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.scopes import Scope
+from repro.scolint.driver import LaunchTrace, LintGPU
+from repro.scolint.model import RULE_FOR_TYPE, RULES, Access, Finding, Site
+from repro.scord.races import RaceType
+
+#: occurrences of one plain load (thread, line, word) that make it a poll
+POLL_THRESHOLD = 3
+
+
+class _Sig:
+    """All occurrences of one access signature on one word."""
+
+    __slots__ = ("access", "occurrences")
+
+    def __init__(self, access: Access):
+        self.access = access
+        self.occurrences: List[Access] = []
+
+
+def _signatures(accesses: List[Access]) -> List[_Sig]:
+    sigs: Dict[tuple, _Sig] = {}
+    for access in accesses:
+        key = (access.thread, access.line, access.kind, access.atomic,
+               access.scope, access.strong, access.is_write, access.lockset)
+        sig = sigs.get(key)
+        if sig is None:
+            sig = sigs[key] = _Sig(access)
+        sig.occurrences.append(access)
+    return list(sigs.values())
+
+
+def _is_polling(sig: _Sig) -> bool:
+    access = sig.access
+    return (access.kind == "ld" and not access.atomic and not access.strong
+            and len(sig.occurrences) >= POLL_THRESHOLD)
+
+
+def _fence_between(clocks: List[int], after: int, by: int) -> bool:
+    """Does a fence clock f exist with ``after < f <= by``?"""
+    return bisect_right(clocks, by) > bisect_right(clocks, after)
+
+
+def _check_pair(
+    a: _Sig, b: _Sig, span: Scope, trace: LaunchTrace
+) -> Optional[Tuple[str, Access, Access]]:
+    """First violation among the occurrence pairs, or None if all safe.
+
+    Returns (verdict, earlier/offending access, other access) where
+    verdict is "missing-fence" | "narrow-fence" | "unordered".
+    """
+    fences_a = trace.fences[a.access.thread][span]
+    fences_b = trace.fences[b.access.thread][span]
+    narrow_a = trace.fences[a.access.thread][Scope.BLOCK]
+    narrow_b = trace.fences[b.access.thread][Scope.BLOCK]
+    check_narrow = span > Scope.BLOCK
+    for occ_a in a.occurrences:
+        for occ_b in b.occurrences:
+            seen_a = occ_b.vc.get(occ_a.thread, -1)
+            if seen_a >= occ_a.clock:
+                first, other = occ_a, occ_b
+                fences, narrow, upper = fences_a, narrow_a, seen_a
+            else:
+                seen_b = occ_a.vc.get(occ_b.thread, -1)
+                if seen_b >= occ_b.clock:
+                    first, other = occ_b, occ_a
+                    fences, narrow, upper = fences_b, narrow_b, seen_b
+                else:
+                    return ("unordered", occ_a, occ_b)
+            if not first.is_write or first.atomic:
+                # Read-first pairs need only ordering; atomic writes are
+                # performed at the span's point of coherence (scope
+                # sufficiency was already established).
+                continue
+            if _fence_between(fences, first.clock, upper):
+                continue
+            if check_narrow and _fence_between(narrow, first.clock, upper):
+                return ("narrow-fence", first, other)
+            return ("missing-fence", first, other)
+    return None
+
+
+def _guarding(lockset: tuple, addr: int) -> tuple:
+    """Lockset entries protecting *addr* (a lock never guards itself)."""
+    return tuple(entry for entry in lockset if entry[0] != addr)
+
+
+def _classify_unordered(
+    occ_a: Access, occ_b: Access, span: Scope
+) -> RaceType:
+    locks_a = _guarding(occ_a.lockset, occ_a.addr)
+    locks_b = _guarding(occ_b.lockset, occ_b.addr)
+    common = ({e[0] for e in locks_a} & {e[0] for e in locks_b})
+    missing = (RaceType.MISSING_DEVICE_FENCE if span > Scope.BLOCK
+               else RaceType.MISSING_BLOCK_FENCE)
+    if common:
+        # Both sides hold the same lock, yet the handoff never ordered
+        # them — a release was skipped or done with a plain store, or
+        # the acquire/release fences were missing or too narrow.
+        fence_scopes = [
+            entry[2]
+            for entry in locks_a + locks_b
+            if entry[0] in common
+        ]
+        if any(scope is None for scope in fence_scopes):
+            return missing
+        if min(fence_scopes) < span:
+            return RaceType.SCOPED_FENCE
+        return missing
+    if locks_a or locks_b:
+        return RaceType.LOCK
+    return missing
+
+
+def _site(access: Access) -> Site:
+    return Site(
+        line=access.line,
+        func=access.func,
+        op=access.describe(),
+        block=access.bid,
+        warp=access.warp[1],
+    )
+
+
+def _finding(
+    race_type: RaceType,
+    kernel: str,
+    primary: Access,
+    other: Optional[Access],
+    span: Scope,
+    allocator,
+) -> Finding:
+    rule = RULE_FOR_TYPE[race_type]
+    _, message, fix = RULES[rule]
+    array = None
+    addr = primary.addr
+    if allocator is not None:
+        owner = allocator.owner_of(addr)
+        if owner is not None:
+            array = f"{owner.name}[{owner.index_of(addr)}]"
+    sites = [_site(primary)]
+    if other is not None:
+        sites.append(_site(other))
+    return Finding(
+        rule=rule,
+        race_type=race_type,
+        kernel=kernel,
+        array=array,
+        addr=addr,
+        span=span,
+        sites=tuple(sites),
+        message=message,
+        fix=fix,
+    )
+
+
+def analyze_launch(trace: LaunchTrace, allocator=None) -> List[Finding]:
+    """Apply the static rules to one launch; findings are deduplicated."""
+    by_addr: Dict[int, List[Access]] = {}
+    for access in trace.accesses:
+        by_addr.setdefault(access.addr, []).append(access)
+
+    findings: Dict[tuple, Finding] = {}
+
+    def emit(race_type, primary, other, span):
+        finding = _finding(
+            race_type, trace.kernel, primary, other, span, allocator
+        )
+        existing = findings.get(finding.key)
+        if existing is None:
+            findings[finding.key] = finding
+        else:
+            existing.count += 1
+
+    for addr, accesses in by_addr.items():
+        if len({a.warp for a in accesses}) < 2:
+            continue
+        if not any(a.is_write for a in accesses):
+            continue
+        sigs = _signatures(accesses)
+        polling = {id(s) for s in sigs if _is_polling(s)}
+        for i, sig_a in enumerate(sigs):
+            for sig_b in sigs[i + 1:]:
+                a, b = sig_a.access, sig_b.access
+                if a.warp == b.warp:
+                    continue
+                if not (a.is_write or b.is_write):
+                    continue
+                span = Scope.DEVICE if a.bid != b.bid else Scope.BLOCK
+                under = [s for s in (sig_a, sig_b)
+                         if s.access.atomic and s.access.scope < span]
+                if under:
+                    for sig in under:
+                        other = sig_b if sig is sig_a else sig_a
+                        emit(RaceType.SCOPED_ATOMIC, sig.access,
+                             other.access, span)
+                    continue
+                if a.atomic and b.atomic:
+                    continue
+                violation = _check_pair(sig_a, sig_b, span, trace)
+                if violation is None:
+                    continue
+                verdict, first, second = violation
+                if verdict == "narrow-fence":
+                    emit(RaceType.SCOPED_FENCE, first, second, span)
+                elif verdict == "missing-fence":
+                    race_type = (RaceType.MISSING_DEVICE_FENCE
+                                 if span > Scope.BLOCK
+                                 else RaceType.MISSING_BLOCK_FENCE)
+                    emit(race_type, first, second, span)
+                else:
+                    emit(_classify_unordered(first, second, span),
+                         first, second, span)
+                    for sig in (sig_a, sig_b):
+                        if id(sig) in polling:
+                            other = sig_b if sig is sig_a else sig_a
+                            emit(RaceType.NOT_STRONG, sig.access,
+                                 other.access, span)
+    return list(findings.values())
+
+
+def analyze(gpu: LintGPU) -> List[Finding]:
+    """Lint every launch interpreted on *gpu*; dedup across launches."""
+    findings: Dict[tuple, Finding] = {}
+    for trace in gpu.traces:
+        for finding in analyze_launch(trace, gpu.allocator):
+            existing = findings.get(finding.key)
+            if existing is None:
+                findings[finding.key] = finding
+            else:
+                existing.count += finding.count
+    return list(findings.values())

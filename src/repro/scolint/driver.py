@@ -1,0 +1,446 @@
+"""Abstract interpretation of kernel generators — no simulation.
+
+:class:`LintGPU` mimics the host-side surface of
+:class:`repro.engine.gpu.GPU` (``alloc``/``write``/``read``/
+``write_array``/``read_array``/``launch``), so any workload written
+against the real GPU — a ScoR application's ``run(gpu)``, a
+microbenchmark wrapper, a litmus thread program — drives the linter
+unmodified.  Instead of simulating timing, caches, and the detector,
+``launch`` steps every thread's generator round-robin over a
+sequentially-consistent memory and records a per-launch trace of global
+accesses annotated with everything the static rules need:
+
+* the **vector clock** of the thread at the access (happens-before
+  edges come only from atomics, barriers, and scoped release/acquire
+  ops — never from timing, so the verdict is schedule-independent);
+* the thread's **fence history** per scope (sorted clock lists, so the
+  analysis can ask "did the writer fence between the write and the
+  point the reader synchronized?" with a binary search);
+* the **lockset** — which CUDA-idiom spin locks (successful
+  ``atomicCAS(lock, 0, 1)`` … ``atomicExch(lock, 0)``) the thread held,
+  and with what acquire-fence scope.
+
+The interpreter executes one operation per runnable thread per round.
+Spin loops in the suite are bounded, and ``max_steps`` backstops the
+whole launch, so linting always terminates.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.arch.config import GPUConfig
+from repro.engine.context import ThreadCtx
+from repro.isa.ops import (
+    AcquireLd,
+    AtomicOp,
+    AtomicRMW,
+    Barrier,
+    Compute,
+    Fence,
+    Ld,
+    ReleaseSt,
+    ShLd,
+    ShSt,
+    St,
+)
+from repro.isa.scopes import Scope
+from repro.mem.allocator import DeviceAllocator, DeviceArray
+from repro.scolint.model import Access, LintError
+
+DEFAULT_CAPACITY_BYTES = 256 * 1024
+DEFAULT_MAX_STEPS = 8_000_000
+
+_SPANS = (Scope.BLOCK, Scope.DEVICE, Scope.SYSTEM)
+
+
+class _Thread:
+    """Interpreter state for one abstract device thread."""
+
+    __slots__ = ("index", "gen", "bid", "tid", "warp", "clock", "vc",
+                 "fences", "holdings", "lockset", "finished", "waiting",
+                 "send_value")
+
+    def __init__(self, index: int, gen, bid: int, tid: int, warp: Tuple[int, int]):
+        self.index = index
+        self.gen = gen
+        self.bid = bid
+        self.tid = tid
+        self.warp = warp
+        self.clock = 0
+        # Vector clock over *other* threads' op counters.  Treated as
+        # immutable: joins replace the dict (copy-on-write), so Access
+        # records can hold a reference instead of a snapshot.
+        self.vc: Dict[int, int] = {}
+        self.fences: Dict[Scope, List[int]] = {s: [] for s in _SPANS}
+        # lock addr -> [cas_scope, acquire_fence_scope_or_None]
+        self.holdings: Dict[int, list] = {}
+        self.lockset: tuple = ()
+        self.finished = False
+        self.waiting = False
+        self.send_value = None
+
+    def refresh_lockset(self) -> None:
+        self.lockset = tuple(sorted(
+            (addr, entry[0], entry[1])
+            for addr, entry in self.holdings.items()
+        ))
+
+    def join(self, published: Optional[Dict[int, int]]) -> None:
+        """Absorb a published vector clock (copy-on-write)."""
+        if not published:
+            return
+        vc = self.vc
+        updates = None
+        for thread, clock in published.items():
+            if thread != self.index and vc.get(thread, -1) < clock:
+                if updates is None:
+                    updates = {}
+                updates[thread] = clock
+        if updates:
+            merged = dict(vc)
+            merged.update(updates)
+            self.vc = merged
+
+    def full_vc(self) -> Dict[int, int]:
+        vc = dict(self.vc)
+        vc[self.index] = self.clock
+        return vc
+
+
+class LaunchTrace:
+    """Everything the analysis needs from one interpreted launch."""
+
+    __slots__ = ("kernel", "grid", "block_dim", "accesses", "fences",
+                 "warp_of", "ops")
+
+    def __init__(self, kernel: str, grid: int, block_dim: int):
+        self.kernel = kernel
+        self.grid = grid
+        self.block_dim = block_dim
+        self.accesses: List[Access] = []
+        #: thread index -> {scope: sorted fence clocks} (shared with the
+        #: thread state; complete once the launch returns)
+        self.fences: Dict[int, Dict[Scope, List[int]]] = {}
+        self.warp_of: Dict[int, Tuple[int, int]] = {}
+        self.ops = 0
+
+
+def _apply_rmw(op: AtomicOp, old: int, operand: int, compare) -> int:
+    if op is AtomicOp.ADD:
+        return old + operand
+    if op is AtomicOp.SUB:
+        return old - operand
+    if op is AtomicOp.EXCH:
+        return operand
+    if op is AtomicOp.CAS:
+        return operand if old == compare else old
+    if op is AtomicOp.MIN:
+        return min(old, operand)
+    if op is AtomicOp.MAX:
+        return max(old, operand)
+    if op is AtomicOp.AND:
+        return old & operand
+    if op is AtomicOp.OR:
+        return old | operand
+    if op is AtomicOp.XOR:
+        return old ^ operand
+    raise LintError(f"unknown atomic op {op!r}")
+
+
+def _location(gen) -> Tuple[str, str]:
+    """(``file.py:line``, function) of the innermost suspended frame."""
+    while True:
+        sub = getattr(gen, "gi_yieldfrom", None)
+        if sub is None or getattr(sub, "gi_frame", None) is None:
+            break
+        gen = sub
+    frame = gen.gi_frame
+    if frame is None:
+        return ("<finished>", "<finished>")
+    code = frame.f_code
+    return (f"{os.path.basename(code.co_filename)}:{frame.f_lineno}",
+            code.co_name)
+
+
+class LintGPU:
+    """Drop-in host API that interprets kernels instead of simulating.
+
+    >>> from repro.scolint import LintGPU, analyze
+    >>> gpu = LintGPU()
+    >>> counter = gpu.alloc(1, "counter")
+    >>> def bump(ctx, counter):
+    ...     yield ctx.atomic_add(counter, 0, 1)
+    >>> trace = gpu.launch(bump, grid=4, block_dim=8, args=(counter,))
+    >>> gpu.read(counter, 0)
+    32
+    >>> analyze(gpu)
+    []
+    """
+
+    def __init__(
+        self,
+        config: Optional[GPUConfig] = None,
+        capacity_bytes: int = DEFAULT_CAPACITY_BYTES,
+        max_steps: int = DEFAULT_MAX_STEPS,
+    ):
+        self.config = config if config is not None else GPUConfig.scaled_default()
+        self.allocator = DeviceAllocator(capacity_bytes)
+        self.max_steps = max_steps
+        self.steps = 0
+        self.traces: List[LaunchTrace] = []
+        self._mem: Dict[int, int] = {}
+        # Per-launch state (reset by launch(): launches are device-wide
+        # synchronization points, so edges never cross them).
+        self._sync: Dict[int, Dict[int, int]] = {}
+        self._shared: Dict[Tuple[int, int], int] = {}
+        self._blocks: Dict[int, List[_Thread]] = {}
+        self._alive: Dict[int, int] = {}
+        self._trace: Optional[LaunchTrace] = None
+
+    # ------------------------------------------------------------------
+    # Host-side memory API (mirrors repro.engine.gpu.GPU)
+    # ------------------------------------------------------------------
+    def alloc(self, length: int, name: Optional[str] = None) -> DeviceArray:
+        return self.allocator.alloc(length, name)
+
+    def write(self, array: DeviceArray, index: int, value: int) -> None:
+        self._mem[array.addr(index)] = value
+
+    def read(self, array: DeviceArray, index: int) -> int:
+        return self._mem.get(array.addr(index), 0)
+
+    def write_array(self, array: DeviceArray, values: Iterable[int]) -> None:
+        for index, value in enumerate(values):
+            self._mem[array.addr(index)] = value
+
+    def read_array(self, array: DeviceArray) -> List[int]:
+        return [self._mem.get(array.addr(i), 0) for i in range(len(array))]
+
+    # ------------------------------------------------------------------
+    # Kernel launch (abstract interpretation)
+    # ------------------------------------------------------------------
+    def launch(
+        self, kernel, grid: int, block_dim: int, args: Sequence = ()
+    ) -> LaunchTrace:
+        name = getattr(kernel, "__name__", str(kernel))
+        trace = LaunchTrace(name, grid, block_dim)
+        self._trace = trace
+        self._sync = {}
+        self._shared = {}
+        self._blocks = {}
+        self._alive = {}
+        warp_size = self.config.threads_per_warp
+
+        threads: List[_Thread] = []
+        for bid in range(grid):
+            for tid in range(block_dim):
+                ctx = ThreadCtx(tid, bid, block_dim, grid, warp_size)
+                gen = kernel(ctx, *args)
+                index = len(threads)
+                thread = _Thread(index, gen, bid, tid, (bid, tid // warp_size))
+                threads.append(thread)
+                self._blocks.setdefault(bid, []).append(thread)
+                trace.fences[index] = thread.fences
+                trace.warp_of[index] = thread.warp
+        for bid, members in self._blocks.items():
+            self._alive[bid] = len(members)
+
+        active = list(threads)
+        while active:
+            progressed = False
+            survivors: List[_Thread] = []
+            for thread in active:
+                if thread.finished:
+                    continue
+                if thread.waiting:
+                    survivors.append(thread)
+                    continue
+                self._step(thread)
+                progressed = True
+                if not thread.finished:
+                    survivors.append(thread)
+            active = [t for t in survivors if not t.finished]
+            if active and not progressed:
+                stuck = sorted(t.index for t in active if t.waiting)
+                raise LintError(
+                    f"kernel {name!r}: barrier deadlock "
+                    f"(threads {stuck[:8]} waiting forever)"
+                )
+        self.traces.append(trace)
+        return trace
+
+    # ------------------------------------------------------------------
+    def _step(self, thread: _Thread) -> None:
+        self.steps += 1
+        trace = self._trace
+        trace.ops += 1
+        if self.steps > self.max_steps:
+            raise LintError(
+                f"kernel {trace.kernel!r}: interpretation exceeded "
+                f"{self.max_steps} steps (unbounded spin?)"
+            )
+        try:
+            op = thread.gen.send(thread.send_value)
+        except StopIteration:
+            self._finish(thread)
+            return
+        except LintError:
+            raise
+        except Exception as err:
+            raise LintError(
+                f"kernel {trace.kernel!r} thread (block {thread.bid}, "
+                f"tid {thread.tid}) raised {type(err).__name__}: {err}"
+            ) from err
+        thread.send_value = self._execute(thread, op)
+
+    def _finish(self, thread: _Thread) -> None:
+        thread.finished = True
+        self._alive[thread.bid] -= 1
+        self._release_barrier(thread.bid)
+
+    # ------------------------------------------------------------------
+    def _execute(self, thread: _Thread, op):
+        # ThreadCtx recycles op instances, so every field is copied out
+        # here before the thread is resumed.
+        cls = op.__class__
+        if cls is Ld:
+            addr, strong = op.addr, op.strong
+            thread.clock += 1
+            self._record(thread, "ld", addr, False, None, strong, False)
+            return self._mem.get(addr, 0)
+        if cls is St:
+            addr, value, strong = op.addr, op.value, op.strong
+            thread.clock += 1
+            self._record(thread, "st", addr, False, None, strong, True)
+            # A plain store to a held lock word is a broken release: the
+            # critical section ends here, but no happens-before edge is
+            # published (see SL-F1 on the guarded data).
+            if addr in thread.holdings:
+                del thread.holdings[addr]
+                thread.refresh_lockset()
+            self._mem[addr] = value
+            return None
+        if cls is AtomicRMW:
+            return self._execute_rmw(thread, op)
+        if cls is Compute:
+            thread.clock += 1
+            return None
+        if cls is Fence:
+            scope = op.scope
+            thread.clock += 1
+            for span in _SPANS:
+                if span <= scope:
+                    thread.fences[span].append(thread.clock)
+            changed = False
+            for entry in thread.holdings.values():
+                if entry[1] is None:
+                    entry[1] = scope
+                    changed = True
+            if changed:
+                thread.refresh_lockset()
+            return None
+        if cls is Barrier:
+            thread.clock += 1
+            thread.waiting = True
+            self._release_barrier(thread.bid)
+            return None
+        if cls is AcquireLd:
+            addr, scope = op.addr, op.scope
+            thread.join(self._sync.get(addr))
+            thread.clock += 1
+            self._record(thread, "acq-ld", addr, True, scope, True, False)
+            return self._mem.get(addr, 0)
+        if cls is ReleaseSt:
+            addr, value, scope = op.addr, op.value, op.scope
+            thread.clock += 1
+            # Release semantics order the thread's prior writes before
+            # this store, so it doubles as a fence at its scope.
+            for span in _SPANS:
+                if span <= scope:
+                    thread.fences[span].append(thread.clock)
+            self._record(thread, "rel-st", addr, True, scope, True, True)
+            self._mem[addr] = value
+            self._sync[addr] = thread.full_vc()
+            return None
+        if cls is ShLd:
+            thread.clock += 1
+            return self._shared.get((thread.bid, op.offset), 0)
+        if cls is ShSt:
+            offset, value = op.offset, op.value
+            thread.clock += 1
+            self._shared[(thread.bid, offset)] = value
+            return None
+        raise LintError(
+            f"kernel {self._trace.kernel!r} yielded a non-operation: {op!r}"
+        )
+
+    def _execute_rmw(self, thread: _Thread, op: AtomicRMW):
+        addr, aop, operand = op.addr, op.op, op.operand
+        scope, compare = op.scope, op.compare
+        # Acquire side: reading the word at its point of coherence
+        # absorbs every happens-before edge published through it (a
+        # failed CAS still reads, e.g. a contended lock acquire).
+        thread.join(self._sync.get(addr))
+        thread.clock += 1
+        old = self._mem.get(addr, 0)
+        new = _apply_rmw(aop, old, operand, compare)
+        # Value-preserving RMWs (the atomic-read idiom, e.g.
+        # ``atomicAdd(&flag, 0)``) are reads: they publish nothing, so a
+        # polling reader cannot manufacture ordering for its own writes.
+        is_write = new != old
+        self._record(thread, "rmw", addr, True, scope, True, is_write)
+        if is_write:
+            self._mem[addr] = new
+            merged = dict(self._sync.get(addr) or ())
+            for index, clock in thread.full_vc().items():
+                if merged.get(index, -1) < clock:
+                    merged[index] = clock
+            self._sync[addr] = merged
+        # CUDA lock idiom: a successful atomicCAS(lock, 0, nonzero)
+        # acquires; atomicExch(lock, 0) by the holder releases.
+        if (aop is AtomicOp.CAS and compare == 0 and old == 0
+                and operand != 0):
+            thread.holdings[addr] = [scope, None]
+            thread.refresh_lockset()
+        elif (aop is AtomicOp.EXCH and operand == 0
+                and addr in thread.holdings):
+            del thread.holdings[addr]
+            thread.refresh_lockset()
+        return old
+
+    # ------------------------------------------------------------------
+    def _record(self, thread: _Thread, kind: str, addr: int, atomic: bool,
+                scope: Optional[Scope], strong: bool, is_write: bool) -> None:
+        line, func = _location(thread.gen)
+        self._trace.accesses.append(Access(
+            thread.index, thread.bid, thread.warp, thread.clock, kind,
+            addr, atomic, scope, strong, is_write, thread.vc,
+            thread.lockset, line, func,
+        ))
+
+    def _release_barrier(self, bid: int) -> None:
+        """Release the block's barrier once every live thread arrived.
+
+        Arrival is counted, not matched by program point, mirroring a
+        counting ``__syncthreads`` implementation; threads that already
+        returned are treated as arrived but contribute no ordering.
+        """
+        alive = self._alive[bid]
+        if alive <= 0:
+            return
+        waiting = [t for t in self._blocks[bid] if t.waiting]
+        if len(waiting) != alive:
+            return
+        joined: Dict[int, int] = {}
+        for thread in waiting:
+            for index, clock in thread.full_vc().items():
+                if joined.get(index, -1) < clock:
+                    joined[index] = clock
+        for thread in waiting:
+            thread.waiting = False
+            thread.send_value = None
+            thread.vc = joined
+            # __syncthreads orders the block's prior writes block-wide.
+            thread.fences[Scope.BLOCK].append(thread.clock)

@@ -1,0 +1,178 @@
+"""Data model of the static lint pass: accesses, rules, and findings.
+
+The driver (:mod:`repro.scolint.driver`) interprets kernel generators and
+produces :class:`Access` records; the analysis
+(:mod:`repro.scolint.analysis`) turns them into :class:`Finding`\\ s, each
+tagged with one of the :data:`RULES` below.  Every rule maps onto one race
+class of the paper's taxonomy (Table IV), so static findings and dynamic
+:class:`~repro.scord.races.RaceType` verdicts are directly comparable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from repro.common.errors import ReproError
+from repro.isa.scopes import Scope
+from repro.scord.races import RaceType
+
+
+class LintError(ReproError):
+    """The static analyzer could not drive or analyze a kernel."""
+
+    code = "lint"
+
+
+#: rule identifier -> (race type, one-line description, suggested fix)
+RULES: Dict[str, Tuple[RaceType, str, str]] = {
+    "SL-A1": (
+        RaceType.SCOPED_ATOMIC,
+        "block-scoped atomic on data reachable from another threadblock",
+        "widen the atomic to device scope (drop the _block suffix)",
+    ),
+    "SL-F1": (
+        RaceType.MISSING_DEVICE_FENCE,
+        "conflicting cross-block accesses with no device-scope ordering",
+        "order the accesses: __threadfence() after the write, then a "
+        "device-atomic handoff (or a common device-scoped lock)",
+    ),
+    "SL-F2": (
+        RaceType.MISSING_BLOCK_FENCE,
+        "conflicting same-block accesses with no block-scope ordering",
+        "separate the accesses with __syncthreads(), or "
+        "__threadfence_block() plus an atomic handoff",
+    ),
+    "SL-F3": (
+        RaceType.SCOPED_FENCE,
+        "a fence orders the accesses but its scope is too narrow",
+        "widen __threadfence_block() to __threadfence() (device scope)",
+    ),
+    "SL-L1": (
+        RaceType.LOCK,
+        "lock-protected access conflicts with one holding a different "
+        "lock (or none)",
+        "protect both accesses with the same device-scoped lock",
+    ),
+    "SL-S1": (
+        RaceType.NOT_STRONG,
+        "polling loop re-reads a remotely-written word with a plain "
+        "(non-strong) load",
+        "mark the polled load volatile/strong, or poll with an atomic",
+    ),
+}
+
+#: race type -> the rule that reports it (the inverse of RULES)
+RULE_FOR_TYPE: Dict[RaceType, str] = {
+    race_type: rule for rule, (race_type, _, _) in RULES.items()
+}
+
+
+class Access:
+    """One interpreted global-memory access by one abstract thread."""
+
+    __slots__ = (
+        "thread", "bid", "warp", "clock", "kind", "addr", "atomic",
+        "scope", "strong", "is_write", "vc", "lockset", "line", "func",
+    )
+
+    def __init__(self, thread, bid, warp, clock, kind, addr, atomic,
+                 scope, strong, is_write, vc, lockset, line, func):
+        self.thread = thread      #: global thread index within the launch
+        self.bid = bid            #: block index
+        self.warp = warp          #: global warp identity (bid, warp_id)
+        self.clock = clock        #: per-thread op counter at this access
+        self.kind = kind          #: "ld" | "st" | "rmw" | "acq-ld" | "rel-st"
+        self.addr = addr          #: byte address
+        self.atomic = atomic      #: performed at a scope's point of coherence
+        self.scope = scope        #: Scope for atomics/scoped ops, else None
+        self.strong = strong      #: volatile / strong qualifier
+        self.is_write = is_write
+        self.vc = vc              #: thread's vector clock (shared, frozen ref)
+        self.lockset = lockset    #: ((lock_addr, cas_scope, acq_fence), ...)
+        self.line = line          #: "file.py:NN" of the yielding statement
+        self.func = func          #: code object name of that frame
+
+    def describe(self) -> str:
+        qual = []
+        if self.atomic and self.scope is not None:
+            qual.append(f"{self.scope.name.lower()}-scope")
+        if self.strong and not self.atomic:
+            qual.append("volatile")
+        noun = {
+            "ld": "load", "st": "store", "rmw": "atomic RMW",
+            "acq-ld": "acquire-load", "rel-st": "release-store",
+        }[self.kind]
+        rw = "write" if self.is_write else "read"
+        prefix = " ".join(qual + [noun])
+        return f"{prefix} ({rw}) at {self.line} in {self.func}()"
+
+
+@dataclasses.dataclass(frozen=True)
+class Site:
+    """One endpoint of a finding — where the offending op sits."""
+
+    line: str           #: "file.py:NN"
+    func: str
+    op: str             #: human description of the access
+    block: int
+    warp: int
+
+    def render(self) -> str:
+        return f"{self.op} [block {self.block}, warp {self.warp}]"
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class Finding:
+    """One static race diagnosis."""
+
+    rule: str                       #: rule ID, e.g. "SL-F1"
+    race_type: RaceType
+    kernel: str                     #: kernel (launch) the pair was seen in
+    array: Optional[str]            #: owning DeviceArray name, if known
+    addr: int
+    span: Scope                     #: BLOCK (same block) or DEVICE
+    sites: Tuple[Site, ...]         #: offending op(s), primary first
+    message: str
+    fix: str
+    count: int = 1                  #: distinct access pairs collapsed in
+
+    @property
+    def key(self) -> tuple:
+        """Dedup identity: rule + object + the offending source lines.
+
+        The object is the owning *array*, not the element — the same
+        bad op pair over a lock array is one diagnosis, not one per
+        word — falling back to the address for unattributed memory.
+        """
+        lines = frozenset(site.line for site in self.sites)
+        array = self.array.partition("[")[0] if self.array else self.addr
+        return (self.rule, array, lines)
+
+    def render(self) -> str:
+        where = self.array if self.array else f"0x{self.addr:x}"
+        lines = [
+            f"[{self.rule} {self.race_type.value}] {where} "
+            f"(kernel {self.kernel!r}, {self.span.name.lower()} span)"
+        ]
+        for site in self.sites:
+            lines.append(f"    {site.render()}")
+        lines.append(f"    why: {self.message}")
+        lines.append(f"    fix: {self.fix}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "race_type": self.race_type.value,
+            "kernel": self.kernel,
+            "array": self.array,
+            "span": self.span.name.lower(),
+            "sites": [site.as_dict() for site in self.sites],
+            "message": self.message,
+            "fix": self.fix,
+            "count": self.count,
+        }

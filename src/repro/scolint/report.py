@@ -1,0 +1,50 @@
+"""Text and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.scolint.suite import LintResult
+
+#: schema tag embedded in JSON reports (bump on shape changes)
+REPORT_SCHEMA = "scolint-report/v1"
+
+
+def render_text(results: Sequence[LintResult], verbose: bool = False) -> str:
+    """Human-oriented report: findings in full, clean targets summarized."""
+    lines = []
+    clean = [r for r in results if r.clean]
+    dirty = [r for r in results if not r.clean]
+    for result in dirty:
+        lines.append(result.render())
+        lines.append("")
+    if verbose:
+        for result in clean:
+            lines.append(result.render())
+    elif clean:
+        lines.append(f"{len(clean)} target(s) clean: "
+                     + ", ".join(r.target for r in clean))
+    total = sum(len(r.findings) for r in results)
+    lines.append("")
+    lines.append(
+        f"scolint: {len(results)} target(s), {total} finding(s), "
+        f"{len(clean)} clean"
+    )
+    return "\n".join(lines).strip() + "\n"
+
+
+def as_report(results: Sequence[LintResult]) -> dict:
+    return {
+        "schema": REPORT_SCHEMA,
+        "targets": [r.as_dict() for r in results],
+        "summary": {
+            "targets": len(results),
+            "clean": sum(1 for r in results if r.clean),
+            "findings": sum(len(r.findings) for r in results),
+        },
+    }
+
+
+def render_json(results: Sequence[LintResult]) -> str:
+    return json.dumps(as_report(results), indent=2, sort_keys=True) + "\n"

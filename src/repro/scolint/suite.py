@@ -1,0 +1,228 @@
+"""Lint adapters for everything in the repository that owns a kernel.
+
+Because :class:`~repro.scolint.driver.LintGPU` mirrors the host API of
+the real :class:`~repro.engine.gpu.GPU`, each adapter below replays the
+corresponding runner (``run_micro`` / ``run_app`` / ``run_litmus``) on
+the abstract interpreter — same allocation layout, same wrapper kernel,
+same launch shape — and returns a :class:`LintResult` instead of a
+simulated machine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Union
+
+from repro.arch.config import GPUConfig
+from repro.litmus.framework import LitmusTest
+from repro.scolint.analysis import analyze
+from repro.scolint.driver import LintGPU
+from repro.scolint.model import Finding, LintError
+from repro.scor.apps.base import ScorApp
+from repro.scor.micro.base import Micro, MicroMem, launch_shape, role_of
+from repro.scord.races import RaceType
+
+
+@dataclasses.dataclass
+class LintResult:
+    """The static verdict for one lintable target."""
+
+    target: str                   #: e.g. "micro:fence_missing_cross_block"
+    kind: str                     #: "micro" | "app" | "litmus"
+    findings: List[Finding]
+    ops: int                      #: operations interpreted
+    launches: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def race_types(self) -> frozenset:
+        """Race types flagged, comparable to dynamic ScoRD verdicts."""
+        return frozenset(f.race_type for f in self.findings)
+
+    def render(self) -> str:
+        head = (f"{self.target}: "
+                + ("clean" if self.clean
+                   else f"{len(self.findings)} finding(s)")
+                + f" ({self.launches} launch(es), {self.ops} ops)")
+        body = [finding.render() for finding in
+                sorted(self.findings, key=lambda f: (f.rule, f.array or ""))]
+        return "\n".join([head] + body)
+
+    def as_dict(self) -> dict:
+        return {
+            "target": self.target,
+            "kind": self.kind,
+            "clean": self.clean,
+            "launches": self.launches,
+            "ops": self.ops,
+            "findings": [
+                finding.as_dict() for finding in
+                sorted(self.findings,
+                       key=lambda f: (f.rule, f.array or "", f.kernel))
+            ],
+        }
+
+
+def _result(target: str, kind: str, gpu: LintGPU) -> LintResult:
+    findings = analyze(gpu)
+    return LintResult(
+        target=target,
+        kind=kind,
+        findings=findings,
+        ops=sum(trace.ops for trace in gpu.traces),
+        launches=len(gpu.traces),
+    )
+
+
+# ----------------------------------------------------------------------
+# Microbenchmarks (mirrors scor.micro.base.run_micro)
+# ----------------------------------------------------------------------
+def lint_micro(
+    micro: Micro, gpu_config: Optional[GPUConfig] = None
+) -> LintResult:
+    config = gpu_config if gpu_config is not None else GPUConfig.scaled_default()
+    gpu = LintGPU(config=config)
+    mem = MicroMem(
+        data=gpu.alloc(8, "data"),
+        flag=gpu.alloc(1, "flag"),
+        lock=gpu.alloc(1, "lock"),
+        lock2=gpu.alloc(1, "lock2"),
+        aux=gpu.alloc(8, "aux"),
+    )
+    placement = micro.placement
+
+    def wrapper(ctx, mem):
+        role = role_of(ctx, placement)
+        yield from micro.kernel(ctx, role, mem)
+
+    wrapper.__name__ = micro.name
+    grid, block_dim = launch_shape(placement, config.threads_per_warp)
+    gpu.launch(wrapper, grid=grid, block_dim=block_dim, args=(mem,))
+    return _result(f"micro:{micro.name}", "micro", gpu)
+
+
+# ----------------------------------------------------------------------
+# Applications (mirrors scor.apps.base.run_app)
+# ----------------------------------------------------------------------
+def lint_app(
+    app: Union[ScorApp, type],
+    races: Sequence[str] = (),
+    seed: int = 1,
+    gpu_config: Optional[GPUConfig] = None,
+) -> LintResult:
+    if isinstance(app, type):
+        app = app(races=races, seed=seed)
+    config = gpu_config if gpu_config is not None else GPUConfig.scaled_default()
+    gpu = LintGPU(config=config)
+    app.run(gpu)
+    suffix = "+".join(sorted(app.races))
+    target = f"app:{app.name}" + (f"+{suffix}" if suffix else "")
+    return _result(target, "app", gpu)
+
+
+# ----------------------------------------------------------------------
+# Litmus thread programs (mirrors litmus.framework.run_litmus at the
+# zero-delay grid point — delays inject no synchronization, so one
+# point already carries every ordering fact the rules consult)
+# ----------------------------------------------------------------------
+def lint_litmus(
+    test: LitmusTest, gpu_config: Optional[GPUConfig] = None
+) -> LintResult:
+    config = gpu_config if gpu_config is not None else GPUConfig.scaled_default()
+    gpu = LintGPU(config=config)
+    mem = gpu.alloc(test.shared_words, "mem")
+    out = gpu.alloc(max(1, test.observed), "out")
+    for i in range(test.observed):
+        gpu.write(out, i, -1)
+
+    bodies = [test.t0, test.t1]
+    for extra in (test.t2, test.t3):
+        if extra is not None:
+            bodies.append(extra)
+    num_threads = len(bodies)
+    same_block = test.same_block
+    warp = config.threads_per_warp
+
+    def kernel(ctx, mem, out):
+        if same_block:
+            role = 0 if ctx.tid == 0 else (1 if ctx.tid == warp else None)
+        else:
+            role = (
+                ctx.bid if ctx.tid == 0 and ctx.bid < num_threads else None
+            )
+        if role is not None:
+            yield from bodies[role](ctx, mem, out)
+
+    kernel.__name__ = test.name
+    grid, block_dim = (1, 2 * warp) if same_block else (num_threads, warp)
+    gpu.launch(kernel, grid=grid, block_dim=block_dim, args=(mem, out))
+    return _result(f"litmus:{test.name}", "litmus", gpu)
+
+
+# ----------------------------------------------------------------------
+# Whole-suite sweep
+# ----------------------------------------------------------------------
+def lint_suite(
+    micros: bool = True,
+    apps: bool = True,
+    litmus: bool = False,
+    race_flags: bool = True,
+    gpu_config: Optional[GPUConfig] = None,
+    telemetry=None,
+) -> List[LintResult]:
+    """Lint the registered suite; ``lint.*`` counters land in *telemetry*.
+
+    With ``race_flags`` each application is additionally linted once per
+    race flag (the injected-bug configurations the cross-validation
+    compares against dynamic ScoRD).  Litmus programs intentionally
+    exhibit weak behaviours, so they are opt-in and their findings are
+    informational.
+    """
+    results: List[LintResult] = []
+    if micros:
+        from repro.scor.micro.registry import ALL_MICROS
+        for micro in ALL_MICROS:
+            results.append(lint_micro(micro, gpu_config=gpu_config))
+    if apps:
+        from repro.scor.apps.registry import ALL_APPS
+        for app_cls in ALL_APPS:
+            results.append(lint_app(app_cls, gpu_config=gpu_config))
+            if race_flags:
+                for flag in app_cls.RACE_FLAGS:
+                    results.append(lint_app(
+                        app_cls, races=(flag.name,), gpu_config=gpu_config
+                    ))
+    if litmus:
+        from repro.litmus.catalog import ALL_LITMUS_TESTS
+        for test in ALL_LITMUS_TESTS:
+            results.append(lint_litmus(test, gpu_config=gpu_config))
+    if telemetry is not None:
+        record_lint_metrics(telemetry, results)
+    return results
+
+
+def record_lint_metrics(telemetry, results: Sequence[LintResult]) -> None:
+    """Publish ``lint.*`` counters for a batch of results."""
+    metrics = telemetry.metrics
+    metrics.counter("lint.targets").inc(len(results))
+    metrics.counter("lint.findings").inc(
+        sum(len(r.findings) for r in results)
+    )
+    metrics.counter("lint.clean_targets").inc(
+        sum(1 for r in results if r.clean)
+    )
+    metrics.counter("lint.ops_interpreted").inc(
+        sum(r.ops for r in results)
+    )
+    for race_type in RaceType:
+        hits = sum(
+            1 for r in results for f in r.findings
+            if f.race_type is race_type
+        )
+        if hits:
+            metrics.counter(
+                "lint.findings_by_type", type=race_type.value
+            ).inc(hits)

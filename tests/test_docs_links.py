@@ -1,0 +1,82 @@
+"""Every intra-repo link and path reference in the docs must resolve.
+
+Two passes over all tracked markdown files:
+
+* markdown links ``[text](target)`` whose target is not an absolute URL
+  must point at an existing file (anchors are checked for file
+  existence only);
+* inline-code path references like ``docs/scolint.md`` or
+  ``repro/scolint/analysis.py`` must exist, so prose never points at a
+  module that was moved or renamed.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import pytest
+
+ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+
+# PAPERS.md / SNIPPETS.md / ISSUE.md are generated research-context
+# scaffolding whose links point at their upstream sources, not at this
+# repository — they are not part of the documentation set.
+SCAFFOLDING = {"PAPERS.md", "SNIPPETS.md", "ISSUE.md"}
+
+MD_FILES = sorted(
+    os.path.relpath(os.path.join(base, name), ROOT)
+    for base, dirs, names in os.walk(ROOT)
+    for name in names
+    if name.endswith(".md")
+    and name not in SCAFFOLDING
+    and not any(
+        part in ("node_modules", ".git", ".claude", "related")
+        for part in os.path.join(base, name).split(os.sep)
+    )
+)
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# `docs/foo.md` / `repro/scolint/analysis.py` style inline-code paths;
+# requires at least one slash so plain module names stay out of scope.
+CODE_PATH = re.compile(r"`((?:docs|src|tests|examples|benchmarks|repro)/[\w./-]+\.(?:md|py|json|txt))`")
+
+
+def _exists(doc_relpath, target):
+    target = target.split("#", 1)[0]
+    if not target:
+        return True  # pure in-page anchor
+    base = os.path.dirname(os.path.join(ROOT, doc_relpath))
+    candidates = [os.path.join(base, target), os.path.join(ROOT, target)]
+    if target.startswith("repro/"):
+        candidates.append(os.path.join(ROOT, "src", target))
+    return any(os.path.exists(c) for c in candidates)
+
+
+@pytest.mark.parametrize("doc", MD_FILES)
+def test_markdown_links_resolve(doc):
+    with open(os.path.join(ROOT, doc), encoding="utf-8") as handle:
+        body = handle.read()
+    broken = [
+        target
+        for target in LINK.findall(body)
+        if not target.startswith(("http://", "https://", "mailto:"))
+        and not _exists(doc, target)
+    ]
+    assert not broken, f"{doc}: broken link target(s): {broken}"
+
+
+@pytest.mark.parametrize("doc", MD_FILES)
+def test_inline_code_paths_resolve(doc):
+    with open(os.path.join(ROOT, doc), encoding="utf-8") as handle:
+        body = handle.read()
+    broken = [
+        target for target in CODE_PATH.findall(body)
+        if not _exists(doc, target)
+    ]
+    assert not broken, f"{doc}: inline path reference(s) do not exist: {broken}"
+
+
+def test_docs_were_found():
+    assert "README.md" in MD_FILES
+    assert os.path.join("docs", "scolint.md") in MD_FILES

@@ -9,6 +9,7 @@ import repro.common.counters
 import repro.common.rng
 import repro.common.stats
 import repro.mem.atomics
+import repro.scolint.driver
 
 MODULES = [
     repro.common.bitfield,
@@ -16,6 +17,7 @@ MODULES = [
     repro.common.rng,
     repro.common.stats,
     repro.mem.atomics,
+    repro.scolint.driver,
 ]
 
 

@@ -1,0 +1,363 @@
+"""Per-rule unit tests: positive, negative, and a deliberate
+false-positive boundary case for every scolint rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.scopes import Scope
+from repro.scolint import LintGPU, analyze
+from repro.scolint.model import RULE_FOR_TYPE, RULES, LintError
+from repro.scord.races import RaceType
+
+WARP = 8  # threads_per_warp under GPUConfig.scaled_default()
+
+
+def lint_kernel(kernel, grid=2, block_dim=WARP, words=4):
+    """Drive *kernel* over (data, flag, lock) arrays and analyze."""
+    gpu = LintGPU()
+    data = gpu.alloc(words, "data")
+    flag = gpu.alloc(1, "flag")
+    lock = gpu.alloc(1, "lock")
+    gpu.launch(kernel, grid=grid, block_dim=block_dim,
+               args=(data, flag, lock))
+    return analyze(gpu)
+
+
+def rules_of(findings):
+    return {finding.rule for finding in findings}
+
+
+# ----------------------------------------------------------------------
+# Handoff helpers (the correct atomic-flag idiom, bounded)
+# ----------------------------------------------------------------------
+def _publish(ctx, flag):
+    yield ctx.atomic_exch(flag, 0, 1)
+
+
+def _await(ctx, flag):
+    for _ in range(64):
+        value = yield ctx.atomic_add(flag, 0, 0)
+        if value == 1:
+            return True
+        yield ctx.compute(5)
+    return False
+
+
+# ----------------------------------------------------------------------
+# SL-A1: scoped atomic
+# ----------------------------------------------------------------------
+class TestScopedAtomic:
+    def test_positive_block_atomic_cross_block(self):
+        def kernel(ctx, data, flag, lock):
+            if ctx.tid == 0:
+                yield ctx.atomic_add(data, 0, 1, scope=Scope.BLOCK)
+
+        findings = lint_kernel(kernel, grid=2)
+        assert rules_of(findings) == {"SL-A1"}
+        (finding,) = findings
+        assert finding.race_type is RaceType.SCOPED_ATOMIC
+        assert finding.array == "data[0]"
+        assert "widen the atomic" in finding.fix
+        assert all(":" in site.line for site in finding.sites)
+
+    def test_negative_device_atomic_cross_block(self):
+        def kernel(ctx, data, flag, lock):
+            if ctx.tid == 0:
+                yield ctx.atomic_add(data, 0, 1, scope=Scope.DEVICE)
+
+        assert lint_kernel(kernel, grid=2) == []
+
+    def test_boundary_block_atomic_same_block(self):
+        # Block scope *suffices* when every accessor shares the block:
+        # a rule keying on the qualifier alone would false-positive here.
+        def kernel(ctx, data, flag, lock):
+            if ctx.tid in (0, WARP):
+                yield ctx.atomic_add(data, 0, 1, scope=Scope.BLOCK)
+
+        assert lint_kernel(kernel, grid=1, block_dim=2 * WARP) == []
+
+
+# ----------------------------------------------------------------------
+# SL-F1 / SL-F2: missing device / block fence
+# ----------------------------------------------------------------------
+class TestMissingFence:
+    def test_positive_cross_block_unfenced_publication(self):
+        def kernel(ctx, data, flag, lock):
+            if ctx.bid == 0 and ctx.tid == 0:
+                yield ctx.st(data, 0, 7, volatile=True)
+                yield from _publish(ctx, flag)
+            elif ctx.bid == 1 and ctx.tid == 0:
+                if (yield from _await(ctx, flag)):
+                    yield ctx.ld(data, 0, volatile=True)
+
+        findings = lint_kernel(kernel, grid=2)
+        assert rules_of(findings) == {"SL-F1"}
+        (finding,) = findings
+        assert finding.race_type is RaceType.MISSING_DEVICE_FENCE
+        assert finding.span is Scope.DEVICE
+
+    def test_negative_cross_block_fenced_publication(self):
+        def kernel(ctx, data, flag, lock):
+            if ctx.bid == 0 and ctx.tid == 0:
+                yield ctx.st(data, 0, 7, volatile=True)
+                yield ctx.fence()
+                yield from _publish(ctx, flag)
+            elif ctx.bid == 1 and ctx.tid == 0:
+                if (yield from _await(ctx, flag)):
+                    yield ctx.ld(data, 0, volatile=True)
+
+        assert lint_kernel(kernel, grid=2) == []
+
+    def test_positive_same_block_unfenced_handoff(self):
+        def kernel(ctx, data, flag, lock):
+            if ctx.tid == 0:
+                yield ctx.st(data, 0, 7, volatile=True)
+                yield from _publish(ctx, flag)
+            elif ctx.tid == WARP:
+                if (yield from _await(ctx, flag)):
+                    yield ctx.ld(data, 0, volatile=True)
+
+        findings = lint_kernel(kernel, grid=1, block_dim=2 * WARP)
+        assert rules_of(findings) == {"SL-F2"}
+        assert findings[0].race_type is RaceType.MISSING_BLOCK_FENCE
+
+    def test_negative_barrier_separated(self):
+        def kernel(ctx, data, flag, lock):
+            if ctx.tid == 0:
+                yield ctx.st(data, 0, 7, volatile=True)
+            yield ctx.barrier()
+            if ctx.tid == WARP:
+                yield ctx.ld(data, 0, volatile=True)
+
+        assert lint_kernel(kernel, grid=1, block_dim=2 * WARP) == []
+
+    def test_boundary_read_first_pair_needs_no_fence(self):
+        # Anti-dependence: the remote READ is ordered before the write
+        # (read → handoff → write).  There is nothing for the earlier
+        # side to flush, so demanding a fence would false-positive.
+        def kernel(ctx, data, flag, lock):
+            if ctx.bid == 0 and ctx.tid == 0:
+                yield ctx.ld(data, 0, volatile=True)
+                yield from _publish(ctx, flag)
+            elif ctx.bid == 1 and ctx.tid == 0:
+                if (yield from _await(ctx, flag)):
+                    yield ctx.st(data, 0, 9, volatile=True)
+
+        assert lint_kernel(kernel, grid=2) == []
+
+
+# ----------------------------------------------------------------------
+# SL-F3: fence present but too narrow
+# ----------------------------------------------------------------------
+class TestScopedFence:
+    def test_positive_block_fence_cross_block(self):
+        def kernel(ctx, data, flag, lock):
+            if ctx.bid == 0 and ctx.tid == 0:
+                yield ctx.st(data, 0, 7, volatile=True)
+                yield ctx.fence_block()
+                yield from _publish(ctx, flag)
+            elif ctx.bid == 1 and ctx.tid == 0:
+                if (yield from _await(ctx, flag)):
+                    yield ctx.ld(data, 0, volatile=True)
+
+        findings = lint_kernel(kernel, grid=2)
+        assert rules_of(findings) == {"SL-F3"}
+        assert findings[0].race_type is RaceType.SCOPED_FENCE
+        assert "__threadfence()" in findings[0].fix
+
+    def test_negative_block_fence_same_block(self):
+        def kernel(ctx, data, flag, lock):
+            if ctx.tid == 0:
+                yield ctx.st(data, 0, 7, volatile=True)
+                yield ctx.fence_block()
+                yield from _publish(ctx, flag)
+            elif ctx.tid == WARP:
+                if (yield from _await(ctx, flag)):
+                    yield ctx.ld(data, 0, volatile=True)
+
+        assert lint_kernel(kernel, grid=1, block_dim=2 * WARP) == []
+
+    def test_boundary_late_fence_does_not_count(self):
+        # A device fence *after* the flag publication orders nothing the
+        # consumer synchronized with — the window check must reject it
+        # and report the missing fence, not credit the stray one.
+        def kernel(ctx, data, flag, lock):
+            if ctx.bid == 0 and ctx.tid == 0:
+                yield ctx.st(data, 0, 7, volatile=True)
+                yield from _publish(ctx, flag)
+                yield ctx.fence()
+            elif ctx.bid == 1 and ctx.tid == 0:
+                if (yield from _await(ctx, flag)):
+                    yield ctx.ld(data, 0, volatile=True)
+
+        findings = lint_kernel(kernel, grid=2)
+        assert rules_of(findings) == {"SL-F1"}
+
+
+# ----------------------------------------------------------------------
+# SL-L1: lockset mismatch
+# ----------------------------------------------------------------------
+def _locked_increment(ctx, data, lock):
+    for _ in range(256):
+        old = yield ctx.atomic_cas(lock, 0, 0, 1)
+        if old == 0:
+            break
+        yield ctx.compute(5)
+    else:
+        return
+    yield ctx.fence()
+    value = yield ctx.ld(data, 0, volatile=True)
+    yield ctx.st(data, 0, value + 1, volatile=True)
+    yield ctx.fence()
+    yield ctx.atomic_exch(lock, 0, 0)
+
+
+class TestLockset:
+    def test_positive_one_sided_lock(self):
+        def kernel(ctx, data, flag, lock):
+            if ctx.bid == 0 and ctx.tid == 0:
+                yield from _locked_increment(ctx, data, lock)
+            elif ctx.bid == 1 and ctx.tid == 0:
+                yield ctx.st(data, 0, 5, volatile=True)
+
+        findings = lint_kernel(kernel, grid=2)
+        assert rules_of(findings) == {"SL-L1"}
+        assert findings[0].race_type is RaceType.LOCK
+
+    def test_negative_both_sides_locked(self):
+        def kernel(ctx, data, flag, lock):
+            if ctx.tid == 0 and ctx.bid in (0, 1):
+                yield from _locked_increment(ctx, data, lock)
+
+        assert lint_kernel(kernel, grid=2) == []
+
+    def test_boundary_giving_up_without_touching_is_clean(self):
+        # The bounded-spin give-up path abandons the acquire but never
+        # touches the data; flagging the *attempt* would false-positive.
+        def kernel(ctx, data, flag, lock):
+            if ctx.bid == 0 and ctx.tid == 0:
+                yield from _locked_increment(ctx, data, lock)
+            elif ctx.bid == 1 and ctx.tid == 0:
+                old = yield ctx.atomic_cas(lock, 0, 0, 1)
+                if old == 0:
+                    yield ctx.fence()
+                    value = yield ctx.ld(data, 0, volatile=True)
+                    yield ctx.st(data, 0, value + 1, volatile=True)
+                    yield ctx.fence()
+                    yield ctx.atomic_exch(lock, 0, 0)
+
+        assert lint_kernel(kernel, grid=2) == []
+
+
+# ----------------------------------------------------------------------
+# SL-S1: non-strong polling load
+# ----------------------------------------------------------------------
+class TestNotStrong:
+    def test_positive_plain_polling_load(self):
+        def kernel(ctx, data, flag, lock):
+            if ctx.bid == 0 and ctx.tid == 0:
+                yield ctx.st(flag, 0, 1, volatile=True)
+            elif ctx.bid == 1 and ctx.tid == 0:
+                for _ in range(4):
+                    yield ctx.ld(flag, 0)  # plain, non-strong
+
+        findings = lint_kernel(kernel, grid=2)
+        assert "SL-S1" in rules_of(findings)
+        not_strong = [f for f in findings
+                      if f.race_type is RaceType.NOT_STRONG]
+        assert "volatile" in not_strong[0].fix
+
+    def test_additive_not_a_replacement(self):
+        # The unordered pair still gets its fence/lock diagnosis — the
+        # polling finding rides along, it must not mask the real race.
+        def kernel(ctx, data, flag, lock):
+            if ctx.bid == 0 and ctx.tid == 0:
+                yield ctx.st(flag, 0, 1, volatile=True)
+            elif ctx.bid == 1 and ctx.tid == 0:
+                for _ in range(4):
+                    yield ctx.ld(flag, 0)
+
+        assert rules_of(lint_kernel(kernel, grid=2)) == {"SL-F1", "SL-S1"}
+
+    def test_negative_volatile_polling_load(self):
+        def kernel(ctx, data, flag, lock):
+            if ctx.bid == 0 and ctx.tid == 0:
+                yield ctx.st(flag, 0, 1, volatile=True)
+            elif ctx.bid == 1 and ctx.tid == 0:
+                for _ in range(4):
+                    yield ctx.ld(flag, 0, volatile=True)
+
+        assert "SL-S1" not in rules_of(lint_kernel(kernel, grid=2))
+
+    def test_boundary_polling_without_remote_writer(self):
+        # Re-reading a read-only word is a common (harmless) idiom; a
+        # repetition-only rule would flag it.  No writer → no finding.
+        def kernel(ctx, data, flag, lock):
+            if ctx.bid == 0 and ctx.tid == 0:
+                for _ in range(8):
+                    yield ctx.ld(flag, 0)
+            elif ctx.bid == 1 and ctx.tid == 0:
+                yield ctx.ld(flag, 0)
+
+        assert lint_kernel(kernel, grid=2) == []
+
+
+# ----------------------------------------------------------------------
+# Rule table / driver plumbing
+# ----------------------------------------------------------------------
+class TestModel:
+    def test_rule_table_is_a_bijection(self):
+        assert set(RULE_FOR_TYPE.values()) == set(RULES)
+        assert len(RULE_FOR_TYPE) == len(RULES)
+        for rule, (race_type, message, fix) in RULES.items():
+            assert RULE_FOR_TYPE[race_type] == rule
+            assert message and fix
+
+    def test_unbounded_spin_hits_the_step_ceiling(self):
+        def kernel(ctx, data, flag, lock):
+            while True:
+                yield ctx.compute(1)
+
+        gpu = LintGPU(max_steps=10_000)
+        with pytest.raises(LintError, match="steps"):
+            gpu.launch(kernel, grid=1, block_dim=WARP,
+                       args=(None, None, None))
+
+    def test_divergent_barrier_completes(self):
+        # The interpreter's barrier is a counting rendezvous; threads
+        # that already returned count as arrived (documented
+        # over-approximation in docs/scolint.md), so a divergent
+        # barrier terminates instead of wedging the lint pass.
+        def kernel(ctx, data, flag, lock):
+            if ctx.tid == 0:
+                yield ctx.barrier()
+            yield ctx.compute(1)
+
+        gpu = LintGPU()
+        trace = gpu.launch(kernel, grid=1, block_dim=WARP,
+                           args=(None, None, None))
+        assert trace.ops > 0
+        assert analyze(gpu) == []
+
+    def test_kernel_exception_is_wrapped(self):
+        def kernel(ctx, data, flag, lock):
+            raise ValueError("boom")
+            yield  # pragma: no cover
+
+        gpu = LintGPU()
+        with pytest.raises(LintError, match="boom"):
+            gpu.launch(kernel, grid=1, block_dim=1,
+                       args=(None, None, None))
+
+    def test_findings_serialize(self):
+        def kernel(ctx, data, flag, lock):
+            if ctx.tid == 0:
+                yield ctx.atomic_add(data, 0, 1, scope=Scope.BLOCK)
+
+        (finding,) = lint_kernel(kernel, grid=2)
+        payload = finding.as_dict()
+        assert payload["rule"] == "SL-A1"
+        assert payload["race_type"] == "scoped-atomic"
+        assert payload["sites"][0]["line"].count(":") == 1
+        assert "addr" not in payload  # raw addresses are not stable

@@ -1,0 +1,96 @@
+"""Keep the suite documentation in lockstep with the micro registry.
+
+Two audits, both cheap and purely static:
+
+* the per-micro table in ``docs/scor_suite.md`` must list every
+  microbenchmark with its actual placement, expected race types, and
+  ``description`` field — no drift, no missing or phantom rows;
+* each category module's docstring advertises its Table I racey /
+  non-racey split ("N racey, M non-racey"), which must match the
+  registered ``Micro`` records.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import pytest
+
+from repro.scor.micro import atomics, fence, locks
+from repro.scor.micro.registry import ALL_MICROS
+
+DOC = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "docs", "scor_suite.md"
+)
+
+ROW = re.compile(
+    r"^\| `(?P<name>[a-z0-9_]+)` \| (?P<placement>[a-z-]+) "
+    r"\| (?P<types>[^|]+) \| (?P<description>[^|]+) \|$"
+)
+
+
+def _table_rows():
+    rows = {}
+    with open(DOC, encoding="utf-8") as handle:
+        for line in handle:
+            match = ROW.match(line.rstrip("\n"))
+            if match:
+                rows[match.group("name")] = match
+    return rows
+
+
+def test_suite_doc_table_matches_registry():
+    rows = _table_rows()
+    assert set(rows) == {m.name for m in ALL_MICROS}, (
+        "docs/scor_suite.md micro table is missing rows or lists "
+        "microbenchmarks that no longer exist"
+    )
+    for micro in ALL_MICROS:
+        row = rows[micro.name]
+        assert row.group("placement") == micro.placement.value, (
+            f"{micro.name}: doc says {row.group('placement')}, registry "
+            f"says {micro.placement.value}"
+        )
+        documented = row.group("types").strip()
+        expected = (
+            ", ".join(sorted(t.value for t in micro.expected_types))
+            if micro.racey
+            else "—"
+        )
+        assert documented == expected, (
+            f"{micro.name}: doc expects {documented!r}, registry expects "
+            f"{expected!r}"
+        )
+        assert row.group("description").strip() == micro.description, (
+            f"{micro.name}: doc description drifted from the registry's "
+            f"description field"
+        )
+
+
+def test_doc_table_headline_counts():
+    with open(DOC, encoding="utf-8") as handle:
+        body = handle.read()
+    racey = sum(1 for m in ALL_MICROS if m.racey)
+    clean = len(ALL_MICROS) - racey
+    assert f"{racey} racey, {clean} non-racey" in body
+
+
+@pytest.mark.parametrize(
+    "module,category",
+    [(fence, "fence"), (atomics, "atomics"), (locks, "lock")],
+    ids=["fence", "atomics", "locks"],
+)
+def test_module_docstring_counts(module, category):
+    match = re.search(r"(\d+) racey, (\d+) non-racey", module.__doc__)
+    assert match, f"{module.__name__} docstring lost its Table I counts"
+    advertised = (int(match.group(1)), int(match.group(2)))
+    micros = [m for m in ALL_MICROS if m.category == category]
+    actual = (
+        sum(1 for m in micros if m.racey),
+        sum(1 for m in micros if not m.racey),
+    )
+    assert advertised == actual, (
+        f"{module.__name__}: docstring advertises {advertised}, registry "
+        f"has {actual}"
+    )
