@@ -5,9 +5,10 @@ vs content-addressed cache, on the Table VI detection campaign.
 Emits ``BENCH_campaign.json`` — the start of the campaign-throughput
 perf trajectory.  Three phases over the same unit list:
 
-1. ``serial_cold``   — jobs=1, empty cache (the PR 1 baseline);
-2. ``parallel_cold`` — jobs=N, empty cache (inter-simulation
-   parallelism; gains scale with available CPUs);
+1. ``serial_cold``   — jobs=1, empty cache (the PR 1 baseline:
+   a fresh subprocess per unit);
+2. ``parallel_cold`` — jobs=N, empty cache, served by the supervised
+   warm worker pool (``--no-pool`` reverts to per-unit subprocesses);
 3. ``parallel_warm`` — jobs=N, re-run against phase 2's cache (every
    unit is a content-addressed hit; no simulation at all).
 
@@ -112,22 +113,39 @@ def bench_telemetry(repeats: int = 3) -> dict:
     }
 
 
-def run_phase(units, jobs, cache, timeout, verbose) -> dict:
-    executor = CampaignExecutor(timeout=timeout, max_retries=1)
+def run_phase(units, jobs, cache, timeout, verbose, pool=False) -> dict:
+    supervisor = None
+    if pool:
+        from repro.experiments.supervisor import PoolConfig, PoolSupervisor
+
+        supervisor = PoolSupervisor(
+            PoolConfig(workers=jobs, unit_timeout=timeout, max_retries=1)
+        )
+        executor = supervisor
+    else:
+        executor = CampaignExecutor(timeout=timeout, max_retries=1)
     parallel = ParallelCampaignExecutor(
         executor, jobs=jobs, cache=cache, verbose=verbose
     )
     started = time.time()
-    outcome = parallel.run_units(units)
+    try:
+        outcome = parallel.run_units(units)
+    finally:
+        if supervisor is not None:
+            supervisor.close()
     seconds = time.time() - started
-    return {
+    phase = {
         "seconds": round(seconds, 3),
         "jobs": outcome.jobs,
         "executed": outcome.executed,
         "cache_hits": outcome.cache_hits,
         "failed": len(outcome.failures),
+        "mode": "pool" if pool else "subprocess",
         "outcome": outcome,
     }
+    if supervisor is not None:
+        phase["pool"] = supervisor.stats()
+    return phase
 
 
 def main(argv=None) -> int:
@@ -145,6 +163,9 @@ def main(argv=None) -> int:
     parser.add_argument("--work-dir", default=None,
                         help="directory for the phase caches "
                         "(default: a fresh temp dir)")
+    parser.add_argument("--no-pool", dest="pool", action="store_false",
+                        help="drive the parallel phases with a fresh "
+                        "subprocess per unit instead of the warm pool")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
@@ -173,18 +194,19 @@ def main(argv=None) -> int:
     )
     log(f"[bench]   {serial['seconds']}s, {serial['failed']} failed")
 
-    log(f"[bench] phase 2/3: parallel cold (jobs={jobs})")
+    mode = "pool" if args.pool else "subprocess"
+    log(f"[bench] phase 2/3: parallel cold (jobs={jobs}, {mode})")
     warm_cache = ResultCache(os.path.join(work_dir, "parallel"))
     cold = run_phase(
         units, jobs=jobs, cache=warm_cache,
-        timeout=args.timeout, verbose=verbose,
+        timeout=args.timeout, verbose=verbose, pool=args.pool,
     )
     log(f"[bench]   {cold['seconds']}s, {cold['failed']} failed")
 
     log(f"[bench] phase 3/3: parallel warm (jobs={jobs}, cache hits)")
     warm = run_phase(
         units, jobs=jobs, cache=warm_cache,
-        timeout=args.timeout, verbose=verbose,
+        timeout=args.timeout, verbose=verbose, pool=args.pool,
     )
     log(f"[bench]   {warm['seconds']}s, "
         f"{warm['cache_hits']}/{len(units)} cache hits")
@@ -216,6 +238,7 @@ def main(argv=None) -> int:
         "jobs_requested": args.jobs,
         "cpus": cpus,
         "cpu_bound": cpu_bound,
+        "pool": args.pool,
         "deterministic": deterministic,
         "phases": {
             name: {k: v for k, v in phase.items() if k != "outcome"}

@@ -92,6 +92,42 @@ class WorkerCrash(ReproError):
     code = "worker-crash"
 
 
+class WorkerHang(ReproError):
+    """A pool worker went silent: no heartbeat or result frame within
+    the liveness window.  The supervisor kills and recycles it."""
+
+    code = "worker-hang"
+
+
+class ProtocolDesync(ReproError):
+    """A pool worker's pipe stream stopped making sense — truncated or
+    corrupt frame, absurd length prefix, or an out-of-sequence reply.
+    The worker's stream cannot be trusted again; it is recycled."""
+
+    code = "protocol-desync"
+
+
+class SlowLorisWorker(ReproError):
+    """A pool worker kept the pipe alive (partial frame bytes trickling)
+    without ever completing a frame — the slow-loris failure shape."""
+
+    code = "slow-loris"
+
+
+class PoisonUnit(ReproError):
+    """One work unit killed enough workers in a row that the supervisor
+    quarantined it rather than let it wedge the pool."""
+
+    code = "poison-unit"
+
+
+class PoolExhausted(ReproError):
+    """The pool's worker-restart budget ran out; the supervisor degrades
+    to the serial in-process executor instead of spawn-looping."""
+
+    code = "pool-exhausted"
+
+
 class RunFailedError(ReproError):
     """A campaign run failed permanently (every retry exhausted).
 

@@ -17,8 +17,10 @@ execution layer:
   structured :class:`RunFailure` — which exhibits render as
   ``FAILED(reason)`` cells and the CLI collects into a failure manifest;
 * completed records are durably appended to the
-  :class:`~repro.experiments.store.RunStore` *by the worker itself*, so
-  even a SIGKILL of the parent between runs loses nothing.
+  :class:`~repro.experiments.store.RunStore` **by the parent, never the
+  worker**: a worker that is SIGKILLed, OOM-killed, or desyncs mid-unit
+  can therefore never tear a line in the shared JSONL store — the blast
+  radius of a worker fault is exactly one in-flight unit.
 
 Fault injection (``repro.experiments.faults``) plugs in as a per-attempt
 plan the parent serializes into the worker spec — recovery paths are
@@ -33,6 +35,7 @@ import os
 import re
 import subprocess
 import sys
+import threading
 import time
 from typing import List, Optional, Tuple, Type
 
@@ -148,7 +151,6 @@ class CampaignExecutor:
 
     def __init__(
         self,
-        store_path: Optional[str] = None,
         timeout: Optional[float] = None,
         max_retries: int = 1,
         backoff_seconds: float = 0.25,
@@ -157,7 +159,6 @@ class CampaignExecutor:
     ):
         if max_retries < 0:
             raise ConfigError("max_retries must be >= 0")
-        self.store_path = os.fspath(store_path) if store_path else None
         self.timeout = timeout
         self.max_retries = max_retries
         self.backoff_seconds = backoff_seconds
@@ -202,7 +203,6 @@ class CampaignExecutor:
     # ------------------------------------------------------------------
     def _attempt(self, spec: RunSpec, fault: Optional[str]) -> RunRecord:
         payload = spec.to_dict()
-        payload["store"] = self.store_path
         if self.timeout:
             # In-process watchdog fires before the parent's SIGKILL so
             # simulator-level hangs produce a structured hang report.
@@ -331,10 +331,66 @@ class CampaignRunner(Runner):
             raise
 
     def _persist(self, record: RunRecord) -> None:
-        # The worker already fsync'd the record into the store; writing
-        # it again would only duplicate lines.
-        if self.executor.store_path is None:
-            super()._persist(record)
+        # Persistence is strictly parent-side: the worker never touches
+        # the store (a crashing worker must not be able to tear a line),
+        # so every fresh record is checkpointed here.
+        super()._persist(record)
+
+
+# ----------------------------------------------------------------------
+# The in-process fallback executor
+# ----------------------------------------------------------------------
+class InProcessExecutor:
+    """Serial in-process executor: the floor of the degradation ladder.
+
+    Same ``execute(spec) -> RunRecord`` contract as
+    :class:`CampaignExecutor`, but no subprocess at all — the simulation
+    runs in the calling interpreter under a watchdog.  The pool
+    supervisor falls back to this when workers cannot be sustained, so
+    "the environment cannot keep a subprocess alive" degrades a campaign
+    to slow-but-done rather than dead.  Calls are serialized by a lock:
+    degraded throughput is serial by design (there is no isolation left
+    to exploit), and the deterministic merge upstream is unaffected.
+    """
+
+    def __init__(self, timeout: Optional[float] = None):
+        self.timeout = timeout
+        self._lock = threading.Lock()
+
+    def execute(self, spec: RunSpec) -> RunRecord:
+        from repro.scor.apps.registry import app_by_name
+
+        guard_factory = None
+        if self.timeout:
+            deadline = self.timeout * 0.8
+            guard_factory = lambda: Watchdog(
+                GuardConfig(deadline_seconds=deadline)
+            )
+        with self._lock:
+            try:
+                runner = Runner(verbose=False, guard_factory=guard_factory)
+                return runner.run(
+                    app_by_name(spec.app),
+                    detector=spec.detector,
+                    memory=spec.memory,
+                    races=spec.races,
+                    seed=spec.seed,
+                )
+            except ReproError as err:
+                failure = RunFailure(
+                    spec, error_code(err), str(err), attempts=1
+                )
+                raise RunFailedError(
+                    f"{spec.describe()} failed in-process: "
+                    f"{failure.category}: {failure.message}",
+                    failure=failure,
+                ) from err
+            except KeyError as err:
+                failure = RunFailure(spec, "config", str(err), attempts=1)
+                raise RunFailedError(
+                    f"{spec.describe()} failed in-process: config: {err}",
+                    failure=failure,
+                ) from err
 
 
 # ----------------------------------------------------------------------
@@ -343,10 +399,11 @@ class CampaignRunner(Runner):
 def worker_main(argv=None) -> int:
     """``python -m repro.experiments.campaign``: run one spec from stdin.
 
-    Protocol: read a JSON spec on stdin; simulate; durably append the
-    record to the spec's store (if any); print the record as one JSON
-    line on stdout.  Errors exit non-zero with a final
-    ``[worker-error] code: message`` line on stderr.
+    Protocol: read a JSON spec on stdin; simulate; print the record as
+    one JSON line on stdout.  The *parent* persists the record — a
+    worker never opens the store, so no worker fault can corrupt it.
+    Errors exit non-zero with a final ``[worker-error] code: message``
+    line on stderr.
     """
     raw = sys.stdin.read()
     try:
@@ -393,9 +450,6 @@ def worker_main(argv=None) -> int:
         )
         return EXIT_UNEXPECTED
 
-    store_path = payload.get("store")
-    if store_path:
-        RunStore(store_path).append(record)
     print(json.dumps(record_to_dict(record), separators=(",", ":")))
     return EXIT_OK
 

@@ -21,8 +21,14 @@ Resilience (see docs/architecture.md, "Resilience"):
 Parallelism and caching (see docs/architecture.md, "Parallel campaigns"):
 
 * ``--jobs N`` (implies ``--isolate``) shards the campaign's work units
-  across N concurrent worker subprocesses with work stealing and a
-  deterministic merge — results are identical to ``--jobs 1``.
+  across N concurrent workers with work stealing and a deterministic
+  merge — results are identical to ``--jobs 1``.  By default the units
+  are served by a supervised pool of persistent warm workers
+  (``--pool``; see docs/architecture.md §11) with heartbeat liveness,
+  crash recycling, and graceful degradation; ``--no-pool`` reverts to a
+  fresh subprocess per unit.  ``--worker-ttl`` / ``--max-worker-restarts``
+  tune the pool's recycling policy, and ``--chaos-kill-every N``
+  deliberately SIGKILLs a worker every Nth unit (resilience drills).
 * ``--cache-dir PATH`` layers a content-addressed result cache over the
   runs: units are keyed by a stable hash of the resolved configs, kernel
   identity, seed, and schema version, so re-runs and overlapping
@@ -207,6 +213,45 @@ def _build_parser() -> argparse.ArgumentParser:
         "subprocesses (implies --isolate; 0 = one per CPU)",
     )
     parser.add_argument(
+        "--pool",
+        dest="pool",
+        action="store_true",
+        default=None,
+        help="serve parallel units from a supervised pool of persistent "
+        "warm workers (default when --jobs > 1)",
+    )
+    parser.add_argument(
+        "--no-pool",
+        dest="pool",
+        action="store_false",
+        help="use a fresh worker subprocess per unit instead of the pool",
+    )
+    parser.add_argument(
+        "--worker-ttl",
+        type=int,
+        default=0,
+        metavar="N",
+        help="recycle a pool worker after it has served N units "
+        "(0 = never; default 0)",
+    )
+    parser.add_argument(
+        "--max-worker-restarts",
+        type=int,
+        default=8,
+        metavar="N",
+        help="pool-wide budget of fault respawns before the pool "
+        "degrades to the serial in-process executor (default 8)",
+    )
+    parser.add_argument(
+        "--chaos-kill-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="chaos drill: SIGKILL the pool worker serving every Nth "
+        "unit's first attempt (0 = off); the campaign must still "
+        "complete with identical records",
+    )
+    parser.add_argument(
         "--cache-dir",
         metavar="PATH",
         help="content-addressed result cache directory: completed units "
@@ -291,7 +336,6 @@ def _build_runner(args, cache=None, telemetry=None) -> Runner:
     from repro.experiments.campaign import CampaignExecutor, CampaignRunner
 
     executor = CampaignExecutor(
-        store_path=args.store,
         timeout=args.timeout,
         max_retries=args.max_retries if args.max_retries is not None else 1,
         verbose=verbose,
@@ -320,9 +364,38 @@ def _profile_section(runner, telemetry, elapsed_seconds):
     return section
 
 
+def _build_pool(args, jobs, telemetry=None):
+    """A (PoolSupervisor, fault_plan) pair, or (None, None) without --pool."""
+    if not args.pool:
+        return None, None
+    from repro.experiments.supervisor import PoolConfig, PoolSupervisor
+
+    fault_plan = None
+    if args.chaos_kill_every:
+        from repro.experiments.faults import ChaosPlan
+
+        fault_plan = ChaosPlan("pool-kill", every=args.chaos_kill_every)
+    config = PoolConfig(
+        workers=jobs,
+        worker_ttl=args.worker_ttl,
+        max_worker_restarts=args.max_worker_restarts,
+        unit_timeout=args.timeout,
+        max_retries=(
+            args.max_retries if args.max_retries is not None else 1
+        ),
+    )
+    supervisor = PoolSupervisor(
+        config,
+        fault_plan=fault_plan,
+        telemetry=telemetry,
+        verbose=not args.quiet,
+    )
+    return supervisor, fault_plan
+
+
 def _write_manifest(
     path, wanted, exhibit_errors, runner, elapsed_seconds, telemetry=None,
-    lint_section=None,
+    lint_section=None, pool_section=None,
 ) -> None:
     from repro.experiments.store import SCHEMA_VERSION, atomic_write_json
 
@@ -364,6 +437,8 @@ def _write_manifest(
     }
     if lint_section is not None:
         payload["lint"] = lint_section
+    if pool_section is not None:
+        payload["pool"] = pool_section
     atomic_write_json(path, payload)
 
 
@@ -647,6 +722,17 @@ def main(argv=None) -> int:
         parser.error("--resume requires --store PATH")
     if args.jobs < 0:
         parser.error("--jobs must be >= 0 (0 = one per CPU)")
+    if args.worker_ttl < 0:
+        parser.error("--worker-ttl must be >= 0 (0 = never recycle)")
+    if args.max_worker_restarts < 0:
+        parser.error("--max-worker-restarts must be >= 0")
+    if args.chaos_kill_every < 0:
+        parser.error("--chaos-kill-every must be >= 0 (0 = off)")
+    if args.chaos_kill_every and args.pool is False:
+        parser.error("--chaos-kill-every injects pool faults; remove --no-pool")
+    if args.pool is None:
+        # Warm pool is the parallel default; chaos only works against it.
+        args.pool = args.jobs != 1 or bool(args.chaos_kill_every)
 
     cache = _build_cache(args)
     try:
@@ -671,22 +757,31 @@ def main(argv=None) -> int:
         else:
             lint_section = _preflight_lint()
     plannable = [name for name in wanted if name in RUNNER_EXHIBITS]
-    if args.jobs != 1 and plannable:
+    pool_section = None
+    if (args.jobs != 1 or args.pool) and plannable:
         from repro.experiments.parallel import prefetch_exhibits
 
         jobs = args.jobs or (os.cpu_count() or 1)
-        if telemetry is not None:
-            with telemetry.tracer.span("parallel-prefetch", cat="exp"), \
-                    telemetry.profiler.phase("exp.prefetch"):
+        supervisor, fault_plan = _build_pool(args, jobs, telemetry=telemetry)
+        try:
+            if telemetry is not None:
+                with telemetry.tracer.span("parallel-prefetch", cat="exp"), \
+                        telemetry.profiler.phase("exp.prefetch"):
+                    prefetch_exhibits(
+                        runner, runners, plannable, jobs=jobs, cache=cache,
+                        verbose=not args.quiet, pool=supervisor,
+                    )
+            else:
                 prefetch_exhibits(
                     runner, runners, plannable, jobs=jobs, cache=cache,
-                    verbose=not args.quiet,
+                    verbose=not args.quiet, pool=supervisor,
                 )
-        else:
-            prefetch_exhibits(
-                runner, runners, plannable, jobs=jobs, cache=cache,
-                verbose=not args.quiet,
-            )
+        finally:
+            if supervisor is not None:
+                supervisor.close()
+                pool_section = supervisor.stats()
+                if fault_plan is not None:
+                    pool_section["chaos_injected"] = fault_plan.injected
     exhibit_errors = {}
     for name in wanted:
         try:
@@ -717,6 +812,7 @@ def main(argv=None) -> int:
         _write_manifest(
             args.manifest, wanted, exhibit_errors, runner, elapsed,
             telemetry=telemetry, lint_section=lint_section,
+            pool_section=pool_section,
         )
         print(f"[manifest written to {args.manifest}]", file=sys.stderr)
     if telemetry is not None:

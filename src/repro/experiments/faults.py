@@ -16,22 +16,42 @@ plus **store corruption** (:func:`corrupt_store`) — torn tails, garbage
 bytes, and schema drift in the checkpoint file, which ``RunStore.load``
 must quarantine rather than crash on.
 
+The warm worker pool (``repro.experiments.pool``) has failure shapes a
+one-shot subprocess cannot exhibit, so four pool-specific actions join
+the list — each engineered to surface as a *distinct* code from the
+:mod:`repro.common.errors` taxonomy:
+
+* **pool-kill** — SIGKILL self mid-unit (→ ``worker-crash``);
+* **pool-hang** — go silent: no heartbeats, no result (→
+  ``worker-hang``);
+* **pool-frame** — emit a corrupt result frame: valid length prefix,
+  garbage body (→ ``protocol-desync``);
+* **pool-loris** — keep the pipe warm by trickling partial frame bytes
+  that never complete (→ ``slow-loris``).
+
 A :class:`FaultPlan` is parent-side policy: it decides, per run and per
 attempt, which action the worker is told to perform — e.g. "hang on the
 first attempt, behave on the second" proves the retry path end to end.
+:class:`ChaosPlan` is its stochastic-shaped cousin for chaos campaigns:
+kill every Nth dispatched unit's first attempt, deterministically.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import os
+import signal
+import threading
 import time
 from typing import Optional, Tuple
 
 from repro.common.errors import ConfigError, SimulationError
 
+#: pool-worker actions (served by :func:`apply_pool_fault`)
+POOL_ACTIONS = ("pool-kill", "pool-hang", "pool-frame", "pool-loris")
+
 #: worker-side actions a plan may request
-ACTIONS = ("hang", "crash", "error")
+ACTIONS = ("hang", "crash", "error") + POOL_ACTIONS
 
 #: exit code of a deliberately crashed worker (recognizable in stderr)
 CRASH_EXIT_CODE = 23
@@ -95,6 +115,46 @@ class FaultPlan:
         return FaultPlan((FaultRule((action,), app=app),))
 
 
+class ChaosPlan:
+    """Inject *action* into the first attempt of every *every*-th unit.
+
+    Duck-types :meth:`FaultPlan.action_for`, but keeps a dispatch
+    counter so a chaos campaign can say "kill a worker every N units"
+    without enumerating rules.  Retries never count as dispatches and
+    always run clean, so a chaos campaign converges to the same records
+    a clean run produces — the property the chaos-recovery test pins.
+
+    The counter is lock-guarded: pool shards call ``action_for``
+    concurrently.
+    """
+
+    def __init__(self, action: str = "pool-kill", every: int = 3):
+        if action not in ACTIONS:
+            raise ConfigError(
+                f"unknown fault action {action!r}; known: {ACTIONS}"
+            )
+        if every < 1:
+            raise ConfigError(f"ChaosPlan every={every} must be >= 1")
+        self.action = action
+        self.every = every
+        self._lock = threading.Lock()
+        self._dispatched = 0
+        #: faults actually handed out (manifest cross-check)
+        self.injected = 0
+
+    def action_for(
+        self, app: str, detector: str, memory: str, attempt: int
+    ) -> Optional[str]:
+        if attempt != 1:
+            return None
+        with self._lock:
+            self._dispatched += 1
+            if self._dispatched % self.every == 0:
+                self.injected += 1
+                return self.action
+        return None
+
+
 def apply_fault(action: Optional[str]) -> None:
     """Execute an injected fault inside the worker process."""
     if action is None:
@@ -108,6 +168,51 @@ def apply_fault(action: Optional[str]) -> None:
         raise SimulationError("injected fault: deliberate simulation error")
     else:
         raise ConfigError(f"unknown fault action {action!r}")
+
+
+def apply_pool_fault(
+    action: Optional[str], out, request_id, beat_every: float
+) -> None:
+    """Execute an injected fault inside a *pool* worker, mid-unit.
+
+    *out* is the worker's raw frame stream (``sys.stdout.buffer``) —
+    the frame-level faults write directly to it, bypassing the framing
+    helpers, because corrupting the wire is exactly the point.  Legacy
+    one-shot actions (``hang``/``crash``/``error``) delegate to
+    :func:`apply_fault` so existing plans keep working against a pool.
+    """
+    if action is None:
+        return
+    if action not in POOL_ACTIONS:
+        apply_fault(action)
+        return
+    if action == "pool-kill":
+        # Indistinguishable from the OOM killer: no goodbye frame, the
+        # parent sees EOF mid-conversation (→ worker-crash).
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif action == "pool-hang":
+        # Total silence: no heartbeat, no result.  The parent's
+        # liveness window expires (→ worker-hang).
+        time.sleep(3600)
+    elif action == "pool-frame":
+        # A plausible length prefix followed by garbage: the parent
+        # decodes the body, fails to parse it (→ protocol-desync).
+        import struct
+
+        out.write(struct.pack(">I", 32) + b"\xde\xad\xbe\xef" * 8)
+        out.flush()
+        time.sleep(3600)  # never send the real result after desyncing
+    elif action == "pool-loris":
+        # Announce a frame, then dribble bytes that never complete it:
+        # the pipe stays warm but no frame ever lands (→ slow-loris).
+        import struct
+
+        out.write(struct.pack(">I", 4096))
+        out.flush()
+        while True:
+            time.sleep(max(0.05, beat_every / 4))
+            out.write(b".")
+            out.flush()
 
 
 # ----------------------------------------------------------------------

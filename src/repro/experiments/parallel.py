@@ -500,13 +500,17 @@ def prefetch_exhibits(
     jobs: int,
     cache: Optional[ResultCache] = None,
     verbose: bool = False,
+    pool=None,
 ) -> Optional[CampaignOutcome]:
     """Plan the campaign, execute it in parallel, warm *runner*'s cache.
 
-    After this returns, the exhibits' own ``runner.run`` calls are
-    memory-cache hits (or immediate, non-retried failures for units the
-    prefetch exhausted retries on).  Returns the merged outcome, or
-    ``None`` if nothing needed running.
+    With *pool* (a :class:`~repro.experiments.supervisor.PoolSupervisor`)
+    the units are served by persistent warm workers instead of a fresh
+    subprocess per unit; without it, the shards fall back to driving
+    *runner*'s own per-unit executor.  After this returns, the exhibits'
+    own ``runner.run`` calls are memory-cache hits (or immediate,
+    non-retried failures for units the prefetch exhausted retries on).
+    Returns the merged outcome, or ``None`` if nothing needed running.
     """
     units = plan_exhibits(exhibits, names)
     # Units already resumed from the store need no work.
@@ -520,23 +524,20 @@ def prefetch_exhibits(
             file=sys.stderr,
             flush=True,
         )
-    # The shards append to the store from the parent under a lock; the
-    # per-unit worker subprocesses must not also append (torn lines).
+    # Store writes are strictly parent-side: the shards append under a
+    # lock and workers never see the store path at all, so no worker
+    # fault — SIGKILL mid-unit included — can tear a JSONL line.
     store = runner._store
-    executor = runner.executor
-    worker_store_path, executor.store_path = executor.store_path, None
-    try:
-        parallel = ParallelCampaignExecutor(
-            executor,
-            jobs=jobs,
-            cache=cache,
-            store=store,
-            verbose=verbose,
-            telemetry=runner.telemetry,
-        )
-        outcome = parallel.run_units(pending)
-    finally:
-        executor.store_path = worker_store_path
+    executor = pool if pool is not None else runner.executor
+    parallel = ParallelCampaignExecutor(
+        executor,
+        jobs=jobs,
+        cache=cache,
+        store=store,
+        verbose=verbose,
+        telemetry=runner.telemetry,
+    )
+    outcome = parallel.run_units(pending)
     # The manifest's profile section reports per-shard utilization and
     # cache hit/miss latency from the most recent parallel phase.
     runner.last_parallel_outcome = outcome
