@@ -709,6 +709,10 @@ def main(argv=None) -> int:
         return report_main(argv[1:])
     if argv and argv[0] == "lint":
         return lint_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        from repro.fuzz.cli import fuzz_main
+
+        return fuzz_main(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
 

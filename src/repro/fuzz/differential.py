@@ -1,0 +1,245 @@
+"""The differential fuzz campaign: generate, cross-check, shrink, persist.
+
+:func:`check_program` is the three-way comparison for ONE program:
+ground truth (by construction) vs scolint vs dynamic ScoRD under a
+schedule-jitter seed sweep.  It returns ``None`` on agreement or a
+classified disagreement:
+
+=======================  ==============================================
+kind                     meaning
+=======================  ==============================================
+static-false-positive    scolint flags a provably race-free program
+static-miss              scolint passes a program that is racy
+static-type-mismatch     scolint is racy but labels ≠ expected labels
+                         (scolint is deterministic and per-phase
+                         complete, so the match is exact set equality)
+dynamic-false-positive   any swept schedule reports on race-free code
+dynamic-miss             no swept schedule reports on racy code
+dynamic-unexpected-type  a schedule reports a label outside the
+                         expected set (subset match only: a dynamic
+                         detector may legitimately see a race through
+                         fewer classes than injected)
+static-crash /           an oracle raised instead of returning; the
+dynamic-crash            exception is the verdict (both oracles are
+                         deterministic, so crashes replay stably)
+=======================  ==============================================
+
+:func:`fuzz_campaign` drives hypothesis over the shared strategies in
+rounds: each round either exhausts the remaining example budget in
+agreement, or raises on the first *novel* disagreement so hypothesis
+shrinks it to a minimal program, which is persisted to the corpus and
+masked (by content digest) for subsequent rounds.  Every evaluated
+program is memoized by digest, so shrinking never re-simulates a
+program twice and the budget counts unique programs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, Optional, Sequence
+
+from hypothesis import HealthCheck, Verbosity, given
+from hypothesis import seed as hypothesis_seed
+from hypothesis import settings as hypothesis_settings
+
+from repro.fuzz.corpus import load_corpus, make_entry, record_entry
+from repro.fuzz.oracles import (
+    DEFAULT_SEEDS,
+    safe_dynamic_verdict,
+    safe_static_verdict,
+)
+from repro.fuzz.program import FuzzProgram, program_digest
+from repro.fuzz.strategies import programs
+
+REPORT_SCHEMA = "fuzz-report/v1"
+
+
+def check_program(
+    program: FuzzProgram,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    detector: str = "scord",
+) -> Optional[dict]:
+    """Cross-check one program; ``None`` means all three agree."""
+    expected = {t.value for t in program.expected_types()}
+    racy = program.racy
+    static = safe_static_verdict(program)
+    dynamic = safe_dynamic_verdict(program, seeds, detector)
+
+    kind = None
+    detail = ""
+    if "error" in static:
+        kind, detail = "static-crash", static["error"]
+    elif "error" in dynamic:
+        kind, detail = "dynamic-crash", dynamic["error"]
+    elif not racy:
+        if static["racy"]:
+            kind = "static-false-positive"
+            detail = f"scolint reported {static['types']} on race-free code"
+        elif dynamic["racy"]:
+            kind = "dynamic-false-positive"
+            detail = (f"ScoRD reported {dynamic['types']} on race-free "
+                      f"code (seeds {dynamic['seeds']})")
+    else:
+        if not static["racy"]:
+            kind = "static-miss"
+            detail = f"scolint missed expected {sorted(expected)}"
+        elif set(static["types"]) != expected:
+            kind = "static-type-mismatch"
+            detail = (f"scolint labeled {static['types']}, "
+                      f"expected exactly {sorted(expected)}")
+        elif not dynamic["racy"]:
+            kind = "dynamic-miss"
+            detail = (f"no swept schedule (seeds {dynamic['seeds']}) "
+                      f"caught expected {sorted(expected)}")
+        elif set(dynamic["types"]) - expected:
+            kind = "dynamic-unexpected-type"
+            detail = (f"ScoRD labeled {dynamic['types']}, outside "
+                      f"expected {sorted(expected)}")
+    if kind is None:
+        return None
+    return {
+        "kind": kind,
+        "detail": detail,
+        "digest": program_digest(program),
+        "static": static,
+        "dynamic": dynamic,
+    }
+
+
+class _Disagreement(Exception):
+    """Raised inside a probe so hypothesis shrinks the triggering input."""
+
+
+def _count(telemetry, name: str, value: int = 1) -> None:
+    # Metrics accumulate even on Telemetry.disabled() (tracing-off)
+    # bundles, so gate only on having a bundle at all.
+    if telemetry is not None:
+        telemetry.metrics.counter(name).inc(value)
+
+
+def fuzz_campaign(
+    count: int = 200,
+    seed: int = 0,
+    corpus_dir=None,
+    time_budget: Optional[float] = None,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    detector: str = "scord",
+    telemetry=None,
+    known_digests: Iterable[str] = (),
+) -> dict:
+    """Run a differential campaign of up to *count* unique programs.
+
+    Existing corpus entries under *corpus_dir* (and *known_digests*)
+    are masked: re-finding a known minimal program is not a new
+    disagreement.  Each novel disagreement is hypothesis-shrunk,
+    recorded to the corpus, then masked for the rest of the campaign.
+    """
+    started = time.monotonic()
+    deadline = started + time_budget if time_budget else None
+    known = set(known_digests)
+    if corpus_dir is not None:
+        known.update(entry["digest"] for _, entry in load_corpus(corpus_dir))
+
+    memo: Dict[str, Optional[dict]] = {}
+    tally = {"racy": 0, "race_free": 0, "skipped_known": 0, "crashes": 0}
+    budget_exhausted = False
+
+    def consider(program: FuzzProgram) -> Optional[dict]:
+        nonlocal budget_exhausted
+        if deadline is not None and time.monotonic() > deadline:
+            budget_exhausted = True
+        if budget_exhausted:
+            return None
+        digest = program_digest(program)
+        if digest in known:
+            tally["skipped_known"] += 1
+            _count(telemetry, "fuzz.skipped_known")
+            return None
+        if digest in memo:
+            return memo[digest]
+        result = check_program(program, seeds, detector)
+        memo[digest] = result
+        tally["racy" if program.racy else "race_free"] += 1
+        _count(telemetry, "fuzz.examples")
+        _count(telemetry, "fuzz.racy" if program.racy else "fuzz.race_free")
+        if result is not None and result["kind"].endswith("-crash"):
+            tally["crashes"] += 1
+            _count(telemetry, "fuzz.crashes")
+        return result
+
+    def probe_round(round_index: int, budget: int) -> Optional[dict]:
+        captured = {}
+
+        @hypothesis_seed(seed * 0x9E3779B1 + round_index * 7919)
+        @hypothesis_settings(
+            max_examples=budget,
+            deadline=None,
+            database=None,
+            suppress_health_check=list(HealthCheck),
+            report_multiple_bugs=False,
+            verbosity=Verbosity.quiet,
+        )
+        @given(programs())
+        def probe(program: FuzzProgram) -> None:
+            result = consider(program)
+            if result is not None:
+                # Hypothesis re-executes the minimal failing example
+                # last, so after shrinking this holds the shrunk one.
+                captured["last"] = (program, result)
+                raise _Disagreement(result["kind"])
+
+        try:
+            probe()
+        except _Disagreement:
+            program, result = captured["last"]
+            return {"program": program, **result}
+        return None
+
+    disagreements = []
+    rounds = 0
+    while not budget_exhausted:
+        budget = count - len(memo)
+        if budget <= 0:
+            break
+        rounds += 1
+        _count(telemetry, "fuzz.rounds")
+        found = probe_round(rounds, budget)
+        if found is None:
+            break  # budget spent in agreement
+        _count(telemetry, "fuzz.disagreements")
+        program = found.pop("program")
+        known.add(found["digest"])
+        record = dict(found)
+        record["program"] = program.to_dict()
+        record["shrunk_describe"] = program.describe()
+        if corpus_dir is not None:
+            entry = make_entry(
+                program,
+                kind=found["kind"],
+                note=found["detail"],
+                seeds=seeds,
+                detector=detector,
+                static=found["static"],
+                dynamic=found["dynamic"],
+            )
+            record["corpus_path"] = record_entry(entry, corpus_dir)
+            _count(telemetry, "fuzz.corpus_new")
+        disagreements.append(record)
+
+    return {
+        "schema": REPORT_SCHEMA,
+        "count": count,
+        "seed": seed,
+        "sweep_seeds": [int(s) for s in seeds],
+        "detector": detector,
+        "examples": len(memo),
+        "racy": tally["racy"],
+        "race_free": tally["race_free"],
+        "skipped_known": tally["skipped_known"],
+        "crashes": tally["crashes"],
+        "rounds": rounds,
+        "budget_exhausted": budget_exhausted,
+        "disagreements": disagreements,
+        "corpus_dir": None if corpus_dir is None else str(corpus_dir),
+        "elapsed_seconds": round(time.monotonic() - started, 3),
+    }

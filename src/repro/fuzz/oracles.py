@@ -1,0 +1,98 @@
+"""Run a generated program through each oracle, uniformly.
+
+Both oracles reduce to the same verdict shape so the differential
+harness can compare them without caring which produced what:
+
+``{"racy": bool, "types": [race-type value, ...]}``
+
+plus oracle-specific detail.  The static verdict is deterministic (one
+scolint pass).  The dynamic verdict is a *seed sweep*: the engine is
+deterministic per schedule, so distinct schedules come from compiling
+the program with distinct jitter seeds (a per-thread compute prologue —
+the memory behaviour, and hence the ground truth, is unchanged) and the
+sweep unions what any schedule surfaced.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.arch.config import GPUConfig
+from repro.fuzz.program import FuzzProgram, run_program
+
+#: default schedule-jitter sweep (seed 0 = the unperturbed schedule)
+DEFAULT_SEEDS: Tuple[int, ...] = (0, 1, 2)
+
+
+def _config() -> GPUConfig:
+    return GPUConfig.scaled_default()
+
+
+def static_verdict(program: FuzzProgram) -> dict:
+    """One scolint pass over *program* (schedule-independent)."""
+    from repro.scolint import LintGPU, analyze
+
+    gpu = LintGPU(config=_config())
+    run_program(gpu, program)
+    findings = analyze(gpu)
+    types = sorted({f.race_type.value for f in findings})
+    return {
+        "racy": bool(findings),
+        "types": types,
+        "rules": sorted({f.rule for f in findings}),
+        "findings": len(findings),
+    }
+
+
+def dynamic_verdict(
+    program: FuzzProgram,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    detector: str = "scord",
+) -> dict:
+    """Dynamic ScoRD over a schedule-jitter seed sweep of *program*."""
+    from repro.engine.gpu import GPU
+    from repro.experiments.runner import DETECTORS
+
+    by_seed = {}
+    union = set()
+    for seed in seeds:
+        gpu = GPU(config=_config(), detector_config=DETECTORS[detector])
+        run_program(gpu, program, jitter_seed=seed)
+        types = sorted({r.race_type.value for r in gpu.races.unique_races})
+        by_seed[str(seed)] = types
+        union.update(types)
+    return {
+        "racy": bool(union),
+        "types": sorted(union),
+        "seeds": [int(s) for s in seeds],
+        "by_seed": by_seed,
+        "detector": detector,
+    }
+
+
+def _safe(fn, *args, **kwargs) -> dict:
+    try:
+        return fn(*args, **kwargs)
+    except Exception as exc:  # noqa: BLE001 — oracle crash IS the finding
+        return {
+            "error": f"{type(exc).__name__}: {exc}",
+            "racy": None,
+            "types": [],
+        }
+
+
+def safe_static_verdict(program: FuzzProgram) -> dict:
+    """:func:`static_verdict`, with oracle crashes folded into the
+    verdict (``{"error": ...}``) instead of raised.  Both the engine
+    and scolint are deterministic, so a crash verdict replays
+    byte-identically — a crashing program can live in the corpus."""
+    return _safe(static_verdict, program)
+
+
+def safe_dynamic_verdict(
+    program: FuzzProgram,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    detector: str = "scord",
+) -> dict:
+    """:func:`dynamic_verdict` with crashes folded in (see above)."""
+    return _safe(dynamic_verdict, program, seeds, detector)

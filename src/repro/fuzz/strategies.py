@@ -1,0 +1,136 @@
+"""Hypothesis strategies over the fuzz program IR.
+
+One source of truth for program synthesis: the property tests
+(``tests/test_property_programs.py``), the construction-validation
+tests, and the differential campaign all draw from here.
+
+Design notes (they matter for shrinking quality):
+
+* no ``assume``/filtering — every draw is structurally valid by
+  construction (distinct actors come from draw-then-offset, bug choices
+  come from the :data:`~repro.fuzz.program.BUGS_FOR` applicability
+  table), so hypothesis never discards and shrinking stays monotone;
+* racy programs are a clean program with buggy phases substituted in,
+  so the shrinker can simplify the clean scaffolding independently of
+  the bug;
+* shapes are deliberately small (grid <= 3, <= 3 warps/block, <= 5
+  phases): every race class in the taxonomy is expressible at this
+  size, and the simulator cost per example stays in the tens of
+  milliseconds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from hypothesis import strategies as st
+
+from repro.fuzz.program import (
+    BUGS_FOR,
+    COMMUNICATION_KINDS,
+    NOISE_KINDS,
+    Actor,
+    Bug,
+    FuzzProgram,
+    Phase,
+    PhaseKind,
+)
+from repro.isa.scopes import Scope
+
+MAX_GRID = 3
+#: at least 2 warps per block so same-block actor pairs always exist
+MIN_WARPS = 2
+MAX_WARPS = 3
+MAX_PHASES = 5
+
+
+@st.composite
+def _distinct_index_pair(draw, bound: int):
+    """Two distinct integers in [0, bound) without filtering."""
+    first = draw(st.integers(0, bound - 1))
+    second = draw(st.integers(0, bound - 2))
+    if second >= first:
+        second += 1
+    return first, second
+
+
+@st.composite
+def _actor_pair(draw, grid: int, warps: int, span: Scope):
+    """A distinct (writer, reader) pair realizing exactly *span*."""
+    if span is Scope.BLOCK:
+        block = draw(st.integers(0, grid - 1))
+        w_warp, r_warp = draw(_distinct_index_pair(warps))
+        return Actor(block, w_warp), Actor(block, r_warp)
+    w_block, r_block = draw(_distinct_index_pair(grid))
+    w_warp = draw(st.integers(0, warps - 1))
+    r_warp = draw(st.integers(0, warps - 1))
+    return Actor(w_block, w_warp), Actor(r_block, r_warp)
+
+
+def _spans_for(grid: int, kind: PhaseKind, buggy: bool):
+    """Spans at which *kind* is expressible (and has bugs, if *buggy*)."""
+    spans = [Scope.BLOCK]
+    if grid > 1 and kind is not PhaseKind.BARRIER:
+        spans.append(Scope.DEVICE)
+    if buggy:
+        spans = [s for s in spans if BUGS_FOR[(kind, s)]]
+    return spans
+
+
+@st.composite
+def clean_phases(draw, grid: int, warps: int):
+    """One phase with ``bug=NONE`` (noise or correct communication)."""
+    kind = draw(st.sampled_from(NOISE_KINDS + COMMUNICATION_KINDS))
+    if kind in NOISE_KINDS:
+        return Phase(kind)
+    span = draw(st.sampled_from(_spans_for(grid, kind, buggy=False)))
+    writer, reader = draw(_actor_pair(grid, warps, span))
+    wide = span is Scope.BLOCK and draw(st.booleans())
+    return Phase(kind, writer, reader, Bug.NONE, wide_sync=wide)
+
+
+@st.composite
+def buggy_phases(draw, grid: int, warps: int):
+    """One communication phase carrying an applicable bug."""
+    kinds = [k for k in COMMUNICATION_KINDS if _spans_for(grid, k, True)]
+    kind = draw(st.sampled_from(kinds))
+    span = draw(st.sampled_from(_spans_for(grid, kind, buggy=True)))
+    writer, reader = draw(_actor_pair(grid, warps, span))
+    bug = draw(st.sampled_from(BUGS_FOR[(kind, span)]))
+    return Phase(kind, writer, reader, bug)
+
+
+@st.composite
+def programs(draw, racy: Optional[bool] = None) -> FuzzProgram:
+    """A whole program; ``racy`` forces the ground-truth verdict.
+
+    ``racy=None`` draws a mixed population (each phase independently
+    has a chance of carrying a bug); ``racy=False`` yields provably
+    well-synchronized programs; ``racy=True`` guarantees at least one
+    buggy phase.
+    """
+    grid = draw(st.integers(1, MAX_GRID))
+    warps = draw(st.integers(MIN_WARPS, MAX_WARPS))
+    count = draw(st.integers(1, MAX_PHASES))
+    phases = [draw(clean_phases(grid, warps)) for _ in range(count)]
+    if racy is None:
+        for index in range(count):
+            if draw(st.booleans()):
+                phases[index] = draw(buggy_phases(grid, warps))
+    elif racy:
+        forced = draw(st.integers(0, count - 1))
+        for index in range(count):
+            if index == forced or draw(st.booleans()):
+                phases[index] = draw(buggy_phases(grid, warps))
+    return FuzzProgram(grid=grid, warps_per_block=warps,
+                       phases=tuple(phases))
+
+
+def race_free_programs():
+    """Programs that are provably well-synchronized by construction."""
+    return programs(racy=False)
+
+
+def racy_programs():
+    """Programs guaranteed to contain at least one labeled race."""
+    return programs(racy=True)

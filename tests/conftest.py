@@ -1,12 +1,38 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and hypothesis profiles for the test suite."""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.arch.config import GPUConfig
 from repro.arch.detector_config import DetectorConfig
 from repro.engine.gpu import GPU
+
+# ----------------------------------------------------------------------
+# Hypothesis profiles (select with HYPOTHESIS_PROFILE=ci|dev).
+#
+# "ci" is fully derandomized (fixed generation, no example database, no
+# deadline), so tier-1 and the CI fuzz-smoke job replay the exact same
+# examples on every run.  "dev" (the default) keeps random exploration
+# but still disables deadlines: simulator examples have wildly varying
+# cost and a wall-clock deadline would make slow-host runs flaky.
+# ----------------------------------------------------------------------
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    database=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "dev",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

@@ -1,0 +1,94 @@
+"""Regenerate the committed anchor entries of the fuzz corpus.
+
+Anchors are hand-picked programs (not shrunk disagreements): one
+race-free composition exercising every phase kind, plus one racy
+program per race class in the taxonomy.  They pin both oracles'
+verdicts on representative programs even while the campaign finds no
+disagreements, equivalence-tier style.
+
+Run from the repository root after an intentional oracle or grammar
+change::
+
+    PYTHONPATH=src python tests/test_fuzz/generate_corpus.py
+
+then inspect the diff under tests/corpus/fuzz/ — every changed verdict
+must be explainable by the change you made.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.fuzz import Actor, Bug, FuzzProgram, Phase, PhaseKind
+from repro.fuzz.corpus import make_entry, record_entry
+
+CORPUS_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, "corpus", "fuzz"
+)
+
+#: one program per anchor: (note, FuzzProgram)
+ANCHORS = (
+    (
+        "race-free: every phase kind, correctly synchronized",
+        FuzzProgram(2, 2, (
+            Phase(PhaseKind.HANDOFF, Actor(0, 0), Actor(1, 0)),
+            Phase(PhaseKind.MUTEX, Actor(0, 1), Actor(1, 1)),
+            Phase(PhaseKind.ATOMICS, Actor(1, 0), Actor(0, 1)),
+            Phase(PhaseKind.BARRIER, Actor(0, 0), Actor(0, 1)),
+            Phase(PhaseKind.DISJOINT),
+            Phase(PhaseKind.READ_ONLY),
+        )),
+    ),
+    (
+        "missing-device-fence: unfenced cross-block flag handoff",
+        FuzzProgram(2, 2, (
+            Phase(PhaseKind.HANDOFF, Actor(0, 0), Actor(1, 0), Bug.NO_FENCE),
+        )),
+    ),
+    (
+        "missing-block-fence: unfenced same-block flag handoff",
+        FuzzProgram(1, 2, (
+            Phase(PhaseKind.HANDOFF, Actor(0, 0), Actor(0, 1), Bug.NO_FENCE),
+        )),
+    ),
+    (
+        "scoped-fence: block fence guarding a cross-block handoff",
+        FuzzProgram(2, 2, (
+            Phase(PhaseKind.HANDOFF, Actor(0, 0), Actor(1, 0),
+                  Bug.NARROW_FENCE),
+        )),
+    ),
+    (
+        "scoped-atomic: block-scope RMWs racing cross-block",
+        FuzzProgram(2, 2, (
+            Phase(PhaseKind.ATOMICS, Actor(0, 0), Actor(1, 0),
+                  Bug.NARROW_ATOMIC),
+        )),
+    ),
+    (
+        "not-strong: plain-load polling of an atomically-set flag",
+        FuzzProgram(2, 2, (
+            Phase(PhaseKind.HANDOFF, Actor(0, 0), Actor(1, 0),
+                  Bug.WEAK_POLL),
+        )),
+    ),
+    (
+        "lock: one actor updates the guarded word without the lock",
+        FuzzProgram(2, 2, (
+            Phase(PhaseKind.MUTEX, Actor(0, 0), Actor(1, 0), Bug.SKIP_SYNC),
+        )),
+    ),
+)
+
+
+def main() -> None:
+    for note, program in ANCHORS:
+        entry = make_entry(program, kind="anchor", note=note)
+        path = record_entry(entry, CORPUS_DIR)
+        truth = entry["ground_truth"]
+        print(f"{os.path.basename(path)}: racy={truth['racy']} "
+              f"expected={truth['expected_types']}")
+
+
+if __name__ == "__main__":
+    main()

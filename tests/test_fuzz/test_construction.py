@@ -1,0 +1,166 @@
+"""Ground-truth-by-construction validation (the fuzzer's foundation).
+
+The whole differential harness rests on one claim: a synthesized
+program's race verdict is *known* — race-free programs are provably
+well-synchronized, racy programs carry exactly their labeled classes.
+These tests check the claim exhaustively over the single-phase grammar
+against BOTH oracles, and spot-check the composition argument (phases
+run as separate launches, so program verdicts are per-phase unions).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.detector_config import DetectorConfig
+from repro.engine.gpu import GPU
+from repro.fuzz import (
+    Actor,
+    Bug,
+    FuzzProgram,
+    Phase,
+    PhaseKind,
+    compile_fused,
+    dynamic_verdict,
+    run_program,
+    static_verdict,
+)
+from repro.fuzz.program import BUGS_FOR, ProgramError, setup_memory
+from repro.isa.scopes import Scope
+
+
+def _single(kind, span, bug=Bug.NONE):
+    """A one-phase program realizing (kind, span, bug)."""
+    if span is Scope.DEVICE:
+        writer, reader = Actor(0, 0), Actor(1, 0)
+    else:
+        writer, reader = Actor(0, 0), Actor(0, 1)
+    return FuzzProgram(2, 2, (Phase(kind, writer, reader, bug),))
+
+
+def _grammar_table():
+    """Every expressible (kind, span, bug) cell, NONE included."""
+    cells = []
+    for kind in (PhaseKind.HANDOFF, PhaseKind.MUTEX,
+                 PhaseKind.ATOMICS, PhaseKind.BARRIER):
+        for span in (Scope.BLOCK, Scope.DEVICE):
+            if kind is PhaseKind.BARRIER and span is Scope.DEVICE:
+                continue
+            for bug in (Bug.NONE,) + BUGS_FOR[(kind, span)]:
+                cells.append((kind, span, bug))
+    return cells
+
+
+GRAMMAR = _grammar_table()
+_IDS = [f"{k.value}-{s.name.lower()}-{b.value}" for k, s, b in GRAMMAR]
+
+
+class TestSinglePhaseTable:
+    """Exhaustive: the per-phase expected-types table IS what the
+    oracles see, for every cell of the grammar."""
+
+    @pytest.mark.parametrize(("kind", "span", "bug"), GRAMMAR, ids=_IDS)
+    def test_static_verdict_is_exact(self, kind, span, bug):
+        program = _single(kind, span, bug)
+        expected = {t.value for t in program.expected_types()}
+        verdict = static_verdict(program)
+        assert verdict["racy"] == program.racy
+        assert set(verdict["types"]) == expected
+
+    @pytest.mark.parametrize(("kind", "span", "bug"), GRAMMAR, ids=_IDS)
+    def test_dynamic_sweep_agrees_on_racy(self, kind, span, bug):
+        program = _single(kind, span, bug)
+        expected = {t.value for t in program.expected_types()}
+        verdict = dynamic_verdict(program)
+        assert verdict["racy"] == program.racy
+        # A dynamic detector may see a race through fewer classes than
+        # injected (e.g. not-strong polling also misses the fence), but
+        # never through a class that was not injected.
+        assert set(verdict["types"]) <= expected
+        if program.racy:
+            assert verdict["types"], program.describe()
+
+
+class TestComposition:
+    def test_multi_phase_verdict_is_the_union(self):
+        program = FuzzProgram(2, 2, (
+            Phase(PhaseKind.HANDOFF, Actor(0, 0), Actor(1, 0), Bug.NO_FENCE),
+            Phase(PhaseKind.MUTEX, Actor(0, 1), Actor(1, 1), Bug.SKIP_SYNC),
+            Phase(PhaseKind.DISJOINT),
+        ))
+        assert {t.value for t in program.expected_types()} == {
+            "missing-device-fence", "lock",
+        }
+        verdict = static_verdict(program)
+        assert set(verdict["types"]) == {"missing-device-fence", "lock"}
+
+    def test_clean_phases_do_not_mask_or_add(self):
+        buggy = Phase(PhaseKind.HANDOFF, Actor(0, 0), Actor(1, 0),
+                      Bug.NARROW_FENCE)
+        padded = FuzzProgram(2, 2, (
+            Phase(PhaseKind.BARRIER, Actor(0, 0), Actor(0, 1)),
+            buggy,
+            Phase(PhaseKind.READ_ONLY),
+        ))
+        assert static_verdict(padded)["types"] == ["scoped-fence"]
+        assert dynamic_verdict(padded)["types"] == ["scoped-fence"]
+
+
+class TestFusedLaundering:
+    """Why phases run as separate launches (docs/fuzzing.md): fused
+    into one kernel, an earlier correct sync phase launders the dynamic
+    detector's per-warp state and masks a later race.  The launch-
+    sequence path — the ground-truth path — is immune."""
+
+    PROGRAM = FuzzProgram(2, 2, (
+        Phase(PhaseKind.HANDOFF, Actor(0, 0), Actor(1, 0)),
+        Phase(PhaseKind.HANDOFF, Actor(0, 1), Actor(0, 0), Bug.WEAK_POLL),
+    ))
+
+    def test_fused_execution_masks_the_race_dynamically(self):
+        gpu = GPU(detector_config=DetectorConfig.scord())
+        args = setup_memory(gpu, self.PROGRAM,
+                            gpu.config.threads_per_warp)
+        gpu.launch(
+            compile_fused(self.PROGRAM),
+            grid=self.PROGRAM.grid,
+            block_dim=self.PROGRAM.block_dim(gpu.config.threads_per_warp),
+            args=args,
+        )
+        assert gpu.races.unique_count == 0  # the miss, demonstrated
+
+    def test_launch_sequence_catches_the_same_program(self):
+        gpu = GPU(detector_config=DetectorConfig.scord())
+        run_program(gpu, self.PROGRAM)
+        assert gpu.races.unique_count >= 1
+
+
+class TestProgramValidation:
+    def test_bug_requires_applicability(self):
+        with pytest.raises(ProgramError, match="inapplicable"):
+            # NARROW_FENCE needs a DEVICE span to narrow.
+            _single(PhaseKind.HANDOFF, Scope.BLOCK, Bug.NARROW_FENCE)
+
+    def test_barrier_needs_same_block(self):
+        with pytest.raises(ProgramError, match="one block"):
+            FuzzProgram(2, 2, (
+                Phase(PhaseKind.BARRIER, Actor(0, 0), Actor(1, 0)),
+            ))
+
+    def test_actors_must_be_distinct(self):
+        with pytest.raises(ProgramError, match="distinct"):
+            FuzzProgram(2, 2, (
+                Phase(PhaseKind.HANDOFF, Actor(0, 0), Actor(0, 0)),
+            ))
+
+    def test_noise_phases_take_no_actors_or_bugs(self):
+        with pytest.raises(ProgramError, match="no actors"):
+            FuzzProgram(2, 2, (
+                Phase(PhaseKind.DISJOINT, Actor(0, 0), Actor(0, 1)),
+            ))
+
+    def test_actor_bounds_checked(self):
+        with pytest.raises(ProgramError, match="outside"):
+            FuzzProgram(2, 2, (
+                Phase(PhaseKind.HANDOFF, Actor(0, 0), Actor(5, 0)),
+            ))

@@ -1,0 +1,60 @@
+"""Corpus replay regression: every persisted entry must replay green.
+
+Equivalence-tier style: each entry under ``tests/corpus/fuzz/`` re-runs
+through BOTH oracles and the recomputed verdicts must match the
+recorded ones bit-for-bit under canonical JSON.  A red test here means
+an oracle's behaviour changed on a program that once mattered — either
+an intentional change (regenerate via
+``tests/test_fuzz/generate_corpus.py`` and review the diff) or a
+regression.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.fuzz import load_corpus, replay_entry
+from repro.fuzz.corpus import CORPUS_SCHEMA, entry_filename
+from repro.scord.races import RaceType
+
+CORPUS_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, "corpus", "fuzz"
+)
+
+ENTRIES = load_corpus(CORPUS_DIR)
+_IDS = [os.path.basename(path) for path, _ in ENTRIES]
+
+
+def test_corpus_is_present_and_loads():
+    assert ENTRIES, f"no corpus entries under {CORPUS_DIR}"
+
+
+def test_anchors_cover_every_race_type():
+    """The committed anchors pin a verdict for each class of the
+    taxonomy, plus at least one race-free program."""
+    covered = set()
+    race_free = 0
+    for _, entry in ENTRIES:
+        types = entry["ground_truth"]["expected_types"]
+        covered.update(types)
+        if not entry["ground_truth"]["racy"]:
+            race_free += 1
+    assert covered == {t.value for t in RaceType}
+    assert race_free >= 1
+
+
+@pytest.mark.parametrize(("path", "entry"), ENTRIES, ids=_IDS)
+def test_entry_is_well_formed(path, entry):
+    assert entry["schema"] == CORPUS_SCHEMA
+    assert os.path.basename(path) == entry_filename(entry)
+    assert entry["program"]["schema"] == "fuzz-program/v1"
+    for key in ("digest", "kind", "ground_truth", "static", "dynamic"):
+        assert key in entry, f"{path} missing {key!r}"
+
+
+@pytest.mark.parametrize(("path", "entry"), ENTRIES, ids=_IDS)
+def test_entry_replays_bit_for_bit(path, entry):
+    problems = replay_entry(entry)
+    assert not problems, f"{path}:\n  " + "\n  ".join(problems)

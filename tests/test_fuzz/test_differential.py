@@ -1,0 +1,138 @@
+"""The differential harness: classification, shrinking, persistence.
+
+The real oracles currently agree with the ground truth across the whole
+grammar (see test_construction / the fuzz tier), so disagreement paths
+are exercised by monkeypatching an oracle to lie: the campaign must
+find the lie, hypothesis-shrink it to a minimal program, persist it to
+the corpus, and mask it from subsequent rounds — and the corpus replay
+machinery must then flag that entry as drifted against the honest
+oracle (that is exactly its job).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz import (
+    Actor,
+    Bug,
+    FuzzProgram,
+    Phase,
+    PhaseKind,
+    check_program,
+    fuzz_campaign,
+    load_corpus,
+    replay_entry,
+)
+from repro.fuzz.differential import REPORT_SCHEMA
+import repro.fuzz.differential as differential
+
+
+def test_check_program_agrees_on_known_programs():
+    clean = FuzzProgram(2, 2, (
+        Phase(PhaseKind.HANDOFF, Actor(0, 0), Actor(1, 0)),
+    ))
+    racy = FuzzProgram(2, 2, (
+        Phase(PhaseKind.MUTEX, Actor(0, 0), Actor(1, 0), Bug.SKIP_SYNC),
+    ))
+    assert check_program(clean) is None
+    assert check_program(racy) is None
+
+
+def test_check_program_classifies_a_static_lie(monkeypatch):
+    program = FuzzProgram(2, 2, (Phase(PhaseKind.DISJOINT),))
+    monkeypatch.setattr(
+        differential, "safe_static_verdict",
+        lambda p: {"racy": True, "types": ["lock"], "rules": ["L1"],
+                   "findings": 1},
+    )
+    result = check_program(program)
+    assert result is not None
+    assert result["kind"] == "static-false-positive"
+
+
+def test_check_program_classifies_an_oracle_crash(monkeypatch):
+    program = FuzzProgram(2, 2, (Phase(PhaseKind.DISJOINT),))
+    monkeypatch.setattr(
+        differential, "safe_static_verdict",
+        lambda p: {"error": "LintError: boom", "racy": None, "types": []},
+    )
+    result = check_program(program)
+    assert result["kind"] == "static-crash"
+    assert "boom" in result["detail"]
+
+
+class TestCampaignShrinksAndPersists:
+    @staticmethod
+    def _lying_static(program):
+        # False-positive on any program containing a DISJOINT phase —
+        # minimal trigger: a single-phase disjoint program.
+        if any(p.kind is PhaseKind.DISJOINT for p in program.phases):
+            return {"racy": True, "types": ["lock"], "rules": ["L1"],
+                    "findings": 1}
+        from repro.fuzz.oracles import safe_static_verdict
+
+        return safe_static_verdict(program)
+
+    def test_disagreement_is_shrunk_persisted_and_masked(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(
+            differential, "safe_static_verdict", self._lying_static
+        )
+        corpus = tmp_path / "corpus"
+        report = fuzz_campaign(count=40, seed=0, corpus_dir=corpus)
+        assert report["schema"] == REPORT_SCHEMA
+        kinds = [d["kind"] for d in report["disagreements"]]
+        assert "static-false-positive" in kinds
+        found = report["disagreements"][0]
+        # Hypothesis shrinking must reach the minimal trigger: one
+        # disjoint phase, smallest shape.
+        shrunk = FuzzProgram.from_dict(found["program"])
+        assert len(shrunk.phases) == 1
+        assert shrunk.phases[0].kind is PhaseKind.DISJOINT
+        assert shrunk.grid == 1
+        assert (corpus / found["corpus_path"].split("/")[-1]).exists()
+
+        # Re-running against the same corpus masks the known entry.
+        rerun = fuzz_campaign(count=40, seed=0, corpus_dir=corpus)
+        rerun_digests = {d["digest"] for d in rerun["disagreements"]}
+        assert found["digest"] not in rerun_digests
+        assert rerun["skipped_known"] >= 1
+
+    def test_replay_flags_the_lying_entry_against_honest_oracles(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(
+            differential, "safe_static_verdict", self._lying_static
+        )
+        corpus = tmp_path / "corpus"
+        fuzz_campaign(count=40, seed=0, corpus_dir=corpus)
+        monkeypatch.undo()
+        entries = load_corpus(corpus)
+        assert entries
+        problems = replay_entry(entries[0][1])
+        assert any("static verdict drift" in p for p in problems)
+
+
+def test_time_budget_short_circuits():
+    report = fuzz_campaign(count=500, seed=0, time_budget=1e-6)
+    assert report["budget_exhausted"]
+    assert report["examples"] <= 1
+
+
+def test_telemetry_counters_accumulate():
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry.disabled()
+    report = fuzz_campaign(count=10, seed=0, telemetry=telemetry)
+    examples = telemetry.metrics.counter("fuzz.examples").value
+    assert examples == report["examples"] > 0
+    assert telemetry.metrics.counter("fuzz.rounds").value == report["rounds"]
+
+
+def test_campaign_is_deterministic_for_a_seed():
+    first = fuzz_campaign(count=25, seed=3)
+    second = fuzz_campaign(count=25, seed=3)
+    for key in ("examples", "racy", "race_free", "rounds"):
+        assert first[key] == second[key]

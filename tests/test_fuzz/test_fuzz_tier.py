@@ -1,0 +1,36 @@
+"""The large-N fuzz tier (``pytest -m fuzz``).
+
+Tier-1 validates the grammar exhaustively at single-phase granularity;
+this tier turns the crank at campaign scale.  With the oracles as they
+stand, a fixed-seed campaign finds NO disagreements — so any
+disagreement reported here is a regression in an oracle (or a genuine
+new find: triage per docs/fuzzing.md, then either fix the oracle or
+commit the shrunk corpus entry).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from hypothesis import given, settings
+
+from repro.fuzz import check_program, fuzz_campaign
+from repro.fuzz.strategies import programs
+
+pytestmark = pytest.mark.fuzz
+
+
+def test_campaign_finds_no_disagreements_at_scale():
+    report = fuzz_campaign(count=200, seed=0)
+    assert report["crashes"] == 0
+    assert report["disagreements"] == [], report["disagreements"]
+    assert report["examples"] > 100  # the budget was actually spent
+
+
+@given(program=programs())
+@settings(max_examples=120)
+def test_oracles_agree_with_construction(program):
+    result = check_program(program)
+    assert result is None, (
+        f"{program.describe()}: [{result['kind']}] {result['detail']}"
+    )

@@ -1,0 +1,63 @@
+"""Invariants of the shared program-synthesis strategies.
+
+Every drawn program must be structurally valid (the strategies never
+rely on filtering), the ``racy`` knob must be honoured exactly, and
+shapes must stay inside the documented bounds.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.fuzz import FuzzProgram, program_digest
+from repro.fuzz.program import BUGS_FOR, Bug
+from repro.fuzz.strategies import (
+    MAX_GRID,
+    MAX_PHASES,
+    MAX_WARPS,
+    MIN_WARPS,
+    programs,
+    race_free_programs,
+    racy_programs,
+)
+
+
+class TestShapes:
+    @given(program=programs())
+    @settings(max_examples=40)
+    def test_programs_are_valid_and_bounded(self, program):
+        # FuzzProgram.__post_init__ already validated every phase; the
+        # draw succeeding is the structural-validity assertion.
+        assert 1 <= program.grid <= MAX_GRID
+        assert MIN_WARPS <= program.warps_per_block <= MAX_WARPS
+        assert 1 <= len(program.phases) <= MAX_PHASES
+
+    @given(program=programs())
+    @settings(max_examples=40)
+    def test_bugs_are_always_applicable(self, program):
+        for phase in program.phases:
+            if phase.bug is not Bug.NONE:
+                assert phase.bug in BUGS_FOR[(phase.kind, phase.span)]
+
+
+class TestRacyKnob:
+    @given(program=race_free_programs())
+    @settings(max_examples=30)
+    def test_race_free_means_no_bug_and_no_labels(self, program):
+        assert not program.racy
+        assert program.expected_types() == frozenset()
+
+    @given(program=racy_programs())
+    @settings(max_examples=30)
+    def test_racy_means_labeled(self, program):
+        assert program.racy
+        assert program.expected_types()
+
+
+class TestIdentity:
+    @given(program=programs())
+    @settings(max_examples=20)
+    def test_digest_survives_serialization_roundtrip(self, program):
+        clone = FuzzProgram.from_dict(program.to_dict())
+        assert clone == program
+        assert program_digest(clone) == program_digest(program)

@@ -1,177 +1,74 @@
 """Property-based program generation: the detector's two cardinal rules.
 
-1. **No false positives**: any program composed of correctly synchronized
-   phases (disjoint ownership, barrier-separated block phases, device
-   atomics, device-locked critical sections, read-only loads) must report
-   zero races — under both full ScoRD and the uncached base design.
-2. **No silent crashes on racey programs**: injecting a synchronization
-   bug into such a program must produce at least one reported race under
-   the base design (the accuracy ceiling), and ScoRD must keep executing
-   (races accumulate; the program still terminates).
+1. **No false positives**: any program composed of correctly
+   synchronized phases must report zero races — under both full ScoRD
+   and the uncached base design.
+2. **No silent misses or crashes on racy programs**: injecting a
+   synchronization bug must produce at least one reported race under
+   the base design (the accuracy ceiling), and ScoRD must keep
+   executing (races accumulate; the program still terminates).
 
-Programs are generated by hypothesis as phase lists and compiled into
-kernel generators on the fly.
+Programs are drawn from the SHARED strategies in
+:mod:`repro.fuzz.strategies` — the same program-synthesis source of
+truth the differential fuzz campaign uses (``scord-experiments fuzz``),
+so anything these properties exercise, the fuzzer also covers, and vice
+versa.  Ground truth is known by construction: see docs/fuzzing.md.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import List, Tuple
-
-import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.arch.detector_config import DetectorConfig
 from repro.engine.gpu import GPU
-from repro.isa.scopes import Scope
-
-GRID = 3
-BLOCK_DIM = 16  # two warps of eight
-ARRAY_LEN = GRID * BLOCK_DIM
-
-PHASES = (
-    "disjoint_writes",  # thread t touches only cell t
-    "barrier_phase",  # block-local write -> __syncthreads -> neighbour read
-    "device_atomics",  # everyone accumulates into one counter
-    "locked_rmw",  # device-locked critical section
-    "read_only",  # everyone reads host-initialized data
-)
-
-BUGS = (
-    "unfenced_handoff",  # weak store then flag without any fence
-    "block_atomic_cross",  # block-scope atomic on the shared counter
-    "skip_lock",  # one block updates the locked cell without the lock
-)
+from repro.fuzz import run_program
+from repro.fuzz.strategies import race_free_programs, racy_programs
 
 
-@dataclasses.dataclass(frozen=True)
-class Program:
-    phases: Tuple[str, ...]
-    bug: str = ""  # empty = correct
-
-
-def _compile(program: Program):
-    """Build the kernel generator for a program spec."""
-
-    def kernel(ctx, data, counter, lock, flag, ro):
-        for phase in program.phases:
-            if phase == "disjoint_writes":
-                yield ctx.st(data, ctx.gtid, ctx.gtid + 1, volatile=True)
-                value = yield ctx.ld(data, ctx.gtid, volatile=True)
-                yield ctx.st(data, ctx.gtid, value * 2, volatile=True)
-            elif phase == "barrier_phase":
-                yield ctx.st(data, ctx.gtid, ctx.tid, volatile=True)
-                yield ctx.barrier()
-                neighbour = ctx.bid * ctx.ntid + (ctx.tid + 1) % ctx.ntid
-                yield ctx.ld(data, neighbour, volatile=True)
-                yield ctx.barrier()
-            elif phase == "device_atomics":
-                scope = (
-                    Scope.BLOCK
-                    if program.bug == "block_atomic_cross"
-                    else Scope.DEVICE
-                )
-                yield ctx.atomic_add(counter, 0, 1, scope=scope)
-            elif phase == "locked_rmw":
-                if ctx.tid != 0:
-                    continue  # one thread per block contends
-                if program.bug == "skip_lock" and ctx.bid == 1:
-                    value = yield ctx.ld(counter, 1, volatile=True)
-                    yield ctx.st(counter, 1, value + 1, volatile=True)
-                    continue
-                spins = 0
-                while True:
-                    old = yield ctx.atomic_cas(lock, 0, 0, 1)
-                    if old == 0:
-                        break
-                    spins += 1
-                    if spins > 3000:
-                        break
-                    yield ctx.compute(20)
-                else:  # pragma: no cover
-                    continue
-                if spins <= 3000:
-                    yield ctx.fence(Scope.DEVICE)
-                    value = yield ctx.ld(counter, 1, volatile=True)
-                    yield ctx.st(counter, 1, value + 1, volatile=True)
-                    yield ctx.fence(Scope.DEVICE)
-                    yield ctx.atomic_exch(lock, 0, 0)
-            elif phase == "read_only":
-                yield ctx.ld(ro, ctx.gtid % ARRAY_LEN)
-                yield ctx.ld(ro, (ctx.gtid * 7) % ARRAY_LEN)
-
-        if program.bug == "unfenced_handoff":
-            if ctx.gtid == 0:
-                yield ctx.st(data, 0, 99, volatile=True)
-                yield ctx.atomic_exch(flag, 0, 1)
-            elif ctx.gtid == ctx.ntid:
-                spins = 0
-                while (yield ctx.atomic_add(flag, 0, 0)) != 1:
-                    spins += 1
-                    if spins > 3000:
-                        return
-                    yield ctx.compute(20)
-                yield ctx.ld(data, 0, volatile=True)
-
-    return kernel
-
-
-def _run(program: Program, detector: DetectorConfig) -> GPU:
+def _run(program, detector: DetectorConfig) -> GPU:
     gpu = GPU(detector_config=detector)
-    data = gpu.alloc(ARRAY_LEN, "data")
-    counter = gpu.alloc(2, "counter")
-    lock = gpu.alloc(1, "lock")
-    flag = gpu.alloc(1, "flag")
-    ro = gpu.alloc(ARRAY_LEN, "ro")
-    gpu.write_array(ro, list(range(ARRAY_LEN)))
-    gpu.launch(
-        _compile(program),
-        grid=GRID,
-        block_dim=BLOCK_DIM,
-        args=(data, counter, lock, flag, ro),
-    )
+    run_program(gpu, program)
     return gpu
 
 
-phases_strategy = st.lists(
-    st.sampled_from(PHASES), min_size=1, max_size=4
-).map(tuple)
-
-
 class TestNoFalsePositives:
-    @given(phases=phases_strategy)
-    @settings(max_examples=12, deadline=None)
-    def test_correct_programs_are_clean_under_scord(self, phases):
-        gpu = _run(Program(phases), DetectorConfig.scord())
+    @given(program=race_free_programs())
+    @settings(max_examples=12)
+    def test_correct_programs_are_clean_under_scord(self, program):
+        gpu = _run(program, DetectorConfig.scord())
         assert gpu.races.unique_count == 0, gpu.races.summary()
 
-    @given(phases=phases_strategy)
-    @settings(max_examples=8, deadline=None)
-    def test_correct_programs_are_clean_under_base(self, phases):
-        gpu = _run(Program(phases), DetectorConfig.base_no_cache())
+    @given(program=race_free_programs())
+    @settings(max_examples=8)
+    def test_correct_programs_are_clean_under_base(self, program):
+        gpu = _run(program, DetectorConfig.base_no_cache())
         assert gpu.races.unique_count == 0, gpu.races.summary()
 
 
 class TestBugsAreCaught:
-    @given(
-        phases=phases_strategy,
-        bug=st.sampled_from(BUGS),
-    )
-    @settings(max_examples=12, deadline=None)
-    def test_injected_bug_detected_by_base(self, phases, bug):
-        if bug == "block_atomic_cross" and "device_atomics" not in phases:
-            phases = phases + ("device_atomics",)
-        if bug == "skip_lock" and "locked_rmw" not in phases:
-            phases = phases + ("locked_rmw",)
-        program = Program(phases, bug)
+    @given(program=racy_programs())
+    @settings(max_examples=12)
+    def test_injected_bug_detected_by_base(self, program):
         gpu = _run(program, DetectorConfig.base_no_cache())
-        assert gpu.races.unique_count >= 1
+        assert gpu.races.unique_count >= 1, program.describe()
 
-    @given(bug=st.sampled_from(BUGS))
-    @settings(max_examples=6, deadline=None)
-    def test_racey_programs_complete_under_scord(self, bug):
-        """ScoRD never stops the program: racey runs terminate and the
+    @given(program=racy_programs())
+    @settings(max_examples=8)
+    def test_reported_types_match_construction_labels(self, program):
+        """Whatever the full detector reports is within the injected
+        labels — the detector never misclassifies a synthesized bug."""
+        gpu = _run(program, DetectorConfig.scord())
+        expected = {t.value for t in program.expected_types()}
+        reported = {r.race_type.value for r in gpu.races.unique_races}
+        assert reported <= expected, (
+            f"{program.describe()}: reported {sorted(reported)}, "
+            f"expected within {sorted(expected)}"
+        )
+
+    @given(program=racy_programs())
+    @settings(max_examples=6)
+    def test_racy_programs_complete_under_scord(self, program):
+        """ScoRD never stops the program: racy runs terminate and the
         report accumulates whatever was caught."""
-        program = Program(PHASES, bug)
         gpu = _run(program, DetectorConfig.scord())
         assert gpu.total_cycles > 0  # ran to completion
