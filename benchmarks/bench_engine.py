@@ -77,13 +77,17 @@ def calibrate(target_iterations: int = 2_000_000) -> float:
     return time.perf_counter() - started
 
 
-def run_campaign(units, repeat: int = 1) -> dict:
-    """Serial-cold in-process execution; min-of-*repeat* total seconds."""
+def run_campaign(units, repeat: int = 1, flight=None) -> dict:
+    """Serial-cold in-process execution; min-of-*repeat* total seconds.
+
+    *flight* is an optional FlightConfig: the same campaign with the
+    flight recorder capturing, for the capture-overhead comparison.
+    """
     best = None
     cycles = 0
     per_detector: dict = {}
     for _ in range(repeat):
-        runner = Runner(verbose=False)
+        runner = Runner(verbose=False, flight=flight)
         cycles = 0
         per_detector = {}
         started = time.perf_counter()
@@ -108,6 +112,33 @@ def run_campaign(units, repeat: int = 1) -> dict:
             k: round(v, 3) for k, v in sorted(per_detector.items())
         },
     }
+
+
+def measure_capture_overhead(log) -> dict:
+    """Capture-off vs ring vs full flight capture on the ci subset.
+
+    Always measured on the small subset (first flag per app) so the
+    comparison stays cheap even when the main campaign is full Table VI.
+    The capture-off number the CI gate protects is ``current`` above —
+    this block documents what turning capture *on* costs.
+    """
+    from repro.telemetry import FlightConfig
+
+    units = table6_units(flags_per_app=1)
+    block = {"units": len(units)}
+    off = run_campaign(units)
+    block["off_seconds"] = off["seconds"]
+    log(f"[bench-engine]   capture off: {off['seconds']}s")
+    for mode in ("ring", "full"):
+        result = run_campaign(units, flight=FlightConfig(mode=mode))
+        block[f"{mode}_seconds"] = result["seconds"]
+        block[f"{mode}_overhead"] = (
+            round(result["seconds"] / off["seconds"], 3)
+            if off["seconds"] else None
+        )
+        log(f"[bench-engine]   capture {mode}: {result['seconds']}s "
+            f"(x{block[f'{mode}_overhead']})")
+    return block
 
 
 def check_regression(payload: dict, committed_path: str, budget: float) -> int:
@@ -179,6 +210,9 @@ def main(argv=None) -> int:
                         help="CI gate: fail if normalized per-unit time "
                         "exceeds --budget x the committed file's")
     parser.add_argument("--budget", type=float, default=1.5)
+    parser.add_argument("--no-capture-overhead", action="store_true",
+                        help="skip the capture-off/ring/full flight "
+                        "recorder overhead comparison")
     args = parser.parse_args(argv)
 
     units = table6_units(flags_per_app=1 if args.campaign == "ci" else 0)
@@ -205,6 +239,10 @@ def main(argv=None) -> int:
         "current": current,
         "regression_budget": args.budget,
     }
+
+    if not args.no_capture_overhead:
+        log("[bench-engine] flight-capture overhead (ci subset)")
+        payload["capture_overhead"] = measure_capture_overhead(log)
 
     if args.record_pre_pr_baseline:
         payload["pre_pr_baseline"] = {

@@ -68,6 +68,17 @@ class GPU:
         )
         self.fabric = TimingFabric(self.config, self.stats)
         self.detector = make_detector(self.detector_config, capacity_bytes)
+        # Flight recording wraps the detector in a delegating capture
+        # shim (see repro.scord.capture) instead of instrumenting the
+        # pipeline: with capture off, the hot path is exactly the
+        # uninstrumented fast path.
+        self.flight_capture = None
+        flight = getattr(telemetry, "flight", None)
+        if flight is not None and flight.enabled:
+            from repro.scord.capture import FlightCapture
+
+            self.detector = FlightCapture(self.detector, flight)
+            self.flight_capture = self.detector
         self.detector.attach(self.fabric, self.stats)
         self.pipeline = MemoryPipeline(
             self.config,

@@ -156,6 +156,8 @@ class CampaignExecutor:
         backoff_seconds: float = 0.25,
         fault_plan=None,
         verbose: bool = False,
+        flight=None,
+        forensics_dir=None,
     ):
         if max_retries < 0:
             raise ConfigError("max_retries must be >= 0")
@@ -164,6 +166,13 @@ class CampaignExecutor:
         self.backoff_seconds = backoff_seconds
         self.fault_plan = fault_plan
         self.verbose = verbose
+        #: optional FlightConfig: workers capture each unit in flight and
+        #: write forensic bundles for detected races into forensics_dir
+        self.flight = flight
+        self.forensics_dir = forensics_dir
+        #: per-unit forensics summaries reported back by workers
+        #: (list.append is atomic — dispatcher threads share this)
+        self.forensics_units: List[dict] = []
 
     # ------------------------------------------------------------------
     def execute(self, spec: RunSpec) -> RunRecord:
@@ -209,6 +218,10 @@ class CampaignExecutor:
             payload["deadline"] = self.timeout * 0.8
         if fault is not None:
             payload["fault"] = fault
+        if self.flight is not None:
+            payload["flight"] = self.flight.to_dict()
+            if self.forensics_dir:
+                payload["forensics_dir"] = os.fspath(self.forensics_dir)
         cmd = [sys.executable, "-m", "repro.experiments.campaign"]
         try:
             proc = subprocess.run(
@@ -229,20 +242,31 @@ class CampaignExecutor:
         raise self._classify_failure(proc)
 
     def _parse_record(self, spec: RunSpec, stdout: str) -> RunRecord:
-        for line in reversed(stdout.splitlines()):
-            line = line.strip()
-            if not line:
-                continue
+        lines = [
+            line.strip() for line in stdout.splitlines() if line.strip()
+        ]
+        if not lines:
+            raise WorkerCrash(
+                f"worker for {spec.describe()} exited cleanly without a "
+                "record"
+            )
+        # The record is the LAST line; earlier lines may carry
+        # side-channel payloads (forensics summaries) or stray prints.
+        try:
+            record = record_from_dict(json.loads(lines[-1]))
+        except (json.JSONDecodeError, ReproError) as err:
+            raise WorkerCrash(
+                f"worker for {spec.describe()} exited cleanly but "
+                f"produced an unreadable record: {err}"
+            ) from err
+        for line in lines[:-1]:
             try:
-                return record_from_dict(json.loads(line))
-            except (json.JSONDecodeError, ReproError) as err:
-                raise WorkerCrash(
-                    f"worker for {spec.describe()} exited cleanly but "
-                    f"produced an unreadable record: {err}"
-                ) from err
-        raise WorkerCrash(
-            f"worker for {spec.describe()} exited cleanly without a record"
-        )
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(payload, dict) and "forensics_unit" in payload:
+                self.forensics_units.append(payload["forensics_unit"])
+        return record
 
     @staticmethod
     def _classify_failure(proc) -> ReproError:
@@ -292,6 +316,8 @@ class CampaignRunner(Runner):
         store: Optional[RunStore] = None,
         preload: bool = True,
         telemetry=None,
+        flight=None,
+        forensics_dir=None,
     ):
         # Telemetry note: kernel-level spans only exist for in-process
         # simulation; isolated workers run in their own interpreter, so
@@ -299,13 +325,24 @@ class CampaignRunner(Runner):
         # the worker round-trip).
         super().__init__(
             verbose=verbose, store=store, preload=preload,
-            telemetry=telemetry,
+            telemetry=telemetry, flight=flight, forensics_dir=forensics_dir,
         )
+        # Capture happens worker-side; the executor ships the config and
+        # collects the per-unit summaries the workers report back.
+        if flight is not None:
+            executor.flight = flight
+            executor.forensics_dir = forensics_dir
         self.executor = executor
         self.failures: List[RunFailure] = []
         #: units a parallel prefetch already failed permanently; keyed by
         #: run_key, consulted so exhibits do not pay the retries twice
         self.prefailed: dict = {}
+
+    def _all_forensics_units(self) -> List[dict]:
+        return (
+            list(self.forensics_units)
+            + list(getattr(self.executor, "forensics_units", []))
+        )
 
     def _simulate(
         self,
@@ -353,8 +390,16 @@ class InProcessExecutor:
     to exploit), and the deterministic merge upstream is unaffected.
     """
 
-    def __init__(self, timeout: Optional[float] = None):
+    def __init__(
+        self,
+        timeout: Optional[float] = None,
+        flight=None,
+        forensics_dir=None,
+    ):
         self.timeout = timeout
+        self.flight = flight
+        self.forensics_dir = forensics_dir
+        self.forensics_units: List[dict] = []
         self._lock = threading.Lock()
 
     def execute(self, spec: RunSpec) -> RunRecord:
@@ -368,14 +413,21 @@ class InProcessExecutor:
             )
         with self._lock:
             try:
-                runner = Runner(verbose=False, guard_factory=guard_factory)
-                return runner.run(
+                runner = Runner(
+                    verbose=False,
+                    guard_factory=guard_factory,
+                    flight=self.flight,
+                    forensics_dir=self.forensics_dir,
+                )
+                record = runner.run(
                     app_by_name(spec.app),
                     detector=spec.detector,
                     memory=spec.memory,
                     races=spec.races,
                     seed=spec.seed,
                 )
+                self.forensics_units.extend(runner.forensics_units)
+                return record
             except ReproError as err:
                 failure = RunFailure(
                     spec, error_code(err), str(err), attempts=1
@@ -427,7 +479,17 @@ def worker_main(argv=None) -> int:
             )
         from repro.scor.apps.registry import app_by_name
 
-        runner = Runner(verbose=False, guard_factory=guard_factory)
+        flight = None
+        if payload.get("flight") is not None:
+            from repro.telemetry.flight import FlightConfig
+
+            flight = FlightConfig.from_dict(payload["flight"])
+        runner = Runner(
+            verbose=False,
+            guard_factory=guard_factory,
+            flight=flight,
+            forensics_dir=payload.get("forensics_dir"),
+        )
         record = runner.run(
             app_by_name(spec.app),
             detector=spec.detector,
@@ -450,6 +512,10 @@ def worker_main(argv=None) -> int:
         )
         return EXIT_UNEXPECTED
 
+    # Side-channel lines precede the record line (the parent parses the
+    # last line as the record and collects these).
+    for entry in runner.forensics_units:
+        print(json.dumps({"forensics_unit": entry}, separators=(",", ":")))
     print(json.dumps(record_to_dict(record), separators=(",", ":")))
     return EXIT_OK
 

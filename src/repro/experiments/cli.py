@@ -283,6 +283,47 @@ def _build_parser() -> argparse.ArgumentParser:
         "(and JSON to PATH.json)",
     )
     parser.add_argument(
+        "--flight",
+        action="store_true",
+        help="enable the flight recorder: capture the per-access event "
+        "stream of every simulation (bounded ring buffer by default); "
+        "off by default so the engine hot path stays uninstrumented",
+    )
+    parser.add_argument(
+        "--flight-mode",
+        choices=("ring", "full"),
+        default="ring",
+        help="flight capture mode: 'ring' keeps the last --flight-capacity "
+        "events, 'full' keeps everything (default ring)",
+    )
+    parser.add_argument(
+        "--flight-capacity",
+        type=int,
+        default=65536,
+        metavar="N",
+        help="ring-buffer capacity in events (default 65536)",
+    )
+    parser.add_argument(
+        "--flight-out",
+        metavar="PATH",
+        help="write the in-process flight recorder's JSONL event log to "
+        "PATH (implies --flight; isolated/pool units capture worker-side "
+        "and export through --forensics-out instead)",
+    )
+    parser.add_argument(
+        "--forensics-out",
+        metavar="DIR",
+        help="write a forensics bundle (JSON + narrative + trace slice) "
+        "for every detected race under DIR (implies --flight)",
+    )
+    parser.add_argument(
+        "--event-log",
+        metavar="PATH",
+        help="with --pool: stream the workers' structured JSONL event "
+        "log (unit lifecycle + forensics, with campaign/unit/worker "
+        "correlation IDs) to PATH",
+    )
+    parser.add_argument(
         "--preflight-lint",
         action="store_true",
         help="statically lint the suite before the campaign, annotate "
@@ -292,9 +333,20 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _build_telemetry(args):
+def _flight_config(args):
+    """The campaign's FlightConfig, or None when capture is off."""
+    if not (args.flight or args.flight_out or args.forensics_out):
+        return None
+    from repro.telemetry import FlightConfig
+
+    return FlightConfig(
+        mode=args.flight_mode, capacity=args.flight_capacity
+    )
+
+
+def _build_telemetry(args, flight=None):
     """A Telemetry bundle when any telemetry output was requested."""
-    if not (args.trace or args.metrics_out):
+    if not (args.trace or args.metrics_out or flight is not None):
         return None
     from repro.telemetry import Telemetry, TraceConfig
 
@@ -304,7 +356,7 @@ def _build_telemetry(args):
         config = TraceConfig()
     if not args.trace:
         config = dataclasses.replace(config, enabled=False)
-    return Telemetry(config)
+    return Telemetry(config, flight=flight)
 
 
 def _build_cache(args):
@@ -315,7 +367,7 @@ def _build_cache(args):
     return ResultCache(args.cache_dir)
 
 
-def _build_runner(args, cache=None, telemetry=None) -> Runner:
+def _build_runner(args, cache=None, telemetry=None, flight=None) -> Runner:
     store = None
     if args.store:
         from repro.experiments.store import RunStore
@@ -332,6 +384,7 @@ def _build_runner(args, cache=None, telemetry=None) -> Runner:
         return Runner(
             verbose=verbose, store=store, preload=args.resume,
             result_cache=cache, telemetry=telemetry,
+            flight=flight, forensics_dir=args.forensics_out,
         )
     from repro.experiments.campaign import CampaignExecutor, CampaignRunner
 
@@ -343,6 +396,7 @@ def _build_runner(args, cache=None, telemetry=None) -> Runner:
     runner = CampaignRunner(
         executor, verbose=verbose, store=store, preload=args.resume,
         telemetry=telemetry,
+        flight=flight, forensics_dir=args.forensics_out,
     )
     runner.result_cache = cache
     return runner
@@ -364,7 +418,7 @@ def _profile_section(runner, telemetry, elapsed_seconds):
     return section
 
 
-def _build_pool(args, jobs, telemetry=None):
+def _build_pool(args, jobs, telemetry=None, flight=None):
     """A (PoolSupervisor, fault_plan) pair, or (None, None) without --pool."""
     if not args.pool:
         return None, None
@@ -389,13 +443,16 @@ def _build_pool(args, jobs, telemetry=None):
         fault_plan=fault_plan,
         telemetry=telemetry,
         verbose=not args.quiet,
+        flight=flight,
+        forensics_dir=args.forensics_out,
+        event_log_path=args.event_log,
     )
     return supervisor, fault_plan
 
 
 def _write_manifest(
     path, wanted, exhibit_errors, runner, elapsed_seconds, telemetry=None,
-    lint_section=None, pool_section=None,
+    lint_section=None, pool_section=None, forensics_section=None,
 ) -> None:
     from repro.experiments.store import SCHEMA_VERSION, atomic_write_json
 
@@ -439,6 +496,8 @@ def _write_manifest(
         payload["lint"] = lint_section
     if pool_section is not None:
         payload["pool"] = pool_section
+    if forensics_section is not None:
+        payload["forensics"] = forensics_section
     atomic_write_json(path, payload)
 
 
@@ -466,6 +525,20 @@ def report_main(argv) -> int:
         "--top", type=int, default=20, metavar="N",
         help="counters shown in the top-counters table (default 20)",
     )
+    parser.add_argument(
+        "--live", action="store_true",
+        help="live campaign dashboard: re-read the artifacts and redraw "
+        "every --interval seconds (Ctrl-C to stop); missing or "
+        "mid-write files are tolerated and retried",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh period for --live (default 2.0)",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=0, metavar="N",
+        help="with --live: stop after N redraws (0 = until Ctrl-C)",
+    )
     args = parser.parse_args(argv)
     if not (args.trace or args.metrics or args.manifest):
         parser.error("nothing to report: give --trace, --metrics, "
@@ -474,21 +547,46 @@ def report_main(argv) -> int:
 
     from repro.telemetry import render_dashboard
 
-    def load(path):
+    def load(path, tolerant):
         if not path:
             return None
-        with open(path, "r") as handle:
-            return json.load(handle)
+        try:
+            with open(path, "r") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            # Live mode races the writer: absent or half-written
+            # artifacts render as "not yet", never as a crash.
+            if tolerant:
+                return None
+            raise
+
+    def render_once(tolerant):
+        trace = load(args.trace, tolerant)
+        metrics = load(args.metrics, tolerant)
+        manifest = load(args.manifest, tolerant)
+        if tolerant and trace is None and metrics is None \
+                and manifest is None:
+            return "[live] waiting for telemetry artifacts..."
+        return render_dashboard(
+            trace=trace, metrics=metrics, manifest=manifest, top=args.top,
+        )
 
     try:
-        print(
-            render_dashboard(
-                trace=load(args.trace),
-                metrics=load(args.metrics),
-                manifest=load(args.manifest),
-                top=args.top,
-            )
-        )
+        if not args.live:
+            print(render_once(tolerant=False))
+            return 0
+        redraws = 0
+        while True:
+            text = render_once(tolerant=True)
+            redraws += 1
+            # Clear + home, then the frame — a minimal live TTY update.
+            sys.stdout.write("\x1b[2J\x1b[H" + text + "\n")
+            sys.stdout.flush()
+            if args.iterations and redraws >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
     except BrokenPipeError:
         # `report ... | head` closes stdout early; that is not an error.
         import os
@@ -713,6 +811,10 @@ def main(argv=None) -> int:
         from repro.fuzz.cli import fuzz_main
 
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "explain":
+        from repro.forensics.explain import explain_main
+
+        return explain_main(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
 
@@ -740,10 +842,16 @@ def main(argv=None) -> int:
 
     cache = _build_cache(args)
     try:
-        telemetry = _build_telemetry(args)
+        flight = _flight_config(args)
+    except ValueError as error:
+        parser.error(f"--flight: {error}")
+    try:
+        telemetry = _build_telemetry(args, flight=flight)
     except ValueError as error:
         parser.error(f"--trace-filter: {error}")
-    runner = _build_runner(args, cache=cache, telemetry=telemetry)
+    runner = _build_runner(
+        args, cache=cache, telemetry=telemetry, flight=flight
+    )
     runners = _exhibit_runners()
     started = time.time()
     campaign_span = None
@@ -766,7 +874,9 @@ def main(argv=None) -> int:
         from repro.experiments.parallel import prefetch_exhibits
 
         jobs = args.jobs or (os.cpu_count() or 1)
-        supervisor, fault_plan = _build_pool(args, jobs, telemetry=telemetry)
+        supervisor, fault_plan = _build_pool(
+            args, jobs, telemetry=telemetry, flight=flight
+        )
         try:
             if telemetry is not None:
                 with telemetry.tracer.span("parallel-prefetch", cat="exp"), \
@@ -786,6 +896,12 @@ def main(argv=None) -> int:
                 pool_section = supervisor.stats()
                 if fault_plan is not None:
                     pool_section["chaos_injected"] = fault_plan.injected
+                # Workers forward their forensics units over log frames;
+                # fold them into the runner's campaign-level list so the
+                # manifest's forensics section sees every unit.
+                runner.forensics_units.extend(
+                    supervisor.all_forensics_units()
+                )
     exhibit_errors = {}
     for name in wanted:
         try:
@@ -812,15 +928,26 @@ def main(argv=None) -> int:
     if campaign_span is not None:
         campaign_span.__exit__(None, None, None)
     elapsed = time.time() - started
+    forensics_section = runner.forensics_section()
+    if forensics_section is not None and not args.quiet:
+        print(
+            f"[forensics: {forensics_section['units_captured']} unit(s) "
+            f"captured, {forensics_section['bundles']} bundle(s)"
+            + (f" under {args.forensics_out}" if args.forensics_out else "")
+            + "]",
+            file=sys.stderr,
+        )
     if args.manifest:
         _write_manifest(
             args.manifest, wanted, exhibit_errors, runner, elapsed,
             telemetry=telemetry, lint_section=lint_section,
-            pool_section=pool_section,
+            pool_section=pool_section, forensics_section=forensics_section,
         )
         print(f"[manifest written to {args.manifest}]", file=sys.stderr)
     if telemetry is not None:
-        for written in telemetry.export(args.trace, args.metrics_out):
+        for written in telemetry.export(
+            args.trace, args.metrics_out, flight_path=args.flight_out
+        ):
             print(f"[telemetry written to {written}]", file=sys.stderr)
     failed_runs = getattr(runner, "failures", [])
     cached = f", {runner.cached_runs} cached" if runner.cached_runs else ""

@@ -220,7 +220,19 @@ class WorkerHandle:
         self.units_served = 0
         #: heartbeat frames observed by this handle (telemetry)
         self.heartbeats_seen = 0
+        #: structured log frames observed by this handle
+        self.logs_seen = 0
+        #: callback(events: list[dict]) for worker ``log`` frames —
+        #: the supervisor points this at its campaign event log
+        self.on_log = None
         self.spawned_at: Optional[float] = None
+
+    @property
+    def lifetime_seconds(self) -> float:
+        """Wall-clock seconds since this worker became ready."""
+        if self.spawned_at is None:
+            return 0.0
+        return time.monotonic() - self.spawned_at
 
     # ------------------------------------------------------------------
     @property
@@ -269,6 +281,9 @@ class WorkerHandle:
         fault: Optional[str] = None,
         heartbeat_timeout: float = 10.0,
         heartbeat_seconds: float = DEFAULT_HEARTBEAT_SECONDS,
+        flight: Optional[dict] = None,
+        forensics_dir: Optional[str] = None,
+        campaign: Optional[str] = None,
     ) -> RunRecord:
         """Drive one unit through the worker; return its record.
 
@@ -301,6 +316,12 @@ class WorkerHandle:
             payload["deadline"] = deadline * 0.8
         if fault is not None:
             payload["fault"] = fault
+        if flight is not None:
+            payload["flight"] = flight
+            if forensics_dir:
+                payload["forensics_dir"] = forensics_dir
+        if campaign is not None:
+            payload["campaign"] = campaign
         try:
             write_frame(self.proc.stdin, payload)
         except (BrokenPipeError, OSError) as err:
@@ -337,6 +358,14 @@ class WorkerHandle:
             kind = frame.get("type")
             if kind == "heartbeat":
                 self.heartbeats_seen += 1
+                continue
+            if kind == "log":
+                # Structured event-log forwarding (campaign/unit/worker
+                # correlation IDs attached worker-side); never fatal.
+                events = frame.get("events")
+                self.logs_seen += 1
+                if self.on_log is not None and isinstance(events, list):
+                    self.on_log(events)
                 continue
             if kind == "error":
                 if frame.get("id") != request_id:
@@ -434,6 +463,21 @@ def _serve_unit(out, frame: dict) -> None:
 
     beat_every = float(frame.get("heartbeat", DEFAULT_HEARTBEAT_SECONDS))
     deadline = frame.get("deadline")
+    campaign = frame.get("campaign")
+
+    def log_event(event: str, **fields) -> None:
+        """Forward one structured event with correlation IDs attached."""
+        entry = {
+            "event": event,
+            "campaign": campaign,
+            "unit": spec.describe(),
+            "worker_pid": os.getpid(),
+            "request_id": request_id,
+        }
+        entry.update(fields)
+        write_frame(out, {
+            "type": "log", "id": request_id, "events": [entry],
+        })
 
     def on_heartbeat(beat):
         # Called from inside the event loop — same thread, so frame
@@ -454,13 +498,25 @@ def _serve_unit(out, frame: dict) -> None:
             on_heartbeat=on_heartbeat,
         )
 
+    flight = None
+    if frame.get("flight"):
+        from repro.telemetry.flight import FlightConfig
+
+        flight = FlightConfig.from_dict(frame["flight"])
+
     try:
         # Injected faults strike after the unit is dispatched — exactly
         # where a real mid-unit SIGKILL / hang / desync would.
         apply_pool_fault(frame.get("fault"), out, request_id, beat_every)
+        log_event("unit-start", detector=spec.detector, seed=spec.seed)
         # A fresh Runner per unit: the warm worker's Nth unit sees the
         # same state a cold subprocess would (determinism parity).
-        runner = Runner(verbose=False, guard_factory=guard_factory)
+        runner = Runner(
+            verbose=False,
+            guard_factory=guard_factory,
+            flight=flight,
+            forensics_dir=frame.get("forensics_dir"),
+        )
         record = runner.run(
             app_by_name(spec.app),
             detector=spec.detector,
@@ -488,6 +544,14 @@ def _serve_unit(out, frame: dict) -> None:
             "message": f"{type(err).__name__}: {err}",
         })
         return
+    for entry in runner.forensics_units:
+        log_event("forensics-unit", forensics_unit=entry)
+    log_event(
+        "unit-complete",
+        unique_races=record.unique_races,
+        race_types=sorted(t.value for t in record.race_types),
+        bundles=sum(e["bundles"] for e in runner.forensics_units),
+    )
     write_frame(out, {
         "type": "result", "id": request_id,
         "record": record_to_dict(record),

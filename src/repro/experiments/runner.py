@@ -87,10 +87,27 @@ class Runner:
         guard_factory=None,
         result_cache=None,
         telemetry=None,
+        flight=None,
+        forensics_dir=None,
     ):
         self._cache: Dict[Tuple, RunRecord] = {}
         self.verbose = verbose
         self._store = store
+        #: optional :class:`~repro.telemetry.FlightConfig` — when set,
+        #: every unit simulates under a *fresh* flight recorder (so one
+        #: unit's events never bleed into another's trace slices) and
+        #: detected races get forensic bundles
+        self.flight_config = flight
+        #: directory forensic bundles are written to, one subdir per unit
+        self.forensics_dir = forensics_dir
+        #: per-unit forensics summaries (unit label, bundle count, types)
+        self.forensics_units: List[dict] = []
+        if flight is not None and telemetry is None:
+            # Flight capture needs a telemetry bundle to ride on; build a
+            # tracing-off one rather than silently dropping the capture.
+            from repro.telemetry import Telemetry, TraceConfig
+
+            telemetry = Telemetry(TraceConfig(enabled=False), flight=flight)
         #: optional :class:`repro.telemetry.Telemetry` bundle — unit
         #: spans, per-source latency histograms, and campaign totals
         self.telemetry = telemetry
@@ -134,7 +151,11 @@ class Runner:
         if cached is not None:
             return cached
 
-        if self.result_cache is not None:
+        # Flight capture only happens when a unit actually simulates, so
+        # with forensics on the disk cache is bypassed (memoization above
+        # still deduplicates within the campaign): every unique unit is
+        # guaranteed a capture and, if racy, a bundle.
+        if self.result_cache is not None and self.flight_config is None:
             started = time.time()
             hit = self.result_cache.get(
                 app_cls.name, detector, memory, races, seed
@@ -212,6 +233,13 @@ class Runner:
         # With tracing on, also sample the timing fabric so the trace
         # carries utilization counter tracks alongside the kernel spans.
         tracing = self.telemetry is not None and self.telemetry.enabled
+        if self.flight_config is not None:
+            # Fresh recorder per unit: cycles restart at 0 every
+            # simulation, so a shared recorder would interleave units
+            # into nonsense trace slices.
+            from repro.telemetry.flight import FlightRecorder
+
+            self.telemetry.flight = FlightRecorder(self.flight_config)
         gpu = run_app(
             app,
             detector_config=DETECTORS[detector],
@@ -220,6 +248,10 @@ class Runner:
             telemetry=self.telemetry,
             sample_interval=2000 if tracing else 0,
         )
+        if self.flight_config is not None:
+            self._collect_forensics(
+                gpu, app_cls.name, detector, memory, races, seed
+            )
         try:
             verified = app.verify(gpu)
         except Exception:
@@ -244,6 +276,100 @@ class Runner:
             wall_seconds=time.time() - started,
             seed=seed,
         )
+
+    # ------------------------------------------------------------------
+    # Forensics (flight capture)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def unit_label(
+        app: str, detector: str, memory: str,
+        races: Tuple[str, ...], seed: int,
+    ) -> str:
+        """Filesystem-safe identity of one unit (bundle subdirectory)."""
+        label = f"{app}.{detector}.{memory}"
+        if races:
+            label += "." + "+".join(sorted(races))
+        if seed != 1:
+            label += f".s{seed}"
+        return label
+
+    def _collect_forensics(
+        self,
+        gpu,
+        app: str,
+        detector: str,
+        memory: str,
+        races: Tuple[str, ...],
+        seed: int,
+    ) -> None:
+        """Bundle this unit's detected races; fold capture telemetry."""
+        import os
+
+        from repro.forensics.bundle import bundles_for_gpu, write_bundles
+
+        capture = getattr(gpu, "flight_capture", None)
+        if capture is None:
+            return
+        label = self.unit_label(app, detector, memory, races, seed)
+        bundles = bundles_for_gpu(gpu, source=f"unit:{label}")
+        entry = {
+            "unit": label,
+            "app": app,
+            "detector": detector,
+            "memory": memory,
+            "races_enabled": sorted(races),
+            "seed": seed,
+            "bundles": len(bundles),
+            "race_types": sorted(
+                {bundle["race"]["type"] for bundle in bundles}
+            ),
+            "rule_agreement": sum(
+                1 for bundle in bundles if bundle["hb"]["rule_agrees"]
+            ),
+            "dir": None,
+        }
+        if self.forensics_dir and bundles:
+            unit_dir = os.path.join(self.forensics_dir, label)
+            write_bundles(bundles, unit_dir)
+            entry["dir"] = unit_dir
+        self.forensics_units.append(entry)
+        if self.telemetry is not None:
+            metrics = self.telemetry.metrics
+            recorder = self.telemetry.flight
+            metrics.counter("flight.units").inc()
+            metrics.counter("flight.total.events").inc(recorder.recorded)
+            metrics.counter("flight.total.dropped").inc(recorder.dropped)
+            metrics.counter("forensics.bundles").inc(len(bundles))
+            metrics.counter("forensics.rule_agreement").inc(
+                entry["rule_agreement"]
+            )
+
+    def _all_forensics_units(self) -> List[dict]:
+        """Every unit summary this runner knows about (overridable)."""
+        return list(self.forensics_units)
+
+    def forensics_section(self) -> Optional[dict]:
+        """The campaign manifest's ``forensics`` block (None when off)."""
+        if self.flight_config is None:
+            return None
+        by_type: Dict[str, int] = {}
+        bundles = 0
+        agreement = 0
+        units = self._all_forensics_units()
+        for entry in units:
+            bundles += entry["bundles"]
+            agreement += entry["rule_agreement"]
+            for race_type in entry["race_types"]:
+                by_type[race_type] = by_type.get(race_type, 0) + 1
+        return {
+            "dir": self.forensics_dir,
+            "flight_mode": self.flight_config.mode,
+            "units_captured": len(units),
+            "bundles": bundles,
+            "rule_agreement": agreement,
+            "units_by_race_type": dict(sorted(by_type.items())),
+            "units": units,
+        }
 
     def _persist(self, record: RunRecord) -> None:
         """Durably checkpoint one fresh record (no-op without a store)."""

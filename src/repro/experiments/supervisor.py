@@ -49,10 +49,12 @@ in the campaign manifest.
 from __future__ import annotations
 
 import dataclasses
+import json
 import queue
 import threading
 import time
-from typing import Dict, Optional
+import uuid
+from typing import Dict, List, Optional
 
 from repro.common.errors import (
     ConfigError,
@@ -139,6 +141,9 @@ class PoolSupervisor:
         telemetry=None,
         verbose: bool = False,
         progress_stream=None,
+        flight=None,
+        forensics_dir=None,
+        event_log_path=None,
     ):
         self.config = config or PoolConfig()
         self.fault_plan = fault_plan
@@ -147,9 +152,24 @@ class PoolSupervisor:
         import sys
 
         self.progress_stream = progress_stream or sys.stderr
+        #: flight/forensics capture forwarded to every worker unit
+        self.flight = flight
+        self.forensics_dir = forensics_dir
+        #: correlation ID stamped on every forwarded log event
+        self.campaign_id = uuid.uuid4().hex[:12]
         self._fallback = InProcessExecutor(
-            timeout=self.config.unit_timeout
+            timeout=self.config.unit_timeout,
+            flight=flight,
+            forensics_dir=forensics_dir,
         )
+        # -- structured event log (worker "log" frames) -----------------
+        self.forensics_units: List[dict] = []
+        self.log_events: List[dict] = []
+        self._log_lock = threading.Lock()
+        self._event_log_path = event_log_path
+        self._event_log_handle = None
+        if event_log_path:
+            self._event_log_handle = open(event_log_path, "w")
         #: idle queue: WorkerHandle (warm) or None (a spawn slot)
         self._idle: "queue.Queue" = queue.Queue()
         for _ in range(self.config.workers):
@@ -170,6 +190,9 @@ class PoolSupervisor:
         self.lost_workers: Dict[str, int] = {}  # error code -> count
         self._poison_counts: Dict[object, int] = {}
         self._live: Dict[int, WorkerHandle] = {}
+        #: per-worker lifetime accounting, surviving recycles (satellite
+        #: gauges: pool.worker.units_served / pool.worker.lifetime_seconds)
+        self._worker_stats: Dict[int, dict] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -193,7 +216,13 @@ class PoolSupervisor:
             live = list(self._live.values())
             self._live.clear()
         for worker in live:
+            self._update_worker_stats(worker)
             worker.shutdown()
+            self._mark_worker_dead(worker.worker_id)
+        with self._log_lock:
+            handle, self._event_log_handle = self._event_log_handle, None
+        if handle is not None:
+            handle.close()
 
     # ------------------------------------------------------------------
     # The executor contract
@@ -231,6 +260,12 @@ class PoolSupervisor:
                     fault=fault,
                     heartbeat_timeout=self.config.heartbeat_timeout,
                     heartbeat_seconds=self.config.heartbeat_seconds,
+                    flight=(
+                        self.flight.to_dict()
+                        if self.flight is not None else None
+                    ),
+                    forensics_dir=self.forensics_dir,
+                    campaign=self.campaign_id,
                 )
             except WORKER_FATAL as err:
                 self._add_heartbeats(worker.heartbeats_seen - hb_before)
@@ -317,6 +352,7 @@ class PoolSupervisor:
         worker = WorkerHandle(
             worker_id, spawn_timeout=self.config.spawn_timeout
         )
+        worker.on_log = self._on_worker_log
         try:
             if self.telemetry is not None:
                 with self.telemetry.tracer.span(
@@ -333,6 +369,13 @@ class PoolSupervisor:
         with self._state:
             self.spawned += 1
             self._live[worker.worker_id] = worker
+            self._worker_stats[worker.worker_id] = {
+                "pid": worker.pid,
+                "units_served": 0,
+                "heartbeats_seen": 0,
+                "lifetime_seconds": 0.0,
+                "alive": True,
+            }
         self._count("pool.workers.spawned")
         self._note(
             f"worker {worker_id} ready (pid {worker.pid}, "
@@ -342,6 +385,7 @@ class PoolSupervisor:
 
     def _checkin(self, worker: WorkerHandle) -> None:
         """Return a healthy worker to the idle queue (or TTL-recycle)."""
+        self._update_worker_stats(worker)
         ttl = self.config.worker_ttl
         if ttl and worker.units_served >= ttl:
             with self._state:
@@ -349,6 +393,7 @@ class PoolSupervisor:
                 self._live.pop(worker.worker_id, None)
             self._count("pool.workers.recycled_ttl")
             worker.shutdown()
+            self._mark_worker_dead(worker.worker_id)
             self._note(
                 f"worker {worker.worker_id} recycled after "
                 f"{worker.units_served} unit(s) (TTL {ttl})"
@@ -361,7 +406,9 @@ class PoolSupervisor:
         self, worker: WorkerHandle, category: str
     ) -> None:
         """Kill a faulted worker and account for its replacement."""
+        self._update_worker_stats(worker)
         worker.kill()
+        self._mark_worker_dead(worker.worker_id)
         with self._state:
             self._live.pop(worker.worker_id, None)
             self.lost_workers[category] = (
@@ -431,6 +478,63 @@ class PoolSupervisor:
         if self.telemetry is not None:
             self.telemetry.metrics.counter(name, **labels).inc(amount)
 
+    def _update_worker_stats(self, worker: WorkerHandle) -> None:
+        """Refresh the lifetime gauges for one worker (satellite export)."""
+        units = worker.units_served
+        beats = worker.heartbeats_seen
+        lifetime = round(worker.lifetime_seconds, 3)
+        with self._state:
+            entry = self._worker_stats.get(worker.worker_id)
+            if entry is None:
+                return
+            entry["units_served"] = units
+            entry["heartbeats_seen"] = beats
+            entry["lifetime_seconds"] = lifetime
+        if self.telemetry is not None:
+            label = str(worker.worker_id)
+            self.telemetry.metrics.gauge(
+                "pool.worker.units_served", worker=label
+            ).set(float(units))
+            self.telemetry.metrics.gauge(
+                "pool.worker.lifetime_seconds", worker=label
+            ).set(lifetime)
+
+    def _mark_worker_dead(self, worker_id: int) -> None:
+        with self._state:
+            entry = self._worker_stats.get(worker_id)
+            if entry is not None:
+                entry["alive"] = False
+
+    def all_forensics_units(self) -> List[dict]:
+        """Worker-forwarded units plus any captured while degraded."""
+        with self._log_lock:
+            units = list(self.forensics_units)
+        return units + list(self._fallback.forensics_units)
+
+    def _on_worker_log(self, events) -> None:
+        """A worker forwarded structured log events over a ``log`` frame.
+
+        Events already carry worker-side correlation IDs (campaign,
+        unit, worker pid, request id); the parent's job is durability:
+        append to the in-memory log, stream to the JSONL event log, and
+        lift ``forensics_unit`` payloads into the campaign-level list.
+        """
+        with self._log_lock:
+            for event in events:
+                if not isinstance(event, dict):
+                    continue
+                self.log_events.append(event)
+                if self._event_log_handle is not None:
+                    self._event_log_handle.write(
+                        json.dumps(event, sort_keys=True) + "\n"
+                    )
+                unit = event.get("forensics_unit")
+                if isinstance(unit, dict):
+                    self.forensics_units.append(unit)
+            if self._event_log_handle is not None:
+                self._event_log_handle.flush()
+        self._count("pool.log_events", amount=len(events))
+
     def _note(self, message: str) -> None:
         if self.verbose:
             print(f"  [pool] {message}", file=self.progress_stream,
@@ -438,8 +542,12 @@ class PoolSupervisor:
 
     def stats(self) -> dict:
         """The manifest's ``pool`` block: everything that happened."""
+        with self._log_lock:
+            log_count = len(self.log_events)
+            forensics_count = len(self.forensics_units)
         with self._state:
             return {
+                "campaign": self.campaign_id,
                 "workers": self.config.workers,
                 "worker_ttl": self.config.worker_ttl,
                 "max_worker_restarts": self.config.max_worker_restarts,
@@ -453,4 +561,13 @@ class PoolSupervisor:
                 "lost_workers": dict(self.lost_workers),
                 "poisoned_units": dict(self.poisoned_specs),
                 "degraded": self._degraded,
+                "log_events": log_count,
+                "forensics_units": forensics_count,
+                "event_log": self._event_log_path,
+                "per_worker": {
+                    str(worker_id): dict(entry)
+                    for worker_id, entry in sorted(
+                        self._worker_stats.items()
+                    )
+                },
             }

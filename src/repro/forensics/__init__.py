@@ -1,0 +1,48 @@
+"""Race forensics: happens-before explanations for detected races.
+
+Built on the flight recorder (:mod:`repro.telemetry.flight`) and the
+detector's verdict provenance, this package reconstructs *why* each
+detected race raced — the two conflicting accesses, the last
+synchronization on each side, and the severed happens-before edge —
+and emits ``forensics-report/v1`` bundles cross-referenced against the
+static scolint rule catalog.  See ``docs/forensics.md``.
+"""
+
+from repro.forensics.bundle import (
+    FORENSICS_SCHEMA,
+    build_bundle,
+    bundle_from_disagreement,
+    bundles_for_capture,
+    bundles_for_gpu,
+    canonical_bundle_dict,
+    canonical_bundles_json,
+    forensics_summary,
+    narrative,
+    write_bundles,
+)
+from repro.forensics.explain import (
+    explain_target,
+    render_bundle,
+    render_bundles,
+)
+from repro.forensics.hb import EDGE_FOR_TYPE, HBEdge, edge_for, evidence_lines
+
+__all__ = [
+    "FORENSICS_SCHEMA",
+    "EDGE_FOR_TYPE",
+    "HBEdge",
+    "build_bundle",
+    "bundle_from_disagreement",
+    "bundles_for_capture",
+    "bundles_for_gpu",
+    "canonical_bundle_dict",
+    "canonical_bundles_json",
+    "edge_for",
+    "evidence_lines",
+    "explain_target",
+    "forensics_summary",
+    "narrative",
+    "render_bundle",
+    "render_bundles",
+    "write_bundles",
+]

@@ -1,0 +1,429 @@
+"""Forensic bundles: reconstruct *why* each detected race raced.
+
+A bundle is the ``forensics-report/v1`` artifact emitted per detected
+race: the two racing accesses, the last synchronization operation seen
+on each side, the severed happens-before edge (from
+:mod:`repro.forensics.hb`), the static scolint rule that diagnoses the
+same defect, a slice of the flight-recorder trace around the race, and
+a human-readable narrative.  Bundles are built from three sources that
+degrade gracefully:
+
+* the :class:`~repro.scord.races.RaceRecord` itself (always present);
+* the detector's provenance dict (ScoRD only — the hardware state the
+  verdict was computed from);
+* the flight recorder (sync context + trace slice; absent events just
+  shrink the slice).
+
+The *canonical* forms (:func:`canonical_bundle_dict`,
+:func:`canonical_bundles_json`) strip volatile detail — cycles, raw
+addresses, block/warp ids — mirroring the PR 2 golden-trace pattern, so
+committed fixtures only break when forensic *classification* drifts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional, Tuple
+
+from repro.forensics.hb import edge_for, evidence_lines
+from repro.scord.races import RaceRecord
+
+#: bump when the bundle shape changes incompatibly
+FORENSICS_SCHEMA = "forensics-report/v1"
+
+
+def _access_dicts(record: RaceRecord, prov: Optional[dict]) -> Tuple[dict, dict]:
+    """(current, previous) access descriptions, provenance-enriched."""
+    current = {
+        "block": record.block_id,
+        "warp": record.warp_id,
+        "kind": None,
+        "strong": None,
+        "atomic": None,
+        "scope": None,
+        "pc": [record.pc[0], record.pc[1]],
+    }
+    previous = {
+        "block": record.prev_block_id,
+        "warp": record.prev_warp_id,
+        "kind": None,
+        "strong": None,
+        "atomic": None,
+        "scope": None,
+        # The metadata word keeps no instruction pointer for the
+        # previous access — hardware-faithful: ScoRD reports the pc of
+        # the access that *trips* the check.
+        "pc": None,
+    }
+    if prov:
+        p_cur = prov.get("current", {})
+        p_prev = prov.get("previous", {})
+        current.update({
+            "kind": p_cur.get("kind"),
+            "strong": p_cur.get("strong"),
+            "atomic": p_cur.get("atomic"),
+            "scope": p_cur.get("scope"),
+            "lane": p_cur.get("lane"),
+        })
+        previous.update({
+            "kind": "write" if p_prev.get("write") else "read",
+            "strong": p_prev.get("strong"),
+            "atomic": p_prev.get("atomic"),
+            "scope": p_prev.get("scope"),
+            "lane": p_prev.get("lane"),
+        })
+    return current, previous
+
+
+def build_bundle(
+    record: RaceRecord,
+    prov: Optional[dict] = None,
+    flight=None,
+    source: str = "scord",
+    occurrences: int = 1,
+    slice_limit: int = 48,
+) -> dict:
+    """Assemble one ``forensics-report/v1`` bundle for *record*."""
+    edge = edge_for(record.race_type)
+    current, previous = _access_dicts(record, prov)
+    sync = {"current_last_sync": None, "previous_last_sync": None}
+    trace_slice: List[dict] = []
+    if flight is not None and flight.enabled:
+        cur_sync = flight.last_sync_for(
+            record.block_id, record.warp_id, until=record.cycle
+        )
+        prev_sync = flight.last_sync_for(
+            record.prev_block_id, record.prev_warp_id, until=record.cycle
+        )
+        sync["current_last_sync"] = cur_sync.to_dict() if cur_sync else None
+        sync["previous_last_sync"] = (
+            prev_sync.to_dict() if prev_sync else None
+        )
+        trace_slice = [
+            event.to_dict()
+            for event in flight.slice_for(
+                addr=record.addr,
+                warps=[
+                    (record.block_id, record.warp_id),
+                    (record.prev_block_id, record.prev_warp_id),
+                ],
+                until=record.cycle,
+                limit=slice_limit,
+            )
+        ]
+    bundle = {
+        "schema": FORENSICS_SCHEMA,
+        "source": source,
+        "race": {
+            "type": record.race_type.value,
+            "scope_class": record.scope_class.value,
+            "array": record.array_name,
+            "kernel": record.pc[0],
+            "line": record.pc[1],
+            "addr": record.addr,
+            "cycle": record.cycle,
+            "occurrences": occurrences,
+        },
+        "accesses": {"current": current, "previous": previous},
+        "sync": sync,
+        "hb": dict(
+            edge.as_dict(),
+            evidence=evidence_lines(record.race_type, prov),
+        ),
+        "trace_slice": trace_slice,
+    }
+    bundle["narrative"] = narrative(bundle)
+    return bundle
+
+
+def narrative(bundle: dict) -> str:
+    """The human-readable explanation embedded in (and derived from) a bundle."""
+    race = bundle["race"]
+    cur = bundle["accesses"]["current"]
+    prev = bundle["accesses"]["previous"]
+    hb = bundle["hb"]
+    target = race.get("array") or (
+        f"0x{race['addr']:x}" if race.get("addr") is not None else "?"
+    )
+
+    def side(label, acc):
+        bits = [f"block {acc['block']} warp {acc['warp']}"]
+        if acc.get("kind"):
+            qual = []
+            if acc.get("atomic"):
+                qual.append(f"{acc.get('scope') or 'device'}-scope atomic")
+            elif acc.get("strong"):
+                qual.append("strong")
+            elif acc.get("strong") is False:
+                qual.append("plain")
+            bits.append(" ".join(qual + [acc["kind"]]))
+        if acc.get("pc"):
+            bits.append(f"at {acc['pc'][0]}:{acc['pc'][1]}")
+        return f"  {label:<9} " + ", ".join(bits)
+
+    lines = [
+        f"race: {race['type']} on {target} "
+        f"({race['scope_class']}, kernel {race['kernel']!r} "
+        f"line {race['line']})",
+        side("current:", cur),
+        side("previous:", prev),
+    ]
+    for label, key in (("current", "current_last_sync"),
+                       ("previous", "previous_last_sync")):
+        event = bundle["sync"].get(key)
+        if event is None:
+            lines.append(f"  last sync on {label} side: none observed")
+        else:
+            scope = f" ({event['scope']})" if event.get("scope") else ""
+            lines.append(
+                f"  last sync on {label} side: {event['kind']}{scope} "
+                f"at cycle {event['cycle']}"
+            )
+    lines.append(f"severed happens-before edge: {hb['edge']}")
+    lines.append(f"  {hb['severed']}")
+    for line in hb.get("evidence", []):
+        lines.append(f"  evidence: {line}")
+    lines.append(
+        f"static cross-reference: {hb['scolint_rule']} — "
+        f"{hb['scolint_description']}"
+    )
+    lines.append(f"suggested repair: {hb['scolint_fix']}")
+    return "\n".join(lines)
+
+
+def bundles_for_capture(
+    capture, flight=None, source: str = "scord", unique: bool = True
+) -> List[dict]:
+    """One bundle per race in a :class:`FlightCapture`'s race log.
+
+    ``unique=True`` collapses repeat occurrences of one (type, pc) race
+    onto the first occurrence (Table VI's unique-race identity), with
+    the repeat count recorded in the bundle.
+    """
+    if flight is None:
+        flight = capture.flight
+    chosen = {}
+    counts = {}
+    for record, prov in capture.race_log:
+        key = record.key if unique else (record.key, len(chosen))
+        counts[key] = counts.get(key, 0) + 1
+        if key not in chosen:
+            chosen[key] = (record, prov)
+    return [
+        build_bundle(
+            record, prov, flight=flight, source=source,
+            occurrences=counts[key],
+        )
+        for key, (record, prov) in chosen.items()
+    ]
+
+
+def bundles_for_gpu(gpu, source: str = "scord", unique: bool = True) -> List[dict]:
+    """Bundles for every race a flight-captured GPU run detected."""
+    capture = getattr(gpu, "flight_capture", None)
+    if capture is None:
+        raise ValueError(
+            "forensics needs flight capture: run with a Telemetry bundle "
+            "whose FlightConfig is set (CLI: --flight)"
+        )
+    return bundles_for_capture(capture, source=source, unique=unique)
+
+
+def bundle_from_disagreement(disagreement: dict) -> dict:
+    """A forensic bundle for a fuzz-campaign disagreement.
+
+    Differential disagreements have no single RaceRecord — the two
+    oracles disagree about the *verdict* — so the bundle records both
+    verdicts, the expected edge(s) for the constructed ground truth, and
+    the disagreement classification as the narrative.
+    """
+    from repro.scord.races import RaceType
+
+    expected_edges = []
+    program = disagreement.get("program") or {}
+    static = disagreement.get("static") or {}
+    dynamic = disagreement.get("dynamic") or {}
+    for value in sorted(
+        set(static.get("types", [])) | set(dynamic.get("types", []))
+    ):
+        try:
+            expected_edges.append(edge_for(RaceType(value)).as_dict())
+        except (ValueError, KeyError):
+            continue
+    bundle = {
+        "schema": FORENSICS_SCHEMA,
+        "source": "fuzz",
+        "disagreement": {
+            "kind": disagreement.get("kind"),
+            "detail": disagreement.get("detail"),
+            "digest": disagreement.get("digest"),
+            "program": disagreement.get("shrunk_describe"),
+        },
+        "verdicts": {"static": static, "dynamic": dynamic},
+        "hb_candidates": expected_edges,
+        "program": program,
+    }
+    lines = [
+        f"fuzz disagreement: {disagreement.get('kind')}",
+        f"  {disagreement.get('detail')}",
+        f"  program: {disagreement.get('shrunk_describe')}",
+    ]
+    for edge in expected_edges:
+        lines.append(
+            f"  candidate edge: {edge['edge']} ({edge['race_type']}, "
+            f"rule {edge['scolint_rule']})"
+        )
+    bundle["narrative"] = "\n".join(lines)
+    return bundle
+
+
+# ----------------------------------------------------------------------
+# Canonical (golden-stable) forms — the PR 2 golden-trace pattern
+# ----------------------------------------------------------------------
+def canonical_bundle_dict(bundle: dict) -> dict:
+    """Strip volatile detail; keep the forensic *classification*.
+
+    Cycles, raw addresses, block/warp ids and the trace slice are
+    timing- and layout-dependent; the race identity, both access
+    shapes, the named edge and the static rule are the verdict.
+    """
+    race = bundle["race"]
+    hb = bundle["hb"]
+
+    def canon_access(acc: dict) -> dict:
+        return {
+            "kind": acc.get("kind"),
+            "strong": acc.get("strong"),
+            "atomic": acc.get("atomic"),
+            "scope": acc.get("scope"),
+        }
+
+    def canon_sync(event) -> Optional[dict]:
+        if event is None:
+            return None
+        return {"kind": event["kind"], "scope": event.get("scope")}
+
+    return {
+        "schema": bundle["schema"],
+        "source": bundle["source"],
+        "race": {
+            "type": race["type"],
+            "scope_class": race["scope_class"],
+            "array": race.get("array") or "?",
+            "kernel": race["kernel"],
+            "line": race["line"],
+        },
+        "accesses": {
+            "current": canon_access(bundle["accesses"]["current"]),
+            "previous": canon_access(bundle["accesses"]["previous"]),
+        },
+        "sync": {
+            "current_last_sync": canon_sync(
+                bundle["sync"].get("current_last_sync")
+            ),
+            "previous_last_sync": canon_sync(
+                bundle["sync"].get("previous_last_sync")
+            ),
+        },
+        "hb": {
+            "edge": hb["edge"],
+            "scolint_rule": hb["scolint_rule"],
+            "rule_agrees": hb["rule_agrees"],
+        },
+    }
+
+
+def canonical_bundles_json(bundles: List[dict]) -> str:
+    """Byte-stable JSON of the canonical bundle set (golden fixtures).
+
+    Sorted by race identity, rendered with sorted keys, two-space
+    indent, trailing newline — compared bit-for-bit by the golden
+    regression tests.
+    """
+    canonical = sorted(
+        (canonical_bundle_dict(bundle) for bundle in bundles),
+        key=lambda c: (
+            c["race"]["type"], c["race"]["kernel"],
+            c["race"]["line"], c["race"]["array"],
+        ),
+    )
+    return json.dumps(
+        {"schema": FORENSICS_SCHEMA, "bundles": canonical},
+        sort_keys=True,
+        indent=2,
+    ) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Persistence
+# ----------------------------------------------------------------------
+def write_bundles(bundles: List[dict], out_dir, prefix: str = "") -> List[str]:
+    """Write each bundle as JSON + narrative text; returns the paths.
+
+    Files are ``<prefix><NNN>-<race type>.json`` plus a ``.txt`` twin of
+    the narrative, and an ``index.json`` summarizing the directory.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    written = []
+    index = []
+    for number, bundle in enumerate(bundles):
+        label = (
+            bundle.get("race", {}).get("type")
+            or bundle.get("disagreement", {}).get("kind")
+            or "bundle"
+        )
+        stem = f"{prefix}{number:03d}-{label}"
+        json_path = os.path.join(out_dir, stem + ".json")
+        with open(json_path, "w") as handle:
+            json.dump(bundle, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        text_path = os.path.join(out_dir, stem + ".txt")
+        with open(text_path, "w") as handle:
+            handle.write(bundle.get("narrative", "") + "\n")
+        written.extend([json_path, text_path])
+        entry = {"file": os.path.basename(json_path), "source": bundle["source"]}
+        if "race" in bundle:
+            entry.update({
+                "type": bundle["race"]["type"],
+                "edge": bundle["hb"]["edge"],
+                "rule": bundle["hb"]["scolint_rule"],
+            })
+        else:
+            entry["kind"] = bundle.get("disagreement", {}).get("kind")
+        index.append(entry)
+    index_path = os.path.join(out_dir, f"{prefix}index.json")
+    with open(index_path, "w") as handle:
+        json.dump(
+            {"schema": FORENSICS_SCHEMA, "bundles": index},
+            handle, indent=2, sort_keys=True,
+        )
+        handle.write("\n")
+    written.append(index_path)
+    return written
+
+
+def forensics_summary(bundles: List[dict]) -> dict:
+    """The manifest ``forensics`` section: counts by edge/type/rule."""
+    by_edge = {}
+    by_type = {}
+    agree = 0
+    race_bundles = 0
+    for bundle in bundles:
+        if "race" not in bundle:
+            continue
+        race_bundles += 1
+        edge = bundle["hb"]["edge"]
+        by_edge[edge] = by_edge.get(edge, 0) + 1
+        race_type = bundle["race"]["type"]
+        by_type[race_type] = by_type.get(race_type, 0) + 1
+        if bundle["hb"].get("rule_agrees"):
+            agree += 1
+    return {
+        "schema": FORENSICS_SCHEMA,
+        "bundles": len(bundles),
+        "race_bundles": race_bundles,
+        "rule_agreement": agree,
+        "by_edge": dict(sorted(by_edge.items())),
+        "by_type": dict(sorted(by_type.items())),
+    }

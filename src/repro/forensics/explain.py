@@ -1,0 +1,185 @@
+"""``scord-experiments explain``: forensic explanations on demand.
+
+Targets come in three shapes:
+
+* ``micro:<name>`` — re-run the micro-benchmark under ScoRD with a
+  full-capture flight recorder and explain every race it detects;
+* ``app:NAME[+flag]`` — same for a Scor application (optionally with
+  one race-injection flag enabled);
+* a path — a ``forensics-report/v1`` bundle JSON (or an ``index.json``
+  / bundle directory written by ``--forensics-out``), rendered without
+  re-simulating anything.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional, Tuple
+
+from repro.forensics.bundle import bundles_for_gpu
+
+
+def render_bundle(bundle: dict, with_trace: bool = True) -> str:
+    """A human-readable rendering: narrative plus the trace slice."""
+    lines = [
+        f"=== forensic bundle ({bundle.get('schema', '?')}, "
+        f"source {bundle.get('source', '?')}) ===",
+        bundle.get("narrative", "(no narrative)"),
+    ]
+    slice_events = bundle.get("trace_slice") or []
+    if with_trace and slice_events:
+        lines.append("")
+        lines.append(f"trace slice ({len(slice_events)} event(s), "
+                     f"oldest first):")
+        for event in slice_events:
+            cycle = event.get("cycle", "?")
+            kind = event.get("kind", "?")
+            who = f"b{event.get('block', '?')}w{event.get('warp', '?')}"
+            detail = []
+            if event.get("addr") is not None:
+                detail.append(f"addr=0x{event['addr']:x}")
+            if event.get("array"):
+                detail.append(f"array={event['array']}")
+            if event.get("scope"):
+                detail.append(f"scope={event['scope']}")
+            if event.get("strong") is not None:
+                detail.append("strong" if event["strong"] else "plain")
+            if event.get("pc"):
+                pc = event["pc"]
+                detail.append(f"pc={pc[0]}:{pc[1]}")
+            if kind == "race":
+                detail.append(f"type={event.get('extra', {}).get('type')}")
+            lines.append(
+                f"  cycle {cycle:>8}  {kind:<7} {who:<8} "
+                + " ".join(detail)
+            )
+    return "\n".join(lines)
+
+
+def render_bundles(bundles: List[dict], with_trace: bool = True) -> str:
+    if not bundles:
+        return "no races detected: nothing to explain"
+    parts = [render_bundle(bundle, with_trace=with_trace)
+             for bundle in bundles]
+    return "\n\n".join(parts)
+
+
+def _load_bundles_from_path(path: str) -> List[dict]:
+    """Bundle(s) from a bundle JSON, an index.json, or a bundle dir."""
+    if os.path.isdir(path):
+        index = os.path.join(path, "index.json")
+        if not os.path.exists(index):
+            raise FileNotFoundError(
+                f"{path!r} has no index.json — not a forensics bundle "
+                f"directory"
+            )
+        return _load_bundles_from_path(index)
+    with open(path, "r") as handle:
+        payload = json.load(handle)
+    if "narrative" in payload or "race" in payload:
+        return [payload]
+    if "bundles" in payload:  # an index.json: follow the file references
+        base = os.path.dirname(os.path.abspath(path))
+        out = []
+        for entry in payload["bundles"]:
+            with open(os.path.join(base, entry["file"]), "r") as handle:
+                out.append(json.load(handle))
+        return out
+    raise ValueError(f"{path!r} is not a forensics bundle or index")
+
+
+def _rerun_target(target: str, quiet: bool = True):
+    """Simulate ``micro:<name>`` / ``app:NAME[+flag]`` under capture."""
+    from repro.arch.detector_config import DetectorConfig
+    from repro.telemetry import FlightConfig, Telemetry, TraceConfig
+
+    telemetry = Telemetry(
+        TraceConfig(enabled=False), flight=FlightConfig(mode="full")
+    )
+    kind, _, rest = target.partition(":")
+    if kind == "micro":
+        from repro.scor.micro.base import run_micro
+        from repro.scor.micro.registry import micro_by_name
+
+        gpu = run_micro(
+            micro_by_name(rest),
+            detector_config=DetectorConfig.scord(),
+            telemetry=telemetry,
+        )
+    elif kind == "app":
+        from repro.scor.apps.base import run_app
+        from repro.scor.apps.registry import app_by_name
+
+        app_name, _, flag = rest.partition("+")
+        app = app_by_name(app_name)(races=(flag,) if flag else ())
+        gpu = run_app(
+            app,
+            detector_config=DetectorConfig.scord(),
+            telemetry=telemetry,
+        )
+    else:
+        raise KeyError(
+            f"unknown explain target {target!r}: use micro:<name>, "
+            f"app:NAME[+flag], or a path to a forensics bundle"
+        )
+    return gpu, telemetry
+
+
+def explain_target(
+    target: str, out_dir: Optional[str] = None
+) -> Tuple[List[dict], str]:
+    """Resolve *target*, producing (bundles, rendered text).
+
+    With *out_dir*, re-simulated targets also persist their bundles
+    there (path targets are already on disk and are not re-written).
+    """
+    if os.path.exists(target) or target.endswith(".json"):
+        bundles = _load_bundles_from_path(target)
+        return bundles, render_bundles(bundles)
+    gpu, _ = _rerun_target(target)
+    bundles = bundles_for_gpu(gpu, source=f"explain:{target}")
+    if out_dir and bundles:
+        from repro.forensics.bundle import write_bundles
+
+        write_bundles(bundles, out_dir)
+    return bundles, render_bundles(bundles)
+
+
+def explain_main(argv) -> int:
+    """``scord-experiments explain <target>`` entry point."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="scord-experiments explain",
+        description="Explain detected races: re-run a micro/app under a "
+        "full-capture flight recorder and print forensic bundles naming "
+        "both racing accesses and the severed happens-before edge, or "
+        "render an existing bundle file.",
+    )
+    parser.add_argument(
+        "targets", nargs="+",
+        help="micro:<name>, app:NAME[+flag], or a path to a "
+        "forensics-report/v1 bundle JSON / index.json / bundle directory",
+    )
+    parser.add_argument(
+        "--no-trace", action="store_true",
+        help="omit the trace-slice section from the rendering",
+    )
+    parser.add_argument(
+        "--out", metavar="DIR",
+        help="also write the bundles (JSON + narrative + index) to DIR",
+    )
+    args = parser.parse_args(argv)
+    status = 0
+    for target in args.targets:
+        try:
+            bundles, _ = explain_target(target, out_dir=args.out)
+        except (KeyError, FileNotFoundError, ValueError) as err:
+            print(f"[explain-error] {err}")
+            status = 1
+            continue
+        print(f"--- {target}: {len(bundles)} bundle(s) ---")
+        print(render_bundles(bundles, with_trace=not args.no_trace))
+        print()
+    return status

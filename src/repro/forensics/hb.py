@@ -1,0 +1,214 @@
+"""The happens-before edge catalog: what link each race class severs.
+
+ScoRD's Table IV declares a race when a specific happens-before edge
+between the two conflicting accesses cannot be established.  Forensics
+names that edge: every :class:`~repro.scord.races.RaceType` maps to one
+:class:`HBEdge` describing the missing link, how the hardware state
+evidences it, and which static scolint rule (SL-A1…SL-S1) diagnoses the
+same defect from the program text — the dynamic verdict and the static
+rule are two views of one severed edge, and the bundles record (and the
+cross-validation tests check) that they agree.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.scolint.model import RULE_FOR_TYPE, RULES
+from repro.scord.races import RaceType
+
+
+@dataclasses.dataclass(frozen=True)
+class HBEdge:
+    """One catalog entry: the happens-before link a race class severs."""
+
+    name: str            #: short edge identifier ("device-fence", ...)
+    race_type: RaceType
+    severed: str         #: what ordering was needed and absent
+    repair: str          #: how to restore the edge
+
+    @property
+    def scolint_rule(self) -> str:
+        """The static rule that diagnoses the same severed edge."""
+        return RULE_FOR_TYPE[self.race_type]
+
+    def rule_description(self) -> str:
+        return RULES[self.scolint_rule][1]
+
+    def rule_fix(self) -> str:
+        return RULES[self.scolint_rule][2]
+
+    def as_dict(self) -> dict:
+        return {
+            "edge": self.name,
+            "race_type": self.race_type.value,
+            "severed": self.severed,
+            "repair": self.repair,
+            "scolint_rule": self.scolint_rule,
+            "scolint_description": self.rule_description(),
+            "scolint_fix": self.rule_fix(),
+            # The bundle-level agreement bit the CI smoke job asserts:
+            # the catalog's rule for this race type IS the rule scolint
+            # files the same defect under.
+            "rule_agrees": RULE_FOR_TYPE.get(self.race_type)
+            == self.scolint_rule,
+        }
+
+
+#: race type -> the severed happens-before edge (Table IV, narrated)
+EDGE_FOR_TYPE: Dict[RaceType, HBEdge] = {
+    RaceType.MISSING_BLOCK_FENCE: HBEdge(
+        name="block-fence",
+        race_type=RaceType.MISSING_BLOCK_FENCE,
+        severed=(
+            "the conflicting accesses are in the same threadblock, but the "
+            "previous accessor executed no fence (of any scope) and no "
+            "barrier separates them — nothing orders the first access "
+            "before the second"
+        ),
+        repair=(
+            "order the same-block accesses with __syncthreads(), or a "
+            "__threadfence_block() plus an atomic handoff"
+        ),
+    ),
+    RaceType.MISSING_DEVICE_FENCE: HBEdge(
+        name="device-fence",
+        race_type=RaceType.MISSING_DEVICE_FENCE,
+        severed=(
+            "the conflicting accesses are in different threadblocks and "
+            "the previous accessor executed no device-scope fence after "
+            "its access — the write was never made visible device-wide "
+            "before the conflicting access"
+        ),
+        repair=(
+            "execute __threadfence() after the write and hand off through "
+            "a device-scope atomic (or share a device-scoped lock)"
+        ),
+    ),
+    RaceType.SCOPED_FENCE: HBEdge(
+        name="fence-scope",
+        race_type=RaceType.SCOPED_FENCE,
+        severed=(
+            "a fence *was* executed between the accesses, but at block "
+            "scope, and the conflict spans threadblocks — the fence's "
+            "scope does not cover the communication span"
+        ),
+        repair="widen __threadfence_block() to __threadfence() (device scope)",
+    ),
+    RaceType.NOT_STRONG: HBEdge(
+        name="strong-access",
+        race_type=RaceType.NOT_STRONG,
+        severed=(
+            "a fence chain could order the accesses, but fences only order "
+            "*strong* operations and at least one side performed a plain "
+            "(non-volatile, non-atomic) access — the edge never attaches "
+            "to it"
+        ),
+        repair=(
+            "mark the conflicting plain access volatile/strong, or replace "
+            "the polling load with an atomic"
+        ),
+    ),
+    RaceType.SCOPED_ATOMIC: HBEdge(
+        name="atomic-scope",
+        race_type=RaceType.SCOPED_ATOMIC,
+        severed=(
+            "synchronization goes through an atomic performed at block "
+            "scope while the conflicting access is in another threadblock "
+            "— a block-scope atomic synchronizes only within its block, "
+            "so no edge reaches the other side"
+        ),
+        repair="widen the atomic to device scope (drop the _block suffix)",
+    ),
+    RaceType.LOCK: HBEdge(
+        name="lock-order",
+        race_type=RaceType.LOCK,
+        severed=(
+            "both sides touch the data under locksets with an empty "
+            "intersection (different locks, or none) — no common lock "
+            "creates the release/acquire edge between the critical "
+            "sections"
+        ),
+        repair="protect both accesses with the same device-scoped lock",
+    ),
+}
+
+
+def edge_for(race_type: RaceType) -> HBEdge:
+    return EDGE_FOR_TYPE[race_type]
+
+
+def evidence_lines(race_type: RaceType, prov: Optional[dict]) -> List[str]:
+    """Narrate the hardware state that evidences the severed edge.
+
+    *prov* is the detector's provenance dict (``detector.provenance``);
+    without it (comparator detectors, degraded captures) the evidence is
+    simply omitted and the bundle still names the edge.
+    """
+    if not prov:
+        return []
+    cur = prov.get("current", {})
+    prev = prov.get("previous", {})
+    out = []
+    if race_type in (RaceType.MISSING_BLOCK_FENCE,
+                     RaceType.MISSING_DEVICE_FENCE,
+                     RaceType.SCOPED_FENCE):
+        blk_moved = (prev.get("blk_fence_now")
+                     != prev.get("blk_fence_at_access"))
+        dev_moved = (prev.get("dev_fence_now")
+                     != prev.get("dev_fence_at_access"))
+        out.append(
+            f"previous accessor's fence counters at its access: "
+            f"block={prev.get('blk_fence_at_access')} "
+            f"device={prev.get('dev_fence_at_access')}; now: "
+            f"block={prev.get('blk_fence_now')} "
+            f"device={prev.get('dev_fence_now')}"
+        )
+        if race_type is RaceType.SCOPED_FENCE:
+            out.append(
+                "the block counter advanced (a block-scope fence ran) but "
+                "the device counter did not — the fence was too narrow"
+            )
+        elif not blk_moved and not dev_moved:
+            out.append(
+                "neither counter advanced — no fence of any scope was "
+                "executed between the accesses"
+            )
+        elif race_type is RaceType.MISSING_DEVICE_FENCE and not dev_moved:
+            out.append(
+                "the device counter did not advance — no device-scope "
+                "fence ordered the accesses across blocks"
+            )
+    elif race_type is RaceType.NOT_STRONG:
+        weak = []
+        if not cur.get("strong", True):
+            weak.append("the current access is a plain (non-strong) op")
+        if not prev.get("strong", True):
+            weak.append("the previous access was a plain (non-strong) op")
+        out.extend(weak or
+                   ["one side's access lost the strong qualifier"])
+    elif race_type is RaceType.SCOPED_ATOMIC:
+        side = "previous" if prev.get("atomic") else "current"
+        scope = (prev if prev.get("atomic") else cur).get("scope")
+        out.append(
+            f"the {side} access is an atomic at {scope or 'block'} scope "
+            f"while the conflict spans threadblocks "
+            f"(block {cur.get('block')} vs block {prev.get('block')})"
+        )
+    elif race_type is RaceType.LOCK:
+        out.append(
+            f"lock bloom filters: current=0x{cur.get('lock_bloom', 0):04x} "
+            f"previous=0x{prev.get('lock_bloom', 0):04x} — empty "
+            f"intersection, no common lock held"
+        )
+    barrier = prov.get("barrier_now")
+    prev_barrier = prev.get("barrier_at_access")
+    if barrier is not None and prev_barrier is not None \
+            and barrier == prev_barrier \
+            and cur.get("block") == prev.get("block"):
+        out.append(
+            f"block barrier phase unchanged ({barrier}) — no "
+            f"__syncthreads() separates the accesses either"
+        )
+    return out

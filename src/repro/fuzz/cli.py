@@ -64,6 +64,11 @@ def fuzz_main(argv) -> int:
         "(and JSON to PATH.json)",
     )
     parser.add_argument(
+        "--forensics-out", metavar="DIR", default=None,
+        help="write a forensic bundle (both oracle verdicts + candidate "
+        "happens-before edges) per disagreement under DIR",
+    )
+    parser.add_argument(
         "--quiet", action="store_true",
         help="suppress the human-readable summary on stdout",
     )
@@ -114,6 +119,21 @@ def fuzz_main(argv) -> int:
             json.dumps(report, indent=2, sort_keys=True) + "\n",
         )
         print(f"[fuzz report written to {args.json_out}]", file=sys.stderr)
+    if args.forensics_out:
+        from repro.forensics import bundle_from_disagreement, write_bundles
+
+        bundles = [
+            bundle_from_disagreement(item)
+            for item in report["disagreements"]
+        ]
+        written = write_bundles(bundles, args.forensics_out, prefix="fuzz")
+        if telemetry is not None:
+            telemetry.metrics.counter("forensics.bundles").inc(len(bundles))
+        print(
+            f"[{len(bundles)} forensic bundle(s) written under "
+            f"{args.forensics_out}]",
+            file=sys.stderr,
+        )
     if telemetry is not None:
         for written in telemetry.export(None, args.metrics_out):
             print(f"[telemetry written to {written}]", file=sys.stderr)

@@ -173,6 +173,12 @@ class ScoRDDetector(BaseDetector):
         # not once per lane: a coalesced warp access covers one entry.
         self._last_md_now = -1
         self._last_md_index = -1
+        # Optional forensics sink: a list the race branch appends one
+        # provenance dict per declared race to (hardware state at the
+        # verdict — metadata word fields, fence counters, barrier phase).
+        # None (the default) costs one attribute test on the *race* path
+        # only; the non-race path never touches it.
+        self.provenance = None
         if config.model_noc:
             self.noc_packet_overhead = config.packet_overhead_bytes
 
@@ -477,6 +483,59 @@ class ScoRDDetector(BaseDetector):
                     c["detector.races"] += 1
                 except KeyError:
                     c["detector.races"] = 1
+                prov = self.provenance
+                if prov is not None:
+                    # Forensics provenance: the hardware state the verdict
+                    # was computed from, one entry per declared race (same
+                    # order as report._records).  Off the verdict path this
+                    # costs nothing.
+                    ff_cur = self._ff_entries.get((hw_block, hw_warp))
+                    ff_prev = self._ff_entries.get((md_block, md_warp))
+                    prov.append({
+                        "race_type": race_type.value,
+                        "cycle": now,
+                        "addr": a_addr,
+                        "array": access.array_name,
+                        "current": {
+                            "block": a_bid,
+                            "warp": a_wid,
+                            "lane": a_lane,
+                            "kind": kind.value,
+                            "strong": bool(a_strong),
+                            "atomic": kind is AccessKind.ATOMIC,
+                            "scope": (
+                                a_scope.name.lower()
+                                if kind is AccessKind.ATOMIC and a_scope
+                                else None
+                            ),
+                            "pc": list(access.pc),
+                            "lock_bloom": bloom,
+                            "blk_fence": ff_cur[0].value if ff_cur else 0,
+                            "dev_fence": ff_cur[1].value if ff_cur else 0,
+                        },
+                        "previous": {
+                            "block": md_block,
+                            "warp": md_warp,
+                            "lane": (word >> 58) & 0x1F,
+                            "write": bool(md_modified),
+                            "strong": bool((word >> 16) & 1),
+                            "atomic": bool((word >> 18) & 1),
+                            "scope": (
+                                ("block" if ((word >> 17) & 1)
+                                 == _SCOPE_BLOCK_BIT else "device")
+                                if (word >> 18) & 1 else None
+                            ),
+                            "lock_bloom": word & 0xFFFF,
+                            "blk_fence_at_access": (word >> 30) & 0x3F,
+                            "dev_fence_at_access": (word >> 36) & 0x3F,
+                            "blk_fence_now": ff_prev[0].value if ff_prev else 0,
+                            "dev_fence_now": ff_prev[1].value if ff_prev else 0,
+                            "barrier_at_access": (word >> 22) & 0xFF,
+                        },
+                        "barrier_now": barrier_now,
+                        "block_shared": bool(md_blkshared),
+                        "device_shared": bool(md_devshared),
+                    })
         else:
             # Software-cache tag mismatch: the slot holds a *neighbouring*
             # granule's metadata.  No check is possible — a race here can

@@ -35,6 +35,13 @@ from __future__ import annotations
 import os
 from typing import Optional
 
+from repro.telemetry.flight import (
+    FLIGHT_SCHEMA,
+    NULL_FLIGHT,
+    FlightConfig,
+    FlightRecorder,
+    NullFlightRecorder,
+)
 from repro.telemetry.metrics import (
     MetricsRegistry,
     canonical_counter_name,
@@ -61,6 +68,11 @@ __all__ = [
     "TraceConfig",
     "MetricsRegistry",
     "PhaseProfiler",
+    "FlightConfig",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "FLIGHT_SCHEMA",
+    "NULL_FLIGHT",
     "NULL_TRACER",
     "WALL_PID",
     "SIM_PID",
@@ -76,12 +88,31 @@ __all__ = [
 class Telemetry:
     """The bundle every layer receives: tracer + metrics + profiler."""
 
-    def __init__(self, trace: Optional[TraceConfig] = None):
+    def __init__(
+        self,
+        trace: Optional[TraceConfig] = None,
+        flight: Optional[FlightConfig] = None,
+    ):
         config = trace if trace is not None else TraceConfig()
         self.tracer: Tracer = Tracer(config) if config.enabled else NULL_TRACER
         self.metrics = MetricsRegistry()
         self.profiler = PhaseProfiler()
         self.metrics.register_collector(self.profiler.collect_metrics)
+        # Optional flight recorder (see repro.telemetry.flight).  When
+        # absent this is the shared NULL recorder, and the engine installs
+        # no capture wrapper — the hot path stays the uninstrumented fast
+        # path.
+        self.flight: FlightRecorder = (
+            FlightRecorder(flight) if flight is not None else NULL_FLIGHT
+        )
+        if self.flight.enabled:
+            # The collector reads through self.flight so callers that
+            # swap in a fresh per-unit recorder (the Runner does) keep
+            # the export pointed at the live one.
+            self.metrics.register_collector(
+                lambda: self.flight.collect_metrics(),
+                key="telemetry.flight",
+            )
 
     @property
     def enabled(self) -> bool:
@@ -103,12 +134,15 @@ class Telemetry:
         self,
         trace_path: Optional[str] = None,
         metrics_path: Optional[str] = None,
+        flight_path: Optional[str] = None,
     ) -> list:
         """Write the run's artifacts; returns the paths written.
 
         *trace_path* receives the Chrome trace JSON plus a sibling
         ``.jsonl`` stream; *metrics_path* receives the Prometheus text
-        exposition plus a sibling ``.json`` document.
+        exposition plus a sibling ``.json`` document; *flight_path*
+        receives the flight recorder's JSONL event log (when capture is
+        enabled).
         """
         written = []
         if trace_path:
@@ -117,6 +151,9 @@ class Telemetry:
             jsonl = os.path.splitext(os.fspath(trace_path))[0] + ".jsonl"
             self.tracer.write_jsonl(jsonl)
             written.append(jsonl)
+        if flight_path and self.flight.enabled:
+            self.flight.write_jsonl(flight_path)
+            written.append(os.fspath(flight_path))
         if metrics_path:
             self.metrics.write_prometheus(metrics_path)
             written.append(os.fspath(metrics_path))

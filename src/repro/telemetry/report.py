@@ -60,6 +60,35 @@ def top_counters(
     return lines
 
 
+#: metric families rendered as their own dashboard blocks (the generic
+#: top-counters table buries small-but-important families under engine
+#: counters that count in the millions)
+_FAMILY_TITLES = {
+    "fuzz": "fuzz campaign (fuzz.*):",
+    "flight": "flight recorder (flight.*):",
+    "forensics": "race forensics (forensics.*):",
+}
+
+
+def family_counters(
+    metrics: Dict[str, float], family: str
+) -> List[str]:
+    """All counters of one dotted family, rendered like top_counters."""
+    prefix = family + "."
+    rows = sorted(
+        (name, value) for name, value in metrics.items()
+        if name == family or name.startswith(prefix)
+    )
+    if not rows:
+        return []
+    width = max(len(name) for name, _value in rows)
+    lines = []
+    for name, value in rows:
+        rendered = f"{value:,.0f}" if value == int(value) else f"{value:,.4f}"
+        lines.append(f"  {name:<{width}}  {rendered:>16}")
+    return lines
+
+
 def phase_breakdown(events: List[dict], top: int = 15) -> List[str]:
     totals: Dict[str, dict] = {}
     for event in events:
@@ -169,6 +198,12 @@ def render_dashboard(
         sections.append("")
         sections.append(f"top {min(top, len(metric_values))} counters:")
         sections.extend(top_counters(metric_values, top=top))
+        for family, title in _FAMILY_TITLES.items():
+            block = family_counters(metric_values, family)
+            if block:
+                sections.append("")
+                sections.append(title)
+                sections.extend(block)
     if trace is not None:
         events = _events_of(trace)
         sections.append("")
@@ -181,6 +216,35 @@ def render_dashboard(
         sections.append("simulated-cycles counter timelines:")
         sections.extend(counter_timelines(events, width=width))
     if manifest is not None:
+        forensics = manifest.get("forensics")
+        if forensics:
+            sections.append("")
+            sections.append("forensics (from manifest):")
+            sections.append(
+                f"  {forensics.get('units_captured', 0)} unit(s) captured "
+                f"({forensics.get('flight_mode', '?')} mode), "
+                f"{forensics.get('bundles', 0)} bundle(s), "
+                f"{forensics.get('rule_agreement', 0)} agreeing with "
+                "the static rule"
+            )
+            for race_type, count in sorted(
+                (forensics.get("units_by_race_type") or {}).items()
+            ):
+                sections.append(f"    {race_type:<24} {count}")
+            if forensics.get("dir"):
+                sections.append(f"  bundles under {forensics['dir']}")
+        per_worker = (manifest.get("pool") or {}).get("per_worker")
+        if per_worker:
+            sections.append("")
+            sections.append("pool workers:")
+            for worker_id, entry in sorted(per_worker.items()):
+                state = "alive" if entry.get("alive") else "retired"
+                sections.append(
+                    f"  worker {worker_id}: {entry.get('units_served', 0)} "
+                    f"unit(s), {entry.get('heartbeats_seen', 0)} "
+                    f"heartbeat(s), {entry.get('lifetime_seconds', 0)}s "
+                    f"({state})"
+                )
         phases = (manifest.get("profile") or {}).get("phases")
         if phases:
             sections.append("")

@@ -1,0 +1,95 @@
+"""Tier-2: forensic bundles agree with scolint on every injected race.
+
+The cross-validation suite injects 44 known races (18 racey micros plus
+26 application race flags).  This replays each one dynamically under a
+full-capture flight recorder and asserts, per detected race, the full
+forensic contract from :func:`repro.forensics.smoke.check_bundles`:
+
+* one bundle per unique race, naming both racing accesses;
+* the severed happens-before edge matches the catalog entry for the
+  race type;
+* the bundle's scolint rule equals ``RULE_FOR_TYPE`` — and, where the
+  static pass also caught the race, the rule really appears among the
+  lint findings for the same target.
+"""
+
+import pytest
+
+from repro.arch.detector_config import DetectorConfig
+from repro.forensics import bundles_for_gpu
+from repro.forensics.smoke import check_bundles
+from repro.scolint.crossval import _split_target, _suite_cases
+from repro.scolint.model import RULE_FOR_TYPE
+from repro.scolint.suite import lint_app, lint_micro
+from repro.scord.races import RaceType
+from repro.telemetry import FlightConfig, Telemetry, TraceConfig
+
+pytestmark = pytest.mark.tier2
+
+#: every cross-validation case with a race injected by construction
+CASES = [case for case in _suite_cases() if case.expected_types]
+
+#: Table VI's one known dynamic miss (43/44): the schedule does not
+#: always drive the racing steal, so ScoRD may legitimately see no race
+#: — there is then nothing to explain, and that is the pinned behavior
+#: (see tests/test_scor/test_apps_races.py KNOWN_SCORD_FALSE_NEGATIVES).
+KNOWN_DYNAMIC_MISSES = {"app:UTS+block_exch_global"}
+
+
+def _run_captured(target):
+    from repro.scor.apps.base import run_app
+    from repro.scor.apps.registry import app_by_name
+    from repro.scor.micro.base import run_micro
+    from repro.scor.micro.registry import micro_by_name
+
+    telemetry = Telemetry(
+        TraceConfig(enabled=False), flight=FlightConfig(mode="full")
+    )
+    kind, name, flag = _split_target(target)
+    if kind == "micro":
+        return run_micro(
+            micro_by_name(name),
+            detector_config=DetectorConfig.scord(),
+            telemetry=telemetry,
+        )
+    app = app_by_name(name)(races=(flag,) if flag else ())
+    return run_app(
+        app, detector_config=DetectorConfig.scord(), telemetry=telemetry
+    )
+
+
+def _lint(target):
+    from repro.scor.apps.registry import app_by_name
+    from repro.scor.micro.registry import micro_by_name
+
+    kind, name, flag = _split_target(target)
+    if kind == "micro":
+        return lint_micro(micro_by_name(name))
+    return lint_app(app_by_name(name), races=(flag,) if flag else ())
+
+
+def test_suite_injects_exactly_44_races():
+    assert len(CASES) == 44
+
+
+@pytest.mark.parametrize(
+    "case", CASES, ids=[case.target for case in CASES]
+)
+def test_bundles_agree_with_scolint(case):
+    gpu = _run_captured(case.target)
+    if case.target in KNOWN_DYNAMIC_MISSES and not gpu.races.unique_races:
+        assert bundles_for_gpu(gpu, source=case.target) == []
+        return
+    failures = check_bundles(case.target, gpu, case.expected_types)
+    assert failures == [], "\n".join(failures)
+
+    bundles = bundles_for_gpu(gpu, source=case.target)
+    lint_result = _lint(case.target)
+    static_rules = {finding.rule for finding in lint_result.findings}
+    for bundle in bundles:
+        race_type = RaceType(bundle["race"]["type"])
+        assert bundle["hb"]["scolint_rule"] == RULE_FOR_TYPE[race_type]
+        if race_type in lint_result.race_types:
+            # scolint caught the same race statically — the bundle's
+            # cross-referenced rule must be among its actual findings.
+            assert bundle["hb"]["scolint_rule"] in static_rules

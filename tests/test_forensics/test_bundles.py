@@ -1,0 +1,165 @@
+"""Forensic bundles built from real captured runs."""
+
+import json
+
+import pytest
+
+from repro.arch.detector_config import DetectorConfig
+from repro.forensics import (
+    FORENSICS_SCHEMA,
+    bundle_from_disagreement,
+    bundles_for_gpu,
+    canonical_bundles_json,
+    forensics_summary,
+    render_bundle,
+    write_bundles,
+)
+from repro.scor.micro.base import run_micro
+from repro.scor.micro.registry import micro_by_name
+from repro.telemetry import FlightConfig, Telemetry, TraceConfig
+
+
+def _captured_run(name):
+    telemetry = Telemetry(
+        TraceConfig(enabled=False), flight=FlightConfig(mode="full")
+    )
+    gpu = run_micro(
+        micro_by_name(name),
+        detector_config=DetectorConfig.scord(),
+        telemetry=telemetry,
+    )
+    return gpu
+
+
+@pytest.fixture(scope="module")
+def fence_bundles():
+    gpu = _captured_run("fence_missing_cross_block")
+    return bundles_for_gpu(gpu, source="test:fence_missing_cross_block")
+
+
+class TestBundleShape:
+    def test_schema_and_source(self, fence_bundles):
+        assert fence_bundles
+        for bundle in fence_bundles:
+            assert bundle["schema"] == FORENSICS_SCHEMA
+            assert bundle["source"] == "test:fence_missing_cross_block"
+
+    def test_names_both_accesses(self, fence_bundles):
+        bundle = fence_bundles[0]
+        assert bundle["accesses"]["current"] is not None
+        assert bundle["accesses"]["previous"] is not None
+
+    def test_names_the_severed_edge(self, fence_bundles):
+        bundle = fence_bundles[0]
+        assert bundle["race"]["type"] == "missing-device-fence"
+        assert bundle["hb"]["edge"] == "device-fence"
+        assert bundle["hb"]["scolint_rule"] == "SL-F1"
+        assert bundle["hb"]["rule_agrees"] is True
+
+    def test_carries_a_trace_slice(self, fence_bundles):
+        slice_ = fence_bundles[0]["trace_slice"]
+        assert slice_
+        # The slice ends at the race verdict itself.
+        assert slice_[-1]["kind"] == "race"
+
+    def test_narrative_mentions_edge_and_rule(self, fence_bundles):
+        narrative = fence_bundles[0]["narrative"]
+        assert "severed happens-before edge" in narrative
+        assert "SL-F1" in narrative
+
+    def test_render_includes_trace_table(self, fence_bundles):
+        text = render_bundle(fence_bundles[0])
+        assert "trace slice" in text
+        text = render_bundle(fence_bundles[0], with_trace=False)
+        assert "trace slice" not in text
+
+
+class TestBundleCollections:
+    def test_requires_a_captured_gpu(self):
+        gpu = run_micro(
+            micro_by_name("fence_missing_cross_block"),
+            detector_config=DetectorConfig.scord(),
+        )
+        with pytest.raises(ValueError):
+            bundles_for_gpu(gpu, source="test")
+
+    def test_write_bundles_layout(self, fence_bundles, tmp_path):
+        written = write_bundles(fence_bundles, tmp_path)
+        index = json.loads((tmp_path / "index.json").read_text())
+        assert index["schema"] == FORENSICS_SCHEMA
+        assert len(index["bundles"]) == len(fence_bundles)
+        for entry in index["bundles"]:
+            assert (tmp_path / entry["file"]).exists()
+        # every bundle gets a narrative .txt twin, plus the index
+        assert len(written) == 2 * len(fence_bundles) + 1
+
+    def test_summary_counts(self, fence_bundles):
+        summary = forensics_summary(fence_bundles)
+        assert summary["bundles"] == len(fence_bundles)
+        assert summary["rule_agreement"] == len(fence_bundles)
+
+    def test_canonical_json_is_deterministic(self, fence_bundles):
+        first = canonical_bundles_json(fence_bundles)
+        second = canonical_bundles_json(list(fence_bundles))
+        assert first == second
+        payload = json.loads(first)
+        for entry in payload["bundles"]:
+            assert "cycle" not in entry["race"]
+            assert "trace_slice" not in entry
+
+
+class TestFuzzBundles:
+    def test_bundle_from_disagreement(self):
+        bundle = bundle_from_disagreement({
+            "kind": "dynamic-miss",
+            "detail": "static flagged, dynamic silent",
+            "digest": "abc123",
+            "shrunk_describe": "W(d0) F(dev) R(d0)",
+            "static": {"types": ["missing-device-fence"]},
+            "dynamic": {"types": []},
+        })
+        assert bundle["schema"] == FORENSICS_SCHEMA
+        assert bundle["source"] == "fuzz"
+        assert bundle["hb_candidates"]
+        assert bundle["hb_candidates"][0]["scolint_rule"] == "SL-F1"
+        assert "dynamic-miss" in bundle["narrative"]
+
+    def test_disagreement_bundles_write(self, tmp_path):
+        bundle = bundle_from_disagreement({
+            "kind": "static-miss", "detail": "d", "digest": "x",
+            "shrunk_describe": "p",
+            "static": {"types": []}, "dynamic": {"types": ["lock"]},
+        })
+        write_bundles([bundle], tmp_path, prefix="fuzz")
+        index = json.loads((tmp_path / "fuzzindex.json").read_text())
+        assert index["bundles"][0]["kind"] == "static-miss"
+
+
+class TestNotStrongCapture:
+    """The hardest race class: NOT_STRONG needs a handoff whose previous
+    accessor fenced *after* its access while one side stays plain."""
+
+    def test_weak_poll_micro_yields_not_strong(self):
+        from repro.forensics.smoke import check_bundles, weak_poll_micro
+        from repro.scord.races import RaceType
+
+        micro = weak_poll_micro()
+        telemetry = Telemetry(
+            TraceConfig(enabled=False), flight=FlightConfig(mode="full")
+        )
+        gpu = run_micro(
+            micro, detector_config=DetectorConfig.scord(),
+            telemetry=telemetry,
+        )
+        failures = check_bundles(
+            "micro:weak_poll_consumer", gpu, {RaceType.NOT_STRONG}
+        )
+        assert failures == []
+        bundles = bundles_for_gpu(gpu, source="test")
+        types = {b["race"]["type"] for b in bundles}
+        assert "not-strong" in types
+        strong_bundle = next(
+            b for b in bundles if b["race"]["type"] == "not-strong"
+        )
+        assert strong_bundle["hb"]["edge"] == "strong-access"
+        assert strong_bundle["hb"]["scolint_rule"] == "SL-S1"

@@ -1,0 +1,79 @@
+"""Golden-bundle regression tests: forensic explanations, pinned.
+
+Each fixture under ``golden/`` is the canonical forensic bundle export
+(:func:`repro.forensics.canonical_bundles_json`) for one anchor
+microbenchmark captured under full-mode flight recording with full
+ScoRD, committed to the repository.  The test replays the micro and
+compares the export *bit for bit* — any change in the reconstructed
+accesses, the severed happens-before edge, the scolint
+cross-reference, or the narrative fails loudly instead of drifting
+silently.  (Cycle numbers and trace slices are excluded from the
+canonical form, so the fixtures are stable across timing-neutral
+refactors; see ``canonical_bundles_json``.)
+
+If a change legitimately alters the forensic output, regenerate with::
+
+    PYTHONPATH=src python tests/test_forensics/test_golden_bundles.py
+
+which rewrites the fixtures in place; the diff then documents the drift.
+"""
+
+import os
+
+import pytest
+
+from repro.arch.detector_config import DetectorConfig
+from repro.forensics import bundles_for_gpu, canonical_bundles_json
+from repro.scor.micro.base import run_micro
+from repro.scor.micro.registry import micro_by_name
+from repro.telemetry import FlightConfig, Telemetry, TraceConfig
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+#: one anchor per HB-edge family (device fence / scoped atomic / handoff)
+GOLDEN_MICROS = (
+    "fence_missing_cross_block",
+    "atomic_block_scope_cross_block",
+    "atomic_then_unfenced_load",
+)
+
+
+def _export(name) -> str:
+    telemetry = Telemetry(
+        TraceConfig(enabled=False), flight=FlightConfig(mode="full")
+    )
+    gpu = run_micro(
+        micro_by_name(name),
+        detector_config=DetectorConfig.scord(),
+        telemetry=telemetry,
+    )
+    bundles = bundles_for_gpu(gpu, source=f"golden:micro:{name}")
+    return canonical_bundles_json(bundles)
+
+
+@pytest.mark.parametrize("name", GOLDEN_MICROS)
+def test_bundles_match_golden_fixture(name):
+    path = os.path.join(GOLDEN_DIR, name + ".json")
+    with open(path, "r") as handle:
+        golden = handle.read()
+    exported = _export(name)
+    assert exported == golden, (
+        f"{name}: forensic bundle export drifted from the committed "
+        f"golden fixture {path}.\n--- golden ---\n{golden}\n"
+        f"--- current ---\n{exported}\nIf the change is intentional, "
+        "regenerate the fixtures (see module docstring)."
+    )
+
+
+def test_export_is_deterministic():
+    name = GOLDEN_MICROS[0]
+    assert _export(name) == _export(name)
+
+
+if __name__ == "__main__":  # fixture regeneration entry point
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for name in GOLDEN_MICROS:
+        path = os.path.join(GOLDEN_DIR, name + ".json")
+        with open(path, "w") as handle:
+            handle.write(_export(name))
+        print(f"regenerated {path}")

@@ -1,0 +1,47 @@
+"""The happens-before edge catalog and its scolint cross-reference."""
+
+import pytest
+
+from repro.forensics import EDGE_FOR_TYPE, edge_for, evidence_lines
+from repro.scolint.model import RULE_FOR_TYPE
+from repro.scord.races import RaceType
+
+
+def test_catalog_covers_every_race_type():
+    assert set(EDGE_FOR_TYPE) == set(RaceType)
+
+
+@pytest.mark.parametrize("race_type", list(RaceType))
+def test_edge_rule_matches_scolint_classification(race_type):
+    edge = edge_for(race_type)
+    assert edge.race_type is race_type
+    assert edge.scolint_rule == RULE_FOR_TYPE[race_type]
+    payload = edge.as_dict()
+    assert payload["rule_agrees"] is True
+    assert payload["scolint_rule"] == RULE_FOR_TYPE[race_type]
+    # Every edge names what was severed and how to repair it.
+    assert payload["severed"]
+    assert payload["repair"]
+
+
+def test_edge_names_are_distinct():
+    names = [edge.name for edge in EDGE_FOR_TYPE.values()]
+    assert len(names) == len(set(names))
+
+
+def test_evidence_narrates_fence_counters():
+    prov = {
+        "current": {},
+        "previous": {
+            "blk_fence_at_access": 0, "dev_fence_at_access": 0,
+            "blk_fence_now": 1, "dev_fence_now": 0,
+        },
+    }
+    lines = evidence_lines(RaceType.SCOPED_FENCE, prov)
+    assert any("too narrow" in line for line in lines)
+    assert any("block=0 device=0" in line for line in lines)
+
+
+def test_evidence_tolerates_missing_provenance():
+    assert evidence_lines(RaceType.LOCK, None) == []
+    assert evidence_lines(RaceType.LOCK, {}) is not None

@@ -1,0 +1,194 @@
+"""Unit tests for the flight recorder (repro.telemetry.flight)."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    FLIGHT_SCHEMA,
+    NULL_FLIGHT,
+    FlightConfig,
+    FlightRecorder,
+    Telemetry,
+    TraceConfig,
+)
+
+
+def _fill(recorder, count, block=0, warp=0, addr=0x10):
+    for i in range(count):
+        recorder.record_access(
+            cycle=i, kind="st", block_id=block, warp_id=warp,
+            addr=addr, strong=True, scope=None, pc=("k", 1),
+            array="data", lane_id=0,
+        )
+
+
+class TestFlightConfig:
+    def test_defaults(self):
+        config = FlightConfig()
+        assert config.mode == "ring"
+        assert config.capacity == 65536
+        assert config.sample_interval == 1
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            FlightConfig(mode="circular")
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            FlightConfig(capacity=0)
+
+    def test_rejects_bad_sample_interval(self):
+        with pytest.raises(ValueError):
+            FlightConfig(sample_interval=0)
+
+    def test_dict_roundtrip(self):
+        config = FlightConfig(mode="full", capacity=128, sample_interval=4)
+        assert FlightConfig.from_dict(config.to_dict()) == config
+
+
+class TestRingMode:
+    def test_ring_evicts_oldest(self):
+        recorder = FlightRecorder(FlightConfig(mode="ring", capacity=8))
+        _fill(recorder, 20)
+        assert len(recorder.events) == 8
+        assert recorder.recorded == 20
+        assert recorder.dropped == 12
+        # The survivors are the newest events.
+        assert [e.cycle for e in recorder.snapshot()] == list(range(12, 20))
+
+    def test_full_mode_keeps_everything(self):
+        recorder = FlightRecorder(FlightConfig(mode="full"))
+        _fill(recorder, 20)
+        assert len(recorder.events) == 20
+        assert recorder.dropped == 0
+
+    def test_sampling_skips_plain_accesses(self):
+        recorder = FlightRecorder(
+            FlightConfig(mode="full", sample_interval=4)
+        )
+        _fill(recorder, 16)
+        assert recorder.recorded == 4
+        assert recorder.sampled_out == 12
+
+    def test_sync_events_never_sampled_out(self):
+        recorder = FlightRecorder(
+            FlightConfig(mode="full", sample_interval=100)
+        )
+        for i in range(10):
+            recorder.record_sync(i, "fence", 0, 0, scope="device")
+        assert recorder.recorded == 10
+        assert recorder.sampled_out == 0
+
+
+class TestSlicing:
+    def test_slice_by_addr_and_warp(self):
+        recorder = FlightRecorder(FlightConfig(mode="full"))
+        _fill(recorder, 3, block=0, warp=0, addr=0x10)
+        _fill(recorder, 3, block=1, warp=0, addr=0x99)
+        got = recorder.slice_for(addr=0x10)
+        assert all(e.addr == 0x10 for e in got)
+        got = recorder.slice_for(warps=[(1, 0)])
+        assert all(e.block_id == 1 for e in got)
+
+    def test_slice_until_and_limit(self):
+        recorder = FlightRecorder(FlightConfig(mode="full"))
+        _fill(recorder, 50)
+        got = recorder.slice_for(addr=0x10, until=30, limit=5)
+        assert len(got) == 5
+        assert all(e.cycle <= 30 for e in got)
+
+    def test_last_sync_prefers_latest(self):
+        recorder = FlightRecorder(FlightConfig(mode="full"))
+        recorder.record_sync(5, "fence", 0, 0, scope="block")
+        recorder.record_sync(9, "fence", 0, 0, scope="device")
+        recorder.record_sync(12, "fence", 1, 0, scope="device")
+        found = recorder.last_sync_for(0, 0)
+        assert found is not None and found.cycle == 9
+
+    def test_last_sync_counts_block_wide_barriers(self):
+        recorder = FlightRecorder(FlightConfig(mode="full"))
+        recorder.record_sync(7, "barrier", 3, -1)
+        found = recorder.last_sync_for(3, 0)
+        assert found is not None and found.kind == "barrier"
+
+
+class TestExport:
+    def test_jsonl_header_and_events(self, tmp_path):
+        recorder = FlightRecorder(FlightConfig(mode="full"))
+        _fill(recorder, 3)
+        recorder.record_race(9, {"block": 0, "warp": 0, "addr": 0x10})
+        path = tmp_path / "flight.jsonl"
+        recorder.write_jsonl(path)
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["schema"] == FLIGHT_SCHEMA
+        assert lines[0]["recorded"] == 4
+        assert len(lines) == 5
+        assert lines[-1]["kind"] == "race"
+
+    def test_chrome_events_are_instants(self):
+        recorder = FlightRecorder(FlightConfig(mode="full"))
+        _fill(recorder, 2)
+        events = recorder.chrome_events()
+        assert all(e["ph"] == "i" and e["cat"] == "flight" for e in events)
+        assert [e["ts"] for e in events] == [0, 1]
+
+    def test_collect_metrics_names(self):
+        recorder = FlightRecorder(FlightConfig(mode="ring", capacity=4))
+        _fill(recorder, 6)
+        recorder.record_race(9, {})
+        metrics = recorder.collect_metrics()
+        assert metrics["flight.events.recorded"] == 7.0
+        assert metrics["flight.events.dropped"] == 3.0
+        assert metrics["flight.races"] == 1.0
+
+
+class TestNullRecorder:
+    def test_null_records_nothing(self):
+        NULL_FLIGHT.record_access(
+            cycle=0, kind="st", block_id=0, warp_id=0, addr=0,
+            strong=True, scope=None, pc=None, array=None, lane_id=0,
+        )
+        NULL_FLIGHT.record_sync(0, "fence", 0, 0)
+        NULL_FLIGHT.record_race(0, {})
+        assert NULL_FLIGHT.recorded == 0
+        assert not NULL_FLIGHT.enabled
+
+    def test_telemetry_defaults_to_null(self):
+        telemetry = Telemetry(TraceConfig(enabled=False))
+        assert telemetry.flight is NULL_FLIGHT
+
+    def test_engine_installs_no_capture_without_flight(self):
+        from repro.arch.detector_config import DetectorConfig
+        from repro.scor.micro.base import run_micro
+        from repro.scor.micro.registry import micro_by_name
+
+        gpu = run_micro(
+            micro_by_name("fence_missing_cross_block"),
+            detector_config=DetectorConfig.scord(),
+        )
+        assert gpu.flight_capture is None
+
+
+class TestTelemetryIntegration:
+    def test_collector_follows_recorder_swap(self):
+        telemetry = Telemetry(
+            TraceConfig(enabled=False), flight=FlightConfig(mode="full")
+        )
+        _fill(telemetry.flight, 3)
+        assert telemetry.metrics.snapshot()["flight.events.recorded"] == 3.0
+        # The Runner swaps in a fresh per-unit recorder; the registered
+        # collector must read through to the live one.
+        telemetry.flight = FlightRecorder(FlightConfig(mode="full"))
+        _fill(telemetry.flight, 1)
+        assert telemetry.metrics.snapshot()["flight.events.recorded"] == 1.0
+
+    def test_export_writes_flight_jsonl(self, tmp_path):
+        telemetry = Telemetry(
+            TraceConfig(enabled=False), flight=FlightConfig(mode="full")
+        )
+        _fill(telemetry.flight, 2)
+        path = tmp_path / "flight.jsonl"
+        written = telemetry.export(flight_path=path)
+        assert str(path) in written
+        assert path.exists()
