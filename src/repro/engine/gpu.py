@@ -49,6 +49,7 @@ class GPU:
         sample_interval: int = 0,
         guard=None,
         telemetry=None,
+        schedule_control=None,
     ):
         self.config = config if config is not None else GPUConfig.scaled_default()
         self.detector_config = (
@@ -104,6 +105,11 @@ class GPU:
         # Optional watchdog (see repro.common.guard): wall-clock deadline
         # and event-budget limits enforced from inside the event loop.
         self.guard = guard
+        # Optional schedule control (see repro.mc.control): hands every
+        # warp-step pop decision to a model-checking explorer.  Persists
+        # across launches so one control observes a whole multi-kernel
+        # program as a single decision stream.
+        self.schedule_control = schedule_control
         # Optional telemetry bundle (see repro.telemetry): binds the
         # stats bag and hardware-structure gauges into the metrics
         # registry and traces launches as kernel spans.
@@ -233,6 +239,7 @@ class GPU:
             self._next_warp_uid,
             guard=self.guard,
             tracer=tracer,
+            schedule_control=self.schedule_control,
         )
         end_cycle = run.run()
         self._next_warp_uid = run._next_warp_uid

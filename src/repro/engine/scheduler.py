@@ -186,6 +186,7 @@ class KernelRun:
         warp_uid_base: int,
         guard: Optional[Watchdog] = None,
         tracer=None,
+        schedule_control=None,
     ):
         config = pipeline.config
         if block_dim <= 0 or grid <= 0:
@@ -225,6 +226,10 @@ class KernelRun:
         # sampling is on, every Nth issue of each warp emits an instant
         # event on the warp's simulated-cycles track.
         self.tracer = tracer
+        # Schedule-decision hook (repro.mc.control.ScheduleControl): when
+        # set, run() hands every pop decision to the control instead of
+        # draining the event queue in time order.
+        self.schedule_control = schedule_control
         self._step_interval = (
             tracer.config.warp_step_interval
             if tracer is not None and tracer.enabled
@@ -645,9 +650,8 @@ class KernelRun:
         return watch
 
     # ------------------------------------------------------------------
-    def run(self) -> int:
-        """Execute to completion; returns the launch's end cycle."""
-        self._fill_sms(self.start_cycle)
+    def _budget_and_watcher(self):
+        """(event budget, watcher, watch interval) for either run loop."""
         budget = self.config.max_spin_iterations
         watcher = None
         watch_interval = 4096
@@ -657,9 +661,56 @@ class KernelRun:
             watch_interval = self.guard.config.check_interval
             self.guard.start()
             watcher = self._watcher(self.guard)
+        return budget, watcher, watch_interval
+
+    def run(self) -> int:
+        """Execute to completion; returns the launch's end cycle."""
+        if self.schedule_control is not None:
+            return self._run_controlled()
+        self._fill_sms(self.start_cycle)
+        budget, watcher, watch_interval = self._budget_and_watcher()
         processed = self.events.run(
             max_events=budget, watcher=watcher, watch_interval=watch_interval
         )
+        return self._post_run(processed, budget)
+
+    def _run_controlled(self) -> int:
+        """Execute with every scheduling decision made by the control.
+
+        Each pending event is one warp's next step (the queue holds
+        nothing else), so "which entry to pop" is exactly "which warp
+        steps next".  The control picks an index into the raw heap list;
+        controlled mode scans every entry rather than relying on heap
+        order, so swap-with-last removal is safe and the list need not
+        stay a valid heap.  Simulated time is clamped monotonic: running
+        a later-scheduled warp early pulls its event forward to ``now``.
+        """
+        control = self.schedule_control
+        self._fill_sms(self.start_cycle)
+        budget, watcher, watch_interval = self._budget_and_watcher()
+        control.begin_launch(self)
+        events = self.events
+        heap = events._heap
+        processed = 0
+        while heap:
+            index = control.select(heap)
+            time, _seq, callback = heap[index]
+            last = heap.pop()
+            if index < len(heap):
+                heap[index] = last
+            if time < events.now:
+                time = events.now
+            events.now = time
+            callback(time)
+            control.commit(time)
+            processed += 1
+            if watcher is not None and processed % watch_interval == 0:
+                watcher(events.now, processed)
+            if budget and processed >= budget:
+                break
+        return self._post_run(processed, budget)
+
+    def _post_run(self, processed: int, budget: int) -> int:
         self.events_processed = processed
         if not self.events.empty:
             report = self.hang_report(processed)

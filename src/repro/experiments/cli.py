@@ -330,6 +330,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "stderr with per-target verdicts, and record them in the "
         "manifest (findings never block the campaign)",
     )
+    parser.add_argument(
+        "--mc",
+        action="store_true",
+        help="after the exhibits, upgrade each simulated (app, flags) "
+        "configuration's verdict with a bounded DPOR schedule "
+        "exploration (repro.mc); verdicts land in the manifest's 'mc' "
+        "section.  Expensive: each config re-simulates under up to "
+        "--mc-budget controlled schedules",
+    )
+    parser.add_argument(
+        "--mc-budget",
+        type=int,
+        default=4,
+        metavar="N",
+        help="schedules per configuration for --mc (default 4: the "
+        "fair schedule + unfairness probes)",
+    )
     return parser
 
 
@@ -450,9 +467,57 @@ def _build_pool(args, jobs, telemetry=None, flight=None):
     return supervisor, fault_plan
 
 
+def _mc_section(runner, budget, quiet, telemetry=None):
+    """Campaign verdict upgrade: bounded DPOR exploration per config.
+
+    One exploration per unique (app, enabled-flags) pair the campaign
+    simulated — detector and memory-preset variants of the same
+    configuration share one schedule space, so they share one verdict.
+    """
+    from repro.mc import explorer
+    from repro.mc.targets import resolve_target
+
+    pairs = sorted({
+        (record.app, tuple(sorted(record.races_enabled)))
+        for record in runner.records()
+    })
+    section = {"budget": budget, "targets": {}}
+    for app, races in pairs:
+        label = f"app:{app}" + ("+" + "+".join(races) if races else "")
+        try:
+            target = resolve_target(label)
+            report = explorer.explore(
+                target, budget=budget, stop_on_race=True,
+                telemetry=telemetry,
+            )
+        except ReproError as err:
+            section["targets"][label] = {
+                "verdict": "error",
+                "error": f"{error_code(err)}: {err}",
+            }
+            continue
+        section["targets"][label] = {
+            "verdict": report["verdict"],
+            "racy": report["racy"],
+            "race_types": report["race_types"],
+            "schedules_explored": report["schedules_explored"],
+            "schedules_pruned": report["schedules_pruned"],
+            "prune_ratio": report["prune_ratio"],
+        }
+        if not quiet:
+            print(
+                f"[mc] {label}: {report['verdict']}"
+                + (f" ({', '.join(report['race_types'])})"
+                   if report["race_types"] else ""),
+                file=sys.stderr,
+            )
+    return section
+
+
 def _write_manifest(
     path, wanted, exhibit_errors, runner, elapsed_seconds, telemetry=None,
     lint_section=None, pool_section=None, forensics_section=None,
+    mc_section=None,
 ) -> None:
     from repro.experiments.store import SCHEMA_VERSION, atomic_write_json
 
@@ -498,6 +563,8 @@ def _write_manifest(
         payload["pool"] = pool_section
     if forensics_section is not None:
         payload["forensics"] = forensics_section
+    if mc_section is not None:
+        payload["mc"] = mc_section
     atomic_write_json(path, payload)
 
 
@@ -815,6 +882,10 @@ def main(argv=None) -> int:
         from repro.forensics.explain import explain_main
 
         return explain_main(argv[1:])
+    if argv and argv[0] == "mc":
+        from repro.mc.cli import mc_main
+
+        return mc_main(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
 
@@ -834,6 +905,8 @@ def main(argv=None) -> int:
         parser.error("--max-worker-restarts must be >= 0")
     if args.chaos_kill_every < 0:
         parser.error("--chaos-kill-every must be >= 0 (0 = off)")
+    if args.mc_budget < 1:
+        parser.error("--mc-budget must be >= 1")
     if args.chaos_kill_every and args.pool is False:
         parser.error("--chaos-kill-every injects pool faults; remove --no-pool")
     if args.pool is None:
@@ -928,6 +1001,17 @@ def main(argv=None) -> int:
     if campaign_span is not None:
         campaign_span.__exit__(None, None, None)
     elapsed = time.time() - started
+    mc_section = None
+    if args.mc:
+        if telemetry is not None:
+            with telemetry.tracer.span("mc-upgrade", cat="exp"), \
+                    telemetry.profiler.phase("exp.mc"):
+                mc_section = _mc_section(
+                    runner, args.mc_budget, args.quiet, telemetry
+                )
+        else:
+            mc_section = _mc_section(runner, args.mc_budget, args.quiet)
+        elapsed = time.time() - started
     forensics_section = runner.forensics_section()
     if forensics_section is not None and not args.quiet:
         print(
@@ -942,6 +1026,7 @@ def main(argv=None) -> int:
             args.manifest, wanted, exhibit_errors, runner, elapsed,
             telemetry=telemetry, lint_section=lint_section,
             pool_section=pool_section, forensics_section=forensics_section,
+            mc_section=mc_section,
         )
         print(f"[manifest written to {args.manifest}]", file=sys.stderr)
     if telemetry is not None:

@@ -8,7 +8,11 @@ Targets come in three shapes:
   one race-injection flag enabled);
 * a path — a ``forensics-report/v1`` bundle JSON (or an ``index.json``
   / bundle directory written by ``--forensics-out``), rendered without
-  re-simulating anything.
+  re-simulating anything.  An ``mc-report/v1`` file (or a list of
+  them, as ``scord-experiments mc --json-out`` writes) is recognized
+  too: its witness decision vector is replayed through the controlled
+  scheduler, deterministically reproducing the proven race, and the
+  reproduced execution is explained like any live one.
 """
 
 from __future__ import annotations
@@ -77,6 +81,19 @@ def _load_bundles_from_path(path: str) -> List[dict]:
         return _load_bundles_from_path(index)
     with open(path, "r") as handle:
         payload = json.load(handle)
+    if isinstance(payload, list):
+        if payload and all(
+            isinstance(item, dict)
+            and item.get("schema") == "mc-report/v1"
+            for item in payload
+        ):
+            out = []
+            for item in payload:
+                out.extend(_bundles_from_mc_report(item))
+            return out
+        raise ValueError(f"{path!r} is not a forensics bundle or index")
+    if payload.get("schema") == "mc-report/v1":
+        return _bundles_from_mc_report(payload)
     if "narrative" in payload or "race" in payload:
         return [payload]
     if "bundles" in payload:  # an index.json: follow the file references
@@ -87,6 +104,31 @@ def _load_bundles_from_path(path: str) -> List[dict]:
                 out.append(json.load(handle))
         return out
     raise ValueError(f"{path!r} is not a forensics bundle or index")
+
+
+def _bundles_from_mc_report(report: dict) -> List[dict]:
+    """Replay an ``mc-report/v1`` witness; explain the reproduced race.
+
+    A ``proven_race_free`` / ``budget_exhausted`` report carries no
+    witness: the fair schedule is replayed instead, and (by the proof)
+    yields no bundles — the rendering then documents the clean run.
+    Only suite targets replay (``micro:``/``app:``/``litmus:``); a fuzz
+    target's program is not recoverable from its label.
+    """
+    from repro.common.errors import ReproError
+    from repro.mc.report import replay_witness
+    from repro.mc.targets import resolve_target
+
+    try:
+        target = resolve_target(
+            report["target"], detector=report.get("detector", "scord")
+        )
+        gpu = replay_witness(target, report.get("witness"))
+    except ReproError as err:
+        raise ValueError(
+            f"cannot replay mc witness for {report.get('target')!r}: {err}"
+        ) from err
+    return bundles_for_gpu(gpu, source=f"mc-witness:{report['target']}")
 
 
 def _rerun_target(target: str, quiet: bool = True):

@@ -3,6 +3,7 @@
 Examples::
 
     scord-experiments fuzz --count 200 --seed 0
+    scord-experiments fuzz --count 100 --mc        # three-way differential
     scord-experiments fuzz --count 60 --time-budget 120 \
         --corpus tests/corpus/fuzz --json-out fuzz_report.json \
         --metrics-out fuzz_metrics.prom
@@ -54,6 +55,16 @@ def fuzz_main(argv) -> int:
         help="dynamic detector configuration label (default scord)",
     )
     parser.add_argument(
+        "--mc", action="store_true",
+        help="also run the model-checking oracle (bounded DPOR schedule "
+        "enumeration) on every program — three-way differential",
+    )
+    parser.add_argument(
+        "--mc-budget", type=int, default=None, metavar="N",
+        help="schedules per program for the mc oracle "
+        "(default: oracles.DEFAULT_MC_BUDGET; implies --mc)",
+    )
+    parser.add_argument(
         "--json-out", metavar="PATH", default=None,
         help="write the JSON campaign report to PATH "
         "(atomic: temp file + rename)",
@@ -86,12 +97,19 @@ def fuzz_main(argv) -> int:
 
     from repro.experiments.runner import DETECTORS
     from repro.fuzz.differential import fuzz_campaign
+    from repro.fuzz.oracles import DEFAULT_MC_BUDGET
 
     if args.detector not in DETECTORS:
         parser.error(
             f"unknown detector {args.detector!r}: "
             f"use one of {', '.join(sorted(DETECTORS))}"
         )
+    mc = args.mc or args.mc_budget is not None
+    mc_budget = (
+        args.mc_budget if args.mc_budget is not None else DEFAULT_MC_BUDGET
+    )
+    if mc_budget < 1:
+        parser.error("--mc-budget must be >= 1")
 
     telemetry = None
     if args.metrics_out:
@@ -106,6 +124,8 @@ def fuzz_main(argv) -> int:
         time_budget=args.time_budget,
         seeds=sweep,
         detector=args.detector,
+        mc=mc,
+        mc_budget=mc_budget,
         telemetry=telemetry,
     )
 
@@ -147,7 +167,9 @@ def _render(report: dict) -> str:
         f"({report['racy']} racy, {report['race_free']} race-free; "
         f"budget {report['count']}, seed {report['seed']})",
         f"dynamic sweep: detector={report['detector']} "
-        f"seeds={report['sweep_seeds']}",
+        f"seeds={report['sweep_seeds']}"
+        + (f"; mc oracle on (budget {report['mc_budget']})"
+           if report.get("mc") else ""),
         f"rounds: {report['rounds']}"
         + (", time budget exhausted" if report["budget_exhausted"] else ""),
         f"oracle crashes: {report['crashes']}",

@@ -20,8 +20,9 @@ Entry schema (``fuzz-corpus/v1``)::
       "program": {...},                  # fuzz-program/v1
       "ground_truth": {"racy": ..., "expected_types": [...]},
       "static": {...},                   # static_verdict() output
-      "dynamic": {...}                   # dynamic_verdict() output
-    }
+      "dynamic": {...},                  # dynamic_verdict() output
+      "mc": {...}                        # mc_verdict() output (optional:
+    }                                    # only when recorded with mc on)
 """
 
 from __future__ import annotations
@@ -59,9 +60,15 @@ def make_entry(
     detector: str = "scord",
     static: Optional[dict] = None,
     dynamic: Optional[dict] = None,
+    mc: Optional[dict] = None,
 ) -> dict:
-    """Build a corpus entry, computing any verdict not handed in."""
-    return {
+    """Build a corpus entry, computing any verdict not handed in.
+
+    The mc verdict is only recorded when handed in (campaigns run with
+    ``--mc``): unlike the other two oracles it is not computed by
+    default, so mc-free corpora stay byte-identical to before PR 9.
+    """
+    entry = {
         "schema": CORPUS_SCHEMA,
         "digest": program_digest(program),
         "kind": kind,
@@ -73,6 +80,9 @@ def make_entry(
         "dynamic": (dynamic if dynamic is not None
                     else safe_dynamic_verdict(program, seeds, detector)),
     }
+    if mc is not None:
+        entry["mc"] = mc
+    return entry
 
 
 def entry_filename(entry: dict) -> str:
@@ -157,4 +167,18 @@ def replay_entry(entry: dict) -> List[str]:
             f"dynamic verdict drift: recorded {recorded}, "
             f"recomputed {dynamic}"
         )
+    recorded_mc = entry.get("mc")
+    if recorded_mc is not None:
+        from repro.fuzz.oracles import DEFAULT_MC_BUDGET, safe_mc_verdict
+
+        mc = safe_mc_verdict(
+            program,
+            budget=recorded_mc.get("budget", DEFAULT_MC_BUDGET),
+            detector=recorded_mc.get("detector", "scord"),
+        )
+        if canonical_json(mc) != canonical_json(recorded_mc):
+            problems.append(
+                f"mc verdict drift: recorded {recorded_mc}, "
+                f"recomputed {mc}"
+            )
     return problems

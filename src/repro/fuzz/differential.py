@@ -1,9 +1,10 @@
 """The differential fuzz campaign: generate, cross-check, shrink, persist.
 
-:func:`check_program` is the three-way comparison for ONE program:
+:func:`check_program` is the differential comparison for ONE program:
 ground truth (by construction) vs scolint vs dynamic ScoRD under a
-schedule-jitter seed sweep.  It returns ``None`` on agreement or a
-classified disagreement:
+schedule-jitter seed sweep — plus, with ``mc=True``, bounded DPOR
+schedule enumeration (:mod:`repro.mc`) as a third oracle.  It returns
+``None`` on agreement or a classified disagreement:
 
 =======================  ==============================================
 kind                     meaning
@@ -19,9 +20,17 @@ dynamic-unexpected-type  a schedule reports a label outside the
                          expected set (subset match only: a dynamic
                          detector may legitimately see a race through
                          fewer classes than injected)
+mc-false-positive        the explorer found a witness schedule on
+                         provably race-free code
+mc-miss                  the explorer *proved* race-free (exhausted
+                         frontier, no truncation) on racy code — a
+                         ``budget_exhausted`` non-finding is an
+                         abstention, never a disagreement
+mc-unexpected-type       a witness schedule carries a label outside
+                         the expected set (subset match, as dynamic)
 static-crash /           an oracle raised instead of returning; the
-dynamic-crash            exception is the verdict (both oracles are
-                         deterministic, so crashes replay stably)
+dynamic-crash /          exception is the verdict (all oracles are
+mc-crash                 deterministic, so crashes replay stably)
 =======================  ==============================================
 
 :func:`fuzz_campaign` drives hypothesis over the shared strategies in
@@ -44,8 +53,10 @@ from hypothesis import settings as hypothesis_settings
 
 from repro.fuzz.corpus import load_corpus, make_entry, record_entry
 from repro.fuzz.oracles import (
+    DEFAULT_MC_BUDGET,
     DEFAULT_SEEDS,
     safe_dynamic_verdict,
+    safe_mc_verdict,
     safe_static_verdict,
 )
 from repro.fuzz.program import FuzzProgram, program_digest
@@ -58,12 +69,17 @@ def check_program(
     program: FuzzProgram,
     seeds: Sequence[int] = DEFAULT_SEEDS,
     detector: str = "scord",
+    mc: bool = False,
+    mc_budget: int = DEFAULT_MC_BUDGET,
 ) -> Optional[dict]:
-    """Cross-check one program; ``None`` means all three agree."""
+    """Cross-check one program; ``None`` means all oracles agree."""
     expected = {t.value for t in program.expected_types()}
     racy = program.racy
     static = safe_static_verdict(program)
     dynamic = safe_dynamic_verdict(program, seeds, detector)
+    mc_result = (
+        safe_mc_verdict(program, mc_budget, detector) if mc else None
+    )
 
     kind = None
     detail = ""
@@ -71,6 +87,8 @@ def check_program(
         kind, detail = "static-crash", static["error"]
     elif "error" in dynamic:
         kind, detail = "dynamic-crash", dynamic["error"]
+    elif mc_result is not None and "error" in mc_result:
+        kind, detail = "mc-crash", mc_result["error"]
     elif not racy:
         if static["racy"]:
             kind = "static-false-positive"
@@ -79,6 +97,10 @@ def check_program(
             kind = "dynamic-false-positive"
             detail = (f"ScoRD reported {dynamic['types']} on race-free "
                       f"code (seeds {dynamic['seeds']})")
+        elif mc_result is not None and mc_result["racy"]:
+            kind = "mc-false-positive"
+            detail = (f"explorer found a witness schedule reporting "
+                      f"{mc_result['types']} on race-free code")
     else:
         if not static["racy"]:
             kind = "static-miss"
@@ -95,15 +117,29 @@ def check_program(
             kind = "dynamic-unexpected-type"
             detail = (f"ScoRD labeled {dynamic['types']}, outside "
                       f"expected {sorted(expected)}")
+        elif mc_result is not None and not mc_result["racy"]:
+            # Only an outright PROOF of race-freedom on racy code is a
+            # disagreement; a spent budget is an abstention.
+            if mc_result["verdict"] == "proven_race_free":
+                kind = "mc-miss"
+                detail = (f"explorer proved race-free against expected "
+                          f"{sorted(expected)}")
+        elif mc_result is not None and set(mc_result["types"]) - expected:
+            kind = "mc-unexpected-type"
+            detail = (f"explorer labeled {mc_result['types']}, outside "
+                      f"expected {sorted(expected)}")
     if kind is None:
         return None
-    return {
+    result = {
         "kind": kind,
         "detail": detail,
         "digest": program_digest(program),
         "static": static,
         "dynamic": dynamic,
     }
+    if mc_result is not None:
+        result["mc"] = mc_result
+    return result
 
 
 class _Disagreement(Exception):
@@ -124,6 +160,8 @@ def fuzz_campaign(
     time_budget: Optional[float] = None,
     seeds: Sequence[int] = DEFAULT_SEEDS,
     detector: str = "scord",
+    mc: bool = False,
+    mc_budget: int = DEFAULT_MC_BUDGET,
     telemetry=None,
     known_digests: Iterable[str] = (),
 ) -> dict:
@@ -157,7 +195,7 @@ def fuzz_campaign(
             return None
         if digest in memo:
             return memo[digest]
-        result = check_program(program, seeds, detector)
+        result = check_program(program, seeds, detector, mc, mc_budget)
         memo[digest] = result
         tally["racy" if program.racy else "race_free"] += 1
         _count(telemetry, "fuzz.examples")
@@ -221,6 +259,7 @@ def fuzz_campaign(
                 detector=detector,
                 static=found["static"],
                 dynamic=found["dynamic"],
+                mc=found.get("mc"),
             )
             record["corpus_path"] = record_entry(entry, corpus_dir)
             _count(telemetry, "fuzz.corpus_new")
@@ -232,6 +271,8 @@ def fuzz_campaign(
         "seed": seed,
         "sweep_seeds": [int(s) for s in seeds],
         "detector": detector,
+        "mc": bool(mc),
+        "mc_budget": int(mc_budget) if mc else None,
         "examples": len(memo),
         "racy": tally["racy"],
         "race_free": tally["race_free"],

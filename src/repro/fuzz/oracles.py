@@ -1,6 +1,6 @@
 """Run a generated program through each oracle, uniformly.
 
-Both oracles reduce to the same verdict shape so the differential
+All three oracles reduce to the same verdict shape so the differential
 harness can compare them without caring which produced what:
 
 ``{"racy": bool, "types": [race-type value, ...]}``
@@ -10,7 +10,10 @@ scolint pass).  The dynamic verdict is a *seed sweep*: the engine is
 deterministic per schedule, so distinct schedules come from compiling
 the program with distinct jitter seeds (a per-thread compute prologue —
 the memory behaviour, and hence the ground truth, is unchanged) and the
-sweep unions what any schedule surfaced.
+sweep unions what any schedule surfaced.  The mc verdict (PR 9) is a
+bounded DPOR exploration (:mod:`repro.mc`): instead of sampling
+schedules it *enumerates* them, so ``racy`` carries a verdict field
+that says whether the answer is proven or merely budget-limited.
 """
 
 from __future__ import annotations
@@ -22,6 +25,11 @@ from repro.fuzz.program import FuzzProgram, run_program
 
 #: default schedule-jitter sweep (seed 0 = the unperturbed schedule)
 DEFAULT_SEEDS: Tuple[int, ...] = (0, 1, 2)
+
+#: default schedule budget for the mc oracle — small: fuzz programs
+#: are tiny, and the fair + probe schedules plus a few DPOR reversals
+#: usually settle the verdict
+DEFAULT_MC_BUDGET = 24
 
 
 def _config() -> GPUConfig:
@@ -70,6 +78,35 @@ def dynamic_verdict(
     }
 
 
+def mc_verdict(
+    program: FuzzProgram,
+    budget: int = DEFAULT_MC_BUDGET,
+    detector: str = "scord",
+) -> dict:
+    """Bounded DPOR schedule enumeration of *program* (the third
+    oracle).  ``racy=True`` is always conclusive (a witness schedule
+    exists); ``racy=False`` is conclusive only when ``verdict`` is
+    ``proven_race_free`` — ``budget_exhausted`` means the frontier was
+    not drained and the comparison must treat the oracle as abstaining.
+    """
+    from repro.mc.explorer import explore
+    from repro.mc.targets import target_from_program
+
+    target = target_from_program(program, detector=detector)
+    report = explore(target, budget=budget, stop_on_race=True)
+    return {
+        "racy": report["racy"],
+        "types": list(report["race_types"]),
+        "verdict": report["verdict"],
+        "schedules_explored": report["schedules_explored"],
+        "schedules_pruned": report["schedules_pruned"],
+        "prune_ratio": report["prune_ratio"],
+        "errors": report["errors"],
+        "budget": int(budget),
+        "detector": detector,
+    }
+
+
 def _safe(fn, *args, **kwargs) -> dict:
     try:
         return fn(*args, **kwargs)
@@ -96,3 +133,17 @@ def safe_dynamic_verdict(
 ) -> dict:
     """:func:`dynamic_verdict` with crashes folded in (see above)."""
     return _safe(dynamic_verdict, program, seeds, detector)
+
+
+def safe_mc_verdict(
+    program: FuzzProgram,
+    budget: int = DEFAULT_MC_BUDGET,
+    detector: str = "scord",
+) -> dict:
+    """:func:`mc_verdict` with crashes folded in (see above).
+
+    Per-schedule engine aborts are *not* crashes — the explorer folds
+    those into the report's ``errors`` count; only a failure of the
+    exploration machinery itself produces an ``{"error": ...}``
+    verdict."""
+    return _safe(mc_verdict, program, budget, detector)

@@ -1,0 +1,56 @@
+"""Stateless model checking for the simulated GPU (``repro.mc``).
+
+Dynamic ScoRD is schedule-dependent: a race-free verdict from one run
+means "race-free under the schedule we happened to drive".  This
+package upgrades that to *proven* verdicts by enumerating warp
+interleavings: a decision-vector scheduler (:mod:`repro.mc.control`)
+drives the unmodified engine through every scheduling decision, and a
+sleep-set DPOR explorer (:mod:`repro.mc.explorer`) over the scoped
+happens-before relation (:mod:`repro.mc.dpor`) prunes the enumeration
+to the schedules that can actually differ.
+
+Entry points: ``scord-experiments mc`` (:mod:`repro.mc.cli`), the
+``mc`` oracle of the differential fuzzer (:func:`repro.fuzz.oracles.
+mc_verdict`), and :func:`explore` / :func:`resolve_target` directly.
+
+See ``docs/model_checking.md``.
+"""
+
+from repro.mc.control import (
+    FAIR,
+    ChoiceRecord,
+    ScheduleControl,
+    ScheduleDivergence,
+    StepRecord,
+)
+from repro.mc.dpor import ReversibleRace, analyze, covers, naive_estimate
+from repro.mc.explorer import DEFAULT_BUDGET, explore, load_checkpoint
+from repro.mc.report import (
+    MC_REPORT_SCHEMA,
+    canonical_report,
+    render_report,
+    replay_witness,
+)
+from repro.mc.targets import McTarget, resolve_target, target_from_program
+
+__all__ = [
+    "DEFAULT_BUDGET",
+    "FAIR",
+    "MC_REPORT_SCHEMA",
+    "ChoiceRecord",
+    "McTarget",
+    "ReversibleRace",
+    "ScheduleControl",
+    "ScheduleDivergence",
+    "StepRecord",
+    "analyze",
+    "canonical_report",
+    "covers",
+    "explore",
+    "load_checkpoint",
+    "naive_estimate",
+    "render_report",
+    "replay_witness",
+    "resolve_target",
+    "target_from_program",
+]

@@ -1,0 +1,286 @@
+"""Decision-vector schedule control: the engine side of the explorer.
+
+A :class:`ScheduleControl` is handed to :class:`repro.engine.gpu.GPU`
+(``schedule_control=``) and receives every scheduling decision of every
+launch: at each event-queue pop the engine asks :meth:`select` which
+pending warp steps next.  Points where only one warp is runnable are
+forced; points with two or more runnable warps are *choice points*, and
+the chosen warp uid is appended to the control's **decision vector**.
+
+Replaying a recorded vector (``prefix=``) reproduces the exact same
+execution — the engine is deterministic once the pop order is fixed —
+which is what makes stateless DPOR possible: the explorer re-runs a
+prefix of decisions and diverges at one choice point.
+
+The control observes what each step *did* through the flight recorder
+(PR 8): the detector is wrapped in a :class:`repro.scord.capture.
+FlightCapture`, and the per-step slice of new flight events yields the
+step's global-memory accesses, barrier releases, and detector race
+hits.  The flight recorder must run in ``full`` mode (ring mode evicts
+events mid-run).
+
+Default policy is ``FAIR``: pick the pending event with the smallest
+``(time, seq)`` — exactly the order the uncontrolled event loop would
+pop — so the first explored schedule *is* the engine's native schedule.
+``("block", k)`` greedily prefers warps of block *k* (an unfairness
+probe: it drives one block far ahead, the pattern that exposes
+schedule-dependent bugs like UTS ``block_exch_global``).  Warps in the
+DPOR sleep set are avoided when any non-sleeping warp is runnable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigError, SimulationError
+
+#: policy tags
+FAIR: Tuple = ("fair",)
+
+#: flight-event kinds that are global-memory accesses
+_ACCESS_KINDS = ("ld", "st", "atom")
+
+
+class ScheduleDivergence(SimulationError):
+    """A replayed decision vector named a warp that is not runnable.
+
+    Decision vectors are only meaningful against the exact program +
+    configuration they were recorded from; any drift (code change,
+    different seed, different grid) surfaces as this error rather than a
+    silently different schedule.
+    """
+
+
+class StepRecord:
+    """One committed warp step, as observed through the flight recorder.
+
+    A plain ``__slots__`` class, not a dataclass: big app traces commit
+    hundreds of thousands of steps per schedule and the frozen-dataclass
+    ``object.__setattr__`` per field is measurable at that volume.
+    """
+
+    __slots__ = (
+        "index", "uid", "block", "launch", "accesses", "barriers", "races",
+    )
+
+    def __init__(self, index, uid, block, launch, accesses, barriers, races):
+        self.index = index          #: position in the control's step stream
+        self.uid = uid              #: warp uid that stepped
+        self.block = block          #: block id of that warp
+        self.launch = launch        #: 0-based launch this step belongs to
+        self.accesses = accesses    #: ((kind, addr, scope-or-None), ...)
+        self.barriers = barriers    #: block ids whose barrier released
+        self.races = races          #: race-type strings the detector hit
+
+    def __repr__(self):
+        return (
+            f"StepRecord(#{self.index} uid={self.uid} block={self.block} "
+            f"accesses={len(self.accesses)})"
+        )
+
+
+class ChoiceRecord:
+    """One choice point (>= 2 runnable warps)."""
+
+    __slots__ = ("step_index", "enabled", "chosen", "sleeping")
+
+    def __init__(self, step_index, enabled, chosen, sleeping):
+        self.step_index = step_index  #: step the decision produced
+        self.enabled = enabled        #: sorted uids that were runnable
+        self.chosen = chosen          #: uid picked (prefix or policy)
+        self.sleeping = sleeping      #: sleep set when the choice was made
+
+    def __repr__(self):
+        return (
+            f"ChoiceRecord(step={self.step_index} enabled={self.enabled} "
+            f"chosen={self.chosen})"
+        )
+
+
+class ScheduleControl:
+    """Drives one controlled execution; records steps and decisions.
+
+    Parameters
+    ----------
+    prefix:
+        Decision vector to replay: the uid to pick at each successive
+        choice point.  Past the end of the prefix the policy decides.
+    policy:
+        ``FAIR`` or ``("block", k)`` — see module docstring.
+    sleep_seed:
+        ``{uid: accesses}`` of already-explored siblings at the branch
+        node (DPOR sleep set).  Armed once the prefix is consumed, and
+        woken entry-by-entry when a later step conflicts with the
+        entry's recorded accesses.
+    """
+
+    def __init__(
+        self,
+        prefix: Sequence[int] = (),
+        policy: Tuple = FAIR,
+        sleep_seed: Optional[Dict[int, Tuple]] = None,
+    ):
+        self.prefix: List[int] = list(prefix)
+        self.policy = tuple(policy)
+        self.sleep_seed = dict(sleep_seed or {})
+        self.steps: List[StepRecord] = []
+        self.choices: List[ChoiceRecord] = []
+        self.decisions: List[int] = []
+        self.launch_index = -1
+        self._flight = None
+        self._mark = 0
+        self._pending: Optional[Tuple[int, int]] = None
+        self._sleep: Dict[int, Tuple] = {}
+        self._seed_armed = False
+
+    # ------------------------------------------------------------------
+    # Engine-facing hooks (called from KernelRun._run_controlled)
+    # ------------------------------------------------------------------
+    def begin_launch(self, run) -> None:
+        """A launch is starting; bind its flight recorder."""
+        self.launch_index += 1
+        flight = getattr(run.pipeline.detector, "flight", None)
+        if flight is not None and not isinstance(flight.events, list):
+            raise ConfigError(
+                "schedule control needs flight mode='full': ring mode "
+                "evicts the per-step access stream the explorer reads"
+            )
+        self._flight = flight
+        self._mark = len(flight.events) if flight is not None else 0
+        if self.launch_index > 0:
+            # A launch boundary is a device-wide synchronization point:
+            # every sleeping sibling is now ordered, wake them all.
+            self._sleep.clear()
+        if not self.prefix and not self._seed_armed:
+            self._arm_seed()
+
+    def select(self, heap) -> int:
+        """Pick which pending event to pop; returns its heap index.
+
+        Hot path: big app schedules hit this hundreds of thousands of
+        times per run, so the policy choice is a single fused pass over
+        the heap rather than a candidate-list + ``min`` round trip.
+        """
+        if len(heap) == 1:
+            warp = heap[0][2].args[0]
+            self._pending = (warp.uid, warp.block.bid)
+            return 0
+        depth = len(self.decisions)
+        prefix = self.prefix
+        forced = prefix[depth] if depth < len(prefix) else None
+        if forced is None and not self._seed_armed:
+            self._arm_seed()
+        sleep = self._sleep
+        block_policy = (
+            self.policy[1] if self.policy[0] == "block" else None
+        )
+        uids = []
+        best_key = None
+        best = None  # (heap index, uid, block)
+        for i, entry in enumerate(heap):
+            warp = entry[2].args[0]
+            uid = warp.uid
+            uids.append(uid)
+            if forced is not None:
+                if uid == forced:
+                    best = (i, uid, warp.block.bid)
+                continue
+            bid = warp.block.bid
+            if block_policy is None:
+                key = (uid in sleep, entry[0], entry[1])
+            else:
+                key = (uid in sleep, bid != block_policy,
+                       entry[0], entry[1])
+            if best_key is None or key < best_key:
+                best_key = key
+                best = (i, uid, bid)
+        if best is None:
+            uids.sort()
+            raise ScheduleDivergence(
+                f"decision {depth} of the replayed vector picks warp "
+                f"{forced}, but only {uids} are runnable — the "
+                "vector was recorded against a different execution"
+            )
+        uids.sort()
+        index, uid, bid = best
+        self.decisions.append(uid)
+        self.choices.append(
+            ChoiceRecord(
+                len(self.steps),
+                tuple(uids),
+                uid,
+                tuple(sorted(sleep)) if sleep else (),
+            )
+        )
+        if forced is not None and len(self.decisions) == len(prefix):
+            # Branch choice just replayed: the sleep seed applies from
+            # here on (the branch step itself may wake seeded entries).
+            self._arm_seed()
+        self._pending = (uid, bid)
+        return index
+
+    def commit(self, now: int) -> None:
+        """The selected step ran; slice its flight events into a record."""
+        uid, bid = self._pending if self._pending is not None else (-1, -1)
+        self._pending = None
+        accesses: List[Tuple] = []
+        barriers: List[int] = []
+        races: List[str] = []
+        if self._flight is not None:
+            events = self._flight.events
+            for event in events[self._mark:]:
+                kind = event.kind
+                if kind in _ACCESS_KINDS:
+                    accesses.append((kind, event.addr, event.scope))
+                elif kind == "barrier":
+                    barriers.append(event.block_id)
+                elif kind == "race":
+                    races.append((event.extra or {}).get("type", "?"))
+            self._mark = len(events)
+        step = StepRecord(
+            index=len(self.steps),
+            uid=uid,
+            block=bid,
+            launch=self.launch_index,
+            accesses=tuple(accesses),
+            barriers=tuple(barriers),
+            races=tuple(races),
+        )
+        self.steps.append(step)
+        self._wake(step)
+
+    # ------------------------------------------------------------------
+    # Sleep sets
+    # ------------------------------------------------------------------
+    def _arm_seed(self) -> None:
+        if not self._seed_armed:
+            self._seed_armed = True
+            for uid, accesses in self.sleep_seed.items():
+                self._sleep[uid] = tuple(tuple(a) for a in accesses)
+
+    def _wake(self, step: StepRecord) -> None:
+        """Wake sleeping siblings that the committed step depends on."""
+        sleep = self._sleep
+        if not sleep:
+            return
+        # Executing a sleeping warp itself removes it (it is no longer
+        # the unexplored alternative it was put to sleep as).
+        sleep.pop(step.uid, None)
+        if not sleep:
+            return
+        if step.barriers:
+            # Barrier releases order everything in the block — and the
+            # waked warps' next steps — conservatively wake everyone.
+            sleep.clear()
+            return
+        if not step.accesses:
+            return
+        writes = set()
+        reads = set()
+        for kind, addr, _scope in step.accesses:
+            (reads if kind == "ld" else writes).add(addr)
+        for uid in list(sleep):
+            for kind, addr, _scope in sleep[uid]:
+                if addr in writes or (kind != "ld" and addr in reads):
+                    del sleep[uid]
+                    break

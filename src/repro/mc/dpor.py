@@ -1,0 +1,189 @@
+"""Scoped happens-before over a step trace, and the DPOR race relation.
+
+Given the step stream a :class:`~repro.mc.control.ScheduleControl`
+recorded, this module computes which pairs of conflicting accesses were
+**unordered** by the scoped happens-before relation — exactly the pairs
+whose order the explorer must try reversing (Flanagan–Godefroid DPOR).
+
+The HB relation mirrors the edge catalog in :mod:`repro.forensics.hb`,
+lifted from "what orders two accesses" to vector clocks over warp steps:
+
+* **program order** — steps of one warp are totally ordered;
+* **barrier epochs** — a block barrier merges the clocks of every warp
+  in the block; later steps of those warps join the merged clock;
+* **kernel launches** — a launch boundary merges all clocks (device-wide
+  synchronization, ``on_kernel_boundary``);
+* **scope-covered atomic chains** — two atomics on the same address
+  synchronize when the scope *covers* the span: any scope within one
+  block, ``device`` on both sides across blocks.  This is the scoped
+  reduction: a properly-scoped lock/flag chain orders its critical
+  sections, so DPOR never reverses a correct handoff — that is what
+  keeps race-free lock programs to a handful of schedules.  A
+  block-scoped atomic meeting a cross-block partner adds **no** edge,
+  so the scope-bug pairs ScoRD exists to catch stay reversible.
+
+Note the reduction's deliberate asymmetry with detection: ScoRD flags
+missing-fence/weak/scope bugs *on the ordered schedule* (metadata, not
+ordering), so treating covered atomic chains as synchronization loses
+no detection power on those — it only prunes re-orderings of chains
+that are already well-synchronized.  Value-dependent divergence (a spin
+loop giving up after a bounded count) is covered heuristically by the
+explorer's unfairness probes, not by this relation; see
+``docs/model_checking.md``.
+
+Conflict candidates are recency-reduced: per address only each warp's
+*last* read and *last* write are considered (anything older is
+program-ordered behind it, so any race with an older access implies one
+with the newer — the standard soundness argument).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.mc.control import StepRecord
+
+#: cap for the naive-enumeration estimate (product of enabled-set sizes
+#: explodes fast; the report only needs "measurably more than explored")
+NAIVE_CAP = 10 ** 9
+
+
+@dataclasses.dataclass(frozen=True)
+class ReversibleRace:
+    """A conflicting, HB-unordered access pair in one observed trace."""
+
+    earlier_step: int
+    later_step: int
+    earlier_uid: int
+    later_uid: int
+    addr: int
+    kinds: Tuple[str, str]
+
+
+def covers(scope_a: Optional[str], scope_b: Optional[str],
+           block_a: int, block_b: int) -> bool:
+    """Does the narrower of the two atomic scopes span both blocks?"""
+    if block_a == block_b:
+        return True
+    return scope_a == "device" and scope_b == "device"
+
+
+def _merge(dst: Dict[int, int], src: Dict[int, int]) -> None:
+    for uid, count in src.items():
+        if count > dst.get(uid, 0):
+            dst[uid] = count
+
+
+def analyze(steps: Sequence[StepRecord]) -> List[ReversibleRace]:
+    """All reversible races of one trace, in trace order."""
+    clocks: Dict[int, Dict[int, int]] = {}
+    counts: Dict[int, int] = {}
+    block_warps: Dict[int, set] = {}
+    warp_launch: Dict[int, int] = {}
+    launch_clock: Dict[int, Dict[int, int]] = {}
+    bar_clock: Dict[int, Dict[int, int]] = {}
+    bar_version: Dict[int, int] = {}
+    seen_bar: Dict[Tuple[int, int], int] = {}
+    #: addr -> (uid, clock-after-step, scope, block): the last atomic
+    last_atomic: Dict[int, Tuple] = {}
+    #: addr -> {uid: (count, step, kind, scope)}: each warp's last write
+    last_write: Dict[int, Dict[int, Tuple]] = {}
+    #: addr -> {uid: (count, step)}: each warp's last read
+    last_read: Dict[int, Dict[int, Tuple]] = {}
+    races: List[ReversibleRace] = []
+
+    for step in steps:
+        uid = step.uid
+        bid = step.block
+        block_warps.setdefault(bid, set()).add(uid)
+        clock = dict(clocks.get(uid, ()))
+
+        # Kernel-launch boundary: join the device-wide merge taken at
+        # the first step of this launch.
+        if warp_launch.get(uid, -1) != step.launch:
+            merged = launch_clock.get(step.launch)
+            if merged is None:
+                merged = {}
+                for other in clocks.values():
+                    _merge(merged, other)
+                launch_clock[step.launch] = merged
+            _merge(clock, merged)
+            warp_launch[uid] = step.launch
+
+        # Barrier epoch: join the block-wide merge from the last release.
+        version = bar_version.get(bid, 0)
+        if version and seen_bar.get((bid, uid), 0) < version:
+            _merge(clock, bar_clock[bid])
+            seen_bar[(bid, uid)] = version
+
+        # Scope-covered atomic chains synchronize.
+        for kind, addr, scope in step.accesses:
+            if kind != "atom":
+                continue
+            prev = last_atomic.get(addr)
+            if (
+                prev is not None
+                and prev[0] != uid
+                and covers(prev[2], scope, prev[3], bid)
+            ):
+                _merge(clock, prev[1])
+
+        # Conflicting accesses not ordered by the clock are reversible.
+        for kind, addr, scope in step.accesses:
+            if kind != "ld":
+                reads = last_read.get(addr)
+                if reads:
+                    for other, (count, other_step) in reads.items():
+                        if other != uid and clock.get(other, 0) < count:
+                            races.append(ReversibleRace(
+                                other_step, step.index, other, uid,
+                                addr, ("ld", kind),
+                            ))
+            writes = last_write.get(addr)
+            if writes:
+                for other, (count, other_step, other_kind, _s) in (
+                    writes.items()
+                ):
+                    if other != uid and clock.get(other, 0) < count:
+                        races.append(ReversibleRace(
+                            other_step, step.index, other, uid,
+                            addr, (other_kind, kind),
+                        ))
+
+        # Advance this warp and publish its accesses.
+        counts[uid] = counts.get(uid, 0) + 1
+        clock[uid] = counts[uid]
+        clocks[uid] = clock
+        for kind, addr, scope in step.accesses:
+            if kind == "ld":
+                last_read.setdefault(addr, {})[uid] = (
+                    counts[uid], step.index,
+                )
+            else:
+                last_write.setdefault(addr, {})[uid] = (
+                    counts[uid], step.index, kind, scope,
+                )
+            if kind == "atom":
+                last_atomic[addr] = (uid, clock, scope, bid)
+
+        # A barrier released during this step starts a new epoch.
+        for rel_bid in step.barriers:
+            merged: Dict[int, int] = {}
+            for warp in block_warps.get(rel_bid, ()):
+                _merge(merged, clocks.get(warp, {}))
+            _merge(merged, clock)
+            bar_clock[rel_bid] = merged
+            bar_version[rel_bid] = bar_version.get(rel_bid, 0) + 1
+
+    return races
+
+
+def naive_estimate(choice_sizes: Sequence[int]) -> Tuple[int, bool]:
+    """(product of enabled-set sizes, capped?) — the unpruned tree size."""
+    product = 1
+    for size in choice_sizes:
+        product *= size
+        if product >= NAIVE_CAP:
+            return NAIVE_CAP, True
+    return product, False

@@ -98,6 +98,7 @@ def run_app(
     guard=None,
     telemetry=None,
     sample_interval: int = 0,
+    schedule_control=None,
 ) -> GPU:
     """Run one application configuration on a fresh GPU.
 
@@ -116,6 +117,7 @@ def run_app(
         guard=guard,
         telemetry=telemetry,
         sample_interval=sample_interval,
+        schedule_control=schedule_control,
     )
     app.run(gpu)
     return gpu

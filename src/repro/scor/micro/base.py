@@ -153,6 +153,7 @@ def run_micro(
     gpu_config: Optional[GPUConfig] = None,
     telemetry=None,
     sample_interval: int = 0,
+    schedule_control=None,
 ) -> GPU:
     """Run one microbenchmark on a fresh GPU; returns it for inspection."""
     config = gpu_config if gpu_config is not None else GPUConfig.scaled_default()
@@ -162,6 +163,7 @@ def run_micro(
         detector_config=dconf,
         telemetry=telemetry,
         sample_interval=sample_interval,
+        schedule_control=schedule_control,
     )
     mem = MicroMem(
         data=gpu.alloc(8, "data"),

@@ -67,6 +67,7 @@ _FAMILY_TITLES = {
     "fuzz": "fuzz campaign (fuzz.*):",
     "flight": "flight recorder (flight.*):",
     "forensics": "race forensics (forensics.*):",
+    "mc": "model checking (mc.*):",
 }
 
 

@@ -1,0 +1,115 @@
+"""Determinism and crash tolerance: the explorer's resume contract.
+
+Two guarantees are pinned here:
+
+* **replay determinism** — replaying any recorded decision vector
+  reproduces the bit-identical access stream (the property stateless
+  DPOR stands on), checked across the whole fuzz-program grammar;
+* **kill/resume bit-identity** — a SIGKILL mid-frontier loses at most
+  the one in-flight schedule: resuming from the checkpoint lands on a
+  final report canonically identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+from hypothesis import given, settings
+
+from repro.fuzz.strategies import programs
+from repro.mc import (
+    ScheduleControl,
+    canonical_report,
+    explore,
+    resolve_target,
+)
+from repro.mc.targets import target_from_program
+
+DRILL_TARGET = "micro:fence_device_cross_block"
+
+
+@given(program=programs())
+@settings(max_examples=25, deadline=None)
+def test_replaying_any_decision_vector_reproduces_the_access_stream(
+    program,
+):
+    target = target_from_program(program)
+    recorded = ScheduleControl()
+    target.execute(recorded)
+    replayed = ScheduleControl(prefix=recorded.decisions)
+    target.execute(replayed)
+    assert replayed.decisions == recorded.decisions
+    assert [
+        (s.uid, s.block, s.accesses, s.barriers, s.races)
+        for s in replayed.steps
+    ] == [
+        (s.uid, s.block, s.accesses, s.barriers, s.races)
+        for s in recorded.steps
+    ]
+
+
+def _drill_argv(store: str, json_out: str):
+    return [
+        sys.executable, "-c",
+        "import sys; from repro.mc.cli import mc_main; "
+        "sys.exit(mc_main(sys.argv[1:]))",
+        DRILL_TARGET, "--budget", "64",
+        "--store", store, "--resume",
+        "--json-out", json_out, "--quiet",
+    ]
+
+
+def test_sigkill_mid_frontier_resumes_bit_identically(tmp_path):
+    store = str(tmp_path / "store")
+    json_out = str(tmp_path / "mc.json")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (
+            os.path.join(os.path.dirname(__file__), "..", "..", "src"),
+            env.get("PYTHONPATH", ""),
+        ) if p
+    )
+    # Slow the explorer down so the kill lands between checkpoints.
+    env["REPRO_MC_TEST_SLEEP"] = "0.5"
+    victim = subprocess.Popen(
+        _drill_argv(store, json_out), env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    # Wait for the first checkpoint to exist, then SIGKILL the victim
+    # mid-exploration — no atexit, no cleanup, the crash contract.
+    checkpoint = os.path.join(
+        store, DRILL_TARGET.replace(":", "_") + ".mc.json"
+    )
+    deadline = time.monotonic() + 60
+    while not os.path.exists(checkpoint):
+        assert time.monotonic() < deadline, "no checkpoint appeared"
+        assert victim.poll() is None, "victim finished before the kill"
+        time.sleep(0.02)
+    victim.send_signal(signal.SIGKILL)
+    victim.wait(timeout=30)
+    assert victim.returncode == -signal.SIGKILL
+    assert not os.path.exists(json_out), "victim should have died first"
+
+    # The checkpoint must be a loadable mid-frontier state.
+    with open(checkpoint) as handle:
+        state = json.load(handle)
+    assert state["finish_reason"] is None
+
+    env.pop("REPRO_MC_TEST_SLEEP")
+    resumed = subprocess.run(
+        _drill_argv(store, json_out), env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        timeout=300,
+    )
+    assert resumed.returncode == 0
+    with open(json_out) as handle:
+        (resumed_report,) = json.load(handle)
+
+    fresh = explore(resolve_target(DRILL_TARGET), budget=64)
+    assert canonical_report(resumed_report) == canonical_report(fresh)
+    assert resumed_report["verdict"] == "proven_race_free"

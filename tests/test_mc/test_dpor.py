@@ -1,0 +1,170 @@
+"""Scoped happens-before unit tests on synthetic step traces.
+
+Each test hand-builds a tiny :class:`StepRecord` stream and asserts
+exactly which conflicting pairs :func:`analyze` leaves unordered — the
+pairs DPOR will try to reverse.  The synthetic traces isolate one HB
+edge family each (program order, barrier epochs, launch boundaries,
+scope-covered atomic chains) so a regression names its family.
+"""
+
+from __future__ import annotations
+
+from repro.mc import ReversibleRace, StepRecord, analyze, covers, naive_estimate
+from repro.mc.dpor import NAIVE_CAP
+
+ADDR = 0x1000
+
+
+def _step(index, uid, block, accesses=(), barriers=(), launch=0):
+    return StepRecord(
+        index=index,
+        uid=uid,
+        block=block,
+        launch=launch,
+        accesses=tuple(accesses),
+        barriers=tuple(barriers),
+        races=(),
+    )
+
+
+def _pairs(races):
+    return {(r.earlier_step, r.later_step) for r in races}
+
+
+# ----------------------------------------------------------------------
+# covers(): the scope-span predicate
+# ----------------------------------------------------------------------
+def test_covers_within_one_block_any_scope():
+    assert covers(None, None, 3, 3)
+    assert covers("block", "block", 0, 0)
+    assert covers("block", "device", 1, 1)
+
+
+def test_covers_across_blocks_needs_device_on_both_sides():
+    assert covers("device", "device", 0, 1)
+    assert not covers("block", "device", 0, 1)
+    assert not covers("device", "block", 0, 1)
+    assert not covers("block", "block", 0, 1)
+
+
+# ----------------------------------------------------------------------
+# analyze(): the race relation
+# ----------------------------------------------------------------------
+def test_unordered_cross_block_writes_are_reversible():
+    races = analyze([
+        _step(0, 0, 0, [("st", ADDR, None)]),
+        _step(1, 1, 1, [("st", ADDR, None)]),
+    ])
+    assert _pairs(races) == {(0, 1)}
+    (race,) = races
+    assert isinstance(race, ReversibleRace)
+    assert (race.earlier_uid, race.later_uid) == (0, 1)
+    assert race.addr == ADDR
+    assert race.kinds == ("st", "st")
+
+
+def test_read_read_is_not_a_conflict():
+    races = analyze([
+        _step(0, 0, 0, [("ld", ADDR, None)]),
+        _step(1, 1, 1, [("ld", ADDR, None)]),
+    ])
+    assert races == []
+
+
+def test_write_then_read_conflicts_both_directions():
+    races = analyze([
+        _step(0, 0, 0, [("st", ADDR, None)]),
+        _step(1, 1, 1, [("ld", ADDR, None)]),
+        _step(2, 0, 0, [("ld", ADDR, None)]),
+        _step(3, 1, 1, [("st", ADDR, None)]),
+    ])
+    # st0-ld1, st0-st3, ld2-st3 — the ld/ld pair is no conflict and
+    # ld1/st3 is program-ordered (both are warp 1).
+    assert _pairs(races) == {(0, 1), (0, 3), (2, 3)}
+
+
+def test_program_order_is_never_reversible():
+    races = analyze([
+        _step(0, 0, 0, [("st", ADDR, None)]),
+        _step(1, 0, 0, [("st", ADDR, None)]),
+        _step(2, 0, 0, [("ld", ADDR, None)]),
+    ])
+    assert races == []
+
+
+def test_barrier_epoch_orders_the_block():
+    races = analyze([
+        _step(0, 0, 0, [("st", ADDR, None)]),
+        _step(1, 0, 0, [], barriers=[0]),
+        _step(2, 1, 0, [("st", ADDR, None)]),
+    ])
+    assert races == []
+
+
+def test_barrier_does_not_order_other_blocks():
+    races = analyze([
+        _step(0, 0, 0, [("st", ADDR, None)]),
+        _step(1, 0, 0, [], barriers=[0]),
+        _step(2, 1, 1, [("st", ADDR, None)]),
+    ])
+    assert _pairs(races) == {(0, 2)}
+
+
+def test_launch_boundary_orders_everything():
+    races = analyze([
+        _step(0, 0, 0, [("st", ADDR, None)], launch=0),
+        _step(1, 1, 1, [("st", ADDR, None)], launch=1),
+    ])
+    assert races == []
+
+
+def test_device_scoped_atomic_chain_synchronizes_across_blocks():
+    """A device/device same-address atomic chain is a correct handoff:
+    the reduction must not ask DPOR to reverse it, nor the accesses it
+    orders."""
+    races = analyze([
+        _step(0, 0, 0, [("st", ADDR + 8, None),
+                        ("atom", ADDR, "device")]),
+        _step(1, 1, 1, [("atom", ADDR, "device"),
+                        ("st", ADDR + 8, None)]),
+    ])
+    assert races == []
+
+
+def test_block_scoped_atomic_cross_block_stays_reversible():
+    """The scope-bug pair ScoRD exists to catch: a block-scoped atomic
+    meeting a cross-block partner adds no HB edge, so both the atomic
+    pair and the data it guards stay reversible."""
+    races = analyze([
+        _step(0, 0, 0, [("st", ADDR + 8, None),
+                        ("atom", ADDR, "block")]),
+        _step(1, 1, 1, [("atom", ADDR, "block"),
+                        ("st", ADDR + 8, None)]),
+    ])
+    assert (0, 1) in _pairs(races)
+    addrs = {race.addr for race in races}
+    assert addrs == {ADDR, ADDR + 8}
+
+
+def test_recency_reduction_keeps_only_the_last_access_per_warp():
+    races = analyze([
+        _step(0, 0, 0, [("st", ADDR, None)]),
+        _step(1, 0, 0, [("st", ADDR, None)]),
+        _step(2, 1, 1, [("st", ADDR, None)]),
+    ])
+    # Only the newer of warp 0's writes is a candidate: one race, not two.
+    assert _pairs(races) == {(1, 2)}
+
+
+# ----------------------------------------------------------------------
+# naive_estimate(): the report's denominator
+# ----------------------------------------------------------------------
+def test_naive_estimate_is_the_product_of_enabled_sizes():
+    assert naive_estimate([]) == (1, False)
+    assert naive_estimate([2, 3, 2]) == (12, False)
+
+
+def test_naive_estimate_caps_instead_of_exploding():
+    value, capped = naive_estimate([2] * 64)
+    assert capped
+    assert value == NAIVE_CAP

@@ -1,0 +1,77 @@
+"""Golden mc-report regression tests: proven verdicts, pinned.
+
+Each fixture under ``golden/`` is the canonical ``mc-report/v1``
+(:func:`repro.mc.canonical_report` — the report minus wall-clock) for
+one anchor micro explored with the default parameters, committed to the
+repository.  The test re-explores and compares *bit for bit*: any
+drift in the verdict, the witness decision vector, the schedule
+counts, or the prune ratio fails loudly instead of rotting silently.
+
+If a change legitimately alters exploration (a scheduler change, a new
+HB edge, a detector change), regenerate with::
+
+    PYTHONPATH=src python tests/test_mc/test_golden.py
+
+which rewrites the fixtures in place; the diff then documents the drift.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.store import canonical_json
+from repro.mc import canonical_report, explore, resolve_target
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+#: one anchor per verdict/mechanism: a fair-schedule race, a
+#: scope-bug race DPOR must reach, and a proven-race-free twin
+GOLDEN_TARGETS = (
+    "micro:fence_missing_cross_block",
+    "micro:atomic_block_scope_cross_block",
+    "micro:fence_device_cross_block",
+)
+
+#: pinned exploration parameters (golden runs must be reproducible)
+GOLDEN_BUDGET = 64
+
+
+def _export(spec: str) -> str:
+    report = explore(resolve_target(spec), budget=GOLDEN_BUDGET)
+    return canonical_json(canonical_report(report)) + "\n"
+
+
+def _fixture_path(spec: str) -> str:
+    return os.path.join(
+        GOLDEN_DIR, spec.replace(":", "_").replace("+", "_") + ".json"
+    )
+
+
+@pytest.mark.parametrize("spec", GOLDEN_TARGETS)
+def test_report_matches_golden_fixture(spec):
+    path = _fixture_path(spec)
+    with open(path, "r") as handle:
+        golden = handle.read()
+    exported = _export(spec)
+    assert exported == golden, (
+        f"{spec}: mc report drifted from the committed golden fixture "
+        f"{path}.\n--- golden ---\n{golden}\n--- current ---\n{exported}\n"
+        "If the change is intentional, regenerate the fixtures (see "
+        "module docstring)."
+    )
+
+
+def test_export_is_deterministic():
+    spec = GOLDEN_TARGETS[0]
+    assert _export(spec) == _export(spec)
+
+
+if __name__ == "__main__":  # fixture regeneration entry point
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for spec in GOLDEN_TARGETS:
+        path = _fixture_path(spec)
+        with open(path, "w") as handle:
+            handle.write(_export(spec))
+        print(f"regenerated {path}")
