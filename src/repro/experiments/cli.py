@@ -148,10 +148,50 @@ def _exhibit_runners():
 
 
 # ----------------------------------------------------------------------
+#: subcommand -> one-line description.  Each line names the doc page
+#: that covers the subcommand; tests/test_cli_help.py pins the rendered
+#: help against tests/golden/cli_help.txt so these stay in sync with
+#: docs/README.md.
+SUBCOMMANDS = (
+    ("run", "run paper exhibits as an offline campaign "
+            "(docs/architecture.md)"),
+    ("lint", "statically lint kernels for scope misuse "
+             "(docs/scolint.md)"),
+    ("fuzz", "differential kernel fuzzing with constructed ground "
+             "truth (docs/fuzzing.md)"),
+    ("mc", "bounded DPOR schedule exploration over litmus kernels "
+           "(docs/model_checking.md)"),
+    ("explain", "render race forensics bundles as human-readable "
+                "reports (docs/forensics.md)"),
+    ("report", "render a text dashboard from telemetry artifacts "
+               "(docs/architecture.md)"),
+    ("serve", "race-checking as a service: HTTP daemon over the "
+              "shared worker pool (docs/service.md)"),
+)
+
+
+def _subcommand_epilog() -> str:
+    lines = ["subcommands:"]
+    for name, blurb in SUBCOMMANDS:
+        lines.append(f"  {name:<9}{blurb}")
+    lines.append(
+        "\nBare exhibit names (no subcommand) are equivalent to 'run'."
+    )
+    return "\n".join(lines)
+
+
+def _help_formatter(prog):
+    # Fixed width keeps --help byte-identical across terminals, so the
+    # committed golden (tests/golden/cli_help.txt) diffs cleanly.
+    return argparse.RawDescriptionHelpFormatter(prog, width=78)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="scord-experiments",
         description="Regenerate the tables and figures of the ScoRD paper.",
+        epilog=_subcommand_epilog(),
+        formatter_class=_help_formatter,
     )
     parser.add_argument(
         "exhibits",
@@ -886,6 +926,14 @@ def main(argv=None) -> int:
         from repro.mc.cli import mc_main
 
         return mc_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.service.cli import serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "run":
+        # Explicit alias for the default exhibit-campaign mode, so every
+        # documented subcommand has a name (bare exhibits still work).
+        argv = argv[1:] or ["all"]
     parser = _build_parser()
     args = parser.parse_args(argv)
 

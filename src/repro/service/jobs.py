@@ -1,0 +1,687 @@
+"""The scord-serve job manager: admission, scheduling, execution.
+
+One :class:`JobManager` owns the daemon's entire backend:
+
+- **Admission** (:meth:`JobManager.submit`): parse + validate the body
+  (:mod:`repro.service.schemas`), run the scolint preflight on program
+  submissions (statically-racy programs are refused with the rule
+  verdict unless ``on_static_race: "accept"``), charge the client's
+  token bucket one token per simulation unit (all-or-nothing, 429 on
+  insufficient tokens), then batch the units into shards on the
+  client's queue.
+- **Fair scheduling**: dispatcher threads drain shards round-robin
+  *across clients*, so one client's 4 000-unit campaign cannot starve
+  another's 6-unit smoke test; within a client, shards run in FIFO
+  order.
+- **Execution**: campaign units go through the shared
+  :class:`~repro.experiments.supervisor.PoolSupervisor` — exactly the
+  executor the offline CLI uses, so service records are identical to
+  offline records.  The content-addressed
+  :class:`~repro.experiments.parallel.ResultCache` is consulted first,
+  and concurrent identical units *coalesce*: the first arrival
+  executes, everyone else waits on its result.  Program units run the
+  fuzzer's dynamic oracle (one schedule-jitter seed per unit) with an
+  in-memory content-addressed cache keyed the same way
+  (:func:`repro.fuzz.program.fuzz_unit_digest`).
+- **Durability**: fresh records append to the campaign
+  :class:`~repro.experiments.store.RunStore` (fsync'd JSONL) and the
+  result cache, parent-side, under one lock — the same discipline as
+  the parallel campaign executor.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import threading
+import time
+import uuid
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import RunFailedError
+from repro.service.quota import QuotaManager
+from repro.service.schemas import (
+    JOB_SCHEMA,
+    REPORT_SCHEMA,
+    ServiceError,
+    parse_submission,
+)
+
+
+@dataclasses.dataclass
+class ServiceConfig:
+    """Everything ``scord-experiments serve`` can tune."""
+
+    host: str = "127.0.0.1"
+    port: int = 8787
+    #: persistent warm workers behind the shared PoolSupervisor
+    workers: int = 2
+    #: shard queues drained concurrently (parallelism across shards)
+    dispatchers: int = 2
+    #: units per shard — the request-batching grain
+    shard_size: int = 8
+    #: durable JSONL run store (None = memory only)
+    store_path: Optional[str] = None
+    #: content-addressed result cache root (None = no cross-restart cache)
+    cache_dir: Optional[str] = None
+    #: per-client token bucket: capacity and refill rate (tokens/second)
+    quota_units: float = 256.0
+    quota_refill_per_s: float = 4.0
+    #: per-unit wall-clock timeout inside the pool
+    unit_timeout: Optional[float] = None
+    #: write per-unit forensics bundles under this directory
+    forensics_dir: Optional[str] = None
+    verbose: bool = False
+
+
+class _Inflight:
+    """Coalescing slot: first arrival executes, the rest wait."""
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.record = None
+        self.verdict = None
+        self.failure = None
+
+
+@dataclasses.dataclass
+class Job:
+    """One submission's full lifecycle (guarded by the manager lock)."""
+
+    id: str
+    client: str
+    kind: str  # "campaign" | "program"
+    created: float
+    specs: List = dataclasses.field(default_factory=list)
+    program = None
+    seeds: Tuple[int, ...] = ()
+    detector: str = "scord"
+    static: Optional[dict] = None
+    state: str = "queued"  # queued -> running -> done | failed
+    results: List[Optional[dict]] = dataclasses.field(default_factory=list)
+    units_done: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    failed: int = 0
+    finished: Optional[float] = None
+
+    @property
+    def units_total(self) -> int:
+        return len(self.results)
+
+    def status_dict(self) -> dict:
+        doc = {
+            "schema": JOB_SCHEMA,
+            "id": self.id,
+            "client": self.client,
+            "kind": self.kind,
+            "state": self.state,
+            "units_total": self.units_total,
+            "units_done": self.units_done,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "failed": self.failed,
+            "created": self.created,
+            "finished": self.finished,
+            "report": f"/v1/jobs/{self.id}/report",
+        }
+        if self.kind == "program":
+            doc["static"] = self.static
+            doc["detector"] = self.detector
+            doc["seeds"] = list(self.seeds)
+        return doc
+
+
+class JobManager:
+    """Admission control, fair scheduling, and unit execution."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        telemetry=None,
+        quota_clock=time.monotonic,
+    ):
+        from repro.experiments.parallel import ResultCache
+        from repro.experiments.store import RunStore
+        from repro.experiments.supervisor import PoolConfig, PoolSupervisor
+        from repro.telemetry import Telemetry
+
+        self.config = config or ServiceConfig()
+        self.telemetry = telemetry or Telemetry.disabled()
+        self.quotas = QuotaManager(
+            self.config.quota_units,
+            self.config.quota_refill_per_s,
+            clock=quota_clock,
+        )
+        self.store: Optional[RunStore] = (
+            RunStore(self.config.store_path)
+            if self.config.store_path
+            else None
+        )
+        self.cache: Optional[ResultCache] = (
+            ResultCache(self.config.cache_dir)
+            if self.config.cache_dir
+            else None
+        )
+        pool_config = PoolConfig(workers=max(1, self.config.workers))
+        if self.config.unit_timeout:
+            pool_config = dataclasses.replace(
+                pool_config, unit_timeout=self.config.unit_timeout
+            )
+        self.supervisor = PoolSupervisor(
+            config=pool_config,
+            telemetry=self.telemetry,
+            verbose=self.config.verbose,
+            forensics_dir=self.config.forensics_dir,
+        )
+        # -- shared state (all guarded by _lock / signalled on _cond) --
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._jobs: Dict[str, Job] = {}
+        self._shards: Dict[str, Deque[List[Tuple[Job, int]]]] = {}
+        self._client_order: List[str] = []
+        self._rr_index = 0
+        self._pending_shards = 0
+        self._active_units = 0
+        self._draining = False
+        self._stopping = False
+        #: coalescing registry: unit digest -> in-flight execution
+        self._inflight: Dict[str, _Inflight] = {}
+        #: in-memory record cache (memoizes within one daemon lifetime,
+        #: and fronts the on-disk ResultCache when one is configured)
+        self._record_cache: Dict[str, object] = {}
+        self._verdict_cache: Dict[str, dict] = {}
+        self._store_lock = threading.Lock()
+        # -- service.* metrics (created eagerly: stable exposition) ----
+        metrics = self.telemetry.metrics
+        self._m_submitted = metrics.counter("service.jobs.submitted")
+        self._m_completed = metrics.counter("service.jobs.completed")
+        self._m_job_failed = metrics.counter("service.jobs.failed")
+        self._m_units = metrics.counter("service.units.total")
+        self._m_executed = metrics.counter("service.units.executed")
+        self._m_cache_hits = metrics.counter("service.units.cache_hits")
+        self._m_coalesced = metrics.counter("service.units.coalesced")
+        self._m_unit_failed = metrics.counter("service.units.failed")
+        self._m_preflight = metrics.counter("service.preflight.runs")
+        self._m_static_reject = metrics.counter(
+            "service.rejected", reason="static-race"
+        )
+        self._m_quota_reject = metrics.counter(
+            "service.rejected", reason="quota-exceeded"
+        )
+        self._g_inflight = metrics.gauge("service.jobs.inflight")
+        self._g_clients = metrics.gauge("service.clients")
+        self._h_unit = metrics.histogram("service.unit.seconds")
+        # -- dispatchers ----------------------------------------------
+        self._threads = [
+            threading.Thread(
+                target=self._dispatch_loop,
+                name=f"scord-serve-dispatch-{i}",
+                daemon=True,
+            )
+            for i in range(max(1, self.config.dispatchers))
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def submit(self, client: str, payload) -> Job:
+        """Validate, preflight, charge quota, and enqueue one job."""
+        if self._draining or self._stopping:
+            raise ServiceError(
+                "draining",
+                "the daemon is draining and accepts no new jobs",
+            )
+        parsed = parse_submission(payload)
+        if parsed["kind"] == "campaign":
+            units = len(parsed["specs"])
+            static = None
+        else:
+            units = len(parsed["seeds"])
+            static = self._preflight(parsed)
+        retry_after = self.quotas.charge(client, units)
+        if retry_after:
+            self._m_quota_reject.inc()
+            raise ServiceError(
+                "quota-exceeded",
+                f"client {client!r} lacks quota for {units} unit(s)",
+                detail={
+                    "units": units,
+                    "retry_after_seconds": round(retry_after, 3),
+                },
+            )
+        job = Job(
+            id=uuid.uuid4().hex[:12],
+            client=client,
+            kind=parsed["kind"],
+            created=time.time(),
+        )
+        if parsed["kind"] == "campaign":
+            job.specs = parsed["specs"]
+            job.results = [None] * units
+        else:
+            job.program = parsed["program"]
+            job.seeds = parsed["seeds"]
+            job.detector = parsed["detector"]
+            job.static = static
+            job.results = [None] * units
+        shards = _shard(
+            [(job, i) for i in range(units)], self.config.shard_size
+        )
+        with self._cond:
+            self._jobs[job.id] = job
+            queue = self._shards.get(client)
+            if queue is None:
+                queue = collections.deque()
+                self._shards[client] = queue
+                self._client_order.append(client)
+                self._g_clients.set(len(self._client_order))
+            queue.extend(shards)
+            self._pending_shards += len(shards)
+            self._g_inflight.inc()
+            self._cond.notify_all()
+        self._m_submitted.inc()
+        self._m_units.inc(units)
+        return job
+
+    def _preflight(self, parsed: dict) -> dict:
+        """Synchronous scolint pass over a program submission."""
+        from repro.fuzz.oracles import static_verdict
+
+        self._m_preflight.inc()
+        with self.telemetry.tracer.span(
+            "service.preflight", cat="service"
+        ), self.telemetry.profiler.phase("service.preflight"):
+            verdict = static_verdict(parsed["program"])
+        if verdict["racy"] and parsed["on_static_race"] == "reject":
+            self._m_static_reject.inc()
+            raise ServiceError(
+                "static-race",
+                "scolint found statically-detectable races; fix them or "
+                "resubmit with on_static_race='accept'",
+                detail={"static": verdict},
+            )
+        return verdict
+
+    # ------------------------------------------------------------------
+    # Lookup / reporting
+    # ------------------------------------------------------------------
+    def job(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError("unknown-job", f"no job {job_id!r}")
+        return job
+
+    def report_dict(self, job: Job) -> dict:
+        with self._lock:
+            units = [dict(r) if r else None for r in job.results]
+            status = job.status_dict()
+        failures = [
+            unit["failure"]
+            for unit in units
+            if unit and unit.get("failure")
+        ]
+        doc = {
+            "schema": REPORT_SCHEMA,
+            "job": status,
+            "units": units,
+            "failures": failures,
+        }
+        if job.kind == "program":
+            doc["static"] = job.static
+            doc["dynamic"] = _union_verdict(units)
+        if self.cache is not None:
+            doc["cache"] = self.cache.stats()
+        doc["pool"] = self.supervisor.stats()
+        forensics = self._forensics_for(job)
+        if forensics is not None:
+            doc["forensics"] = forensics
+        return doc
+
+    def _forensics_for(self, job: Job) -> Optional[List[dict]]:
+        if self.config.forensics_dir is None or job.kind != "campaign":
+            return None
+        from repro.experiments.runner import Runner
+
+        labels = {
+            Runner.unit_label(
+                s.app, s.detector, s.memory, s.races, s.seed
+            )
+            for s in job.specs
+        }
+        return [
+            unit
+            for unit in self.supervisor.all_forensics_units()
+            if unit.get("unit") in labels
+        ]
+
+    def iter_unit_results(self, job: Job):
+        """Yield unit-result dicts in index order as they complete.
+
+        Blocks between yields until the next unit lands; used by the
+        NDJSON streaming report.  Terminates once every unit has been
+        yielded (the job is then in a terminal state).
+        """
+        for index in range(job.units_total):
+            with self._cond:
+                while job.results[index] is None and not self._stopping:
+                    self._cond.wait(timeout=0.5)
+                result = job.results[index]
+            if result is None:  # manager stopped mid-stream
+                return
+            yield dict(result)
+
+    # ------------------------------------------------------------------
+    # Fair round-robin dispatch
+    # ------------------------------------------------------------------
+    def _next_shard(self) -> Optional[List[Tuple[Job, int]]]:
+        """Pop the next shard, rotating fairly across clients."""
+        order = self._client_order
+        if not order:
+            return None
+        for step in range(len(order)):
+            client = order[(self._rr_index + step) % len(order)]
+            queue = self._shards.get(client)
+            if queue:
+                self._rr_index = (self._rr_index + step + 1) % len(order)
+                self._pending_shards -= 1
+                return queue.popleft()
+        return None
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                shard = self._next_shard()
+                while shard is None and not self._stopping:
+                    self._cond.wait(timeout=0.5)
+                    shard = self._next_shard()
+                if shard is None:
+                    return
+                self._active_units += len(shard)
+                for job, _ in shard:
+                    if job.state == "queued":
+                        job.state = "running"
+            try:
+                for job, index in shard:
+                    self._run_unit(job, index)
+            finally:
+                with self._cond:
+                    self._active_units -= len(shard)
+                    self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Unit execution
+    # ------------------------------------------------------------------
+    def _run_unit(self, job: Job, index: int) -> None:
+        started = time.monotonic()
+        try:
+            if job.kind == "campaign":
+                result = self._run_campaign_unit(job, job.specs[index])
+            else:
+                result = self._run_program_unit(job, job.seeds[index])
+        except Exception as err:  # never kill a dispatcher thread
+            result = {
+                "unit": f"{job.id}[{index}]",
+                "kind": job.kind,
+                "source": "error",
+                "failure": {
+                    "category": "internal",
+                    "message": f"{type(err).__name__}: {err}",
+                },
+            }
+        result["seconds"] = round(time.monotonic() - started, 6)
+        self._h_unit.observe(result["seconds"])
+        with self._cond:
+            job.results[index] = result
+            job.units_done += 1
+            if result.get("failure"):
+                job.failed += 1
+                self._m_unit_failed.inc()
+            elif result["source"] in ("cache", "coalesced"):
+                job.cache_hits += 1
+            else:
+                job.executed += 1
+            if job.units_done == job.units_total:
+                job.state = "failed" if job.failed else "done"
+                job.finished = time.time()
+                self._g_inflight.inc(-1)
+                if job.failed:
+                    self._m_job_failed.inc()
+                else:
+                    self._m_completed.inc()
+            self._cond.notify_all()
+
+    def _run_campaign_unit(self, job: Job, spec) -> dict:
+        from repro.experiments.store import record_to_dict, unit_digest
+
+        digest = unit_digest(
+            spec.app, spec.detector, spec.memory, spec.races, spec.seed
+        )
+        label = spec.describe()
+        base = {
+            "unit": label,
+            "kind": "campaign",
+            "spec": spec.to_dict(),
+            "digest": digest,
+            "failure": None,
+        }
+        record, source = self._cached_record(spec, digest)
+        if record is not None:
+            self._m_cache_hits.inc()
+            return dict(base, source=source, record=record_to_dict(record))
+        slot, owner = self._claim(digest)
+        if not owner:
+            slot.event.wait()
+            if slot.failure is not None:
+                return dict(base, source="coalesced", failure=slot.failure)
+            self._m_coalesced.inc()
+            return dict(
+                base,
+                source="coalesced",
+                record=record_to_dict(slot.record),
+            )
+        try:
+            with self.telemetry.tracer.span(
+                "service.unit", cat="service", unit=label, client=job.client
+            ), self.telemetry.profiler.phase("service.unit"):
+                record = self.supervisor.execute(spec)
+        except RunFailedError as err:
+            failure = getattr(err, "failure", None)
+            slot.failure = (
+                failure.to_dict()
+                if failure is not None
+                else {"category": err.code, "message": str(err)}
+            )
+            return dict(base, source="executed", failure=slot.failure)
+        except Exception as err:
+            slot.failure = {
+                "category": "internal",
+                "message": f"{type(err).__name__}: {err}",
+            }
+            return dict(base, source="executed", failure=slot.failure)
+        else:
+            self._persist(digest, record)
+            slot.record = record
+            self._m_executed.inc()
+            return dict(base, source="executed", record=record_to_dict(record))
+        finally:
+            slot.event.set()
+            with self._lock:
+                self._inflight.pop(digest, None)
+
+    def _run_program_unit(self, job: Job, seed: int) -> dict:
+        from repro.fuzz.oracles import dynamic_verdict
+        from repro.fuzz.program import fuzz_unit_digest, program_digest
+
+        digest = fuzz_unit_digest(job.program, job.detector, seed)
+        label = f"program:{program_digest(job.program)[:12]}.s{seed}"
+        base = {
+            "unit": label,
+            "kind": "program",
+            "seed": seed,
+            "detector": job.detector,
+            "digest": digest,
+            "failure": None,
+        }
+        with self._lock:
+            verdict = self._verdict_cache.get(digest)
+        if verdict is not None:
+            self._m_cache_hits.inc()
+            return dict(base, source="cache", verdict=dict(verdict))
+        slot, owner = self._claim(digest)
+        if not owner:
+            slot.event.wait()
+            if slot.failure is not None:
+                return dict(base, source="coalesced", failure=slot.failure)
+            self._m_coalesced.inc()
+            return dict(
+                base, source="coalesced", verdict=dict(slot.verdict)
+            )
+        try:
+            with self.telemetry.tracer.span(
+                "service.unit", cat="service", unit=label, client=job.client
+            ), self.telemetry.profiler.phase("service.unit"):
+                verdict = dynamic_verdict(
+                    job.program, seeds=(seed,), detector=job.detector
+                )
+        except Exception as err:
+            slot.failure = {
+                "category": "simulation",
+                "message": f"{type(err).__name__}: {err}",
+            }
+            return dict(base, source="executed", failure=slot.failure)
+        else:
+            with self._lock:
+                self._verdict_cache[digest] = verdict
+            slot.verdict = verdict
+            self._m_executed.inc()
+            return dict(base, source="executed", verdict=dict(verdict))
+        finally:
+            slot.event.set()
+            with self._lock:
+                self._inflight.pop(digest, None)
+
+    def _claim(self, digest: str) -> Tuple[_Inflight, bool]:
+        """Register as the executor for *digest*, or join the wait."""
+        with self._lock:
+            slot = self._inflight.get(digest)
+            if slot is not None:
+                return slot, False
+            slot = _Inflight()
+            self._inflight[digest] = slot
+            return slot, True
+
+    def _cached_record(self, spec, digest: str):
+        """(record, source) from memory or disk cache; (None, None) miss."""
+        with self._lock:
+            record = self._record_cache.get(digest)
+        if record is not None:
+            return record, "cache"
+        if self.cache is not None:
+            record = self.cache.get_spec(spec)
+            if record is not None:
+                with self._lock:
+                    self._record_cache[digest] = record
+                return record, "cache"
+        return None, None
+
+    def _persist(self, digest: str, record) -> None:
+        """Durably record one fresh result (store + caches)."""
+        with self._store_lock:
+            if self.store is not None:
+                self.store.append(record)
+            if self.cache is not None:
+                self.cache.put(record)
+        with self._lock:
+            self._record_cache[digest] = record
+
+    # ------------------------------------------------------------------
+    # Drain / shutdown
+    # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Refuse new jobs, let in-flight work finish, then shut down.
+
+        Returns True when every accepted job reached a terminal state
+        within *timeout* seconds (None = wait indefinitely).
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        with self._cond:
+            self._draining = True
+            while self._pending_shards or self._active_units:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                self._cond.wait(timeout=remaining)
+            drained = not (self._pending_shards or self._active_units)
+        self.close()
+        return drained
+
+    def close(self) -> None:
+        """Stop dispatchers and the worker pool (idempotent)."""
+        with self._cond:
+            if self._stopping:
+                return
+            self._draining = True
+            self._stopping = True
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=10)
+        self.supervisor.close()
+
+    def stats(self) -> dict:
+        """Live operational snapshot (rendered by /healthz)."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+            pending = self._pending_shards
+            active = self._active_units
+        states: Dict[str, int] = {}
+        for job in jobs:
+            states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "jobs": len(jobs),
+            "states": states,
+            "pending_shards": pending,
+            "active_units": active,
+            "draining": self._draining,
+            "quota": self.quotas.snapshot(),
+            "pool": self.supervisor.stats(),
+            "cache": self.cache.stats() if self.cache else None,
+        }
+
+
+def _shard(units: Sequence, size: int) -> List[List]:
+    size = max(1, size)
+    return [
+        list(units[start:start + size])
+        for start in range(0, len(units), size)
+    ]
+
+
+def _union_verdict(units: List[Optional[dict]]) -> dict:
+    """Union a program job's per-seed verdicts (the seed-sweep rule)."""
+    racy = False
+    types: set = set()
+    seeds_done = []
+    for unit in units:
+        if not unit or unit.get("failure") or "verdict" not in unit:
+            continue
+        verdict = unit["verdict"]
+        racy = racy or bool(verdict.get("racy"))
+        types.update(verdict.get("types", ()))
+        seeds_done.append(unit.get("seed"))
+    return {
+        "racy": racy,
+        "types": sorted(types),
+        "seeds": sorted(s for s in seeds_done if s is not None),
+    }

@@ -1,0 +1,113 @@
+"""Per-client token-bucket quotas for scord-serve.
+
+Each client gets one bucket: ``capacity`` tokens, refilled continuously
+at ``refill_per_s``.  Every *simulation unit* in a submission costs one
+token, charged atomically at submission time — a job is admitted whole
+or refused whole (HTTP 429 with ``retry_after_seconds``), never half
+enqueued.  Cache hits are charged like any other unit: quota protects
+the *front door* (request admission), fairness at the backend comes
+from the round-robin scheduler in :mod:`repro.service.jobs`.
+
+The clock is injectable so tests exercise refill deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict
+
+
+class TokenBucket:
+    """A continuously-refilled token bucket (thread-safe)."""
+
+    def __init__(
+        self,
+        capacity: float,
+        refill_per_s: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be > 0")
+        if refill_per_s < 0:
+            raise ValueError("refill_per_s must be >= 0")
+        self.capacity = float(capacity)
+        self.refill_per_s = float(refill_per_s)
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(
+            self.capacity, self._tokens + elapsed * self.refill_per_s
+        )
+
+    def try_charge(self, amount: float) -> bool:
+        """Atomically take *amount* tokens; False if not enough."""
+        with self._lock:
+            self._refill()
+            if self._tokens + 1e-9 < amount:
+                return False
+            self._tokens -= amount
+            return True
+
+    def retry_after(self, amount: float) -> float:
+        """Seconds until *amount* tokens will be available (0 if now)."""
+        with self._lock:
+            self._refill()
+            missing = amount - self._tokens
+            if missing <= 0:
+                return 0.0
+            if self.refill_per_s == 0:
+                return float("inf")
+            return missing / self.refill_per_s
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            self._refill()
+            return self._tokens
+
+
+class QuotaManager:
+    """Lazily-created per-client buckets with shared parameters."""
+
+    def __init__(
+        self,
+        capacity: float,
+        refill_per_s: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.capacity = capacity
+        self.refill_per_s = refill_per_s
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def bucket(self, client: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(
+                    self.capacity, self.refill_per_s, clock=self._clock
+                )
+                self._buckets[client] = bucket
+            return bucket
+
+    def charge(self, client: str, units: int) -> float:
+        """Charge *units* tokens; returns 0.0 on success, else the
+        suggested retry-after delay in seconds (> 0)."""
+        bucket = self.bucket(client)
+        if bucket.try_charge(units):
+            return 0.0
+        return max(bucket.retry_after(units), 0.001)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Remaining tokens per known client (for /healthz)."""
+        with self._lock:
+            buckets = dict(self._buckets)
+        return {name: bucket.tokens for name, bucket in buckets.items()}

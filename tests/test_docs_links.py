@@ -1,13 +1,17 @@
 """Every intra-repo link and path reference in the docs must resolve.
 
-Two passes over all tracked markdown files:
+Three passes over all tracked markdown files:
 
 * markdown links ``[text](target)`` whose target is not an absolute URL
   must point at an existing file (anchors are checked for file
   existence only);
 * inline-code path references like ``docs/scolint.md`` or
   ``repro/scolint/analysis.py`` must exist, so prose never points at a
-  module that was moved or renamed.
+  module that was moved or renamed;
+* docs-to-code anchoring: every HTTP endpoint path documented in
+  ``docs/service.md`` must appear verbatim somewhere under
+  ``src/repro/service/`` — the API reference cannot describe a route
+  the daemon does not serve.
 """
 
 from __future__ import annotations
@@ -80,3 +84,84 @@ def test_inline_code_paths_resolve(doc):
 def test_docs_were_found():
     assert "README.md" in MD_FILES
     assert os.path.join("docs", "scolint.md") in MD_FILES
+    # PR 10 documentation set
+    assert os.path.join("docs", "README.md") in MD_FILES
+    assert os.path.join("docs", "service.md") in MD_FILES
+
+
+# ----------------------------------------------------------------------
+# docs/README.md is THE index: every docs page must be listed in it.
+# ----------------------------------------------------------------------
+def test_docs_index_lists_every_docs_page():
+    index = os.path.join(ROOT, "docs", "README.md")
+    with open(index, encoding="utf-8") as handle:
+        body = handle.read()
+    pages = sorted(
+        name
+        for name in os.listdir(os.path.join(ROOT, "docs"))
+        if name.endswith(".md") and name != "README.md"
+    )
+    missing = [page for page in pages if f"({page})" not in body]
+    assert not missing, f"docs/README.md index is missing: {missing}"
+
+
+def test_docs_index_is_linked_from_readme_and_experiments():
+    for doc in ("README.md", "EXPERIMENTS.md"):
+        with open(os.path.join(ROOT, doc), encoding="utf-8") as handle:
+            assert "docs/README.md" in handle.read(), (
+                f"{doc} must point readers at the docs index"
+            )
+
+
+# ----------------------------------------------------------------------
+# Endpoint anchoring: documented routes must exist in the service code.
+# ----------------------------------------------------------------------
+#: endpoint paths as written in docs/service.md tables and examples
+ENDPOINT = re.compile(r"`(?:GET|POST)?\s*(/(?:v1|healthz|metrics)[^`\s?]*)")
+
+
+def _service_sources() -> str:
+    service_dir = os.path.join(ROOT, "src", "repro", "service")
+    chunks = []
+    for name in sorted(os.listdir(service_dir)):
+        if name.endswith(".py"):
+            path = os.path.join(service_dir, name)
+            with open(path, encoding="utf-8") as handle:
+                chunks.append(handle.read())
+    return "\n".join(chunks)
+
+
+def test_every_documented_endpoint_path_appears_in_the_service_code():
+    with open(
+        os.path.join(ROOT, "docs", "service.md"), encoding="utf-8"
+    ) as handle:
+        body = handle.read()
+    documented = sorted(
+        {path.rstrip("/") or "/" for path in ENDPOINT.findall(body)}
+    )
+    assert documented, "docs/service.md documents no endpoints?"
+    source = _service_sources()
+    unanchored = []
+    for path in documented:
+        # Templated segments ({id}) are matched by their literal prefix:
+        # the handler routes on the prefix and suffix strings.
+        for fragment in re.split(r"\{[^}]*\}", path):
+            fragment = fragment.rstrip("/")
+            if fragment and fragment not in source:
+                unanchored.append((path, fragment))
+    assert not unanchored, (
+        "docs/service.md documents endpoint paths the service code "
+        f"never mentions: {unanchored}"
+    )
+
+
+def test_documented_endpoints_cover_the_full_surface():
+    with open(
+        os.path.join(ROOT, "docs", "service.md"), encoding="utf-8"
+    ) as handle:
+        body = handle.read()
+    documented = {path.rstrip("/") for path in ENDPOINT.findall(body)}
+    for required in ("/v1/jobs", "/healthz", "/metrics"):
+        assert any(path.startswith(required) for path in documented), (
+            f"docs/service.md must document {required}"
+        )

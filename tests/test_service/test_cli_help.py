@@ -1,0 +1,65 @@
+"""The --help audit: every subcommand documented, pinned by a golden.
+
+The top-level ``scord-experiments --help`` carries a subcommand table
+whose one-liners each name the doc page covering that subcommand
+(docs/README.md is the index).  The rendered help is committed at
+tests/golden/cli_help.txt; regenerate after an intentional CLI change::
+
+    PYTHONPATH=src python -c "from repro.experiments.cli import \
+_build_parser; open('tests/golden/cli_help.txt','w').write(\
+_build_parser().format_help())"
+"""
+
+import os
+import re
+
+from repro.experiments.cli import SUBCOMMANDS, _build_parser
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+GOLDEN = os.path.join(REPO, "tests", "golden", "cli_help.txt")
+
+#: the documented subcommand set, in display order (ISSUE: run, lint,
+#: fuzz, mc, explain, report, serve)
+EXPECTED = ("run", "lint", "fuzz", "mc", "explain", "report", "serve")
+
+
+def test_help_text_matches_the_committed_golden():
+    rendered = _build_parser().format_help()
+    with open(GOLDEN) as handle:
+        golden = handle.read()
+    assert rendered == golden, (
+        "scord-experiments --help drifted from tests/golden/cli_help.txt; "
+        "regenerate the golden if the change is intentional (see this "
+        "test's module docstring)"
+    )
+
+
+def test_every_subcommand_has_a_one_liner():
+    assert tuple(name for name, _ in SUBCOMMANDS) == EXPECTED
+    for name, blurb in SUBCOMMANDS:
+        assert blurb.strip(), name
+        assert "\n" not in blurb, f"{name}: one line means one line"
+
+
+def test_every_one_liner_names_an_existing_doc_page():
+    for name, blurb in SUBCOMMANDS:
+        match = re.search(r"\(docs/([a-z_]+\.md)\)", blurb)
+        assert match, f"{name}: blurb must cite its doc page"
+        page = os.path.join(REPO, "docs", match.group(1))
+        assert os.path.exists(page), f"{name}: {match.group(1)} missing"
+
+
+def test_help_epilog_lists_every_subcommand():
+    text = _build_parser().format_help()
+    for name, blurb in SUBCOMMANDS:
+        assert f"  {name:<9}{blurb}" in text
+
+
+def test_dispatchable_subcommands_resolve_to_entry_points():
+    # every table entry must actually dispatch in main() — import the
+    # same callables main() routes to
+    from repro.experiments.cli import lint_main, report_main  # noqa: F401
+    from repro.forensics.explain import explain_main  # noqa: F401
+    from repro.fuzz.cli import fuzz_main  # noqa: F401
+    from repro.mc.cli import mc_main  # noqa: F401
+    from repro.service.cli import serve_main  # noqa: F401

@@ -1,0 +1,146 @@
+"""Job-manager internals: fairness, sharding, coalescing, verdicts."""
+
+import threading
+
+import pytest
+
+from repro.service.jobs import (
+    Job,
+    JobManager,
+    ServiceConfig,
+    _shard,
+    _union_verdict,
+)
+from repro.service.schemas import JOB_SCHEMA
+
+
+@pytest.fixture()
+def manager():
+    manager = JobManager(
+        ServiceConfig(workers=1, dispatchers=1, shard_size=2)
+    )
+    yield manager
+    manager.close()
+
+
+class TestSharding:
+    def test_shard_splits_by_size(self):
+        assert _shard([1, 2, 3, 4, 5], 2) == [[1, 2], [3, 4], [5]]
+
+    def test_shard_size_floor_is_one(self):
+        assert _shard([1, 2], 0) == [[1], [2]]
+
+
+class TestFairRoundRobin:
+    def _drain_order(self, manager):
+        order = []
+        while True:
+            with manager._lock:
+                shard = manager._next_shard()
+            if shard is None:
+                return order
+            order.append(shard[0][0].client)
+
+    def test_clients_alternate(self, manager):
+        # stop the dispatcher from consuming what we enqueue
+        with manager._cond:
+            manager._stopping = True
+            manager._cond.notify_all()
+        for thread in manager._threads:
+            thread.join(timeout=10)
+        manager._stopping = False
+        body = {
+            "schema": JOB_SCHEMA,
+            "units": [{"app": "RED", "seed": s} for s in range(1, 7)],
+        }
+        manager.submit("alice", body)  # 3 shards of 2
+        manager.submit("bob", body)  # 3 shards of 2
+        assert self._drain_order(manager) == [
+            "alice", "bob", "alice", "bob", "alice", "bob",
+        ]
+
+    def test_late_client_is_not_starved(self, manager):
+        with manager._cond:
+            manager._stopping = True
+            manager._cond.notify_all()
+        for thread in manager._threads:
+            thread.join(timeout=10)
+        manager._stopping = False
+        many = {
+            "schema": JOB_SCHEMA,
+            "units": [{"app": "RED", "seed": s} for s in range(1, 9)],
+        }
+        one = {"schema": JOB_SCHEMA, "units": [{"app": "RED"}]}
+        manager.submit("bulk", many)  # 4 shards
+        manager.submit("smoke", one)  # 1 shard
+        order = self._drain_order(manager)
+        # the small client's only shard runs second, not fifth
+        assert order.index("smoke") == 1
+
+
+class TestCoalescing:
+    def test_concurrent_identical_units_execute_once(self, manager):
+        slot, owner = manager._claim("digest-1")
+        assert owner is True
+        same, second_owner = manager._claim("digest-1")
+        assert second_owner is False
+        assert same is slot
+        done = []
+
+        def waiter():
+            same.event.wait()
+            done.append(same.record)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        slot.record = "the-record"
+        slot.event.set()
+        thread.join(timeout=10)
+        assert done == ["the-record"]
+
+
+class TestUnionVerdict:
+    def test_unions_types_across_seeds(self):
+        units = [
+            {"seed": 0, "verdict": {"racy": False, "types": []}},
+            {"seed": 1, "verdict": {"racy": True, "types": ["lock"]}},
+            {"seed": 2, "verdict": {"racy": True,
+                                    "types": ["missing-block-fence"]}},
+        ]
+        assert _union_verdict(units) == {
+            "racy": True,
+            "types": ["lock", "missing-block-fence"],
+            "seeds": [0, 1, 2],
+        }
+
+    def test_skips_failures_and_pending(self):
+        units = [
+            None,
+            {"seed": 1, "failure": {"category": "simulation"}},
+            {"seed": 2, "verdict": {"racy": False, "types": []}},
+        ]
+        assert _union_verdict(units) == {
+            "racy": False, "types": [], "seeds": [2],
+        }
+
+
+class TestStatusDocument:
+    def test_campaign_status_shape(self):
+        job = Job(id="j1", client="alice", kind="campaign", created=1.0)
+        job.results = [None, None]
+        doc = job.status_dict()
+        assert doc["schema"] == JOB_SCHEMA
+        assert doc["state"] == "queued"
+        assert doc["units_total"] == 2
+        assert doc["report"] == "/v1/jobs/j1/report"
+        assert "static" not in doc
+
+    def test_program_status_carries_the_static_verdict(self):
+        job = Job(id="j2", client="alice", kind="program", created=1.0)
+        job.seeds = (0, 1)
+        job.static = {"racy": False, "types": [], "rules": [],
+                      "findings": 0}
+        job.results = [None, None]
+        doc = job.status_dict()
+        assert doc["static"]["racy"] is False
+        assert doc["seeds"] == [0, 1]

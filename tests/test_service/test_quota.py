@@ -1,0 +1,82 @@
+"""Token-bucket quota semantics, on a deterministic clock."""
+
+import pytest
+
+from repro.service.quota import QuotaManager, TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        clock = FakeClock()
+        bucket = TokenBucket(8, 1, clock=clock)
+        assert bucket.tokens == pytest.approx(8)
+
+    def test_charge_and_refuse(self):
+        clock = FakeClock()
+        bucket = TokenBucket(4, 1, clock=clock)
+        assert bucket.try_charge(3)
+        assert not bucket.try_charge(2)
+        assert bucket.try_charge(1)
+        assert bucket.tokens == pytest.approx(0)
+
+    def test_refills_continuously_up_to_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(4, 2, clock=clock)
+        assert bucket.try_charge(4)
+        clock.advance(1)
+        assert bucket.tokens == pytest.approx(2)
+        clock.advance(100)
+        assert bucket.tokens == pytest.approx(4)  # capped
+
+    def test_retry_after_is_the_refill_delay(self):
+        clock = FakeClock()
+        bucket = TokenBucket(4, 2, clock=clock)
+        assert bucket.try_charge(4)
+        assert bucket.retry_after(3) == pytest.approx(1.5)
+        assert bucket.retry_after(0) == 0.0
+
+    def test_retry_after_without_refill_is_infinite(self):
+        clock = FakeClock()
+        bucket = TokenBucket(2, 0, clock=clock)
+        assert bucket.try_charge(2)
+        assert bucket.retry_after(1) == float("inf")
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0, 1)
+        with pytest.raises(ValueError):
+            TokenBucket(1, -1)
+
+
+class TestQuotaManager:
+    def test_buckets_are_per_client(self):
+        clock = FakeClock()
+        quotas = QuotaManager(2, 0, clock=clock)
+        assert quotas.charge("alice", 2) == 0.0
+        # alice is empty, bob is untouched
+        assert quotas.charge("alice", 1) > 0
+        assert quotas.charge("bob", 2) == 0.0
+
+    def test_charge_is_all_or_nothing(self):
+        clock = FakeClock()
+        quotas = QuotaManager(4, 1, clock=clock)
+        assert quotas.charge("c", 5) > 0  # refused whole
+        assert quotas.charge("c", 4) == 0.0  # nothing was taken above
+
+    def test_snapshot_lists_known_clients(self):
+        clock = FakeClock()
+        quotas = QuotaManager(4, 1, clock=clock)
+        quotas.charge("alice", 1)
+        snap = quotas.snapshot()
+        assert snap == {"alice": pytest.approx(3)}
